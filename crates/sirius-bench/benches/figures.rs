@@ -1,0 +1,72 @@
+//! One criterion bench per paper figure: times a scaled-down run of the
+//! exact code path the figure harness uses. (Use the `fig*` binaries for
+//! the real tables; pass `--full` there for paper scale.)
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sirius_bench::experiments::{fig10, fig11, fig12, fig13, fig2, fig6, fig8, fig9, sync, tuning};
+use sirius_bench::Scale;
+
+fn bench_figures(c: &mut Criterion) {
+    c.bench_function("fig2_scale_tax_and_cmos", |b| {
+        b.iter(|| {
+            black_box(fig2::fig2a_table());
+            black_box(fig2::fig2b_table());
+        })
+    });
+    c.bench_function("fig6_power_and_cost", |b| {
+        b.iter(|| {
+            black_box(fig6::fig6a_table());
+            black_box(fig6::fig6b_table());
+            black_box(fig6::variants_table());
+        })
+    });
+    c.bench_function("fig8_physical_layer", |b| {
+        b.iter(|| {
+            black_box(fig8::fig8a_table(7));
+            black_box(fig8::fig8b_table(7));
+            black_box(fig8::fig8c_table(7));
+            black_box(fig8::fig8d_table());
+        })
+    });
+    c.bench_function("fig9_load_point_smoke", |b| {
+        b.iter(|| black_box(fig9::run_load(Scale::Smoke, 0.5, 1)))
+    });
+    c.bench_function("fig10_q_point_smoke", |b| {
+        b.iter(|| black_box(fig10::run_point(Scale::Smoke, 4, 0.5, 1)))
+    });
+    c.bench_function("fig11_guardband_network_scaling", |b| {
+        b.iter(|| {
+            for &g in &fig11::GUARDBANDS_NS {
+                black_box(fig11::network_for_guardband(
+                    Scale::Smoke,
+                    sirius_core::units::Duration::from_ns(g),
+                ));
+            }
+        })
+    });
+    c.bench_function("fig12_uplink_point_smoke", |b| {
+        b.iter(|| black_box(fig12::run(Scale::Smoke, &[0.5], 1)))
+    });
+    c.bench_function("fig13_point_64k_smoke", |b| {
+        b.iter(|| black_box(fig13::run_point(Scale::Smoke, 65_536, 0.25, 1)))
+    });
+    c.bench_function("tuning_tables", |b| {
+        b.iter(|| {
+            black_box(tuning::tuning_table(7));
+            black_box(tuning::dsdbr_cdf_table());
+        })
+    });
+    c.bench_function("sync_5k_epochs", |b| {
+        b.iter(|| black_box(sync::sync_table(5_000)))
+    });
+}
+
+criterion_group!(
+    name = figures;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_figures
+);
+criterion_main!(figures);

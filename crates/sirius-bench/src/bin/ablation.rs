@@ -1,0 +1,9 @@
+//! Regenerates the congestion-control ablation table.
+use sirius_bench::experiments::{ablation, fig9};
+use sirius_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("running CC ablation at {scale:?} scale...");
+    ablation::table(&ablation::run(scale, &fig9::LOADS, 1)).emit("ablation");
+}

@@ -1,0 +1,27 @@
+use sirius_bench::Scale;
+use sirius_sim::{CcMode, SiriusSim};
+fn main() {
+    let scale = Scale::from_args();
+    let wl = scale.workload(0.5, 1).generate();
+    let cfg = scale.sim_config(scale.network(), &wl, 1);
+    let m = SiriusSim::new(cfg.clone()).run(&wl);
+    let h = wl.last().unwrap().arrival;
+    let net = scale.network();
+    println!(
+        "protocol: fct99={:?} goodput={:.3}",
+        m.fct_percentile(99.0, 100_000),
+        m.goodput_within(h, net.total_servers() as u64, scale.server_share())
+    );
+    println!("cc: {:?}", m.cc);
+    println!(
+        "peaks: local={} fabric={} reorder={}",
+        m.peak_node_local_cells, m.peak_node_fabric_cells, m.peak_reorder_flow_bytes
+    );
+    let mi = SiriusSim::new(cfg.with_mode(CcMode::Ideal)).run(&wl);
+    println!(
+        "ideal: fct99={:?} peaks local={} fabric={}",
+        mi.fct_percentile(99.0, 100_000),
+        mi.peak_node_local_cells,
+        mi.peak_node_fabric_cells
+    );
+}

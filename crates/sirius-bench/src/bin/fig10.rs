@@ -1,0 +1,10 @@
+//! Regenerates Fig. 10: the queue-threshold (Q) sweep.
+use sirius_bench::experiments::{fig10, fig9};
+use sirius_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("running Fig 10 at {scale:?} scale...");
+    let points = fig10::run(scale, &fig9::LOADS, 1);
+    fig10::table(&points).emit("fig10");
+}

@@ -1,0 +1,15 @@
+//! Regenerates Fig. 11: FCT vs guardband at L = 100%.
+use sirius_bench::experiments::fig11;
+use sirius_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("running Fig 11 at {scale:?} scale...");
+    // The paper runs L = 100%; at saturation the protocol accumulates
+    // backlog that flattens the tail, so we also emit a 75% sweep where
+    // the epoch-length effect is visible in isolation.
+    let points = fig11::run(scale, 1.0, 1);
+    fig11::table(&points).emit("fig11");
+    let points75 = fig11::run(scale, 0.75, 1);
+    fig11::table(&points75).emit("fig11_l75");
+}

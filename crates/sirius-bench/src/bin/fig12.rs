@@ -1,0 +1,10 @@
+//! Regenerates Fig. 12: goodput vs load for 1x/1.5x/2x uplinks.
+use sirius_bench::experiments::{fig12, fig9};
+use sirius_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("running Fig 12 at {scale:?} scale...");
+    let points = fig12::run(scale, &fig9::LOADS, 1);
+    fig12::table(&points).emit("fig12");
+}

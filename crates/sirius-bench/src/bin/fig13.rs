@@ -1,0 +1,10 @@
+//! Regenerates Fig. 13: FCT and goodput vs mean flow size.
+use sirius_bench::experiments::fig13;
+use sirius_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("running Fig 13 at {scale:?} scale...");
+    let points = fig13::run(scale, 0.5, 1);
+    fig13::table(&points).emit("fig13");
+}

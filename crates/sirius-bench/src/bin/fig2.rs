@@ -1,0 +1,7 @@
+//! Regenerates Fig. 2a (scale tax) and Fig. 2b (CMOS scaling).
+use sirius_bench::experiments::fig2;
+
+fn main() {
+    fig2::fig2a_table().emit("fig2a");
+    fig2::fig2b_table().emit("fig2b");
+}

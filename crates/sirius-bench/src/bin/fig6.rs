@@ -1,0 +1,8 @@
+//! Regenerates Fig. 6a (power) and Fig. 6b (cost) plus the §5 variants.
+use sirius_bench::experiments::fig6;
+
+fn main() {
+    fig6::fig6a_table().emit("fig6a");
+    fig6::fig6b_table().emit("fig6b");
+    fig6::variants_table().emit("s5_variants");
+}

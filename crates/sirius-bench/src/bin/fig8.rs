@@ -1,0 +1,9 @@
+//! Regenerates Fig. 8a-8d (fast-switching demonstration).
+use sirius_bench::experiments::fig8;
+
+fn main() {
+    fig8::fig8a_table(7).emit("fig8a");
+    fig8::fig8b_table(7).emit("fig8b");
+    fig8::fig8c_table(7).emit("fig8c");
+    fig8::fig8d_table().emit("fig8d");
+}

@@ -1,0 +1,13 @@
+//! Regenerates Fig. 9: FCT and goodput vs load for all four systems.
+//! `--full` runs the paper-scale deployment (minutes).
+use sirius_bench::experiments::fig9;
+use sirius_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("running Fig 9 at {scale:?} scale...");
+    let points = fig9::run(scale, 1);
+    let (fct, gp) = fig9::tables(&points);
+    fct.emit("fig9a");
+    gp.emit("fig9b");
+}

@@ -1,0 +1,43 @@
+//! One Fig. 9 load point at a chosen scale, printing each system's row as
+//! soon as it finishes — for paper-scale validation where the full sweep
+//! is hours of wall clock on a shared core.
+//!
+//! Usage: `fig9_point [--full] <load-percent>`
+use sirius_bench::experiments::fig9::SHORT_FLOW_BYTES;
+use sirius_bench::Scale;
+use sirius_sim::{CcMode, EsnSim, RunMetrics, SiriusSim};
+
+fn main() {
+    let scale = Scale::from_args();
+    let load = std::env::args()
+        .filter_map(|a| a.parse::<f64>().ok())
+        .next()
+        .unwrap_or(50.0)
+        / 100.0;
+    eprintln!("fig9 point: {scale:?} scale, load {:.0}%", load * 100.0);
+    let wl = scale.workload(load, 1).generate();
+    let horizon = wl.last().unwrap().arrival;
+    let net = scale.network();
+    let servers = net.total_servers() as u64;
+    let t0 = std::time::Instant::now();
+    let report = |name: &str, m: &RunMetrics| {
+        println!(
+            "load={:.0}% system={:<18} fct_p99_ms={} goodput={:.3} [{:?}]",
+            load * 100.0,
+            name,
+            m.fct_percentile(99.0, SHORT_FLOW_BYTES)
+                .map(|d| format!("{:.5}", d.as_ms_f64()))
+                .unwrap_or("-".into()),
+            m.goodput_within(horizon, servers, scale.server_share()),
+            t0.elapsed(),
+        );
+    };
+    let cfg = scale.sim_config(net.clone(), &wl, 1);
+    report("Sirius", &SiriusSim::new(cfg.clone()).run(&wl));
+    report(
+        "Sirius (Ideal)",
+        &SiriusSim::new(cfg.with_mode(CcMode::Ideal)).run(&wl),
+    );
+    report("ESN (Ideal)", &EsnSim::new(scale.esn(1.0)).run(&wl));
+    report("ESN-OSUB (Ideal)", &EsnSim::new(scale.esn(3.0)).run(&wl));
+}

@@ -1,0 +1,9 @@
+//! Regenerates the §2.2/§8 switching-granularity comparison.
+use sirius_bench::experiments::granularity;
+use sirius_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("running switching-granularity sweep at {scale:?} scale...");
+    granularity::table(&granularity::run(scale, 0.75, 1)).emit("granularity");
+}

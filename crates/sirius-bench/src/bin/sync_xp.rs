@@ -1,0 +1,12 @@
+//! Regenerates the §6 time-synchronization measurement.
+use sirius_bench::experiments::sync;
+use sirius_bench::Scale;
+
+fn main() {
+    let epochs = match Scale::from_args() {
+        Scale::Paper => 2_000_000,
+        Scale::Quick => 200_000,
+        Scale::Smoke => 30_000,
+    };
+    sync::sync_table(epochs).emit("sync");
+}

@@ -1,0 +1,8 @@
+//! Regenerates the §3.2/§4.5 laser-tuning tables.
+use sirius_bench::experiments::tuning;
+
+fn main() {
+    tuning::tuning_table(7).emit("tuning");
+    tuning::dsdbr_cdf_table().emit("tuning_cdf");
+    tuning::bank_sizing_table().emit("bank_sizing");
+}

@@ -1,0 +1,38 @@
+//! Runs every experiment in sequence (the full paper reproduction).
+//! Pass `--full` for paper scale.
+use sirius_bench::experiments::*;
+use sirius_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("=== Sirius paper reproduction, {scale:?} scale ===");
+    fig2::fig2a_table().emit("fig2a");
+    fig2::fig2b_table().emit("fig2b");
+    fig6::fig6a_table().emit("fig6a");
+    fig6::fig6b_table().emit("fig6b");
+    fig6::variants_table().emit("s5_variants");
+    fig8::fig8a_table(7).emit("fig8a");
+    fig8::fig8b_table(7).emit("fig8b");
+    fig8::fig8c_table(7).emit("fig8c");
+    fig8::fig8d_table().emit("fig8d");
+    tuning::tuning_table(7).emit("tuning");
+    tuning::dsdbr_cdf_table().emit("tuning_cdf");
+    tuning::bank_sizing_table().emit("bank_sizing");
+    let epochs = if scale == Scale::Paper {
+        2_000_000
+    } else {
+        200_000
+    };
+    sync::sync_table(epochs).emit("sync");
+    let points = fig9::run(scale, 1);
+    let (fct, gp) = fig9::tables(&points);
+    fct.emit("fig9a");
+    gp.emit("fig9b");
+    fig10::table(&fig10::run(scale, &fig9::LOADS, 1)).emit("fig10");
+    fig11::table(&fig11::run(scale, 1.0, 1)).emit("fig11");
+    fig11::table(&fig11::run(scale, 0.75, 1)).emit("fig11_l75");
+    fig12::table(&fig12::run(scale, &fig9::LOADS, 1)).emit("fig12");
+    fig13::table(&fig13::run(scale, 0.5, 1)).emit("fig13");
+    ablation::table(&ablation::run(scale, &fig9::LOADS, 1)).emit("ablation");
+    eprintln!("=== done; CSVs under results/ ===");
+}

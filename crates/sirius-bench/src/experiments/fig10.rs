@@ -1,0 +1,102 @@
+//! Fig. 10: impact of the congestion-control queue threshold Q
+//! (2, 4, 8, 16) on FCT, goodput, peak aggregate queue occupancy per
+//! node, and the out-of-order (reorder) buffer.
+
+use crate::experiments::fig9::SHORT_FLOW_BYTES;
+use crate::scale::Scale;
+use crate::table::{f, fct_ms, Table};
+use sirius_core::units::Duration;
+use sirius_sim::SiriusSim;
+
+pub const QS: [usize; 4] = [2, 4, 8, 16];
+
+#[derive(Debug, Clone)]
+pub struct Point {
+    pub q: usize,
+    pub load: f64,
+    pub fct_p99: Option<Duration>,
+    pub goodput: f64,
+    /// Peak aggregate fabric (VOQ+relay) occupancy at any node, KB.
+    pub peak_queue_kb: f64,
+    /// Peak per-flow reorder buffer, KB.
+    pub reorder_kb: f64,
+}
+
+pub fn run_point(scale: Scale, q: usize, load: f64, seed: u64) -> Point {
+    let wl = scale.workload(load, seed).generate();
+    let mut net = scale.network();
+    net.queue_threshold = q;
+    let horizon = wl.last().unwrap().arrival;
+    let cfg = scale.sim_config(net, &wl, seed);
+    let m = SiriusSim::new(cfg).run(&wl);
+    let netcfg = scale.network();
+    Point {
+        q,
+        load,
+        fct_p99: m.fct_percentile(99.0, SHORT_FLOW_BYTES),
+        goodput: m.goodput_within(horizon, netcfg.total_servers() as u64, scale.server_share()),
+        peak_queue_kb: m.peak_node_fabric_bytes() as f64 / 1000.0,
+        reorder_kb: m.peak_reorder_flow_bytes as f64 / 1000.0,
+    }
+}
+
+pub fn run(scale: Scale, loads: &[f64], seed: u64) -> Vec<Point> {
+    let mut out = Vec::new();
+    for &q in &QS {
+        for &l in loads {
+            out.push(run_point(scale, q, l, seed));
+        }
+    }
+    out
+}
+
+pub fn table(points: &[Point]) -> Table {
+    let mut t = Table::new(
+        "Fig 10: queue threshold Q sweep (FCT / goodput / occupancy / reorder)",
+        &[
+            "Q",
+            "load_%",
+            "fct_p99_ms",
+            "goodput",
+            "peak_queue_KB",
+            "reorder_KB",
+        ],
+    );
+    for p in points {
+        t.row(vec![
+            p.q.to_string(),
+            f(p.load * 100.0, 0),
+            fct_ms(p.fct_p99),
+            f(p.goodput, 3),
+            f(p.peak_queue_kb, 1),
+            f(p.reorder_kb, 1),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_occupancy_grows_with_q() {
+        // Fig. 10c: larger Q admits deeper relay queues.
+        let lo = run_point(Scale::Smoke, 2, 0.75, 3);
+        let hi = run_point(Scale::Smoke, 16, 0.75, 3);
+        assert!(
+            hi.peak_queue_kb >= lo.peak_queue_kb,
+            "Q=16 occupancy {} < Q=2 occupancy {}",
+            hi.peak_queue_kb,
+            lo.peak_queue_kb
+        );
+        assert!(lo.goodput > 0.0 && hi.goodput > 0.0);
+    }
+
+    #[test]
+    fn table_shape() {
+        let pts = run(Scale::Smoke, &[0.5], 1);
+        assert_eq!(pts.len(), 4);
+        assert_eq!(table(&pts).len(), 4);
+    }
+}

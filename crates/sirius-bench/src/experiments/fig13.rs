@@ -1,0 +1,122 @@
+//! Fig. 13: impact of the mean flow size (512 B to 100 KB) on FCT and
+//! goodput — the cost of Sirius' fixed-size cells. Tiny flows waste most
+//! of a 540 B cell payload; ESN's variable-size packets do not.
+
+use crate::experiments::fig9::SHORT_FLOW_BYTES;
+use crate::scale::Scale;
+use crate::table::{f, fct_ms, Table};
+use sirius_core::units::Duration;
+use sirius_sim::{EsnSim, SiriusSim};
+use sirius_workload::Pareto;
+
+/// The paper's x-axis (mean flow size, bytes).
+pub const MEAN_SIZES: [u64; 8] = [512, 1024, 2048, 4096, 16_384, 32_768, 65_536, 100_000];
+
+#[derive(Debug, Clone)]
+pub struct Point {
+    pub system: &'static str,
+    pub mean_bytes: u64,
+    pub fct_p99: Option<Duration>,
+    pub goodput: f64,
+}
+
+/// One mean-size point (both systems).
+pub fn run_point(scale: Scale, mean: u64, load: f64, seed: u64) -> Vec<Point> {
+    run_means(scale, &[mean], load, seed)
+}
+
+pub fn run(scale: Scale, load: f64, seed: u64) -> Vec<Point> {
+    run_means(scale, &MEAN_SIZES, load, seed)
+}
+
+fn run_means(scale: Scale, means: &[u64], load: f64, seed: u64) -> Vec<Point> {
+    let mut out = Vec::new();
+    let net = scale.network();
+    let servers = net.total_servers() as u64;
+    for &mean in means {
+        let mut spec = scale.workload(load, seed);
+        spec.sizes = Pareto::with_mean(1.05, mean as f64).truncated(1e7);
+        // Smaller flows arrive proportionally faster at equal load; scale
+        // the population so the offered window stays long enough to
+        // exercise the fabric (cap 25x to bound runtime).
+        let factor = (100_000.0 / mean as f64).clamp(1.0, 25.0);
+        spec.flows = (spec.flows as f64 * factor) as u64;
+        let wl = spec.generate();
+        let horizon = wl.last().unwrap().arrival;
+
+        let cfg = scale.sim_config(net.clone(), &wl, seed);
+        let m = SiriusSim::new(cfg).run(&wl);
+        out.push(Point {
+            system: "Sirius",
+            mean_bytes: mean,
+            fct_p99: m.fct_percentile(99.0, SHORT_FLOW_BYTES),
+            goodput: m.goodput_within(horizon, servers, scale.server_share()),
+        });
+
+        let e = EsnSim::new(scale.esn(1.0)).run(&wl);
+        out.push(Point {
+            system: "ESN (Ideal)",
+            mean_bytes: mean,
+            fct_p99: e.fct_percentile(99.0, SHORT_FLOW_BYTES),
+            goodput: e.goodput_within(horizon, servers, scale.server_share()),
+        });
+    }
+    out
+}
+
+pub fn table(points: &[Point]) -> Table {
+    let mut t = Table::new(
+        "Fig 13: FCT and goodput vs mean flow size (fixed-size cell overhead)",
+        &["mean_flow_size", "system", "fct_p99_ms", "goodput"],
+    );
+    for p in points {
+        t.row(vec![
+            p.mean_bytes.to_string(),
+            p.system.to_string(),
+            fct_ms(p.fct_p99),
+            f(p.goodput, 3),
+        ]);
+    }
+    t
+}
+
+/// Goodput gap Sirius/ESN at a mean size.
+pub fn goodput_gap(points: &[Point], mean: u64) -> f64 {
+    let g = |sys: &str| {
+        points
+            .iter()
+            .find(|p| p.system == sys && p.mean_bytes == mean)
+            .map(|p| p.goodput)
+            .unwrap_or(0.0)
+    };
+    let esn = g("ESN (Ideal)");
+    if esn == 0.0 {
+        return 0.0;
+    }
+    g("Sirius") / esn
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_padding_hurts_tiny_flows_only() {
+        // Paper: at F = 512 B the goodput gap is ~1.7x (ratio ~0.6); at
+        // larger means Sirius approaches ESN.
+        let mut pts = run(Scale::Smoke, 0.5, 13);
+        // Keep only the sizes this test reasons about.
+        pts.retain(|p| p.mean_bytes == 512 || p.mean_bytes == 65_536);
+        let small = goodput_gap(&pts, 512);
+        let large = goodput_gap(&pts, 65_536);
+        assert!(
+            small < large,
+            "gap should close with flow size: 512 B ratio {small}, 64 KB ratio {large}"
+        );
+        assert!(
+            small < 0.9,
+            "tiny flows should show real cell overhead: {small}"
+        );
+        assert!(large > 0.6, "large flows should approach ESN: {large}");
+    }
+}

@@ -1,0 +1,48 @@
+//! Fig. 2a (the scale tax) and Fig. 2b (CMOS scaling slowdown).
+
+use crate::table::{f, Table};
+use sirius_power::catalog::Catalog;
+use sirius_power::{cmos, scale_tax};
+
+pub fn fig2a_table() -> Table {
+    let mut t = Table::new(
+        "Fig 2a: network power per bisection bandwidth vs scale",
+        &["layers", "max_endpoints", "W_per_Tbps"],
+    );
+    for row in scale_tax::fig2a(&Catalog::paper()) {
+        t.row(vec![
+            row.layers.to_string(),
+            row.max_endpoints.to_string(),
+            f(row.w_per_tbps, 1),
+        ]);
+    }
+    t
+}
+
+pub fn fig2b_table() -> Table {
+    let mut t = Table::new(
+        "Fig 2b: CMOS scaling vs ideal doubling",
+        &["node", "year", "perf_per_area", "perf_per_power", "ideal"],
+    );
+    for (g, n) in cmos::fig2b().iter().enumerate() {
+        t.row(vec![
+            n.label.to_string(),
+            n.year.to_string(),
+            f(n.perf_per_area, 1),
+            f(n.perf_per_power, 1),
+            f(cmos::ideal(g), 0),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_have_expected_rows() {
+        assert_eq!(fig2a_table().len(), 5);
+        assert_eq!(fig2b_table().len(), 5);
+    }
+}

@@ -1,0 +1,78 @@
+//! Fig. 6: power (a) and cost (b) of Sirius relative to an
+//! electrically-switched network, at the §5 datacenter scale.
+
+use crate::table::{f, Table};
+use sirius_power::catalog::Catalog;
+use sirius_power::cost;
+use sirius_power::power::{self, Datacenter};
+
+pub fn fig6a_table() -> Table {
+    let cat = Catalog::paper();
+    let dc = Datacenter::paper();
+    let mut t = Table::new(
+        "Fig 6a: Sirius/ESN power vs tunable-laser power ratio",
+        &[
+            "laser_ratio",
+            "sirius_over_esn",
+            "sirius_over_esn_2x_uplinks",
+        ],
+    );
+    let mut dc2 = dc;
+    dc2.sirius_uplink_factor = 2.0;
+    for (r, ratio) in power::fig6a(&cat, &dc) {
+        let with_double = power::power_ratio(&cat, &dc2, r);
+        t.row(vec![f(r, 0), f(ratio, 3), f(with_double, 3)]);
+    }
+    t
+}
+
+pub fn fig6b_table() -> Table {
+    let cat = Catalog::paper();
+    let dc = Datacenter::paper();
+    let mut t = Table::new(
+        "Fig 6b: Sirius/ESN cost vs grating cost fraction",
+        &["grating_frac_%", "vs_nonblocking", "vs_3to1_oversubscribed"],
+    );
+    for (frac, nb, osub) in cost::fig6b(&cat, &dc) {
+        t.row(vec![f(frac * 100.0, 0), f(nb, 3), f(osub, 3)]);
+    }
+    t
+}
+
+/// The §5 one-off comparisons (electrically-switched Sirius variant etc.).
+pub fn variants_table() -> Table {
+    let cat = Catalog::paper();
+    let dc = Datacenter::paper();
+    let sirius = cost::sirius_cost_per_rack(&cat, &dc);
+    let mut t = Table::new(
+        "S5 cost variants: Sirius relative to each alternative",
+        &["baseline", "sirius_cost_ratio"],
+    );
+    t.row(vec![
+        "ESN non-blocking".into(),
+        f(sirius / cost::esn_cost_per_rack(&cat, &dc), 3),
+    ]);
+    let mut osub = dc;
+    osub.oversubscription = 3.0;
+    t.row(vec![
+        "ESN 3:1 oversubscribed".into(),
+        f(sirius / cost::esn_cost_per_rack(&cat, &osub), 3),
+    ]);
+    t.row(vec![
+        "electrically-switched Sirius".into(),
+        f(sirius / cost::electrical_sirius_cost_per_rack(&cat, &dc), 3),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_have_expected_rows() {
+        assert_eq!(fig6a_table().len(), 6);
+        assert_eq!(fig6b_table().len(), 6);
+        assert_eq!(variants_table().len(), 3);
+    }
+}

@@ -1,0 +1,200 @@
+//! Fig. 8: the physical-layer fast-switching demonstration.
+//!
+//! * (a) CDF of SOA rise/fall times across the chip.
+//! * (b) optical intensity during a switch between adjacent vs distant
+//!   wavelengths — both sub-nanosecond, span-independent.
+//! * (c) burst waveforms of consecutive cell slots with the 3.84 ns
+//!   guardband.
+//! * (d) BER vs received power for four channels against the FEC
+//!   threshold.
+
+use crate::table::{f, Table};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sirius_optics::ber::{Modulation, Receiver, KP4_FEC_THRESHOLD};
+use sirius_optics::soa::SoaChip;
+use sirius_optics::transceiver::v2;
+use sirius_optics::wavelength::Grid;
+
+/// Fig. 8a: the rise/fall-time CDF of the fabricated chip.
+pub fn fig8a_table(seed: u64) -> Table {
+    let chip = SoaChip::paper_chip(&mut SmallRng::seed_from_u64(seed));
+    let rises = chip.rise_times();
+    let falls = chip.fall_times();
+    let n = rises.len() as f64;
+    let mut t = Table::new(
+        "Fig 8a: CDF of SOA rise/fall times (worst case pinned to paper)",
+        &["cdf", "rise_ps", "fall_ps"],
+    );
+    for (i, (r, fl)) in rises.iter().zip(&falls).enumerate() {
+        t.row(vec![
+            f((i as f64 + 1.0) / n, 3),
+            r.as_ps().to_string(),
+            fl.as_ps().to_string(),
+        ]);
+    }
+    t
+}
+
+/// Normalized optical intensity of the *new* wavelength `t_ps` after a
+/// switch begins: an RC-style SOA turn-on with 10-90% time `rise_ps`.
+pub fn turn_on_intensity(t_ps: f64, rise_ps: f64) -> f64 {
+    if t_ps <= 0.0 {
+        return 0.0;
+    }
+    // 10-90% rise of 1-exp(-t/tau) spans ~2.197*tau.
+    let tau = rise_ps / 2.197;
+    1.0 - (-t_ps / tau).exp()
+}
+
+/// Fig. 8b: switching transients for an adjacent and a distant wavelength
+/// pair — the intensity trace of the target wavelength over time.
+pub fn fig8b_table(seed: u64) -> Table {
+    let chip = SoaChip::paper_chip(&mut SmallRng::seed_from_u64(seed));
+    let grid = Grid::chip_19();
+    let adjacent = (9usize, 10usize);
+    let distant = (0usize, 18usize);
+    let mut t = Table::new(
+        "Fig 8b: switching transient, adjacent vs distant wavelengths",
+        &["t_ps", "adjacent_intensity", "distant_intensity"],
+    );
+    let rise_adj = chip.gates()[adjacent.1].rise.as_ps() as f64;
+    let rise_dist = chip.gates()[distant.1].rise.as_ps() as f64;
+    for step in 0..=40 {
+        let t_ps = step as f64 * 50.0; // 0..2 ns
+        t.row(vec![
+            f(t_ps, 0),
+            f(turn_on_intensity(t_ps, rise_adj), 3),
+            f(turn_on_intensity(t_ps, rise_dist), 3),
+        ]);
+    }
+    println!(
+        "  adjacent pair: {:.3} nm -> {:.3} nm; distant pair: {:.3} nm -> {:.3} nm",
+        grid.wavelength_nm(adjacent.0 as u16),
+        grid.wavelength_nm(adjacent.1 as u16),
+        grid.wavelength_nm(distant.0 as u16),
+        grid.wavelength_nm(distant.1 as u16),
+    );
+    t
+}
+
+/// Fig. 8c: burst envelope of consecutive cell slots separated by the
+/// v2 guardband.
+pub fn fig8c_table(seed: u64) -> Table {
+    let tx = v2::transceiver(&mut SmallRng::seed_from_u64(seed));
+    let guard_ps = tx.reconfiguration_time().as_ps() as f64;
+    let slot_data_ps = 34_560.0; // 38.4 ns slot at 10% overhead
+    let mut t = Table::new(
+        "Fig 8c: burst waveform across consecutive slots (3.84 ns guardband)",
+        &["t_ns", "intensity"],
+    );
+    let period = slot_data_ps + guard_ps;
+    for step in 0..=160 {
+        let t_ps = step as f64 * (2.0 * period) / 160.0;
+        let phase = t_ps % period;
+        let on = phase >= guard_ps;
+        // Rising edge after the guardband.
+        let v = if on {
+            turn_on_intensity(phase - guard_ps + 200.0, 527.0)
+        } else {
+            0.0
+        };
+        t.row(vec![f(t_ps / 1000.0, 2), f(v, 3)]);
+    }
+    println!(
+        "  guardband = {:.2} ns, slot = {:.2} ns",
+        guard_ps / 1e3,
+        period / 1e3
+    );
+    t
+}
+
+/// Fig. 8d: BER vs received power for four channels.
+pub fn fig8d_table() -> Table {
+    let channels: Vec<Receiver> = [0.0, 0.3, 0.6, 0.9]
+        .iter()
+        .map(|&p| Receiver::new(Modulation::Pam4_50).with_penalty(p))
+        .collect();
+    let mut t = Table::new(
+        "Fig 8d: log10(BER) vs received power, 4 channels (FEC thr 2.2e-4)",
+        &["rx_dbm", "ch1", "ch2", "ch3", "ch4", "fec_threshold"],
+    );
+    for p10 in (-100..=-20).step_by(5) {
+        let dbm = p10 as f64 / 10.0;
+        let mut row = vec![f(dbm, 1)];
+        for ch in &channels {
+            let ber = ch.pre_fec_ber(dbm).max(1e-15);
+            row.push(f(ber.log10(), 2));
+        }
+        row.push(f(KP4_FEC_THRESHOLD.log10(), 2));
+        t.row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8a_worst_cases() {
+        let t = fig8a_table(1);
+        assert_eq!(t.len(), 19);
+        let csv = t.to_csv();
+        assert!(csv.contains("527"), "worst rise missing");
+        assert!(csv.contains("912"), "worst fall missing");
+    }
+
+    #[test]
+    fn turn_on_is_10_90_calibrated() {
+        // 10% at ~0.105*rise/0.455... check endpoints instead: ~90% at
+        // the nominal rise time measured from the 10% point.
+        let rise = 527.0;
+        let v10 = turn_on_intensity(0.1 * rise, rise);
+        let v90 = turn_on_intensity(1.2 * rise, rise);
+        assert!(v10 > 0.05 && v10 < 0.45, "v10 = {v10}");
+        assert!(v90 > 0.88, "v90 = {v90}");
+        assert!(turn_on_intensity(-5.0, rise) == 0.0);
+    }
+
+    #[test]
+    fn fig8b_distant_is_as_fast_as_adjacent() {
+        let t = fig8b_table(2);
+        // Last sample: both fully on.
+        let last = t.to_csv().lines().last().unwrap().to_string();
+        let cells: Vec<&str> = last.split(',').collect();
+        let adj: f64 = cells[1].parse().unwrap();
+        let dist: f64 = cells[2].parse().unwrap();
+        assert!(adj > 0.99 && dist > 0.99, "adj {adj} dist {dist}");
+    }
+
+    #[test]
+    fn fig8c_has_gaps_and_bursts() {
+        let t = fig8c_table(3);
+        let csv = t.to_csv();
+        let values: Vec<f64> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(1).unwrap().parse().unwrap())
+            .collect();
+        assert!(values.iter().any(|&v| v == 0.0), "no guardband gap");
+        assert!(values.iter().any(|&v| v > 0.95), "no burst plateau");
+    }
+
+    #[test]
+    fn fig8d_waterfalls_cross_threshold_near_minus8() {
+        let t = fig8d_table();
+        // At -8 dBm channel 1's log BER is near the threshold (-3.66).
+        let row = t
+            .to_csv()
+            .lines()
+            .find(|l| l.starts_with("-8.0"))
+            .unwrap()
+            .to_string();
+        let ch1: f64 = row.split(',').nth(1).unwrap().parse().unwrap();
+        assert!(
+            (ch1 - (-3.66)).abs() < 0.15,
+            "ch1 log BER at -8 dBm = {ch1}"
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Fig. 9: 99th-percentile FCT for short flows and average goodput vs
+//! network load, for ESN (Ideal), ESN-OSUB (Ideal), Sirius, and
+//! Sirius (Ideal).
+
+use crate::scale::Scale;
+use crate::table::{f, fct_ms, Table};
+use sirius_core::units::{Duration, Time};
+use sirius_sim::{CcMode, EsnSim, RunMetrics, SiriusSim};
+
+/// The paper's x-axis.
+pub const LOADS: [f64; 5] = [0.10, 0.25, 0.50, 0.75, 1.00];
+/// "Short flows" cutoff (flow size < 100 KB).
+pub const SHORT_FLOW_BYTES: u64 = 100_000;
+
+/// One measured point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    pub system: &'static str,
+    pub load: f64,
+    pub fct_p99: Option<Duration>,
+    pub goodput: f64,
+}
+
+fn point(system: &'static str, load: f64, m: &RunMetrics, scale: Scale, horizon: Time) -> Point {
+    let net = scale.network();
+    Point {
+        system,
+        load,
+        fct_p99: m.fct_percentile(99.0, SHORT_FLOW_BYTES),
+        goodput: m.goodput_within(horizon, net.total_servers() as u64, scale.server_share()),
+    }
+}
+
+/// Run one load point for all four systems. Goodput is measured over the
+/// offered-load window (last arrival), the same horizon for every system.
+pub fn run_load(scale: Scale, load: f64, seed: u64) -> Vec<Point> {
+    let wl = scale.workload(load, seed).generate();
+    let horizon = wl.last().unwrap().arrival;
+    let mut out = Vec::new();
+
+    let cfg = scale.sim_config(scale.network(), &wl, seed);
+    out.push(point(
+        "Sirius",
+        load,
+        &SiriusSim::new(cfg.clone()).run(&wl),
+        scale,
+        horizon,
+    ));
+
+    let cfg_ideal = cfg.with_mode(CcMode::Ideal);
+    out.push(point(
+        "Sirius (Ideal)",
+        load,
+        &SiriusSim::new(cfg_ideal).run(&wl),
+        scale,
+        horizon,
+    ));
+
+    out.push(point(
+        "ESN (Ideal)",
+        load,
+        &EsnSim::new(scale.esn(1.0)).run(&wl),
+        scale,
+        horizon,
+    ));
+    out.push(point(
+        "ESN-OSUB (Ideal)",
+        load,
+        &EsnSim::new(scale.esn(3.0)).run(&wl),
+        scale,
+        horizon,
+    ));
+    out
+}
+
+/// The full Fig. 9 sweep.
+pub fn run(scale: Scale, seed: u64) -> Vec<Point> {
+    LOADS
+        .iter()
+        .flat_map(|&l| run_load(scale, l, seed))
+        .collect()
+}
+
+/// Render the two panels as tables.
+pub fn tables(points: &[Point]) -> (Table, Table) {
+    let mut fct = Table::new(
+        "Fig 9a: 99th-perc. FCT of short flows (<100 KB), ms",
+        &["load_%", "system", "fct_p99_ms"],
+    );
+    let mut gp = Table::new(
+        "Fig 9b: average server goodput (normalized)",
+        &["load_%", "system", "goodput"],
+    );
+    for p in points {
+        fct.row(vec![
+            f(p.load * 100.0, 0),
+            p.system.to_string(),
+            fct_ms(p.fct_p99),
+        ]);
+        gp.row(vec![
+            f(p.load * 100.0, 0),
+            p.system.to_string(),
+            f(p.goodput, 3),
+        ]);
+    }
+    (fct, gp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_all_systems() {
+        let pts = run_load(Scale::Smoke, 0.25, 42);
+        assert_eq!(pts.len(), 4);
+        for p in &pts {
+            assert!(p.goodput > 0.0, "{} produced no goodput", p.system);
+        }
+        let (t1, t2) = tables(&pts);
+        assert_eq!(t1.len(), 4);
+        assert_eq!(t2.len(), 4);
+    }
+
+    #[test]
+    fn shape_sirius_tracks_esn_and_beats_osub() {
+        // The paper's headline comparison at a congested load: ESN-OSUB
+        // collapses; Sirius stays near ESN (Ideal).
+        let pts = run_load(Scale::Smoke, 0.75, 7);
+        let get = |name: &str| pts.iter().find(|p| p.system == name).unwrap();
+        let sirius = get("Sirius");
+        let esn = get("ESN (Ideal)");
+        let osub = get("ESN-OSUB (Ideal)");
+        assert!(
+            sirius.goodput > osub.goodput,
+            "Sirius {} <= OSUB {}",
+            sirius.goodput,
+            osub.goodput
+        );
+        assert!(
+            sirius.goodput > 0.5 * esn.goodput,
+            "Sirius {} far below ESN {}",
+            sirius.goodput,
+            esn.goodput
+        );
+    }
+}

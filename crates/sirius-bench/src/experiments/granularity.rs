@@ -1,0 +1,104 @@
+//! Switching granularity across technologies (§2.2 + §8).
+//!
+//! §2.2: "at high load, the FCT grows sharply beyond a reconfiguration
+//! latency of 10 ns" — and §8's related-work survey spans six orders of
+//! magnitude: Sirius' sub-ns SOA selection, electrically-tuned lasers
+//! (~100 ns), free-space/piezo optics (tens of us), and MEMS circuit
+//! switches (ms). This experiment runs the *same* fabric and workload at
+//! slot lengths scaled to each technology's reconfiguration time (guard =
+//! 10% of slot throughout, as in Fig. 11) and shows why everything slower
+//! than tens of nanoseconds needs a second network for short flows.
+
+use crate::experiments::fig11::network_for_guardband;
+use crate::experiments::fig9::SHORT_FLOW_BYTES;
+use crate::scale::Scale;
+use crate::table::{fct_ms, Table};
+use sirius_core::units::Duration;
+use sirius_sim::SiriusSim;
+
+/// Representative reconfiguration times per §8 technology class.
+pub const TECHNOLOGIES: [(&str, u64); 5] = [
+    ("Sirius v2 (SOA select)", 4),          // ~3.84 ns
+    ("Sirius v1 (DSDBR)", 100),             // ~100 ns
+    ("electrical circuit (Shoal)", 1_000),  // ~1 us class
+    ("free-space / piezo", 20_000),         // ~20 us (RotorNet's switch)
+    ("MEMS circuit switch", 1_000_000),     // ~1 ms class
+];
+
+#[derive(Debug, Clone)]
+pub struct Point {
+    pub technology: &'static str,
+    pub reconfig_ns: u64,
+    pub fct_p99_ms: String,
+    pub completed_fraction: f64,
+}
+
+pub fn run(scale: Scale, load: f64, seed: u64) -> Vec<Point> {
+    let wl = scale.workload(load, seed).generate();
+    let mut out = Vec::new();
+    for (name, ns) in TECHNOLOGIES {
+        let net = network_for_guardband(scale, Duration::from_ns(ns));
+        let cfg = scale.sim_config(net, &wl, seed);
+        let m = SiriusSim::new(cfg).run(&wl);
+        out.push(Point {
+            technology: name,
+            reconfig_ns: ns,
+            fct_p99_ms: fct_ms(m.fct_percentile(99.0, SHORT_FLOW_BYTES)),
+            completed_fraction: m.completed_flows() as f64 / wl.len() as f64,
+        });
+    }
+    out
+}
+
+pub fn table(points: &[Point]) -> Table {
+    let mut t = Table::new(
+        "S2.2/S8: short-flow tail vs reconfiguration time (guard = 10% of slot)",
+        &["technology", "reconfig_ns", "fct_p99_ms", "completed_frac"],
+    );
+    for p in points {
+        t.row(vec![
+            p.technology.to_string(),
+            p.reconfig_ns.to_string(),
+            p.fct_p99_ms.clone(),
+            format!("{:.3}", p.completed_fraction),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slow_switching_destroys_short_flow_service() {
+        // The §2.2/§8 claim in one table: at micro/millisecond
+        // reconfiguration the short-flow tail is orders of magnitude worse
+        // (or flows stop completing inside the run) than at nanoseconds.
+        let pts = run(Scale::Smoke, 0.3, 5);
+        assert_eq!(pts.len(), TECHNOLOGIES.len());
+        let ns_frac = pts[0].completed_fraction;
+        let mems_frac = pts.last().unwrap().completed_fraction;
+        assert!(
+            ns_frac > 0.99,
+            "nanosecond switching should complete everything: {ns_frac}"
+        );
+        assert!(
+            mems_frac < ns_frac,
+            "MEMS-class switching should visibly strand flows ({mems_frac} vs {ns_frac})"
+        );
+        // FCT (of whatever completes) degrades monotonically-ish; at least
+        // the extremes must be far apart when both are measurable.
+        let fast: f64 = pts[0].fct_p99_ms.parse().unwrap_or(f64::INFINITY);
+        let slow: f64 = pts
+            .last()
+            .unwrap()
+            .fct_p99_ms
+            .parse()
+            .unwrap_or(f64::INFINITY);
+        assert!(
+            slow > 3.0 * fast || mems_frac < 0.5,
+            "slow switching shows no penalty: fast {fast} ms vs slow {slow} ms"
+        );
+    }
+}

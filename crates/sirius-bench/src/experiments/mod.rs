@@ -1,0 +1,15 @@
+//! One module per paper figure/table; each exposes `run`/`*_table`
+//! functions used by both the harness binaries and the criterion benches.
+
+pub mod ablation;
+pub mod fig10;
+pub mod granularity;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig2;
+pub mod fig6;
+pub mod fig8;
+pub mod fig9;
+pub mod sync;
+pub mod tuning;

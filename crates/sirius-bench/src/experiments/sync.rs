@@ -1,0 +1,76 @@
+//! The §6 synchronization experiment: maximum clock-phase deviation
+//! between nodes, with leader rotation and failure injection, plus the
+//! free-running ablation.
+
+use crate::table::{f, Table};
+use sirius_sync::pll::Pll;
+use sirius_sync::sync_sim::{run, SyncSimConfig};
+
+/// Epochs per scenario (the deviation process is stationary after lock;
+/// the harness's stationarity check below licenses extrapolating to the
+/// paper's 24 h).
+pub fn sync_table(epochs: u64) -> Table {
+    let mut t = Table::new(
+        "S6: clock phase deviation (paper: +-5 ps over 24 h between 2 nodes)",
+        &["scenario", "nodes", "epochs", "max_dev_ps", "stationary"],
+    );
+
+    let scenarios: Vec<(&str, SyncSimConfig, Vec<(usize, u64)>)> = vec![
+        ("2 nodes (paper setup)", SyncSimConfig::paper(2), vec![]),
+        ("8 nodes", SyncSimConfig::paper(8), vec![]),
+        ("32 nodes", SyncSimConfig::paper(32), vec![]),
+        (
+            "8 nodes, leader dies mid-run",
+            SyncSimConfig::paper(8),
+            vec![(0, epochs / 2)],
+        ),
+        (
+            "free-running (PLL off)",
+            SyncSimConfig {
+                pll: Pll {
+                    kp: 0.0,
+                    ki: 0.0,
+                    max_slew_ppm: 0.0,
+                },
+                ..SyncSimConfig::paper(2)
+            },
+            vec![],
+        ),
+    ];
+
+    for (name, cfg, failures) in scenarios {
+        let r = run(&cfg, epochs, &failures);
+        let lo = r
+            .window_max_ps
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let hi = r.window_max_ps.iter().cloned().fold(0.0f64, f64::max);
+        let stationary = lo > 0.0 && hi / lo < 3.0;
+        t.row(vec![
+            name.to_string(),
+            cfg.nodes.to_string(),
+            r.epochs.to_string(),
+            f(r.max_deviation_ps, 2),
+            stationary.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scenario_is_within_5ps_and_ablation_is_not() {
+        let t = sync_table(30_000);
+        let csv = t.to_csv();
+        let paper_row = csv.lines().find(|l| l.contains("paper setup")).unwrap();
+        let dev: f64 = paper_row.split(',').nth(3).unwrap().parse().unwrap();
+        assert!(dev < 10.0, "synced deviation {dev} ps");
+        let free = csv.lines().find(|l| l.contains("free-running")).unwrap();
+        let dev: f64 = free.split(',').nth(3).unwrap().parse().unwrap();
+        assert!(dev > 100.0, "free-running deviation {dev} ps");
+    }
+}

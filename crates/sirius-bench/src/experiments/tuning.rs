@@ -1,0 +1,132 @@
+//! The §3.2 laser-tuning table: dampened DSDBR statistics over all 12,432
+//! wavelength pairs, the undampened and stock drives, and the fabricated
+//! chip — plus the §4.5 pipelined-bank sizing rule.
+
+use crate::table::{f, Table};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sirius_core::units::Duration;
+use sirius_optics::laser::standard::{DriveMode, DsdbrLaser};
+use sirius_optics::laser::{FixedLaserBank, TunableLaserBank, TunableSource};
+
+pub fn tuning_table(seed: u64) -> Table {
+    let mut t = Table::new(
+        "S3.2/S6: tuning latency by laser design (median/worst over all pairs)",
+        &["design", "wavelengths", "pairs", "median", "worst"],
+    );
+    let sources: Vec<(&str, Box<dyn TunableSource>)> = vec![
+        (
+            "DSDBR stock drive",
+            Box::new(DsdbrLaser::new(112, DriveMode::Stock)),
+        ),
+        (
+            "DSDBR single-step",
+            Box::new(DsdbrLaser::new(112, DriveMode::SingleStep)),
+        ),
+        (
+            "DSDBR dampened (v1)",
+            Box::new(DsdbrLaser::new(112, DriveMode::Dampened)),
+        ),
+        (
+            "fixed bank + SOA (v2 chip)",
+            Box::new(FixedLaserBank::paper_chip(&mut SmallRng::seed_from_u64(
+                seed,
+            ))),
+        ),
+        (
+            "pipelined tunable bank",
+            Box::new(TunableLaserBank::paper_bank()),
+        ),
+    ];
+    for (name, src) in sources {
+        let n = src.wavelengths();
+        t.row(vec![
+            name.to_string(),
+            n.to_string(),
+            (n * (n - 1)).to_string(),
+            format!("{}", src.median_tuning_latency()),
+            format!("{}", src.worst_tuning_latency()),
+        ]);
+    }
+    t
+}
+
+/// The §4.5 bank-sizing rule across slot lengths.
+pub fn bank_sizing_table() -> Table {
+    let worst = DsdbrLaser::paper_prototype().worst_tuning_latency();
+    let mut t = Table::new(
+        "S4.5: tunable-laser bank size needed to hide a 92 ns worst-case tune",
+        &["slot_ns", "working_lasers", "with_spare"],
+    );
+    for slot_ns in [38u64, 50, 100, 200] {
+        let k = TunableLaserBank::required_working(worst, Duration::from_ns(slot_ns));
+        t.row(vec![
+            slot_ns.to_string(),
+            k.to_string(),
+            (k + 1).to_string(),
+        ]);
+    }
+    t
+}
+
+/// CDF of dampened DSDBR settle times over all ordered pairs.
+pub fn dsdbr_cdf_table() -> Table {
+    let l = DsdbrLaser::paper_prototype();
+    let mut all: Vec<f64> = Vec::new();
+    for i in 0..112 {
+        for j in 0..112 {
+            if i != j {
+                all.push(l.tuning_latency(i, j).as_ns_f64());
+            }
+        }
+    }
+    all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut t = Table::new(
+        "S3.2: CDF of dampened DSDBR settle time over 12,432 pairs",
+        &["percentile", "settle_ns"],
+    );
+    for p in [1, 10, 25, 50, 75, 90, 99, 100] {
+        let idx = ((p as f64 / 100.0) * all.len() as f64).ceil() as usize - 1;
+        t.row(vec![p.to_string(), f(all[idx.min(all.len() - 1)], 1)]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuning_table_reproduces_paper_numbers() {
+        let t = tuning_table(1);
+        let csv = t.to_csv();
+        // Dampened DSDBR: 14 ns median / 92 ns worst over 12,432 pairs.
+        let damp = csv.lines().find(|l| l.contains("dampened")).unwrap();
+        assert!(damp.contains("12432"));
+        assert!(damp.contains("92.000ns"), "{damp}");
+        // Chip: sub-ns worst case.
+        let chip = csv.lines().find(|l| l.contains("fixed bank")).unwrap();
+        assert!(chip.contains("912ps"), "{chip}");
+    }
+
+    #[test]
+    fn bank_rule_matches_section45() {
+        let t = bank_sizing_table();
+        let csv = t.to_csv();
+        // 100 ns slot -> 2 working lasers (+1 spare = 3).
+        assert!(csv.lines().any(|l| l.starts_with("100,2,3")), "{csv}");
+    }
+
+    #[test]
+    fn dsdbr_cdf_median_is_14ns() {
+        let t = dsdbr_cdf_table();
+        let row = t
+            .to_csv()
+            .lines()
+            .find(|l| l.starts_with("50,"))
+            .unwrap()
+            .to_string();
+        let v: f64 = row.split(',').nth(1).unwrap().parse().unwrap();
+        assert!((v - 14.0).abs() < 1.0, "median {v} ns");
+    }
+}

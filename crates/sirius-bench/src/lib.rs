@@ -1,0 +1,30 @@
+//! # sirius-bench
+//!
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation. Each figure has a binary (`cargo run --release -p
+//! sirius-bench --bin fig9`) that prints the paper's rows/series and
+//! writes a CSV under `results/`; pass `--full` for the paper-scale
+//! configuration. Criterion benches under `benches/` time scaled-down
+//! versions of the same code paths plus the simulator hot loops.
+//!
+//! | Paper artifact | Binary | Module |
+//! |---|---|---|
+//! | Fig 2a/2b | `fig2` | [`experiments::fig2`] |
+//! | Fig 6a/6b + §5 variants | `fig6` | [`experiments::fig6`] |
+//! | Fig 8a-8d | `fig8` | [`experiments::fig8`] |
+//! | Fig 9a/9b | `fig9` | [`experiments::fig9`] |
+//! | Fig 10a-10d | `fig10` | [`experiments::fig10`] |
+//! | Fig 11 | `fig11` | [`experiments::fig11`] |
+//! | Fig 12 | `fig12` | [`experiments::fig12`] |
+//! | Fig 13 | `fig13` | [`experiments::fig13`] |
+//! | §3.2/§4.5 tuning tables | `tuning` | [`experiments::tuning`] |
+//! | §6 sync measurement | `sync_xp` | [`experiments::sync`] |
+//! | CC on/ideal/off ablation | `ablation` | [`experiments::ablation`] |
+//! | everything | `xp` | all of the above |
+
+pub mod experiments;
+pub mod scale;
+pub mod table;
+
+pub use scale::Scale;
+pub use table::Table;

@@ -1,0 +1,137 @@
+//! Tabular output: aligned stdout tables plus CSV files under `results/`.
+//!
+//! Every figure harness prints the same rows/series the paper reports and
+//! mirrors them to a CSV so EXPERIMENTS.md numbers are regenerable.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// A simple column-aligned table that can also serialize itself as CSV.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "ragged table row");
+        self.rows.push(cells);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let mut line = String::new();
+        for (h, w) in self.headers.iter().zip(&widths) {
+            let _ = write!(line, "{h:>w$}  ");
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+        let _ = writeln!(out, "{}", "-".repeat(line.trim_end().len()));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (c, w) in row.iter().zip(&widths) {
+                let _ = write!(line, "{c:>w$}  ");
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        out
+    }
+
+    /// CSV serialization (headers + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// Print to stdout and write `results/<name>.csv`.
+    pub fn emit(&self, name: &str) {
+        println!("{}", self.render());
+        let dir = PathBuf::from("results");
+        if fs::create_dir_all(&dir).is_ok() {
+            let path = dir.join(format!("{name}.csv"));
+            if let Err(e) = fs::write(&path, self.to_csv()) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("[csv] {}\n", path.display());
+            }
+        }
+    }
+}
+
+/// Format a float with `d` decimals.
+pub fn f(v: f64, d: usize) -> String {
+    format!("{v:.d$}")
+}
+
+/// Format an optional FCT duration as milliseconds (the paper's axes).
+pub fn fct_ms(v: Option<sirius_core::units::Duration>) -> String {
+    match v {
+        Some(d) => format!("{:.5}", d.as_ms_f64()),
+        None => "-".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["load", "value"]);
+        t.row(vec!["10".into(), "0.5".into()]);
+        t.row(vec!["100".into(), "12.25".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("load"));
+        assert_eq!(t.len(), 2);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert_eq!(csv.lines().next().unwrap(), "load,value");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f(0.12345, 2), "0.12");
+        assert_eq!(fct_ms(None), "-");
+        assert_eq!(
+            fct_ms(Some(sirius_core::units::Duration::from_us(10))),
+            "0.01000"
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! Fixed-size cells — the unit of transmission in Sirius (§4.2).
+//!
+//! Sirius transmits fixed-size cells so that every timeslot carries exactly
+//! one cell; variable-size packets are segmented into cells at the source
+//! server and reassembled (in order, via [`crate::reorder`]) at the
+//! destination. Requests and grants of the congestion-control protocol are
+//! piggybacked in the cell header (§4.3), so control traffic consumes no
+//! extra slots; the simulator models this by exchanging control messages at
+//! the same connection opportunities that carry (possibly idle) cells.
+
+use crate::topology::{NodeId, ServerId};
+
+/// Identifier of an application flow (five-tuple stand-in).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub u64);
+
+/// A fixed-size cell in flight. `Copy` and 32 bytes so the hot loop never
+/// heap-allocates per cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cell {
+    /// Flow this cell belongs to.
+    pub flow: FlowId,
+    /// Sequence number of this cell within the flow (for reordering).
+    pub seq: u32,
+    /// Application payload bytes carried (== payload capacity except for the
+    /// final runt cell of a flow).
+    pub payload: u32,
+    /// Node that originated the cell.
+    pub src: NodeId,
+    /// Final destination node.
+    pub dst: NodeId,
+    /// Destination server (delivery + reorder happens per server).
+    pub dst_server: ServerId,
+    /// True on the last cell of the flow.
+    pub last: bool,
+}
+
+impl Cell {
+    /// Number of cells needed to carry `bytes` of payload with the given
+    /// per-cell payload capacity.
+    pub fn count_for(bytes: u64, payload_capacity: u32) -> u64 {
+        debug_assert!(payload_capacity > 0);
+        bytes.div_ceil(payload_capacity as u64).max(1)
+    }
+
+    /// Payload carried by cell `seq` (0-based) of a flow of `bytes` total.
+    pub fn payload_of(seq: u64, bytes: u64, payload_capacity: u32) -> u32 {
+        let n = Cell::count_for(bytes, payload_capacity);
+        debug_assert!(seq < n);
+        if seq + 1 < n {
+            payload_capacity
+        } else {
+            // Final cell carries the remainder (or a zero-byte flow's
+            // single empty cell).
+            (bytes - seq * payload_capacity as u64) as u32
+        }
+    }
+}
+
+/// A congestion-control request: "may I send one cell destined to `dst`
+/// through you?" — piggybacked from `from` to the intermediate carrying it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    pub from: NodeId,
+    pub dst: NodeId,
+}
+
+/// A congestion-control grant: "send me one cell destined to `dst`" —
+/// piggybacked from the intermediate `from` back to the requester.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    pub from: NodeId,
+    pub dst: NodeId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_is_small() {
+        // Keep the hot-path struct compact; the simulator moves millions.
+        assert!(std::mem::size_of::<Cell>() <= 40);
+    }
+
+    #[test]
+    fn count_for_rounds_up() {
+        assert_eq!(Cell::count_for(1, 540), 1);
+        assert_eq!(Cell::count_for(540, 540), 1);
+        assert_eq!(Cell::count_for(541, 540), 2);
+        assert_eq!(Cell::count_for(5400, 540), 10);
+        // Zero-byte flows still need one cell to signal completion.
+        assert_eq!(Cell::count_for(0, 540), 1);
+    }
+
+    #[test]
+    fn payload_of_splits_exactly() {
+        let bytes = 1234u64;
+        let cap = 540u32;
+        let n = Cell::count_for(bytes, cap);
+        let total: u64 = (0..n).map(|s| Cell::payload_of(s, bytes, cap) as u64).sum();
+        assert_eq!(total, bytes);
+        assert_eq!(Cell::payload_of(0, bytes, cap), 540);
+        assert_eq!(Cell::payload_of(2, bytes, cap), 154);
+    }
+
+    #[test]
+    fn payload_of_full_multiple() {
+        // Flow of exactly k cells: last cell is full.
+        assert_eq!(Cell::payload_of(1, 1080, 540), 540);
+    }
+}

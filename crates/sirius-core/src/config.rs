@@ -1,0 +1,321 @@
+//! Network-wide configuration for a Sirius deployment.
+
+use crate::units::{Duration, Rate};
+use std::fmt;
+
+/// Errors raised when validating a [`SiriusConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The node count must be a positive multiple of the grating port count.
+    NodesNotMultipleOfGrating { nodes: usize, grating_ports: usize },
+    /// Base uplinks must equal `nodes / grating_ports` so that one epoch
+    /// connects every node pair exactly once.
+    WrongBaseUplinks { expected: usize, got: usize },
+    /// A field that must be positive was zero.
+    ZeroField(&'static str),
+    /// The guardband must be shorter than the slot.
+    GuardbandTooLong { slot: Duration, guard: Duration },
+    /// Queue threshold Q must be at least 2 (see paper §4.3).
+    QueueThresholdTooSmall(usize),
+    /// More total uplinks than can be wired to distinct gratings.
+    TooManyUplinks { uplinks: usize, max: usize },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NodesNotMultipleOfGrating { nodes, grating_ports } => write!(
+                f,
+                "node count {nodes} is not a positive multiple of grating port count {grating_ports}"
+            ),
+            ConfigError::WrongBaseUplinks { expected, got } => write!(
+                f,
+                "base uplink count {got} != nodes/grating_ports = {expected}"
+            ),
+            ConfigError::ZeroField(name) => write!(f, "{name} must be positive"),
+            ConfigError::GuardbandTooLong { slot, guard } => {
+                write!(f, "guardband {guard} must be shorter than slot {slot}")
+            }
+            ConfigError::QueueThresholdTooSmall(q) => {
+                write!(f, "queue threshold Q={q} but the protocol requires Q >= 2")
+            }
+            ConfigError::TooManyUplinks { uplinks, max } => {
+                write!(f, "{uplinks} uplinks requested but at most {max} are wirable")
+            }
+        }
+    }
+}
+impl std::error::Error for ConfigError {}
+
+/// Static description of a Sirius deployment (rack-based by default).
+///
+/// The defaults reproduce the paper's §7 simulation setup: 128 racks × 24
+/// servers, 8 base uplinks of 50 Gbps each (so 16-port gratings and a 16-slot
+/// epoch), 90 ns transmission slots + 10 ns guardband, 562-byte cells,
+/// uplink factor 1.5 and congestion-control queue threshold Q = 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiriusConfig {
+    /// Number of nodes attached to the optical core (racks, or servers in a
+    /// server-based deployment).
+    pub nodes: usize,
+    /// Ports per grating (= wavelengths each tunable laser cycles through,
+    /// = timeslots per epoch).
+    pub grating_ports: usize,
+    /// Base uplinks per node; must equal `nodes / grating_ports` so the base
+    /// schedule connects each pair exactly once per epoch.
+    pub base_uplinks: usize,
+    /// Multiplier on uplink count to compensate for the 2x worst-case
+    /// throughput loss of Valiant load balancing (paper uses 1.5).
+    pub uplink_factor: f64,
+    /// Rate of one optical channel / uplink (50 Gbps in the paper).
+    pub channel_rate: Rate,
+    /// Total cell size on the wire, including preamble and headers.
+    pub cell_bytes: u32,
+    /// Cell payload capacity (cell minus headers/preamble/FEC share).
+    pub payload_bytes: u32,
+    /// Guardband between slots during which the path reconfigures.
+    pub guardband: Duration,
+    /// Congestion-control relay-queue threshold Q (paper default 4).
+    pub queue_threshold: usize,
+    /// Loss backstop: epochs after which an outstanding grant whose cell
+    /// never arrived (nor was declined) is reclaimed. Unused grants are
+    /// normally released by an explicit piggybacked decline; this timeout
+    /// only fires when a granted cell is lost, e.g. to a node failure.
+    /// (The paper leaves grant-loss handling unspecified.)
+    pub grant_timeout_epochs: u64,
+    /// Servers attached to each node (rack deployment); 1 = server-based.
+    pub servers_per_node: usize,
+    /// Downlink rate from the node switch to each server.
+    pub server_rate: Rate,
+    /// One-way propagation delay between a node and the grating layer,
+    /// applied to every cell (uniform fiber lengths after the §A.2
+    /// per-node epoch-offset calibration).
+    pub propagation: Duration,
+}
+
+impl Default for SiriusConfig {
+    fn default() -> Self {
+        SiriusConfig::paper_sim()
+    }
+}
+
+impl SiriusConfig {
+    /// The exact large-scale simulation setup of the paper's §7.
+    pub fn paper_sim() -> SiriusConfig {
+        SiriusConfig {
+            nodes: 128,
+            grating_ports: 16,
+            base_uplinks: 8,
+            uplink_factor: 1.5,
+            channel_rate: Rate::from_gbps(50),
+            cell_bytes: 562,
+            // 562 B total minus preamble + header overhead. We budget 22 B:
+            // 8 B preamble/sync, 14 B routing/seq/piggyback header, leaving
+            // a 540 B payload (the paper quotes "576 B cells plus overhead"
+            // for its 100 ns example and 562 B total for the 90 ns slots).
+            payload_bytes: 540,
+            guardband: Duration::from_ns(10),
+            queue_threshold: 4,
+            grant_timeout_epochs: 256,
+            servers_per_node: 24,
+            server_rate: Rate::from_gbps(50),
+            propagation: Duration::from_ns(500), // 100 m scale fiber run
+        }
+    }
+
+    /// A small four-node network mirroring the paper's Fig. 5 example and
+    /// hardware prototype scale: 4 nodes, 2 uplinks, 2-port gratings.
+    pub fn four_node_prototype() -> SiriusConfig {
+        SiriusConfig {
+            nodes: 4,
+            grating_ports: 2,
+            base_uplinks: 2,
+            uplink_factor: 1.0,
+            servers_per_node: 1,
+            ..SiriusConfig::paper_sim()
+        }
+    }
+
+    /// A reduced-scale variant for fast tests/benches: `nodes` must be a
+    /// multiple of `grating_ports`.
+    pub fn scaled(nodes: usize, grating_ports: usize) -> SiriusConfig {
+        SiriusConfig {
+            nodes,
+            grating_ports,
+            base_uplinks: nodes / grating_ports,
+            ..SiriusConfig::paper_sim()
+        }
+    }
+
+    /// Total uplinks per node after applying the load-balancing factor.
+    pub fn total_uplinks(&self) -> usize {
+        ((self.base_uplinks as f64) * self.uplink_factor).round() as usize
+    }
+
+    /// Serialization time of one cell on one channel.
+    pub fn cell_tx_time(&self) -> Duration {
+        self.channel_rate.tx_time(self.cell_bytes as u64)
+    }
+
+    /// Full slot duration = cell transmission + guardband.
+    pub fn slot(&self) -> Duration {
+        self.cell_tx_time() + self.guardband
+    }
+
+    /// Slots per epoch (= grating ports = wavelengths cycled).
+    pub fn epoch_slots(&self) -> u64 {
+        self.grating_ports as u64
+    }
+
+    /// Wall-clock length of one epoch.
+    pub fn epoch(&self) -> Duration {
+        self.slot() * self.epoch_slots()
+    }
+
+    /// Aggregate base uplink bandwidth of one node (before the uplink
+    /// factor), i.e. the bandwidth the node is entitled to inject.
+    pub fn node_bandwidth(&self) -> Rate {
+        self.channel_rate * self.base_uplinks as u64
+    }
+
+    /// Number of node groups; uplink `u` of a node in group `k` is wired to
+    /// the grating serving group `(k + shift(u)) mod groups`.
+    pub fn groups(&self) -> usize {
+        self.nodes / self.grating_ports
+    }
+
+    /// Validate all invariants. Call once before building a network.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.nodes == 0 {
+            return Err(ConfigError::ZeroField("nodes"));
+        }
+        if self.grating_ports == 0 {
+            return Err(ConfigError::ZeroField("grating_ports"));
+        }
+        if self.nodes % self.grating_ports != 0 {
+            return Err(ConfigError::NodesNotMultipleOfGrating {
+                nodes: self.nodes,
+                grating_ports: self.grating_ports,
+            });
+        }
+        let expected = self.nodes / self.grating_ports;
+        if self.base_uplinks != expected {
+            return Err(ConfigError::WrongBaseUplinks {
+                expected,
+                got: self.base_uplinks,
+            });
+        }
+        if self.uplink_factor <= 0.0 {
+            return Err(ConfigError::ZeroField("uplink_factor"));
+        }
+        if self.channel_rate.as_bps() == 0 {
+            return Err(ConfigError::ZeroField("channel_rate"));
+        }
+        if self.cell_bytes == 0 {
+            return Err(ConfigError::ZeroField("cell_bytes"));
+        }
+        if self.payload_bytes == 0 || self.payload_bytes > self.cell_bytes {
+            return Err(ConfigError::ZeroField("payload_bytes"));
+        }
+        if self.queue_threshold < 2 {
+            return Err(ConfigError::QueueThresholdTooSmall(self.queue_threshold));
+        }
+        if self.servers_per_node == 0 {
+            return Err(ConfigError::ZeroField("servers_per_node"));
+        }
+        // Each uplink is wired to a distinct (group-shift) grating column; we
+        // cannot usefully wire more uplinks than `nodes` (shift space).
+        if self.total_uplinks() > self.nodes {
+            return Err(ConfigError::TooManyUplinks {
+                uplinks: self.total_uplinks(),
+                max: self.nodes,
+            });
+        }
+        Ok(())
+    }
+
+    /// Total servers in the deployment.
+    pub fn total_servers(&self) -> usize {
+        self.nodes * self.servers_per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sim_validates() {
+        let c = SiriusConfig::paper_sim();
+        c.validate().unwrap();
+        assert_eq!(c.total_uplinks(), 12);
+        assert_eq!(c.groups(), 8);
+        assert_eq!(c.total_servers(), 3072);
+    }
+
+    #[test]
+    fn paper_slot_and_epoch_durations() {
+        let c = SiriusConfig::paper_sim();
+        // 562 B at 50 Gbps = 89.92 ns; +10 ns guard = 99.92 ns ~ the paper's
+        // "total slot duration of 100 ns".
+        assert_eq!(c.cell_tx_time(), Duration::from_ps(89_920));
+        assert_eq!(c.slot(), Duration::from_ps(99_920));
+        // 16-slot epoch ~ 1.6 us, as in §4.2.
+        let epoch_us = c.epoch().as_us_f64();
+        assert!((epoch_us - 1.6).abs() < 0.01, "epoch = {epoch_us} us");
+    }
+
+    #[test]
+    fn four_node_prototype_validates() {
+        let c = SiriusConfig::four_node_prototype();
+        c.validate().unwrap();
+        assert_eq!(c.total_uplinks(), 2);
+        assert_eq!(c.groups(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        let mut c = SiriusConfig::paper_sim();
+        c.nodes = 100; // not a multiple of 16
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::NodesNotMultipleOfGrating { .. })
+        ));
+
+        let mut c = SiriusConfig::paper_sim();
+        c.base_uplinks = 7;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::WrongBaseUplinks { .. })
+        ));
+
+        let mut c = SiriusConfig::paper_sim();
+        c.queue_threshold = 1;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::QueueThresholdTooSmall(1))
+        ));
+
+        let mut c = SiriusConfig::paper_sim();
+        c.uplink_factor = 50.0;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::TooManyUplinks { .. })
+        ));
+    }
+
+    #[test]
+    fn node_bandwidth_is_base_uplinks_times_channel() {
+        let c = SiriusConfig::paper_sim();
+        assert_eq!(c.node_bandwidth(), Rate::from_gbps(400));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ConfigError::GuardbandTooLong {
+            slot: Duration::from_ns(100),
+            guard: Duration::from_ns(200),
+        };
+        assert!(format!("{e}").contains("guardband"));
+    }
+}

@@ -1,0 +1,612 @@
+//! The request/grant congestion-control protocol (§4.3, Fig. 15).
+//!
+//! Queuing in Sirius happens only at intermediate nodes: node `I` can
+//! forward at most one cell per epoch to destination `D` (per uplink column
+//! covering that pair), so if several sources relay cells for `D` through
+//! `I` in the same epoch, a queue builds. The protocol bounds that queue at
+//! `Q` cells by requiring a request/grant round before a cell may be sent:
+//!
+//! * **Requests** — at the start of each epoch the source scans its `LOCAL`
+//!   buffer in FIFO order and, for each queued cell, picks a uniformly
+//!   random intermediate to ask for permission, sending at most one request
+//!   to any given intermediate per epoch.
+//! * **Grants** — each node considers the requests received in the previous
+//!   epoch, picks one request per destination `D` uniformly at random, and
+//!   grants it iff `queued(D) + outstanding_grants(D) < Q`.
+//! * **Transmission** — on receiving a grant `(I, D)`, the source moves one
+//!   cell for `D` from `LOCAL` into the virtual output queue for `I`; it is
+//!   transmitted at the next scheduled slot to `I`.
+//!
+//! Requests and grants are piggybacked on cells, so each phase costs one
+//! epoch of latency but zero bandwidth. The paper leaves the handling of
+//! *unused* grants unspecified (a source may receive two grants for the
+//! same cell); we expire outstanding grants after a configurable number of
+//! epochs so the reservation is reclaimed — see
+//! [`CongestionState::begin_epoch`].
+//!
+//! This module holds the per-node protocol state; the driving of request /
+//! grant delivery across the network lives in the simulator, which delivers
+//! them with one-epoch latency exactly as piggybacking would.
+
+use crate::topology::NodeId;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// Statistics the protocol keeps for observability and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CcStats {
+    pub requests_sent: u64,
+    pub requests_received: u64,
+    pub grants_issued: u64,
+    pub grants_received: u64,
+    /// Grants received when no matching cell was waiting (the cell was
+    /// already granted through another intermediate).
+    pub grants_unused: u64,
+    /// Outstanding grants reclaimed by timeout at the intermediate (only
+    /// fires when a granted cell was lost, e.g. to a node failure).
+    pub grants_expired: u64,
+    /// Grants explicitly declined by the source (no waiting cell).
+    pub grants_declined: u64,
+    /// Requests dropped because the per-destination grant was already taken
+    /// or the queue bound was hit.
+    pub requests_denied: u64,
+    /// Relay cells that arrived after their grant expired (lost-cell
+    /// backstop fired spuriously; should be 0 without failures).
+    pub untracked_arrivals: u64,
+    /// Epoch-arrivals that pushed a relay queue beyond Q (should be 0
+    /// without failures).
+    pub bound_exceeded: u64,
+}
+
+impl CcStats {
+    /// Field-wise accumulation (for network-wide totals).
+    pub fn add(&mut self, o: &CcStats) {
+        self.requests_sent += o.requests_sent;
+        self.requests_received += o.requests_received;
+        self.grants_issued += o.grants_issued;
+        self.grants_received += o.grants_received;
+        self.grants_unused += o.grants_unused;
+        self.grants_expired += o.grants_expired;
+        self.grants_declined += o.grants_declined;
+        self.requests_denied += o.requests_denied;
+        self.untracked_arrivals += o.untracked_arrivals;
+        self.bound_exceeded += o.bound_exceeded;
+    }
+}
+
+/// Per-node state of the congestion-control protocol.
+///
+/// Indices are destination node ids (`0..n`).
+#[derive(Debug)]
+pub struct CongestionState {
+    node: NodeId,
+    q: u32,
+    grant_timeout_epochs: u64,
+    /// As an intermediate: cells currently queued here per destination.
+    queued: Vec<u32>,
+    /// As an intermediate: grants issued whose cell has not yet arrived.
+    outstanding: Vec<u32>,
+    /// Expiry bookkeeping for outstanding grants, per destination:
+    /// the epoch at which each outstanding grant lapses (FIFO).
+    expiry: Vec<VecDeque<u64>>,
+    /// Requests received during the current epoch, processed next epoch:
+    /// per destination, the list of requesters.
+    inbox: Vec<Vec<NodeId>>,
+    /// Destinations with a non-empty inbox (to avoid scanning all n).
+    inbox_dirty: Vec<u32>,
+    /// Requests accumulated the previous epoch, being granted this epoch.
+    pending: Vec<Vec<NodeId>>,
+    pending_dirty: Vec<u32>,
+    stats: CcStats,
+}
+
+impl CongestionState {
+    pub fn new(node: NodeId, n: usize, q: usize, grant_timeout_epochs: u64) -> CongestionState {
+        assert!(q >= 2, "the protocol requires Q >= 2 (paper §4.3)");
+        CongestionState {
+            node,
+            q: q as u32,
+            grant_timeout_epochs,
+            queued: vec![0; n],
+            outstanding: vec![0; n],
+            expiry: vec![VecDeque::new(); n],
+            inbox: vec![Vec::new(); n],
+            inbox_dirty: Vec::new(),
+            pending: vec![Vec::new(); n],
+            pending_dirty: Vec::new(),
+            stats: CcStats::default(),
+        }
+    }
+
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+    pub fn stats(&self) -> CcStats {
+        self.stats
+    }
+    /// Cells queued here (as intermediate) for destination `d`.
+    pub fn queued(&self, d: NodeId) -> u32 {
+        self.queued[d.0 as usize]
+    }
+    /// Outstanding (unexpired, unconsumed) grants for destination `d`.
+    pub fn outstanding(&self, d: NodeId) -> u32 {
+        self.outstanding[d.0 as usize]
+    }
+
+    /// Epoch boundary: expire stale grants and rotate the request inbox so
+    /// that requests received last epoch become grantable this epoch.
+    pub fn begin_epoch(&mut self, epoch: u64) {
+        // Expire outstanding grants that were never used.
+        for d in 0..self.expiry.len() {
+            while let Some(&e) = self.expiry[d].front() {
+                if e <= epoch {
+                    self.expiry[d].pop_front();
+                    self.outstanding[d] -= 1;
+                    self.stats.grants_expired += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        // Unserved requests from last epoch are dropped (the source will
+        // re-request); rotate inbox -> pending.
+        for &d in &self.pending_dirty {
+            self.pending[d as usize].clear();
+        }
+        self.pending_dirty.clear();
+        std::mem::swap(&mut self.inbox, &mut self.pending);
+        std::mem::swap(&mut self.inbox_dirty, &mut self.pending_dirty);
+    }
+
+    /// A request from `from` for destination `dst` arrived (piggybacked on a
+    /// cell this epoch); it will be considered for a grant next epoch.
+    pub fn receive_request(&mut self, from: NodeId, dst: NodeId) {
+        let d = dst.0 as usize;
+        if self.inbox[d].is_empty() {
+            self.inbox_dirty.push(dst.0);
+        }
+        self.inbox[d].push(from);
+        self.stats.requests_received += 1;
+    }
+
+    /// Issue this epoch's grants: for every destination with pending
+    /// requests, grant randomly-chosen requesters while the queue bound
+    /// `queued(D) + outstanding(D) < Q` holds. Granting up to the bound
+    /// (rather than a single request per destination) lets an intermediate
+    /// absorb colliding requesters instead of starving them — the bound,
+    /// not the grant cadence, is what keeps queues small. Returns
+    /// `(requester, destination)` pairs.
+    pub fn issue_grants<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        epoch: u64,
+    ) -> Vec<(NodeId, NodeId)> {
+        let mut grants = Vec::new();
+        for &d in &self.pending_dirty {
+            let reqs = &mut self.pending[d as usize];
+            debug_assert!(!reqs.is_empty());
+            // Random service order: shuffle by swapping the pick to the end.
+            while !reqs.is_empty()
+                && self.queued[d as usize] + self.outstanding[d as usize] < self.q
+            {
+                let k = rng.gen_range(0..reqs.len());
+                let pick = reqs.swap_remove(k);
+                self.outstanding[d as usize] += 1;
+                self.expiry[d as usize].push_back(epoch + self.grant_timeout_epochs);
+                self.stats.grants_issued += 1;
+                grants.push((pick, NodeId(d)));
+            }
+            self.stats.requests_denied += reqs.len() as u64;
+        }
+        grants
+    }
+
+    /// A granted relay cell for destination `d` arrived: one outstanding
+    /// grant is consumed and the cell joins the relay queue.
+    ///
+    /// If the matching grant already expired (only possible when the cell
+    /// was delayed past the loss-backstop timeout), the arrival is counted
+    /// as untracked rather than corrupting the accounting.
+    pub fn relay_arrived(&mut self, d: NodeId) {
+        let d = d.0 as usize;
+        if self.outstanding[d] > 0 {
+            // Consume the oldest grant's expiry slot.
+            self.expiry[d].pop_front();
+            self.outstanding[d] -= 1;
+        } else {
+            self.stats.untracked_arrivals += 1;
+        }
+        self.queued[d] += 1;
+        if self.queued[d] > self.q {
+            self.stats.bound_exceeded += 1;
+        }
+    }
+
+    /// The source declined a grant for destination `d` (it had no waiting
+    /// cell — typically because another intermediate granted the same cell
+    /// first). The reservation is released immediately; the decline is
+    /// piggybacked on the next scheduled cell in the real system.
+    pub fn grant_declined(&mut self, d: NodeId) {
+        let d = d.0 as usize;
+        if self.outstanding[d] > 0 {
+            self.outstanding[d] -= 1;
+            // The declined grant is the most recently issued one.
+            self.expiry[d].pop_back();
+            self.stats.grants_declined += 1;
+        }
+    }
+
+    /// A relay cell for destination `d` was transmitted onward.
+    pub fn relay_departed(&mut self, d: NodeId) {
+        let d = d.0 as usize;
+        debug_assert!(self.queued[d] > 0);
+        self.queued[d] -= 1;
+    }
+
+    /// Bookkeeping hooks for the source side (stats only; the LOCAL and VOQ
+    /// queues live in [`crate::node`]).
+    pub fn note_request_sent(&mut self) {
+        self.stats.requests_sent += 1;
+    }
+    pub fn note_grant_received(&mut self, used: bool) {
+        self.stats.grants_received += 1;
+        if !used {
+            self.stats.grants_unused += 1;
+        }
+    }
+
+    /// Upper bound the protocol enforces on any relay queue.
+    pub fn q(&self) -> u32 {
+        self.q
+    }
+}
+
+/// Per-epoch request generator for the source side.
+///
+/// Enforces "at most one request per intermediate per epoch" and "one
+/// request per LOCAL cell, FIFO order, until intermediates run out".
+#[derive(Debug)]
+pub struct RequestRound {
+    used: Vec<bool>,
+    used_list: Vec<u32>,
+    remaining: usize,
+}
+
+impl RequestRound {
+    pub fn new(n: usize) -> RequestRound {
+        RequestRound {
+            used: vec![false; n],
+            used_list: Vec::new(),
+            remaining: n,
+        }
+    }
+
+    /// Reset for a new epoch without reallocating.
+    pub fn reset(&mut self) {
+        for &u in &self.used_list {
+            self.used[u as usize] = false;
+        }
+        self.used_list.clear();
+        self.remaining = self.used.len();
+    }
+
+    /// True if no intermediate can be requested any more this epoch.
+    pub fn exhausted(&self) -> bool {
+        self.remaining == 0
+    }
+
+    /// Try to claim intermediate `i`; returns true if it was still free.
+    pub fn claim(&mut self, i: NodeId) -> bool {
+        let idx = i.0 as usize;
+        if self.used[idx] {
+            false
+        } else {
+            self.used[idx] = true;
+            self.used_list.push(i.0);
+            self.remaining -= 1;
+            true
+        }
+    }
+
+    /// Number of intermediates still unclaimed.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn cc(q: usize) -> CongestionState {
+        CongestionState::new(NodeId(0), 8, q, 4)
+    }
+
+    #[test]
+    #[should_panic(expected = "Q >= 2")]
+    fn q_below_two_rejected() {
+        let _ = cc(1);
+    }
+
+    #[test]
+    fn grant_happy_path() {
+        let mut c = cc(4);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let d = NodeId(3);
+        c.begin_epoch(0);
+        c.receive_request(NodeId(1), d);
+        c.begin_epoch(1);
+        let g = c.issue_grants(&mut rng, 1);
+        assert_eq!(g, vec![(NodeId(1), d)]);
+        assert_eq!(c.outstanding(d), 1);
+        c.relay_arrived(d);
+        assert_eq!(c.outstanding(d), 0);
+        assert_eq!(c.queued(d), 1);
+        c.relay_departed(d);
+        assert_eq!(c.queued(d), 0);
+    }
+
+    #[test]
+    fn grants_per_destination_capped_by_q() {
+        let mut c = cc(4); // Q = 4
+        let mut rng = SmallRng::seed_from_u64(2);
+        let d = NodeId(5);
+        c.begin_epoch(0);
+        for s in 1..7 {
+            c.receive_request(NodeId(s), d);
+        }
+        c.begin_epoch(1);
+        let g = c.issue_grants(&mut rng, 1);
+        // 6 requests, bound Q=4 with nothing queued: exactly 4 granted.
+        assert_eq!(g.len(), 4, "grants must fill the Q budget, no more");
+        assert!(g.iter().all(|&(_, dst)| dst == d));
+        assert_eq!(c.outstanding(d), 4);
+        assert_eq!(c.stats().requests_denied, 2);
+        // Distinct requesters (each request is granted at most once).
+        let mut src: Vec<u32> = g.iter().map(|(s, _)| s.0).collect();
+        src.sort_unstable();
+        src.dedup();
+        assert_eq!(src.len(), 4);
+    }
+
+    #[test]
+    fn queue_bound_blocks_grants() {
+        let mut c = cc(2);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let d = NodeId(2);
+        // Fill the bound: grant -> arrive, twice.
+        for epoch in 0..2 {
+            c.begin_epoch(2 * epoch);
+            c.receive_request(NodeId(1), d);
+            c.begin_epoch(2 * epoch + 1);
+            let g = c.issue_grants(&mut rng, 2 * epoch + 1);
+            assert_eq!(g.len(), 1);
+            c.relay_arrived(d);
+        }
+        assert_eq!(c.queued(d), 2);
+        // Queue is at Q: next request must be denied.
+        c.begin_epoch(10);
+        c.receive_request(NodeId(1), d);
+        c.begin_epoch(11);
+        assert!(c.issue_grants(&mut rng, 11).is_empty());
+        // Drain one cell -> grants flow again.
+        c.relay_departed(d);
+        c.begin_epoch(12);
+        c.receive_request(NodeId(1), d);
+        c.begin_epoch(13);
+        assert_eq!(c.issue_grants(&mut rng, 13).len(), 1);
+    }
+
+    #[test]
+    fn outstanding_counts_toward_bound() {
+        // Long grant timeout so expiry cannot release the bound mid-test.
+        let mut c = CongestionState::new(NodeId(0), 8, 2, 100);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let d = NodeId(7);
+        // Two grants issued but cells not yet arrived.
+        for epoch in 0..2u64 {
+            c.begin_epoch(2 * epoch);
+            c.receive_request(NodeId(1), d);
+            c.begin_epoch(2 * epoch + 1);
+            assert_eq!(c.issue_grants(&mut rng, 2 * epoch + 1).len(), 1);
+        }
+        assert_eq!(c.outstanding(d), 2);
+        // Third request denied even though queue is empty.
+        c.begin_epoch(4);
+        c.receive_request(NodeId(1), d);
+        c.begin_epoch(5);
+        assert!(c.issue_grants(&mut rng, 5).is_empty());
+    }
+
+    #[test]
+    fn unused_grants_expire_and_free_the_bound() {
+        let mut c = CongestionState::new(NodeId(0), 8, 2, 3);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let d = NodeId(1);
+        c.begin_epoch(0);
+        c.receive_request(NodeId(2), d);
+        c.begin_epoch(1);
+        assert_eq!(c.issue_grants(&mut rng, 1).len(), 1);
+        assert_eq!(c.outstanding(d), 1);
+        // Grant never used; expires at epoch 1+3=4.
+        c.begin_epoch(4);
+        assert_eq!(c.outstanding(d), 0);
+        assert_eq!(c.stats().grants_expired, 1);
+    }
+
+    #[test]
+    fn stale_requests_do_not_linger() {
+        let mut c = cc(4);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let d = NodeId(4);
+        c.begin_epoch(0);
+        c.receive_request(NodeId(1), d);
+        // Two epoch boundaries pass without issuing grants: the request
+        // must have been dropped (sources re-request each epoch).
+        c.begin_epoch(1);
+        c.begin_epoch(2);
+        assert!(c.issue_grants(&mut rng, 2).is_empty());
+    }
+
+    #[test]
+    fn grants_are_uniform_over_requesters() {
+        // Hold the queue at Q-1 so exactly one grant fits per epoch, then
+        // check the served requester is picked uniformly.
+        let mut c = CongestionState::new(NodeId(0), 16, 2, 1000);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let d = NodeId(6);
+        // Prime: one cell permanently queued for d.
+        c.begin_epoch(0);
+        c.receive_request(NodeId(1), d);
+        c.begin_epoch(1);
+        assert_eq!(c.issue_grants(&mut rng, 1).len(), 1);
+        c.relay_arrived(d);
+        let mut wins = [0u32; 4];
+        for epoch in 1..4000u64 {
+            c.begin_epoch(2 * epoch);
+            for s in 0..4 {
+                c.receive_request(NodeId(s), d);
+            }
+            c.begin_epoch(2 * epoch + 1);
+            let g = c.issue_grants(&mut rng, 2 * epoch + 1);
+            assert_eq!(g.len(), 1, "queued=1, Q=2: one grant fits");
+            wins[g[0].0 .0 as usize] += 1;
+            // The granted cell arrives and the old one departs: queue
+            // returns to exactly one.
+            c.relay_arrived(d);
+            c.relay_departed(d);
+        }
+        for &w in &wins {
+            assert!((w as f64 - 1000.0).abs() < 150.0, "biased grants: {wins:?}");
+        }
+    }
+
+    #[test]
+    fn request_round_caps_one_per_intermediate() {
+        let mut r = RequestRound::new(4);
+        assert!(r.claim(NodeId(2)));
+        assert!(!r.claim(NodeId(2)));
+        assert!(r.claim(NodeId(0)));
+        assert!(r.claim(NodeId(1)));
+        assert!(r.claim(NodeId(3)));
+        assert!(r.exhausted());
+        r.reset();
+        assert!(!r.exhausted());
+        assert!(r.claim(NodeId(2)));
+        assert_eq!(r.remaining(), 3);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Drive a random but *causally consistent* sequence of protocol
+        /// events against one intermediate and check the invariants the
+        /// rest of the stack relies on.
+        fn run_random_protocol(ops: Vec<u8>, q: usize, seed: u64) -> Result<(), TestCaseError> {
+            let n = 6usize;
+            let mut cc = CongestionState::new(NodeId(0), n, q, 4);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut epoch = 0u64;
+            // Cells we are allowed to deliver (granted, not yet arrived)
+            // and relay cells queued (arrived, not yet departed), per dest.
+            let mut deliverable = vec![0u32; n];
+            let mut queued = vec![0u32; n];
+            for op in ops {
+                match op % 5 {
+                    0 => {
+                        epoch += 1;
+                        cc.begin_epoch(epoch);
+                        // Grant expiry may have reclaimed some deliverable
+                        // budget; resynchronize our model.
+                        for d in 0..n {
+                            deliverable[d] = deliverable[d].min(cc.outstanding(NodeId(d as u32)));
+                        }
+                        let grants = cc.issue_grants(&mut rng, epoch);
+                        for (_, d) in grants {
+                            deliverable[d.0 as usize] += 1;
+                        }
+                    }
+                    1 => {
+                        let from = NodeId(1 + (op as u32 % 5).min(4));
+                        let dst = NodeId(op as u32 % n as u32);
+                        cc.receive_request(from, dst);
+                    }
+                    2 => {
+                        // Deliver a granted cell if one is in flight.
+                        if let Some(d) = (0..n).find(|&d| deliverable[d] > 0) {
+                            deliverable[d] -= 1;
+                            cc.relay_arrived(NodeId(d as u32));
+                            queued[d] += 1;
+                        }
+                    }
+                    3 => {
+                        // Depart a queued relay cell.
+                        if let Some(d) = (0..n).find(|&d| queued[d] > 0) {
+                            queued[d] -= 1;
+                            cc.relay_departed(NodeId(d as u32));
+                        }
+                    }
+                    _ => {
+                        // Decline the newest grant if any is outstanding.
+                        if let Some(d) = (0..n).find(|&d| deliverable[d] > 0) {
+                            deliverable[d] -= 1;
+                            cc.grant_declined(NodeId(d as u32));
+                        }
+                    }
+                }
+                // Invariants.
+                for d in 0..n {
+                    let node = NodeId(d as u32);
+                    prop_assert_eq!(cc.queued(node), queued[d], "queued mismatch");
+                    prop_assert!(
+                        cc.queued(node) <= q as u32,
+                        "queue bound violated without loss"
+                    );
+                    prop_assert!(
+                        cc.outstanding(node) >= deliverable[d],
+                        "outstanding below in-flight"
+                    );
+                    prop_assert!(
+                        cc.queued(node) + cc.outstanding(node) <= q as u32 + deliverable[d],
+                        "bound accounting drifted"
+                    );
+                }
+            }
+            let s = cc.stats();
+            prop_assert_eq!(s.untracked_arrivals, 0);
+            prop_assert_eq!(s.bound_exceeded, 0);
+            Ok(())
+        }
+
+        proptest! {
+            #[test]
+            fn protocol_invariants_hold_under_random_schedules(
+                ops in proptest::collection::vec(0u8..=255, 1..400),
+                q in 2usize..6,
+                seed in 0u64..1000,
+            ) {
+                run_random_protocol(ops, q, seed)?;
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_destinations_granted_same_epoch() {
+        let mut c = cc(4);
+        let mut rng = SmallRng::seed_from_u64(8);
+        c.begin_epoch(0);
+        c.receive_request(NodeId(1), NodeId(2));
+        c.receive_request(NodeId(1), NodeId(3));
+        c.receive_request(NodeId(4), NodeId(5));
+        c.begin_epoch(1);
+        let mut g = c.issue_grants(&mut rng, 1);
+        g.sort_by_key(|(_, d)| d.0);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g[0].1, NodeId(2));
+        assert_eq!(g[1].1, NodeId(3));
+        assert_eq!(g[2].1, NodeId(5));
+    }
+}

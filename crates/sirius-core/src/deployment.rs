@@ -1,0 +1,196 @@
+//! Deployment planning: the §4.1 sizing arithmetic as checked code.
+//!
+//! The paper derives several headline deployment points:
+//!
+//! * **Server-based cluster** — accelerator servers with 48 x 50 Gbps
+//!   channels, each channel on a different 100-port grating, connect
+//!   "4,800 servers (48 x 100), serving as a large cluster".
+//! * **Rack-based datacenter** — rack switches with 512 SERDES (256
+//!   uplinks) and 100-port gratings reach "25,600 (100 x 256) racks".
+//! * **A large datacenter with 4,096 racks could thus be connected
+//!   through just 16-port gratings."
+//!
+//! [`plan`] reproduces that arithmetic generically — given node count and
+//! per-node uplinks, it returns the grating size, epoch, laser chip count
+//! (via the §4.5 link budget) and validates the geometry against
+//! [`crate::config::SiriusConfig`] — so a would-be operator can size a
+//! deployment the way the authors did.
+
+use crate::config::{ConfigError, SiriusConfig};
+use crate::units::{Duration, Rate};
+
+/// Whether the optical endpoints are servers or rack switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeploymentKind {
+    /// Servers attach directly: all-optical, non-CMOS network (§4.5).
+    ServerBased,
+    /// Rack switches attach; servers hang off electrical ToRs.
+    RackBased,
+}
+
+/// A sized deployment.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    pub kind: DeploymentKind,
+    pub nodes: usize,
+    pub base_uplinks: usize,
+    pub uplink_factor: f64,
+    pub grating_ports: usize,
+    pub gratings: usize,
+    pub epoch: Duration,
+    /// Tunable laser chips per node at 8-way sharing (+1 spare).
+    pub laser_chips_per_node: usize,
+    /// Aggregate injectable bandwidth (before the uplink factor).
+    pub bisection: Rate,
+}
+
+/// Size a deployment: `nodes` endpoints, each with `base_uplinks` channels
+/// of `channel` rate, cells of `slot` duration, lasers shared `share`-ways.
+pub fn plan(
+    kind: DeploymentKind,
+    nodes: usize,
+    base_uplinks: usize,
+    channel: Rate,
+    slot: Duration,
+    share: usize,
+) -> Result<Plan, ConfigError> {
+    if base_uplinks == 0 {
+        return Err(ConfigError::ZeroField("base_uplinks"));
+    }
+    if nodes % base_uplinks != 0 {
+        return Err(ConfigError::NodesNotMultipleOfGrating {
+            nodes,
+            grating_ports: nodes / base_uplinks.max(1),
+        });
+    }
+    let grating_ports = nodes / base_uplinks;
+    // Validate via the real config machinery.
+    let mut cfg = SiriusConfig::scaled(nodes, grating_ports);
+    cfg.channel_rate = channel;
+    cfg.validate()?;
+    let groups = nodes / grating_ports;
+    Ok(Plan {
+        kind,
+        nodes,
+        base_uplinks,
+        uplink_factor: cfg.uplink_factor,
+        grating_ports,
+        gratings: base_uplinks * groups,
+        epoch: slot * grating_ports as u64,
+        laser_chips_per_node: base_uplinks.div_ceil(share.max(1)) + 1,
+        bisection: Rate::from_bps(channel.as_bps() * base_uplinks as u64 * nodes as u64 / 2),
+    })
+}
+
+/// Maximum endpoints reachable with `uplinks` per node and `ports`-port
+/// gratings (the paper's "W x uplinks" rule).
+pub fn max_nodes(uplinks: usize, ports: usize) -> usize {
+    uplinks * ports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SLOT: Duration = Duration::from_ps(99_920);
+
+    #[test]
+    fn server_cluster_4800_gpus() {
+        // §4.1: 48 x 50 Gbps channels on 100-port gratings -> 4,800
+        // servers.
+        assert_eq!(max_nodes(48, 100), 4_800);
+        let p = plan(
+            DeploymentKind::ServerBased,
+            4_800,
+            48,
+            Rate::from_gbps(50),
+            SLOT,
+            8,
+        )
+        .unwrap();
+        assert_eq!(p.grating_ports, 100);
+        assert_eq!(p.gratings, 48 * 48);
+        // 48 uplinks / 8-way sharing + spare = 7 chips per server.
+        assert_eq!(p.laser_chips_per_node, 7);
+        // Epoch = 100 slots ~ 10 us.
+        assert!((p.epoch.as_us_f64() - 9.992).abs() < 0.01);
+    }
+
+    #[test]
+    fn rack_datacenter_25600_racks() {
+        // §4.1: 256 uplinks, 100-port gratings -> 25,600 racks.
+        assert_eq!(max_nodes(256, 100), 25_600);
+        let p = plan(
+            DeploymentKind::RackBased,
+            25_600,
+            256,
+            Rate::from_gbps(50),
+            SLOT,
+            8,
+        )
+        .unwrap();
+        assert_eq!(p.grating_ports, 100);
+        // "a rack with 256 uplinks would only need 32 tunable laser
+        // chips" (+1 spare here).
+        assert_eq!(p.laser_chips_per_node, 33);
+        // 6x the size of a large (4,096-rack) datacenter today.
+        assert!(p.nodes > 6 * 4_096);
+    }
+
+    #[test]
+    fn large_datacenter_16_port_gratings() {
+        // §4.1: "A large datacenter with 4,096 racks could thus be
+        // connected through just 16-port gratings."
+        let p = plan(
+            DeploymentKind::RackBased,
+            4_096,
+            256,
+            Rate::from_gbps(50),
+            SLOT,
+            8,
+        )
+        .unwrap();
+        assert_eq!(p.grating_ports, 16);
+        assert!((p.epoch.as_us_f64() - 1.6).abs() < 0.01);
+    }
+
+    #[test]
+    fn paper_sim_geometry() {
+        let p = plan(
+            DeploymentKind::RackBased,
+            128,
+            8,
+            Rate::from_gbps(50),
+            SLOT,
+            8,
+        )
+        .unwrap();
+        assert_eq!(p.grating_ports, 16);
+        assert_eq!(p.gratings, 8 * 8);
+        assert_eq!(p.laser_chips_per_node, 2);
+        // Bisection: 128 x 400G / 2 = 25.6 Tbps.
+        assert_eq!(p.bisection, Rate::from_bps(25_600_000_000_000));
+    }
+
+    #[test]
+    fn bad_geometry_is_rejected() {
+        assert!(plan(
+            DeploymentKind::RackBased,
+            100,
+            7,
+            Rate::from_gbps(50),
+            SLOT,
+            8
+        )
+        .is_err());
+        assert!(plan(
+            DeploymentKind::RackBased,
+            100,
+            0,
+            Rate::from_gbps(50),
+            SLOT,
+            8
+        )
+        .is_err());
+    }
+}

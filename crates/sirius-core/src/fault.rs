@@ -1,0 +1,338 @@
+//! Failure detection and handling (§4.5 "Fault tolerance").
+//!
+//! The passive core cannot fail in interesting ways (no moving parts, no
+//! power), but nodes and transceivers can, and Valiant load balancing means
+//! a failed node blackholes a slice of *everyone's* traffic until detected.
+//! Sirius turns the cyclic schedule into a cheap failure detector: every
+//! node hears from every other node once per epoch (a few microseconds), so
+//! silence on the scheduled slot is evidence of failure, including for grey
+//! failures that only show up on specific paths.
+//!
+//! This module implements that detector: per-peer "last heard" epochs, a
+//! configurable silence threshold, and a network-wide failure view that the
+//! VLB picker consumes. Bandwidth after a failure degrades proportionally
+//! (1/N per failed node) as the paper describes.
+
+use crate::topology::NodeId;
+use crate::vlb::Vlb;
+
+/// Configuration of the failure detector.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// Consecutive silent epochs on a scheduled slot before a peer is
+    /// declared failed. The schedule guarantees one opportunity per epoch,
+    /// so this directly bounds detection latency in epochs.
+    pub silence_threshold: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        // 3 epochs ~ 5 us at paper scale: "interconnection of rack-pairs
+        // every few microseconds allows for low overhead yet fast failure
+        // detection" (§4.5).
+        FaultConfig {
+            silence_threshold: 3,
+        }
+    }
+}
+
+/// Per-node failure detector driven by scheduled-slot receptions.
+#[derive(Debug)]
+pub struct FailureDetector {
+    cfg: FaultConfig,
+    /// Last epoch we heard anything (data or idle keepalive) from each peer.
+    last_heard: Vec<u64>,
+    /// Peers currently suspected failed.
+    suspected: Vec<bool>,
+}
+
+impl FailureDetector {
+    pub fn new(n: usize, cfg: FaultConfig) -> FailureDetector {
+        FailureDetector {
+            cfg,
+            last_heard: vec![0; n],
+            suspected: vec![false; n],
+        }
+    }
+
+    /// Record a reception (any slot content, including idle) from `peer`.
+    pub fn heard_from(&mut self, peer: NodeId, epoch: u64) {
+        self.last_heard[peer.0 as usize] = epoch;
+        self.suspected[peer.0 as usize] = false;
+    }
+
+    /// Advance to `epoch`; returns peers newly suspected this epoch.
+    pub fn tick(&mut self, epoch: u64) -> Vec<NodeId> {
+        let mut newly = Vec::new();
+        for (i, &lh) in self.last_heard.iter().enumerate() {
+            if !self.suspected[i] && epoch.saturating_sub(lh) >= self.cfg.silence_threshold {
+                self.suspected[i] = true;
+                newly.push(NodeId(i as u32));
+            }
+        }
+        newly
+    }
+
+    pub fn is_suspected(&self, peer: NodeId) -> bool {
+        self.suspected[peer.0 as usize]
+    }
+
+    pub fn suspected_count(&self) -> usize {
+        self.suspected.iter().filter(|&&s| s).count()
+    }
+}
+
+/// Network-wide failure bookkeeping: ground truth plus what has been
+/// disseminated to the (shared) routing view.
+#[derive(Debug)]
+pub struct FailurePlane {
+    /// Ground-truth failed nodes.
+    failed: Vec<bool>,
+    /// Epoch at which each failure becomes visible to routing (detection +
+    /// datacenter-wide dissemination, which the cyclic schedule completes
+    /// within one epoch).
+    visible_at: Vec<Option<u64>>,
+}
+
+impl FailurePlane {
+    pub fn new(n: usize) -> FailurePlane {
+        FailurePlane {
+            failed: vec![false; n],
+            visible_at: vec![None; n],
+        }
+    }
+
+    /// Fail `node` at `epoch`; it becomes visible to routing after
+    /// `detect_epochs` (detection) + 1 (dissemination) epochs.
+    pub fn fail(&mut self, node: NodeId, epoch: u64, detect_epochs: u64) {
+        self.failed[node.0 as usize] = true;
+        self.visible_at[node.0 as usize] = Some(epoch + detect_epochs + 1);
+    }
+
+    /// Recover `node` immediately (operator action).
+    pub fn recover(&mut self, node: NodeId) {
+        self.failed[node.0 as usize] = false;
+        self.visible_at[node.0 as usize] = None;
+    }
+
+    pub fn is_failed(&self, node: NodeId) -> bool {
+        self.failed[node.0 as usize]
+    }
+
+    /// Apply all failures visible at `epoch` to the VLB view. Returns nodes
+    /// newly excluded this epoch.
+    pub fn sync_to_vlb(&mut self, vlb: &mut Vlb, epoch: u64) -> Vec<NodeId> {
+        let mut newly = Vec::new();
+        for i in 0..self.failed.len() {
+            let n = NodeId(i as u32);
+            if self.failed[i] {
+                if let Some(at) = self.visible_at[i] {
+                    if epoch >= at && vlb.is_alive(n) {
+                        vlb.mark_failed(n);
+                        newly.push(n);
+                    }
+                }
+            } else if !vlb.is_alive(n) {
+                vlb.mark_recovered(n);
+            }
+        }
+        newly
+    }
+
+    /// Fraction of per-node uplink bandwidth lost: failing one of N nodes
+    /// removes 1/N of every node's detour capacity (§4.5).
+    pub fn bandwidth_loss_fraction(&self) -> f64 {
+        let n = self.failed.len() as f64;
+        self.failed.iter().filter(|&&f| f).count() as f64 / n
+    }
+}
+
+/// Per-link (grey) failure detection: a transceiver that fails on one
+/// uplink column only drops the cells of that column while the node stays
+/// otherwise healthy — "grey failures that are sporadic or do not present
+/// themselves till a link is actually used" (§4.5). The cyclic schedule
+/// turns every (peer, column) pair into its own heartbeat: silence on one
+/// column while others stay live isolates the bad transceiver.
+#[derive(Debug)]
+pub struct LinkDetector {
+    cfg: FaultConfig,
+    uplinks: usize,
+    /// last_heard[peer * uplinks + column].
+    last_heard: Vec<u64>,
+    suspected: Vec<bool>,
+}
+
+impl LinkDetector {
+    pub fn new(n: usize, uplinks: usize, cfg: FaultConfig) -> LinkDetector {
+        LinkDetector {
+            cfg,
+            uplinks,
+            last_heard: vec![0; n * uplinks],
+            suspected: vec![false; n * uplinks],
+        }
+    }
+
+    fn idx(&self, peer: NodeId, column: usize) -> usize {
+        peer.0 as usize * self.uplinks + column
+    }
+
+    /// Record a reception from `peer` on RX `column`.
+    pub fn heard_from(&mut self, peer: NodeId, column: usize, epoch: u64) {
+        let i = self.idx(peer, column);
+        self.last_heard[i] = epoch;
+        self.suspected[i] = false;
+    }
+
+    /// Advance to `epoch`; returns newly suspected `(peer, column)` links.
+    pub fn tick(&mut self, epoch: u64) -> Vec<(NodeId, usize)> {
+        let mut newly = Vec::new();
+        for peer in 0..self.last_heard.len() / self.uplinks {
+            for col in 0..self.uplinks {
+                let i = peer * self.uplinks + col;
+                if !self.suspected[i]
+                    && epoch.saturating_sub(self.last_heard[i]) >= self.cfg.silence_threshold
+                {
+                    self.suspected[i] = true;
+                    newly.push((NodeId(peer as u32), col));
+                }
+            }
+        }
+        newly
+    }
+
+    pub fn is_suspected(&self, peer: NodeId, column: usize) -> bool {
+        self.suspected[self.idx(peer, column)]
+    }
+
+    /// A peer is *grey*-failed if some, but not all, of its links are
+    /// suspected — alive enough to answer on other columns, dead on these.
+    pub fn is_grey(&self, peer: NodeId) -> bool {
+        let base = peer.0 as usize * self.uplinks;
+        let bad = self.suspected[base..base + self.uplinks]
+            .iter()
+            .filter(|&&b| b)
+            .count();
+        bad > 0 && bad < self.uplinks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detector_fires_after_threshold() {
+        let mut fd = FailureDetector::new(
+            4,
+            FaultConfig {
+                silence_threshold: 3,
+            },
+        );
+        for e in 0..3 {
+            for p in 0..4 {
+                fd.heard_from(NodeId(p), e);
+            }
+            assert!(fd.tick(e).is_empty());
+        }
+        // Node 2 goes silent after epoch 2.
+        for e in 3..5 {
+            for p in [0u32, 1, 3] {
+                fd.heard_from(NodeId(p), e);
+            }
+            assert!(fd.tick(e).is_empty(), "too early at epoch {e}");
+        }
+        fd.heard_from(NodeId(0), 5);
+        fd.heard_from(NodeId(1), 5);
+        fd.heard_from(NodeId(3), 5);
+        let newly = fd.tick(5);
+        assert_eq!(newly, vec![NodeId(2)]);
+        assert!(fd.is_suspected(NodeId(2)));
+        assert_eq!(fd.suspected_count(), 1);
+    }
+
+    #[test]
+    fn detector_clears_on_recovery() {
+        let mut fd = FailureDetector::new(
+            2,
+            FaultConfig {
+                silence_threshold: 2,
+            },
+        );
+        fd.tick(5);
+        assert!(fd.is_suspected(NodeId(1)));
+        fd.heard_from(NodeId(1), 6);
+        assert!(!fd.is_suspected(NodeId(1)));
+    }
+
+    #[test]
+    fn failure_plane_visibility_delay() {
+        let mut fp = FailurePlane::new(8);
+        let mut vlb = Vlb::new(8);
+        fp.fail(NodeId(3), 10, 3);
+        assert!(fp.is_failed(NodeId(3)));
+        // Not yet visible at epoch 12.
+        assert!(fp.sync_to_vlb(&mut vlb, 12).is_empty());
+        assert!(vlb.is_alive(NodeId(3)));
+        // Visible at 10 + 3 + 1 = 14.
+        assert_eq!(fp.sync_to_vlb(&mut vlb, 14), vec![NodeId(3)]);
+        assert!(!vlb.is_alive(NodeId(3)));
+        // Recovery restores routing.
+        fp.recover(NodeId(3));
+        assert!(fp.sync_to_vlb(&mut vlb, 15).is_empty());
+        assert!(vlb.is_alive(NodeId(3)));
+    }
+
+    #[test]
+    fn grey_failure_isolates_the_bad_transceiver() {
+        // Peer 2's column 1 transceiver dies; its other columns keep
+        // talking. The link detector pins the failure to (2, 1) and
+        // classifies peer 2 as grey, not dead.
+        let mut ld = LinkDetector::new(4, 3, FaultConfig { silence_threshold: 3 });
+        for e in 0..10u64 {
+            for p in 0..4u32 {
+                for c in 0..3usize {
+                    if !(p == 2 && c == 1 && e >= 4) {
+                        ld.heard_from(NodeId(p), c, e);
+                    }
+                }
+            }
+            let newly = ld.tick(e);
+            // Last heard at epoch 3; threshold 3 -> suspected at epoch 6.
+            if e < 6 {
+                assert!(newly.is_empty(), "too early at epoch {e}: {newly:?}");
+            } else if e == 6 {
+                assert_eq!(newly, vec![(NodeId(2), 1)]);
+            }
+        }
+        assert!(ld.is_suspected(NodeId(2), 1));
+        assert!(!ld.is_suspected(NodeId(2), 0));
+        assert!(ld.is_grey(NodeId(2)));
+        assert!(!ld.is_grey(NodeId(0)));
+    }
+
+    #[test]
+    fn total_silence_is_not_grey() {
+        let mut ld = LinkDetector::new(2, 2, FaultConfig { silence_threshold: 1 });
+        ld.tick(5); // peer 1 never heard at all
+        assert!(ld.is_suspected(NodeId(1), 0) && ld.is_suspected(NodeId(1), 1));
+        assert!(!ld.is_grey(NodeId(1)), "fully dead, not grey");
+    }
+
+    #[test]
+    fn grey_link_recovers() {
+        let mut ld = LinkDetector::new(2, 2, FaultConfig { silence_threshold: 2 });
+        ld.tick(4);
+        assert!(ld.is_suspected(NodeId(0), 0));
+        ld.heard_from(NodeId(0), 0, 5);
+        assert!(!ld.is_suspected(NodeId(0), 0));
+    }
+
+    #[test]
+    fn bandwidth_loss_matches_paper_rule() {
+        let mut fp = FailurePlane::new(128);
+        fp.fail(NodeId(0), 0, 0);
+        assert!((fp.bandwidth_loss_fraction() - 1.0 / 128.0).abs() < 1e-12);
+        fp.fail(NodeId(1), 0, 0);
+        assert!((fp.bandwidth_loss_fraction() - 2.0 / 128.0).abs() < 1e-12);
+    }
+}

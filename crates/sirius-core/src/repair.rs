@@ -1,0 +1,228 @@
+//! Consistent schedule adjustment around failures (§4.5).
+//!
+//! "For any failures that cannot be remedied immediately, the network
+//! schedule for all the nodes can be adjusted to omit the failed node ...
+//! albeit at the expense of extra mechanisms for consistent updates of the
+//! nodes' schedules."
+//!
+//! Physics constrains what "adjust" can mean: the gratings are passive and
+//! every transceiver on a node shares one wavelength per slot, so a slot
+//! whose permutation lands on a dead receive port cannot be retargeted
+//! without colliding with a live one. What *can* be done consistently:
+//!
+//! * mark the slots whose destination is the failed node as **dead** so
+//!   senders skip protocol work for them (and can use them for
+//!   calibration bursts);
+//! * stop selecting the failed node as a Valiant intermediate (see
+//!   [`crate::vlb`]) — this is what actually restores correctness;
+//! * schedule the change at a future **update epoch** so every node flips
+//!   at the same boundary (the consistent-update mechanism the paper
+//!   alludes to; dissemination rides the cyclic schedule, so one epoch of
+//!   lead time reaches everyone).
+//!
+//! The resulting capacity loss is exactly the dead-slot fraction, i.e.
+//! `failed/N` of every node's uplink bandwidth — the paper's
+//! proportional-loss rule — and is what [`AdjustedSchedule::capacity_factor`]
+//! reports.
+
+use crate::schedule::{Schedule, SlotInEpoch};
+use crate::topology::{NodeId, UplinkId};
+
+/// A schedule plus an epoch-versioned set of omitted (failed) nodes.
+#[derive(Debug)]
+pub struct AdjustedSchedule {
+    base: Schedule,
+    /// Current omitted set (applied).
+    omitted: Vec<bool>,
+    omitted_count: usize,
+    /// A pending update: (activation epoch, node, omit?).
+    pending: Vec<(u64, NodeId, bool)>,
+}
+
+impl AdjustedSchedule {
+    pub fn new(base: Schedule) -> AdjustedSchedule {
+        let n = base.nodes();
+        AdjustedSchedule {
+            base,
+            omitted: vec![false; n],
+            omitted_count: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    pub fn base(&self) -> &Schedule {
+        &self.base
+    }
+
+    /// Stage the omission of `node`, activating at `epoch` (which must be
+    /// far enough ahead for dissemination — at least one full epoch).
+    pub fn stage_omit(&mut self, node: NodeId, epoch: u64) {
+        self.pending.push((epoch, node, true));
+        self.pending.sort_by_key(|&(e, _, _)| e);
+    }
+
+    /// Stage the re-admission of a repaired `node` at `epoch`.
+    pub fn stage_readmit(&mut self, node: NodeId, epoch: u64) {
+        self.pending.push((epoch, node, false));
+        self.pending.sort_by_key(|&(e, _, _)| e);
+    }
+
+    /// Apply all staged updates whose activation epoch has arrived.
+    /// Returns the changes applied this call.
+    pub fn advance_to(&mut self, epoch: u64) -> Vec<(NodeId, bool)> {
+        let mut applied = Vec::new();
+        while let Some(&(e, node, omit)) = self.pending.first() {
+            if e > epoch {
+                break;
+            }
+            self.pending.remove(0);
+            let slot = &mut self.omitted[node.0 as usize];
+            if *slot != omit {
+                *slot = omit;
+                self.omitted_count = if omit {
+                    self.omitted_count + 1
+                } else {
+                    self.omitted_count - 1
+                };
+                applied.push((node, omit));
+            }
+        }
+        applied
+    }
+
+    pub fn is_omitted(&self, node: NodeId) -> bool {
+        self.omitted[node.0 as usize]
+    }
+
+    /// Destination of a slot, or `None` if the slot is dead (its scheduled
+    /// destination is omitted) or the source itself is omitted.
+    pub fn dest(&self, i: NodeId, u: UplinkId, t: SlotInEpoch) -> Option<NodeId> {
+        if self.omitted[i.0 as usize] {
+            return None;
+        }
+        let d = self.base.dest(i, u, t);
+        if self.omitted[d.0 as usize] {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
+    /// Fraction of each node's uplink slots still usable: `1 - failed/N`
+    /// (the paper's proportional bandwidth-loss rule).
+    pub fn capacity_factor(&self) -> f64 {
+        1.0 - self.omitted_count as f64 / self.base.nodes() as f64
+    }
+
+    /// Dead slots per epoch for a live node (usable for calibration
+    /// bursts / keepalives).
+    pub fn dead_slots_per_epoch(&self, i: NodeId) -> usize {
+        if self.omitted[i.0 as usize] {
+            return 0;
+        }
+        let mut dead = 0;
+        for u in 0..self.base.uplinks() as u16 {
+            for t in 0..self.base.epoch_slots() as u16 {
+                if self.dest(i, UplinkId(u), SlotInEpoch(t)).is_none() {
+                    dead += 1;
+                }
+            }
+        }
+        dead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SiriusConfig;
+
+    fn adj() -> AdjustedSchedule {
+        AdjustedSchedule::new(Schedule::new(&SiriusConfig::scaled(16, 4)))
+    }
+
+    #[test]
+    fn updates_activate_atomically_at_their_epoch() {
+        let mut a = adj();
+        a.stage_omit(NodeId(3), 10);
+        assert!(a.advance_to(9).is_empty());
+        assert!(!a.is_omitted(NodeId(3)));
+        let applied = a.advance_to(10);
+        assert_eq!(applied, vec![(NodeId(3), true)]);
+        assert!(a.is_omitted(NodeId(3)));
+    }
+
+    #[test]
+    fn dead_slots_match_the_proportional_rule() {
+        let mut a = adj();
+        a.stage_omit(NodeId(5), 0);
+        a.advance_to(0);
+        // Every live node loses exactly the slots that pointed at node 5:
+        // base columns connect each pair once per epoch, extras can add a
+        // second — so dead slots = connections_per_epoch(i, 5).
+        for i in 0..16u32 {
+            if i == 5 {
+                continue;
+            }
+            let expect = a.base().connections_per_epoch(NodeId(i), NodeId(5));
+            assert_eq!(
+                a.dead_slots_per_epoch(NodeId(i)),
+                expect,
+                "node {i} dead slots"
+            );
+        }
+        assert!((a.capacity_factor() - 15.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dest_filters_failed_endpoints() {
+        let mut a = adj();
+        a.stage_omit(NodeId(2), 0);
+        a.advance_to(0);
+        for u in 0..a.base().uplinks() as u16 {
+            for t in 0..a.base().epoch_slots() as u16 {
+                for i in 0..16u32 {
+                    let d = a.dest(NodeId(i), UplinkId(u), SlotInEpoch(t));
+                    if i == 2 {
+                        assert_eq!(d, None, "omitted node must not transmit");
+                    } else if let Some(d) = d {
+                        assert_ne!(d, NodeId(2), "slot still points at the corpse");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn readmission_restores_capacity() {
+        let mut a = adj();
+        a.stage_omit(NodeId(7), 5);
+        a.stage_readmit(NodeId(7), 50);
+        a.advance_to(5);
+        assert!((a.capacity_factor() - 15.0 / 16.0).abs() < 1e-12);
+        a.advance_to(50);
+        assert_eq!(a.capacity_factor(), 1.0);
+        assert!(!a.is_omitted(NodeId(7)));
+        assert_eq!(a.dead_slots_per_epoch(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn duplicate_updates_are_idempotent() {
+        let mut a = adj();
+        a.stage_omit(NodeId(1), 3);
+        a.stage_omit(NodeId(1), 4);
+        a.advance_to(10);
+        assert!(a.is_omitted(NodeId(1)));
+        assert!((a.capacity_factor() - 15.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiple_failures_accumulate() {
+        let mut a = adj();
+        for k in 0..4 {
+            a.stage_omit(NodeId(k), 0);
+        }
+        a.advance_to(0);
+        assert!((a.capacity_factor() - 12.0 / 16.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,329 @@
+//! The static, contention-free cyclic schedule (§4.2).
+//!
+//! Sirius is "scheduler-less": there is no demand collection and no runtime
+//! schedule computation. Every node follows the same precomputed cyclic
+//! schedule — at timeslot `t` of the epoch every laser in the datacenter is
+//! tuned to wavelength `t` (this is what makes laser sharing possible,
+//! §4.5), and uplink column `u` of node `i` is therefore connected to
+//!
+//! ```text
+//! dest(i, u, t) = ((group(i) + shift(u)) mod groups) * G + ((port(i) + t) mod G)
+//! ```
+//!
+//! The schedule has three properties the rest of the stack relies on,
+//! all of which are property-tested below:
+//!
+//! 1. **Contention-free**: at every slot, `i -> dest(i, u, t)` is a
+//!    permutation for each column `u`, so no receive port ever sees two
+//!    senders (the optical core has no buffers, §4.2).
+//! 2. **Complete**: over one epoch the base columns connect every ordered
+//!    node pair exactly once — the "equal-rate connectivity between all
+//!    nodes" that Valiant load balancing needs.
+//! 3. **Periodic**: every pair reconnects every epoch, which underpins
+//!    piggybacked congestion control (§4.3), rotating-leader time sync
+//!    (§4.4) and phase caching (§4.5).
+
+use crate::config::SiriusConfig;
+use crate::topology::{NodeId, Topology, UplinkId};
+use crate::units::Duration;
+
+/// A wavelength index on the grating's cyclic grid (0..G).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Wavelength(pub u16);
+
+/// A timeslot index within the epoch (0..G).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SlotInEpoch(pub u16);
+
+/// One connection opportunity from a source node: which uplink column and
+/// which slot of the epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Connection {
+    pub uplink: UplinkId,
+    pub slot: SlotInEpoch,
+}
+
+/// The precomputed cyclic schedule for a given topology.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    nodes: usize,
+    g: usize,
+    groups: usize,
+    shifts: Vec<u32>,
+    /// `columns_for_shift[d]` = uplink columns whose group shift is `d`.
+    columns_for_shift: Vec<Vec<UplinkId>>,
+    slot_len: Duration,
+}
+
+impl Schedule {
+    pub fn new(cfg: &SiriusConfig) -> Schedule {
+        let topo = Topology::new(cfg);
+        Schedule::from_topology(&topo, cfg.slot())
+    }
+
+    pub fn from_topology(topo: &Topology, slot_len: Duration) -> Schedule {
+        let mut columns_for_shift = vec![Vec::new(); topo.groups()];
+        for (u, &s) in topo.shifts().iter().enumerate() {
+            columns_for_shift[s as usize].push(UplinkId(u as u16));
+        }
+        Schedule {
+            nodes: topo.nodes(),
+            g: topo.grating_ports(),
+            groups: topo.groups(),
+            shifts: topo.shifts().to_vec(),
+            columns_for_shift,
+            slot_len,
+        }
+    }
+
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+    pub fn uplinks(&self) -> usize {
+        self.shifts.len()
+    }
+    /// Slots per epoch (= grating ports).
+    pub fn epoch_slots(&self) -> u64 {
+        self.g as u64
+    }
+    pub fn slot_len(&self) -> Duration {
+        self.slot_len
+    }
+    pub fn epoch_len(&self) -> Duration {
+        self.slot_len * self.g as u64
+    }
+
+    /// The wavelength every laser in the network uses at epoch slot `t`.
+    /// One wavelength for the whole datacenter per slot is what allows a
+    /// single tunable laser to be shared by all of a node's transceivers.
+    pub fn wavelength(&self, t: SlotInEpoch) -> Wavelength {
+        debug_assert!((t.0 as usize) < self.g);
+        Wavelength(t.0)
+    }
+
+    /// Epoch slot given an absolute slot counter.
+    pub fn slot_in_epoch(&self, abs_slot: u64) -> SlotInEpoch {
+        SlotInEpoch((abs_slot % self.g as u64) as u16)
+    }
+
+    /// Epoch index given an absolute slot counter.
+    pub fn epoch_of(&self, abs_slot: u64) -> u64 {
+        abs_slot / self.g as u64
+    }
+
+    /// Destination of uplink `u` of node `i` at epoch slot `t`.
+    pub fn dest(&self, i: NodeId, u: UplinkId, t: SlotInEpoch) -> NodeId {
+        let g = self.g as u32;
+        let group = i.0 / g;
+        let port = i.0 % g;
+        let shift = self.shifts[u.0 as usize];
+        let dst_group = (group + shift) % self.groups as u32;
+        NodeId(dst_group * g + (port + t.0 as u32) % g)
+    }
+
+    /// Which node is transmitting into RX column `u` of node `j` at slot `t`
+    /// (the inverse of [`dest`](Self::dest)).
+    pub fn source(&self, j: NodeId, u: UplinkId, t: SlotInEpoch) -> NodeId {
+        let g = self.g as u32;
+        let groups = self.groups as u32;
+        let dst_group = j.0 / g;
+        let q = j.0 % g;
+        let shift = self.shifts[u.0 as usize];
+        let src_group = (dst_group + groups - shift % groups) % groups;
+        let port = (q + g - t.0 as u32 % g) % g;
+        NodeId(src_group * g + port)
+    }
+
+    /// All connection opportunities from `i` to `j` within one epoch.
+    ///
+    /// The base columns provide exactly one; extra load-balancing columns
+    /// can add a second for some group offsets.
+    pub fn connections(&self, i: NodeId, j: NodeId) -> Vec<Connection> {
+        let g = self.g as u32;
+        let groups = self.groups as u32;
+        let d = ((j.0 / g) + groups - (i.0 / g)) % groups;
+        let t = SlotInEpoch((((j.0 % g) + g - (i.0 % g)) % g) as u16);
+        self.columns_for_shift[d as usize]
+            .iter()
+            .map(|&u| Connection { uplink: u, slot: t })
+            .collect()
+    }
+
+    /// Uplink columns whose shift connects group offset `d`.
+    pub fn columns_for_group_offset(&self, d: u32) -> &[UplinkId] {
+        &self.columns_for_shift[d as usize]
+    }
+
+    /// Connections from `i` to `j` per epoch (1 for base-only offsets, 2
+    /// where an extra column duplicates coverage).
+    pub fn connections_per_epoch(&self, i: NodeId, j: NodeId) -> usize {
+        let g = self.g as u32;
+        let groups = self.groups as u32;
+        let d = ((j.0 / g) + groups - (i.0 / g)) % groups;
+        self.columns_for_shift[d as usize].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sched(cfg: &SiriusConfig) -> Schedule {
+        Schedule::new(cfg)
+    }
+
+    #[test]
+    fn fig5_schedule_reproduced() {
+        // Paper Fig. 5b: 4 nodes, 2 uplinks, wavelengths A,B = 0,1.
+        // (Node 1,port 1) slot A -> (1,1); slot B -> (2,1) [1-indexed there].
+        let s = sched(&SiriusConfig::four_node_prototype());
+        // 0-indexed: node 0 uplink 0: slot0 -> node 0 (self), slot1 -> node 1
+        assert_eq!(s.dest(NodeId(0), UplinkId(0), SlotInEpoch(0)), NodeId(0));
+        assert_eq!(s.dest(NodeId(0), UplinkId(0), SlotInEpoch(1)), NodeId(1));
+        // node 0 uplink 1: slot0 -> node 2, slot1 -> node 3
+        assert_eq!(s.dest(NodeId(0), UplinkId(1), SlotInEpoch(0)), NodeId(2));
+        assert_eq!(s.dest(NodeId(0), UplinkId(1), SlotInEpoch(1)), NodeId(3));
+        // node 1 uplink 0: slot0 -> node 1 (self), slot1 -> node 0 (wraps)
+        assert_eq!(s.dest(NodeId(1), UplinkId(0), SlotInEpoch(0)), NodeId(1));
+        assert_eq!(s.dest(NodeId(1), UplinkId(0), SlotInEpoch(1)), NodeId(0));
+    }
+
+    #[test]
+    fn contention_free_every_slot_paper_scale() {
+        let s = sched(&SiriusConfig::paper_sim());
+        for u in 0..s.uplinks() as u16 {
+            for t in 0..s.epoch_slots() as u16 {
+                let mut seen = vec![false; s.nodes()];
+                for i in 0..s.nodes() as u32 {
+                    let d = s.dest(NodeId(i), UplinkId(u), SlotInEpoch(t));
+                    assert!(
+                        !seen[d.0 as usize],
+                        "two senders hit {d} on column {u} slot {t}"
+                    );
+                    seen[d.0 as usize] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn base_columns_connect_every_pair_once_per_epoch() {
+        let cfg = SiriusConfig::scaled(32, 8);
+        let s = sched(&cfg);
+        let base = cfg.base_uplinks;
+        let mut count = vec![vec![0u32; s.nodes()]; s.nodes()];
+        for u in 0..base as u16 {
+            for t in 0..s.epoch_slots() as u16 {
+                for i in 0..s.nodes() as u32 {
+                    let d = s.dest(NodeId(i), UplinkId(u), SlotInEpoch(t));
+                    count[i as usize][d.0 as usize] += 1;
+                }
+            }
+        }
+        for i in 0..s.nodes() {
+            for j in 0..s.nodes() {
+                assert_eq!(
+                    count[i][j], 1,
+                    "pair ({i},{j}) connected {} times",
+                    count[i][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn source_inverts_dest() {
+        let s = sched(&SiriusConfig::paper_sim());
+        for u in 0..s.uplinks() as u16 {
+            for t in (0..s.epoch_slots() as u16).step_by(3) {
+                for i in (0..s.nodes() as u32).step_by(7) {
+                    let d = s.dest(NodeId(i), UplinkId(u), SlotInEpoch(t));
+                    assert_eq!(s.source(d, UplinkId(u), SlotInEpoch(t)), NodeId(i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn connections_find_the_right_slot() {
+        let s = sched(&SiriusConfig::paper_sim());
+        for i in (0..s.nodes() as u32).step_by(11) {
+            for j in (0..s.nodes() as u32).step_by(5) {
+                let conns = s.connections(NodeId(i), NodeId(j));
+                assert!(!conns.is_empty(), "no path {i}->{j}");
+                assert_eq!(conns.len(), s.connections_per_epoch(NodeId(i), NodeId(j)));
+                for c in conns {
+                    assert_eq!(s.dest(NodeId(i), c.uplink, c.slot), NodeId(j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uplink_factor_increases_pair_capacity() {
+        // With the paper's 1.5x factor, some group offsets get two columns.
+        let s = sched(&SiriusConfig::paper_sim());
+        let counts: Vec<usize> = (0..8)
+            .map(|d| s.columns_for_group_offset(d).len())
+            .collect();
+        assert_eq!(counts.iter().sum::<usize>(), 12);
+        assert!(counts.iter().all(|&c| c == 1 || c == 2));
+        assert_eq!(counts.iter().filter(|&&c| c == 2).count(), 4);
+    }
+
+    #[test]
+    fn epoch_timing_matches_config() {
+        let cfg = SiriusConfig::paper_sim();
+        let s = sched(&cfg);
+        assert_eq!(s.epoch_len(), cfg.epoch());
+        assert_eq!(s.slot_in_epoch(16).0, 0);
+        assert_eq!(s.slot_in_epoch(17).0, 1);
+        assert_eq!(s.epoch_of(31), 1);
+    }
+
+    proptest! {
+        /// Contention-freedom and invertibility over random geometries.
+        #[test]
+        fn schedule_is_permutation_for_any_geometry(
+            groups in 1usize..6,
+            g in 1usize..12,
+            factor in 1.0f64..2.0,
+        ) {
+            let nodes = groups * g;
+            let mut cfg = SiriusConfig::scaled(nodes, g);
+            cfg.uplink_factor = factor;
+            if cfg.validate().is_err() {
+                return Ok(());
+            }
+            let s = Schedule::new(&cfg);
+            for u in 0..s.uplinks() as u16 {
+                for t in 0..s.epoch_slots() as u16 {
+                    let mut seen = vec![false; nodes];
+                    for i in 0..nodes as u32 {
+                        let d = s.dest(NodeId(i), UplinkId(u), SlotInEpoch(t));
+                        prop_assert!(!seen[d.0 as usize]);
+                        seen[d.0 as usize] = true;
+                        prop_assert_eq!(s.source(d, UplinkId(u), SlotInEpoch(t)), NodeId(i));
+                    }
+                }
+            }
+        }
+
+        /// Every ordered pair is connected at least once per epoch.
+        #[test]
+        fn full_reachability(groups in 1usize..5, g in 1usize..9) {
+            let nodes = groups * g;
+            let cfg = SiriusConfig::scaled(nodes, g);
+            if cfg.validate().is_err() {
+                return Ok(());
+            }
+            let s = Schedule::new(&cfg);
+            for i in 0..nodes as u32 {
+                for j in 0..nodes as u32 {
+                    prop_assert!(!s.connections(NodeId(i), NodeId(j)).is_empty());
+                }
+            }
+        }
+    }
+}

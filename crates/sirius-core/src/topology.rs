@@ -1,0 +1,254 @@
+//! Physical topology: nodes, uplinks, and the passive grating layer.
+//!
+//! Sirius wires every node to the optical core through `U` uplinks. Nodes are
+//! partitioned into *groups* of `G` consecutive ids (`G` = grating ports).
+//! For each uplink column `u` there is one grating per group; uplink `u` of
+//! node `i` feeds input port `i mod G` of grating `(u, i / G)`, and output
+//! port `q` of grating `(u, k)` feeds receive port `u` of node
+//! `((k + shift(u)) mod groups) * G + q`.
+//!
+//! Because an AWGR routes input port `p` carrying wavelength `w` to output
+//! port `(p + w) mod G` (§3.1), a node that tunes its lasers to wavelength
+//! `w` at timeslot `t = w` reaches destination group `(k + shift(u))` at
+//! within-group offset `(p + w) mod G` — exactly the cyclic schedule of
+//! [`crate::schedule::Schedule`]. The topology and the schedule are two views
+//! of the same codesign; an integration test drives light through this
+//! physical model and checks it lands on the scheduled destination.
+
+use crate::config::SiriusConfig;
+use std::fmt;
+
+/// Identifier of a node (rack switch or server) attached to the core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Index of an uplink column (0-based). Each node has one TX and one RX port
+/// per uplink column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UplinkId(pub u16);
+
+/// Identifier of a physical grating: the uplink column it serves and the
+/// source group wired to its inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GratingId {
+    pub uplink: UplinkId,
+    pub src_group: u32,
+}
+
+/// Identifier of a server: the node it hangs off and its index within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ServerId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// The static physical wiring of a Sirius deployment.
+///
+/// This is the "flat" topology of §4.1: a single layer of passive gratings,
+/// no switches and no transceivers inside the core.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    nodes: usize,
+    grating_ports: usize,
+    groups: usize,
+    /// Group shift of each uplink column (see [`shifts`](Self::shifts)).
+    shifts: Vec<u32>,
+    servers_per_node: usize,
+}
+
+impl Topology {
+    /// Build the wiring for a validated configuration.
+    ///
+    /// Uplink columns `0..base_uplinks` get shifts `0..groups`, which is
+    /// exactly enough for each node to reach every node (including itself,
+    /// used as a calibration/loopback slot) once per epoch. Extra uplinks
+    /// from the load-balancing factor get shifts spread evenly over the
+    /// groups so the additional capacity is as uniform as a static wiring
+    /// allows.
+    pub fn new(cfg: &SiriusConfig) -> Topology {
+        cfg.validate().expect("invalid SiriusConfig");
+        let groups = cfg.groups();
+        let total = cfg.total_uplinks();
+        let mut shifts: Vec<u32> = (0..cfg.base_uplinks as u32).collect();
+        let extra = total - cfg.base_uplinks;
+        for e in 0..extra {
+            // Spread extra columns evenly across the group-shift space.
+            shifts.push(((e * groups) / extra.max(1)) as u32 % groups as u32);
+        }
+        Topology {
+            nodes: cfg.nodes,
+            grating_ports: cfg.grating_ports,
+            groups,
+            shifts,
+            servers_per_node: cfg.servers_per_node,
+        }
+    }
+
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+    pub fn grating_ports(&self) -> usize {
+        self.grating_ports
+    }
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+    pub fn uplinks(&self) -> usize {
+        self.shifts.len()
+    }
+    pub fn servers_per_node(&self) -> usize {
+        self.servers_per_node
+    }
+    pub fn total_servers(&self) -> usize {
+        self.nodes * self.servers_per_node
+    }
+
+    /// Group shift of uplink column `u`.
+    pub fn shift(&self, u: UplinkId) -> u32 {
+        self.shifts[u.0 as usize]
+    }
+    /// All uplink-column group shifts.
+    pub fn shifts(&self) -> &[u32] {
+        &self.shifts
+    }
+
+    /// Group that node `i` belongs to.
+    pub fn group_of(&self, i: NodeId) -> u32 {
+        i.0 / self.grating_ports as u32
+    }
+    /// Position of node `i` within its group (= its grating input port).
+    pub fn port_of(&self, i: NodeId) -> u32 {
+        i.0 % self.grating_ports as u32
+    }
+
+    /// The grating that TX uplink `u` of node `i` is spliced into.
+    pub fn tx_grating(&self, i: NodeId, u: UplinkId) -> GratingId {
+        GratingId {
+            uplink: u,
+            src_group: self.group_of(i),
+        }
+    }
+
+    /// The node whose RX port `u` hangs off output `q` of grating `g`.
+    pub fn rx_node(&self, g: GratingId, q: u32) -> NodeId {
+        debug_assert!((q as usize) < self.grating_ports);
+        let dst_group = (g.src_group + self.shift(g.uplink)) % self.groups as u32;
+        NodeId(dst_group * self.grating_ports as u32 + q)
+    }
+
+    /// Total gratings in the core: one per (uplink column, group).
+    pub fn grating_count(&self) -> usize {
+        self.uplinks() * self.groups
+    }
+
+    /// Iterate over every grating id.
+    pub fn gratings(&self) -> impl Iterator<Item = GratingId> + '_ {
+        let groups = self.groups as u32;
+        (0..self.uplinks() as u16).flat_map(move |u| {
+            (0..groups).map(move |k| GratingId {
+                uplink: UplinkId(u),
+                src_group: k,
+            })
+        })
+    }
+
+    /// The node a server is attached to.
+    pub fn node_of_server(&self, s: ServerId) -> NodeId {
+        NodeId(s.0 / self.servers_per_node as u32)
+    }
+
+    /// Servers attached to a node.
+    pub fn servers_of(&self, n: NodeId) -> impl Iterator<Item = ServerId> {
+        let base = n.0 * self.servers_per_node as u32;
+        (base..base + self.servers_per_node as u32).map(ServerId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper() -> Topology {
+        Topology::new(&SiriusConfig::paper_sim())
+    }
+
+    #[test]
+    fn paper_dimensions() {
+        let t = paper();
+        assert_eq!(t.nodes(), 128);
+        assert_eq!(t.groups(), 8);
+        assert_eq!(t.uplinks(), 12);
+        assert_eq!(t.grating_count(), 12 * 8);
+        // Base shifts cover every group exactly once.
+        let mut base: Vec<u32> = t.shifts()[..8].to_vec();
+        base.sort_unstable();
+        assert_eq!(base, (0..8).collect::<Vec<_>>());
+        // Extra shifts are spread: 4 extras over 8 groups -> 0,2,4,6.
+        assert_eq!(&t.shifts()[8..], &[0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn groups_partition_nodes() {
+        let t = paper();
+        for i in 0..t.nodes() as u32 {
+            let n = NodeId(i);
+            assert_eq!(t.group_of(n) * t.grating_ports() as u32 + t.port_of(n), i);
+        }
+    }
+
+    #[test]
+    fn rx_wiring_is_a_bijection_per_uplink() {
+        let t = paper();
+        for u in 0..t.uplinks() as u16 {
+            let mut seen = vec![false; t.nodes()];
+            for k in 0..t.groups() as u32 {
+                let g = GratingId {
+                    uplink: UplinkId(u),
+                    src_group: k,
+                };
+                for q in 0..t.grating_ports() as u32 {
+                    let n = t.rx_node(g, q);
+                    assert!(!seen[n.0 as usize], "node {n} wired twice on column {u}");
+                    seen[n.0 as usize] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "column {u} misses nodes");
+        }
+    }
+
+    #[test]
+    fn server_node_mapping_roundtrips() {
+        let t = paper();
+        for n in 0..t.nodes() as u32 {
+            for s in t.servers_of(NodeId(n)) {
+                assert_eq!(t.node_of_server(s), NodeId(n));
+            }
+        }
+        assert_eq!(t.total_servers(), 3072);
+    }
+
+    #[test]
+    fn four_node_matches_fig5() {
+        // The paper's Fig. 5: 4 nodes, 2 uplinks, 2-port gratings.
+        let t = Topology::new(&SiriusConfig::four_node_prototype());
+        assert_eq!(t.nodes(), 4);
+        assert_eq!(t.uplinks(), 2);
+        assert_eq!(t.groups(), 2);
+        assert_eq!(t.grating_count(), 4);
+        // Uplink 0 of node 0 reaches its own group {0,1}; uplink 1 reaches {2,3}.
+        let g0 = t.tx_grating(NodeId(0), UplinkId(0));
+        let reach0: Vec<_> = (0..2).map(|q| t.rx_node(g0, q).0).collect();
+        assert_eq!(reach0, vec![0, 1]);
+        let g1 = t.tx_grating(NodeId(0), UplinkId(1));
+        let reach1: Vec<_> = (0..2).map(|q| t.rx_node(g1, q).0).collect();
+        assert_eq!(reach1, vec![2, 3]);
+    }
+}

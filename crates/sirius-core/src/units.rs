@@ -1,0 +1,364 @@
+//! Integer time, rate and size units used across the whole workspace.
+//!
+//! Every simulator in this repository uses **picosecond-granularity integer
+//! time**. Sirius end-to-end reconfiguration is measured in hundreds of
+//! picoseconds (the custom laser chip tunes in 912 ps, the time-sync protocol
+//! is accurate to ±5 ps), so nanoseconds are too coarse and floating point
+//! would accumulate error over the ~10^16 ps of a simulated day. A `u64`
+//! picosecond counter covers ~213 days, far more than any experiment needs.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// An instant in simulated time, in picoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+/// A span of simulated time, in picoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(pub u64);
+
+impl Duration {
+    pub const ZERO: Duration = Duration(0);
+
+    /// One picosecond.
+    pub const fn from_ps(ps: u64) -> Duration {
+        Duration(ps)
+    }
+    /// One nanosecond = 1 000 ps.
+    pub const fn from_ns(ns: u64) -> Duration {
+        Duration(ns * 1_000)
+    }
+    /// One microsecond = 1 000 000 ps.
+    pub const fn from_us(us: u64) -> Duration {
+        Duration(us * 1_000_000)
+    }
+    /// One millisecond.
+    pub const fn from_ms(ms: u64) -> Duration {
+        Duration(ms * 1_000_000_000)
+    }
+    /// One second.
+    pub const fn from_secs(s: u64) -> Duration {
+        Duration(s * 1_000_000_000_000)
+    }
+    /// Fractional nanoseconds, rounded to the nearest picosecond.
+    pub fn from_ns_f64(ns: f64) -> Duration {
+        assert!(ns >= 0.0, "negative duration");
+        Duration((ns * 1_000.0).round() as u64)
+    }
+
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000_000.0
+    }
+
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+
+    pub fn max(self, other: Duration) -> Duration {
+        Duration(self.0.max(other.0))
+    }
+    pub fn min(self, other: Duration) -> Duration {
+        Duration(self.0.min(other.0))
+    }
+
+    /// Multiply by a non-negative float, rounding to the nearest picosecond.
+    pub fn mul_f64(self, k: f64) -> Duration {
+        assert!(k >= 0.0, "negative scale");
+        Duration((self.0 as f64 * k).round() as u64)
+    }
+}
+
+impl Time {
+    pub const ZERO: Time = Time(0);
+
+    pub const fn from_ps(ps: u64) -> Time {
+        Time(ps)
+    }
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000_000.0
+    }
+
+    /// Duration since an earlier instant. Panics if `earlier` is later.
+    pub fn since(self, earlier: Time) -> Duration {
+        Duration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("Time::since: earlier instant is in the future"),
+        )
+    }
+
+    pub fn saturating_since(self, earlier: Time) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    fn add(self, rhs: Duration) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+impl AddAssign<Duration> for Time {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+impl Sub<Duration> for Time {
+    type Output = Time;
+    fn sub(self, rhs: Duration) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+impl Sub<Time> for Time {
+    type Output = Duration;
+    fn sub(self, rhs: Time) -> Duration {
+        self.since(rhs)
+    }
+}
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("Duration subtraction underflow"),
+        )
+    }
+}
+impl SubAssign for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        *self = *self - rhs;
+    }
+}
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+impl Div<u64> for Duration {
+    type Output = Duration;
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+impl Div<Duration> for Duration {
+    type Output = u64;
+    fn div(self, rhs: Duration) -> u64 {
+        self.0 / rhs.0
+    }
+}
+impl Rem<Duration> for Duration {
+    type Output = Duration;
+    fn rem(self, rhs: Duration) -> Duration {
+        Duration(self.0 % rhs.0)
+    }
+}
+impl Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        Duration(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps >= 1_000_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ps >= 1_000_000_000 {
+            write!(f, "{:.3}ms", self.as_ms_f64())
+        } else if ps >= 1_000_000 {
+            write!(f, "{:.3}us", self.as_us_f64())
+        } else if ps >= 1_000 {
+            write!(f, "{:.3}ns", self.as_ns_f64())
+        } else {
+            write!(f, "{}ps", ps)
+        }
+    }
+}
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", Duration(self.0))
+    }
+}
+
+/// A link or channel rate in bits per second.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Rate(pub u64);
+
+impl Rate {
+    pub const fn from_gbps(g: u64) -> Rate {
+        Rate(g * 1_000_000_000)
+    }
+    pub const fn from_bps(b: u64) -> Rate {
+        Rate(b)
+    }
+    pub const fn as_bps(self) -> u64 {
+        self.0
+    }
+    pub fn as_gbps_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Time to serialize `bytes` onto a link of this rate, rounded up to a
+    /// whole picosecond.
+    pub fn tx_time(self, bytes: u64) -> Duration {
+        assert!(self.0 > 0, "zero rate");
+        // ps = bits * 1e12 / bps, computed in u128 to avoid overflow.
+        let bits = (bytes as u128) * 8;
+        let ps = (bits * 1_000_000_000_000 + self.0 as u128 - 1) / self.0 as u128;
+        Duration(ps as u64)
+    }
+
+    /// Bytes fully serialized in `d` at this rate (rounded down).
+    pub fn bytes_in(self, d: Duration) -> u64 {
+        ((d.0 as u128 * self.0 as u128) / (8 * 1_000_000_000_000)) as u64
+    }
+
+    pub fn mul_f64(self, k: f64) -> Rate {
+        assert!(k >= 0.0);
+        Rate((self.0 as f64 * k).round() as u64)
+    }
+}
+
+impl Mul<u64> for Rate {
+    type Output = Rate;
+    fn mul(self, rhs: u64) -> Rate {
+        Rate(self.0 * rhs)
+    }
+}
+
+/// Speed of light in fiber: ~2/3 c, i.e. light covers 1 m in ~5 ns.
+/// Expressed as picoseconds of propagation delay per metre of fiber.
+pub const FIBER_PS_PER_METER: u64 = 5_000;
+
+/// Propagation delay along `meters` of standard single-mode fiber.
+pub fn fiber_delay(meters: u64) -> Duration {
+    Duration(meters * FIBER_PS_PER_METER)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(Duration::from_ns(1), Duration::from_ps(1_000));
+        assert_eq!(Duration::from_us(1), Duration::from_ns(1_000));
+        assert_eq!(Duration::from_ms(1), Duration::from_us(1_000));
+        assert_eq!(Duration::from_secs(1), Duration::from_ms(1_000));
+    }
+
+    #[test]
+    fn a_simulated_day_fits_in_u64() {
+        let day = Duration::from_secs(24 * 3600);
+        assert!(day.as_ps() < u64::MAX / 100);
+    }
+
+    #[test]
+    fn tx_time_matches_paper_cell_maths() {
+        // The paper: 562-byte cells on 50 Gbps channels occupy ~90 ns slots.
+        let d = Rate::from_gbps(50).tx_time(562);
+        assert_eq!(d, Duration::from_ps(89_920));
+        // 576 B packets at 50 Gb/s: the paper quotes 92 ns.
+        let d = Rate::from_gbps(50).tx_time(576);
+        assert_eq!(d, Duration::from_ps(92_160));
+    }
+
+    #[test]
+    fn tx_time_rounds_up() {
+        // 1 byte at 3 bps: 8 bits / 3 bps = 2.666... s.
+        let d = Rate::from_bps(3).tx_time(1);
+        assert_eq!(d.as_ps(), 2_666_666_666_667);
+    }
+
+    #[test]
+    fn bytes_in_inverts_tx_time() {
+        let r = Rate::from_gbps(50);
+        for n in [1u64, 7, 64, 562, 1500, 9000] {
+            let d = r.tx_time(n);
+            assert!(r.bytes_in(d) >= n);
+            assert!(r.bytes_in(d) <= n + 1);
+        }
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = Time::ZERO + Duration::from_ns(100);
+        assert_eq!(t.since(Time::ZERO), Duration::from_ns(100));
+        assert_eq!(t - Time::ZERO, Duration::from_ns(100));
+        assert_eq!((t + Duration::from_ns(50)) - t, Duration::from_ns(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier instant is in the future")]
+    fn since_panics_on_reversed_order() {
+        let _ = Time::ZERO.since(Time::from_ps(1));
+    }
+
+    #[test]
+    fn fiber_delay_500m_is_2_5us() {
+        // A 500 m datacenter span: the paper quotes 2.5 us of detour latency.
+        assert_eq!(fiber_delay(500), Duration::from_ns(2_500));
+        assert_eq!(fiber_delay(500).as_us_f64(), 2.5);
+    }
+
+    #[test]
+    fn display_picks_sensible_unit() {
+        assert_eq!(format!("{}", Duration::from_ps(912)), "912ps");
+        assert_eq!(format!("{}", Duration::from_ns_f64(3.84)), "3.840ns");
+        assert_eq!(format!("{}", Duration::from_us(100)), "100.000us");
+    }
+
+    #[test]
+    fn duration_scaling() {
+        assert_eq!(Duration::from_ns(100).mul_f64(0.1), Duration::from_ns(10));
+        assert_eq!(
+            Duration::from_ns(100) * 16,
+            Duration::from_us(1) + Duration::from_ns(600)
+        );
+        assert_eq!(Duration::from_ns(100) / Duration::from_ns(30), 3);
+    }
+}

@@ -1,0 +1,181 @@
+//! Valiant load-balanced routing (§4.2).
+//!
+//! Sirius routes traffic from a node uniformly across all other nodes on a
+//! cell-by-cell basis; the chosen *intermediate* then forwards the cell to
+//! its destination on its own scheduled slot. This converts any demand
+//! matrix into a uniform one, which is exactly what the static cyclic
+//! schedule provides capacity for, at a worst-case 2x throughput cost
+//! (compensated by the uplink factor).
+//!
+//! We pick intermediates uniformly from all nodes except the source and the
+//! destination, so every cell takes exactly two optical hops. (Routing *via*
+//! the destination would collapse to a direct hop; excluding it keeps the
+//! congestion-control queue bound meaningful at every receiver and matches
+//! the distributed-DRRM analogy of §4.3.) Failed nodes are excluded.
+
+use crate::topology::NodeId;
+use rand::Rng;
+
+/// Chooses intermediates for Valiant load balancing.
+///
+/// Keeps an alive-node list so failures (§4.5) shrink the detour set instead
+/// of blackholing traffic.
+#[derive(Debug, Clone)]
+pub struct Vlb {
+    alive: Vec<bool>,
+    alive_count: usize,
+}
+
+impl Vlb {
+    pub fn new(nodes: usize) -> Vlb {
+        Vlb {
+            alive: vec![true; nodes],
+            alive_count: nodes,
+        }
+    }
+
+    pub fn nodes(&self) -> usize {
+        self.alive.len()
+    }
+
+    pub fn alive_count(&self) -> usize {
+        self.alive_count
+    }
+
+    pub fn is_alive(&self, n: NodeId) -> bool {
+        self.alive[n.0 as usize]
+    }
+
+    /// Mark a node failed: it will no longer be chosen as an intermediate.
+    pub fn mark_failed(&mut self, n: NodeId) {
+        if std::mem::replace(&mut self.alive[n.0 as usize], false) {
+            self.alive_count -= 1;
+        }
+    }
+
+    /// Mark a node recovered.
+    pub fn mark_recovered(&mut self, n: NodeId) {
+        if !std::mem::replace(&mut self.alive[n.0 as usize], true) {
+            self.alive_count += 1;
+        }
+    }
+
+    /// Pick an intermediate for a cell `src -> dst`, uniformly among alive
+    /// nodes excluding both endpoints. Returns `None` if no eligible
+    /// intermediate exists (e.g. a 2-node network or mass failure).
+    pub fn pick<R: Rng + ?Sized>(&self, rng: &mut R, src: NodeId, dst: NodeId) -> Option<NodeId> {
+        let n = self.alive.len();
+        // Eligible count: alive nodes minus alive endpoints.
+        let mut eligible = self.alive_count;
+        if self.is_alive(src) {
+            eligible -= 1;
+        }
+        if dst != src && self.is_alive(dst) {
+            eligible -= 1;
+        }
+        if eligible == 0 {
+            return None;
+        }
+        // Rejection sampling: with few failures this takes ~1 draw; under
+        // mass failure the alive fraction still bounds expected draws.
+        loop {
+            let c = NodeId(rng.gen_range(0..n as u32));
+            if c != src && c != dst && self.alive[c.0 as usize] {
+                return Some(c);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn never_picks_endpoints() {
+        let v = Vlb::new(8);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let i = v.pick(&mut rng, NodeId(2), NodeId(5)).unwrap();
+            assert_ne!(i, NodeId(2));
+            assert_ne!(i, NodeId(5));
+        }
+    }
+
+    #[test]
+    fn uniform_over_eligible_nodes() {
+        let v = Vlb::new(10);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = [0u32; 10];
+        let n = 80_000;
+        for _ in 0..n {
+            let i = v.pick(&mut rng, NodeId(0), NodeId(1)).unwrap();
+            counts[i.0 as usize] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert_eq!(counts[1], 0);
+        let expect = n as f64 / 8.0;
+        for &c in &counts[2..] {
+            assert!(
+                (c as f64 - expect).abs() < expect * 0.1,
+                "non-uniform: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn excludes_failed_nodes() {
+        let mut v = Vlb::new(5);
+        v.mark_failed(NodeId(3));
+        assert_eq!(v.alive_count(), 4);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..500 {
+            let i = v.pick(&mut rng, NodeId(0), NodeId(1)).unwrap();
+            assert_ne!(i, NodeId(3));
+        }
+        v.mark_recovered(NodeId(3));
+        assert_eq!(v.alive_count(), 5);
+        let mut saw3 = false;
+        for _ in 0..500 {
+            saw3 |= v.pick(&mut rng, NodeId(0), NodeId(1)).unwrap() == NodeId(3);
+        }
+        assert!(saw3);
+    }
+
+    #[test]
+    fn none_when_no_intermediate_exists() {
+        let v = Vlb::new(2);
+        let mut rng = SmallRng::seed_from_u64(9);
+        assert_eq!(v.pick(&mut rng, NodeId(0), NodeId(1)), None);
+
+        let mut v = Vlb::new(4);
+        v.mark_failed(NodeId(2));
+        v.mark_failed(NodeId(3));
+        assert_eq!(v.pick(&mut rng, NodeId(0), NodeId(1)), None);
+    }
+
+    #[test]
+    fn self_traffic_excludes_only_source() {
+        // src == dst (intra-node traffic shouldn't reach VLB, but the API
+        // must not underflow the eligible count).
+        let v = Vlb::new(3);
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let i = v.pick(&mut rng, NodeId(1), NodeId(1)).unwrap();
+            assert_ne!(i, NodeId(1));
+        }
+    }
+
+    #[test]
+    fn double_failure_is_idempotent() {
+        let mut v = Vlb::new(4);
+        v.mark_failed(NodeId(0));
+        v.mark_failed(NodeId(0));
+        assert_eq!(v.alive_count(), 3);
+        v.mark_recovered(NodeId(0));
+        v.mark_recovered(NodeId(0));
+        assert_eq!(v.alive_count(), 4);
+    }
+}

@@ -1,0 +1,162 @@
+//! Amplitude caching (§4.5): "to equalize the varying optical power a node
+//! receives from different sources, we use 'amplitude caching' instead of
+//! slower gain control circuitry."
+//!
+//! Every sender reaches a receiver through a different lightpath (different
+//! laser, coupling, grating port), so received power varies per sender by
+//! a few dB. A conventional AGC loop settles in microseconds — useless per
+//! 100 ns slot. Like the phase cache, the amplitude cache keys the receiver
+//! gain by sender: the first burst from a sender runs a (slow) measurement,
+//! every later burst loads the cached gain instantly and nudges it with the
+//! burst's measured amplitude, tracking slow drift (laser aging, thermal).
+
+/// Residual error after applying a cached gain, in dB.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GainOutcome {
+    /// Gain applied at burst start, dB.
+    pub applied_db: f64,
+    /// |residual| between applied gain and the ideal for this burst, dB.
+    pub residual_db: f64,
+    /// Whether the cache was warm.
+    pub cached: bool,
+}
+
+/// Per-sender receiver gain cache.
+#[derive(Debug)]
+pub struct AmplitudeCache {
+    /// Cached gain per sender, dB (NaN = never seen).
+    gain: Vec<f64>,
+    /// Exponential tracking factor applied per burst (0..1; 1 = jump to
+    /// the new measurement immediately).
+    alpha: f64,
+    /// Residual tolerance for error-free sampling, dB.
+    tolerance_db: f64,
+    cold: u64,
+    warm: u64,
+}
+
+impl AmplitudeCache {
+    pub fn new(senders: usize) -> AmplitudeCache {
+        AmplitudeCache {
+            gain: vec![f64::NAN; senders],
+            alpha: 0.25,
+            tolerance_db: 1.0,
+            cold: 0,
+            warm: 0,
+        }
+    }
+
+    /// A burst from `sender` arrives needing `ideal_gain_db`. Returns what
+    /// was applied; the cache then updates toward the measurement.
+    pub fn on_burst(&mut self, sender: usize, ideal_gain_db: f64) -> GainOutcome {
+        let out = match self.gain[sender] {
+            g if g.is_nan() => {
+                // Cold: a full (slow) AGC acquisition happens this once.
+                self.cold += 1;
+                GainOutcome {
+                    applied_db: ideal_gain_db,
+                    residual_db: 0.0,
+                    cached: false,
+                }
+            }
+            g => {
+                self.warm += 1;
+                GainOutcome {
+                    applied_db: g,
+                    residual_db: (g - ideal_gain_db).abs(),
+                    cached: true,
+                }
+            }
+        };
+        // Track toward the burst's measured ideal.
+        let prev = if self.gain[sender].is_nan() {
+            ideal_gain_db
+        } else {
+            self.gain[sender]
+        };
+        self.gain[sender] = prev + self.alpha * (ideal_gain_db - prev);
+        out
+    }
+
+    /// Does the residual stay inside the error-free sampling tolerance?
+    pub fn within_tolerance(&self, o: &GainOutcome) -> bool {
+        o.residual_db <= self.tolerance_db
+    }
+
+    pub fn cold(&self) -> u64 {
+        self.cold
+    }
+    pub fn warm(&self) -> u64 {
+        self.warm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_burst_is_cold_then_cached() {
+        let mut ac = AmplitudeCache::new(4);
+        let a = ac.on_burst(2, -3.0);
+        assert!(!a.cached);
+        let b = ac.on_burst(2, -3.0);
+        assert!(b.cached);
+        assert!(b.residual_db < 1e-9);
+        assert_eq!(ac.cold(), 1);
+        assert_eq!(ac.warm(), 1);
+    }
+
+    #[test]
+    fn caches_are_per_sender() {
+        // Senders at very different received powers must not disturb each
+        // other's gain — this is the whole point vs a single AGC loop.
+        let mut ac = AmplitudeCache::new(3);
+        ac.on_burst(0, 0.0);
+        ac.on_burst(1, -6.0);
+        let a = ac.on_burst(0, 0.0);
+        let b = ac.on_burst(1, -6.0);
+        assert!(ac.within_tolerance(&a));
+        assert!(ac.within_tolerance(&b));
+    }
+
+    #[test]
+    fn cache_tracks_slow_drift() {
+        // The sender's power drifts 0.02 dB per epoch (thermal); the
+        // per-burst exponential update keeps the residual well inside
+        // tolerance forever.
+        let mut ac = AmplitudeCache::new(1);
+        let mut ideal = -2.0;
+        ac.on_burst(0, ideal);
+        let mut worst: f64 = 0.0;
+        for _ in 0..10_000 {
+            ideal += 0.02;
+            let o = ac.on_burst(0, ideal);
+            worst = worst.max(o.residual_db);
+            assert!(ac.within_tolerance(&o), "residual {} dB", o.residual_db);
+        }
+        // Steady-state lag of an EMA tracking a ramp: step/alpha.
+        assert!(worst < 0.02 / 0.25 + 0.05, "worst residual {worst}");
+    }
+
+    #[test]
+    fn step_change_recovers_within_a_few_epochs() {
+        // A re-spliced fiber shifts the path loss by 2 dB; the cache
+        // converges within ~1/alpha bursts (a handful of epochs).
+        let mut ac = AmplitudeCache::new(1);
+        ac.on_burst(0, 0.0);
+        ac.on_burst(0, 0.0);
+        let first = ac.on_burst(0, 2.0);
+        assert!(first.residual_db > 1.5, "step not visible: {first:?}");
+        let mut bursts = 0;
+        loop {
+            bursts += 1;
+            let o = ac.on_burst(0, 2.0);
+            if o.residual_db < 0.2 {
+                break;
+            }
+            assert!(bursts < 20, "no convergence");
+        }
+        assert!(bursts <= 12, "took {bursts} bursts");
+    }
+}

@@ -1,0 +1,100 @@
+//! Disaggregated design 3: frequency-comb source + SOA selector (§3.3,
+//! Fig. 4d).
+//!
+//! A comb laser emits all grid wavelengths simultaneously from a single
+//! chip with inherently equal spacing (no per-line temperature control);
+//! an SOA array selects the line to emit. Tuning latency is the SOA gate,
+//! like the fixed bank, but the source is one scalable device. The paper
+//! notes today's combs draw more power than the other designs but are "a
+//! promising alternative in future".
+
+use super::TunableSource;
+use crate::soa::SoaChip;
+use rand::Rng;
+use sirius_core::units::Duration;
+
+/// A chip-scale comb source behind an SOA wavelength selector.
+#[derive(Debug, Clone)]
+pub struct CombLaser {
+    selector: SoaChip,
+    /// Pump + stabilization power of the comb itself, W.
+    comb_power_w: f64,
+    /// Optical power per comb line, dBm (combs spread power over lines).
+    per_line_dbm: f64,
+}
+
+impl CombLaser {
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, lines: usize) -> CombLaser {
+        CombLaser {
+            selector: SoaChip::fabricate(rng, lines),
+            // Today's comb efficiency: noticeably above the 19-laser bank
+            // (~19 W) for a ~100-line comb.
+            comb_power_w: 8.0 + 0.25 * lines as f64,
+            per_line_dbm: 0.0, // 1 mW per line before amplification
+        }
+    }
+
+    /// A >100-line comb as demonstrated in [46] of the paper.
+    pub fn hundred_line<R: Rng + ?Sized>(rng: &mut R) -> CombLaser {
+        CombLaser::new(rng, 112)
+    }
+}
+
+impl TunableSource for CombLaser {
+    fn wavelengths(&self) -> usize {
+        self.selector.len()
+    }
+
+    fn tuning_latency(&self, from: usize, to: usize) -> Duration {
+        if from == to {
+            Duration::ZERO
+        } else {
+            self.selector.tuning_latency(from, to)
+        }
+    }
+
+    fn electrical_power_w(&self) -> f64 {
+        self.comb_power_w + self.selector.power_w()
+    }
+
+    fn output_power_dbm(&self) -> f64 {
+        // One line, amplified by the on-SOA.
+        self.per_line_dbm + self.selector.gates()[0].gain_db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laser::FixedLaserBank;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn comb_tunes_sub_nanosecond_across_the_whole_grid() {
+        let c = CombLaser::hundred_line(&mut SmallRng::seed_from_u64(1));
+        assert_eq!(c.wavelengths(), 112);
+        assert!(c.worst_tuning_latency() < Duration::from_ns(1));
+    }
+
+    #[test]
+    fn comb_scales_better_than_fixed_bank_in_power() {
+        // At ~100 wavelengths a fixed bank needs ~100 lit lasers; the comb
+        // is a single pumped chip.
+        let mut rng = SmallRng::seed_from_u64(2);
+        let comb = CombLaser::hundred_line(&mut rng);
+        let bank = FixedLaserBank::new(&mut rng, 112, 19);
+        assert!(comb.electrical_power_w() < bank.electrical_power_w());
+    }
+
+    #[test]
+    fn comb_costs_more_power_than_the_small_chip() {
+        // The paper's trade-off at prototype scale: the 19-wavelength
+        // fixed bank beats today's comb on power.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let comb = CombLaser::new(&mut rng, 19);
+        let bank = FixedLaserBank::paper_chip(&mut rng);
+        assert!(comb.electrical_power_w() < bank.electrical_power_w() * 1.2);
+        assert!(comb.electrical_power_w() > 10.0);
+    }
+}

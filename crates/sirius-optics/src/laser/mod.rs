@@ -1,0 +1,67 @@
+//! Tunable light sources (§3.2-3.3).
+//!
+//! Four designs, all behind the [`TunableSource`] trait:
+//!
+//! | Design | Module | Tuning latency | Scaling |
+//! |--------|--------|----------------|---------|
+//! | DSDBR + dampened drive (§3.2) | [`standard`] | 14 ns median, 92 ns worst (span-dependent) | 112 λ |
+//! | Fixed laser bank + SOA gates (§3.3-1, the fabricated chip) | [`fixed_bank`] | < 912 ps, span-independent | λ count = laser count |
+//! | Pipelined tunable bank (§3.3-2) | [`tunable_bank`] | SOA gate if pre-tuned | few lasers, needs schedule lookahead |
+//! | Comb laser + SOA selector (§3.3-3) | [`comb`] | SOA gate | single chip, higher power |
+
+pub mod comb;
+pub mod fixed_bank;
+pub mod standard;
+pub mod tunable_bank;
+
+pub use comb::CombLaser;
+pub use fixed_bank::FixedLaserBank;
+pub use standard::DsdbrLaser;
+pub use tunable_bank::TunableLaserBank;
+
+use sirius_core::units::Duration;
+
+/// A light source that can be tuned across a wavelength grid.
+pub trait TunableSource {
+    /// Number of wavelengths the source can emit.
+    fn wavelengths(&self) -> usize;
+
+    /// Latency to retune from channel `from` to channel `to` (the interval
+    /// during which no clean light is emitted).
+    fn tuning_latency(&self, from: usize, to: usize) -> Duration;
+
+    /// Worst-case tuning latency over all ordered channel pairs.
+    fn worst_tuning_latency(&self) -> Duration {
+        let n = self.wavelengths();
+        let mut worst = Duration::ZERO;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    worst = worst.max(self.tuning_latency(i, j));
+                }
+            }
+        }
+        worst
+    }
+
+    /// Median tuning latency over all ordered channel pairs.
+    fn median_tuning_latency(&self) -> Duration {
+        let n = self.wavelengths();
+        let mut all = Vec::with_capacity(n * (n - 1));
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    all.push(self.tuning_latency(i, j));
+                }
+            }
+        }
+        all.sort_unstable();
+        all[all.len() / 2]
+    }
+
+    /// Electrical power draw of the source, W.
+    fn electrical_power_w(&self) -> f64;
+
+    /// Optical output power, dBm.
+    fn output_power_dbm(&self) -> f64;
+}

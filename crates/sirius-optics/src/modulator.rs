@@ -1,0 +1,132 @@
+//! The Mach-Zehnder modulator (§6: "the FPGA was also connected to an
+//! external Mach-Zehnder modulator, operating at 25 Gbps using
+//! non-return-to-zero coding").
+//!
+//! An MZM encodes data onto the (gated, unmodulated) light from the
+//! wavelength selector. Its transfer function is `cos^2` in the drive
+//! voltage; what the link budget cares about is its insertion loss, its
+//! modulation loss (biasing at quadrature costs 3 dB for NRZ), and its
+//! finite extinction ratio, which closes the eye and costs receiver
+//! power — the "modulator losses" inside the paper's 7 dB bucket.
+
+/// A Mach-Zehnder modulator model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mzm {
+    /// Passive insertion loss, dB.
+    pub insertion_loss_db: f64,
+    /// Half-wave voltage (drive swing for full extinction), V.
+    pub v_pi: f64,
+    /// Actual peak-to-peak drive swing, V.
+    pub drive_vpp: f64,
+}
+
+impl Mzm {
+    /// A short-reach LiNbO3/InP MZM like the prototype's.
+    pub fn paper() -> Mzm {
+        Mzm {
+            insertion_loss_db: 2.5,
+            v_pi: 3.5,
+            drive_vpp: 2.8, // realistic CMOS driver: under-driven
+        }
+    }
+
+    /// Normalized optical transmission at drive voltage `v` (biased at
+    /// quadrature): `0.5 * (1 + sin(pi * v / v_pi))`.
+    pub fn transmission(&self, v: f64) -> f64 {
+        0.5 * (1.0 + (std::f64::consts::PI * v / self.v_pi).sin())
+    }
+
+    /// Transmission at the one/zero rails for the configured swing.
+    pub fn rails(&self) -> (f64, f64) {
+        let half = self.drive_vpp / 2.0;
+        (self.transmission(half), self.transmission(-half))
+    }
+
+    /// Extinction ratio, dB: rail-one power over rail-zero power.
+    pub fn extinction_ratio_db(&self) -> f64 {
+        let (one, zero) = self.rails();
+        10.0 * (one / zero.max(1e-12)).log10()
+    }
+
+    /// Modulation loss, dB: average output power relative to the input
+    /// (quadrature bias + finite swing means the average sits well below
+    /// the peak).
+    pub fn modulation_loss_db(&self) -> f64 {
+        let (one, zero) = self.rails();
+        let avg = 0.5 * (one + zero);
+        -10.0 * avg.log10()
+    }
+
+    /// Total optical loss through the modulator, dB.
+    pub fn total_loss_db(&self) -> f64 {
+        self.insertion_loss_db + self.modulation_loss_db()
+    }
+
+    /// Receiver power penalty from finite extinction ratio, dB:
+    /// `10*log10((ER+1)/(ER-1))` (classic OOK formula).
+    pub fn extinction_penalty_db(&self) -> f64 {
+        let er = 10f64.powf(self.extinction_ratio_db() / 10.0);
+        10.0 * ((er + 1.0) / (er - 1.0)).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadrature_bias_is_half_power() {
+        let m = Mzm::paper();
+        assert!((m.transmission(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_swing_gives_full_extinction() {
+        let mut m = Mzm::paper();
+        m.drive_vpp = m.v_pi; // rails at +-v_pi/2
+        let (one, zero) = m.rails();
+        assert!(one > 0.999);
+        assert!(zero < 1e-3);
+        assert!(m.extinction_ratio_db() > 25.0);
+    }
+
+    #[test]
+    fn paper_mzm_fits_the_7db_bucket() {
+        // §4.5 budgets 7 dB for "fiber coupling and modulator losses";
+        // the modulator's share (insertion + modulation) must fit inside
+        // it with room for ~2 dB of coupling.
+        let m = Mzm::paper();
+        let loss = m.total_loss_db();
+        assert!(
+            loss > 4.0 && loss < 6.0,
+            "modulator loss {loss} dB leaves no room for ~2 dB of coupling"
+        );
+    }
+
+    #[test]
+    fn underdrive_costs_extinction_and_penalty() {
+        let full = Mzm {
+            drive_vpp: 3.5,
+            ..Mzm::paper()
+        };
+        let under = Mzm {
+            drive_vpp: 2.0,
+            ..Mzm::paper()
+        };
+        assert!(under.extinction_ratio_db() < full.extinction_ratio_db());
+        assert!(under.extinction_penalty_db() > full.extinction_penalty_db());
+        // Typical short-reach numbers: ER 8-14 dB, penalty under 2 dB.
+        let er = Mzm::paper().extinction_ratio_db();
+        assert!((6.0..20.0).contains(&er), "ER = {er} dB");
+        assert!(Mzm::paper().extinction_penalty_db() < 2.5);
+    }
+
+    #[test]
+    fn transmission_is_bounded() {
+        let m = Mzm::paper();
+        for k in -20..=20 {
+            let t = m.transmission(k as f64 * 0.25);
+            assert!((0.0..=1.0).contains(&t));
+        }
+    }
+}

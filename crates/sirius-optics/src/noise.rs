@@ -1,0 +1,144 @@
+//! Optical noise accumulation along a Sirius lightpath.
+//!
+//! The disaggregated laser's SOA gate amplifies *unmodulated* light, which
+//! (§3.3) "alleviates the impact of any optical noise" — the amplified
+//! spontaneous emission (ASE) it adds rides on a clean carrier and is
+//! partially stripped by the modulator's extinction, unlike an inline
+//! amplifier that would amplify signal + noise together. This module
+//! models OSNR along the path (laser -> SOA -> modulator -> grating ->
+//! receiver) and converts the residual OSNR into a BER power penalty so
+//! the Fig. 8d receiver model can be used with realistic impairments.
+
+/// Boltzmann-free, reference-bandwidth OSNR bookkeeping in dB.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OsnrBudget {
+    /// OSNR of the bare laser line (shot-noise limited), dB.
+    pub source_osnr_db: f64,
+    /// SOA noise figure, dB.
+    pub soa_nf_db: f64,
+    /// SOA gain, dB.
+    pub soa_gain_db: f64,
+    /// Fraction of the SOA ASE suppressed because the SOA sits *before*
+    /// the modulator (gating unmodulated light), dB of effective NF
+    /// improvement.
+    pub pre_modulation_benefit_db: f64,
+}
+
+impl OsnrBudget {
+    /// Values for the fabricated chip configuration.
+    pub fn paper() -> OsnrBudget {
+        OsnrBudget {
+            source_osnr_db: 55.0,
+            soa_nf_db: 7.0,
+            soa_gain_db: 10.0,
+            pre_modulation_benefit_db: 3.0,
+        }
+    }
+
+    /// OSNR after the SOA gate, dB. One amplifier stage:
+    /// `1/OSNR_out = 1/OSNR_in + 1/OSNR_stage` in linear units, with the
+    /// stage OSNR set by its effective noise figure.
+    pub fn osnr_after_soa_db(&self) -> f64 {
+        // Stage OSNR for a single amplifier at moderate input power:
+        // ~58 dB - NF_eff (0.1 nm reference bandwidth, 0 dBm input).
+        let nf_eff = self.soa_nf_db - self.pre_modulation_benefit_db;
+        let stage = 58.0 - nf_eff;
+        combine_osnr_db(self.source_osnr_db, stage)
+    }
+
+    /// BER power penalty at the receiver due to finite OSNR, dB.
+    /// Negligible above ~40 dB OSNR, ~1 dB at 30 dB, severe below 25 dB
+    /// (standard PAM-4 penalty curve, linearized in the region of
+    /// interest).
+    pub fn power_penalty_db(&self) -> f64 {
+        let osnr = self.osnr_after_soa_db();
+        if osnr >= 40.0 {
+            0.0
+        } else if osnr >= 25.0 {
+            (40.0 - osnr) / 15.0 * 1.5
+        } else {
+            1.5 + (25.0 - osnr) * 0.5
+        }
+    }
+}
+
+/// Combine two OSNR contributions (dB): linear harmonic sum.
+pub fn combine_osnr_db(a_db: f64, b_db: f64) -> f64 {
+    let a = 10f64.powf(a_db / 10.0);
+    let b = 10f64.powf(b_db / 10.0);
+    10.0 * (1.0 / (1.0 / a + 1.0 / b)).log10()
+}
+
+/// Cascade penalty for `n` identical amplifier stages (relevant for the
+/// space-switch alternatives of §8 that cascade 2x2 SOA elements — one of
+/// the reasons Sirius avoids them).
+pub fn cascaded_osnr_db(source_db: f64, stage_db: f64, n: u32) -> f64 {
+    let mut osnr = source_db;
+    for _ in 0..n {
+        osnr = combine_osnr_db(osnr, stage_db);
+    }
+    osnr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_soa_keeps_osnr_high() {
+        // The §3.3 design point: one SOA gate before modulation leaves
+        // OSNR far above the penalty region.
+        let b = OsnrBudget::paper();
+        assert!(b.osnr_after_soa_db() > 40.0, "{}", b.osnr_after_soa_db());
+        assert_eq!(b.power_penalty_db(), 0.0);
+    }
+
+    #[test]
+    fn pre_modulation_gating_helps() {
+        let clean = OsnrBudget::paper();
+        let inline = OsnrBudget {
+            pre_modulation_benefit_db: 0.0,
+            ..clean
+        };
+        assert!(inline.osnr_after_soa_db() < clean.osnr_after_soa_db());
+    }
+
+    #[test]
+    fn combine_is_dominated_by_the_worse_term() {
+        let c = combine_osnr_db(50.0, 30.0);
+        assert!(c < 30.0 && c > 29.0, "combined {c}");
+        // Equal terms lose 3 dB.
+        let e = combine_osnr_db(40.0, 40.0);
+        assert!((e - 37.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn cascaded_stages_degrade_geometrically() {
+        // The §8 argument against cascaded 2x2 space switches: a large
+        // switch needs log2(N) stages of amplification and the OSNR
+        // collapses; Sirius' single passive hop does not.
+        let one = cascaded_osnr_db(55.0, 51.0, 1);
+        let seven = cascaded_osnr_db(55.0, 51.0, 7); // 128-port Benes depth
+        assert!(one > 49.0);
+        assert!(seven < 43.0, "7 stages left {seven} dB");
+        assert!(seven < one - 6.0);
+    }
+
+    #[test]
+    fn penalty_curve_is_monotone() {
+        // Penalty grows as OSNR degrades.
+        let mut prev = -1.0f64;
+        for osnr in [45.0, 38.0, 30.0, 26.0, 22.0, 18.0] {
+            let b = OsnrBudget {
+                source_osnr_db: osnr,
+                soa_nf_db: 0.0,
+                soa_gain_db: 0.0,
+                pre_modulation_benefit_db: 0.0,
+            };
+            let p = b.power_penalty_db();
+            assert!(p >= prev, "penalty not monotone at {osnr} dB: {p} < {prev}");
+            prev = p;
+        }
+        assert!(prev > 3.0, "deep penalty region should be severe: {prev}");
+    }
+}

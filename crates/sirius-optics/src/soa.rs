@@ -1,0 +1,213 @@
+//! Semiconductor optical amplifier gates — the wavelength selector of the
+//! disaggregated laser (§3.3, Fig. 8a).
+//!
+//! The custom chip carries an array of 19 SOAs acting as optical gates:
+//! tuning from wavelength `i` to `j` turns SOA `i` off and SOA `j` on, so
+//! the tuning latency is `max(fall_i, rise_j)` and — crucially — is
+//! independent of the spectral distance between the wavelengths. The paper
+//! measured worst-case rise (turn-on) of 527 ps and fall (turn-off) of
+//! 912 ps across the chip (Fig. 8a).
+//!
+//! Hardware substitution: we cannot probe the InP chip, so per-device
+//! rise/fall times are drawn from a truncated Gaussian calibrated to the
+//! paper's worst-case figures, with the slowest device pinned at exactly
+//! the measured maximum so worst-case analyses match the paper.
+
+use rand::Rng;
+use sirius_core::units::Duration;
+
+/// Electrical + optical parameters of one SOA gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Soa {
+    /// 10-90% turn-on (rise) time.
+    pub rise: Duration,
+    /// 90-10% turn-off (fall) time.
+    pub fall: Duration,
+    /// Small-signal gain when on, dB.
+    pub gain_db: f64,
+    /// Bias power when on, W.
+    pub power_w: f64,
+}
+
+/// A fabricated chip: an array of SOA gates, one per selectable wavelength.
+#[derive(Debug, Clone)]
+pub struct SoaChip {
+    gates: Vec<Soa>,
+}
+
+/// Calibration constants from the paper's measurements (§6, Fig. 8a).
+pub const PAPER_WORST_RISE_PS: u64 = 527;
+pub const PAPER_WORST_FALL_PS: u64 = 912;
+
+impl SoaChip {
+    /// "Fabricate" a chip of `n` gates with process variation drawn from
+    /// `rng`. The slowest gate is pinned to the paper's measured worst
+    /// case; the rest spread below it with a Gaussian-ish body, giving a
+    /// CDF shaped like Fig. 8a.
+    pub fn fabricate<R: Rng + ?Sized>(rng: &mut R, n: usize) -> SoaChip {
+        assert!(n >= 1);
+        let mut gates = Vec::with_capacity(n);
+        for _ in 0..n {
+            // Body of the distribution: mean ~65% of worst, sigma ~15%.
+            let rise = sample_trunc(rng, 0.65, 0.15) * PAPER_WORST_RISE_PS as f64;
+            let fall = sample_trunc(rng, 0.65, 0.15) * PAPER_WORST_FALL_PS as f64;
+            gates.push(Soa {
+                rise: Duration::from_ps(rise as u64),
+                fall: Duration::from_ps(fall as u64),
+                gain_db: 10.0,
+                power_w: 0.3,
+            });
+        }
+        // Pin the extremes so chip worst case == paper worst case.
+        let worst_rise = gates
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, g)| g.rise)
+            .map(|(i, _)| i)
+            .unwrap();
+        gates[worst_rise].rise = Duration::from_ps(PAPER_WORST_RISE_PS);
+        let worst_fall = gates
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, g)| g.fall)
+            .map(|(i, _)| i)
+            .unwrap();
+        gates[worst_fall].fall = Duration::from_ps(PAPER_WORST_FALL_PS);
+        SoaChip { gates }
+    }
+
+    /// The paper's chip: 19 gates (limited by chip area, §6).
+    pub fn paper_chip<R: Rng + ?Sized>(rng: &mut R) -> SoaChip {
+        SoaChip::fabricate(rng, 19)
+    }
+
+    pub fn gates(&self) -> &[Soa] {
+        &self.gates
+    }
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Tuning latency from wavelength `from` to `to`: the slower of SOA
+    /// `from` turning off and SOA `to` turning on.
+    pub fn tuning_latency(&self, from: usize, to: usize) -> Duration {
+        self.gates[from].fall.max(self.gates[to].rise)
+    }
+
+    /// Worst-case tuning latency across all ordered gate pairs.
+    pub fn worst_tuning_latency(&self) -> Duration {
+        let worst_fall = self.gates.iter().map(|g| g.fall).max().unwrap();
+        let worst_rise = self.gates.iter().map(|g| g.rise).max().unwrap();
+        worst_fall.max(worst_rise)
+    }
+
+    /// Only one gate is on at any instant (§3.3), so on-power is a single
+    /// SOA's bias.
+    pub fn power_w(&self) -> f64 {
+        self.gates.iter().map(|g| g.power_w).fold(0.0, f64::max)
+    }
+
+    /// Sorted rise times (for the Fig. 8a CDF).
+    pub fn rise_times(&self) -> Vec<Duration> {
+        let mut v: Vec<Duration> = self.gates.iter().map(|g| g.rise).collect();
+        v.sort_unstable();
+        v
+    }
+    /// Sorted fall times (for the Fig. 8a CDF).
+    pub fn fall_times(&self) -> Vec<Duration> {
+        let mut v: Vec<Duration> = self.gates.iter().map(|g| g.fall).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Truncated-normal sample in (0.3, 1.0], as a fraction of the worst case.
+fn sample_trunc<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
+    loop {
+        // Box-Muller.
+        let u1: f64 = rng.gen::<f64>().max(1e-12);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let x = mean + sigma * z;
+        if (0.3..=1.0).contains(&x) {
+            return x;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn chip() -> SoaChip {
+        SoaChip::paper_chip(&mut SmallRng::seed_from_u64(8))
+    }
+
+    #[test]
+    fn chip_has_19_gates() {
+        assert_eq!(chip().len(), 19);
+    }
+
+    #[test]
+    fn worst_case_matches_paper() {
+        let c = chip();
+        assert_eq!(
+            c.rise_times().last().copied().unwrap(),
+            Duration::from_ps(PAPER_WORST_RISE_PS)
+        );
+        assert_eq!(
+            c.fall_times().last().copied().unwrap(),
+            Duration::from_ps(PAPER_WORST_FALL_PS)
+        );
+        assert_eq!(c.worst_tuning_latency(), Duration::from_ps(912));
+    }
+
+    #[test]
+    fn all_switching_is_sub_nanosecond() {
+        // The headline: every tuning event completes in < 1 ns (Fig. 8a).
+        let c = chip();
+        for i in 0..c.len() {
+            for j in 0..c.len() {
+                if i != j {
+                    assert!(c.tuning_latency(i, j) < Duration::from_ns(1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn latency_independent_of_spectral_span() {
+        // Adjacent vs. extreme gate pairs: tuning latency depends only on
+        // the two gates involved, not the distance (Fig. 8b).
+        let c = chip();
+        let adjacent = c.tuning_latency(9, 10);
+        let extreme = c.tuning_latency(0, 18);
+        assert!(adjacent < Duration::from_ns(1));
+        assert!(extreme < Duration::from_ns(1));
+    }
+
+    #[test]
+    fn tuning_latency_is_max_of_fall_and_rise() {
+        let c = chip();
+        let l = c.tuning_latency(3, 7);
+        assert_eq!(l, c.gates()[3].fall.max(c.gates()[7].rise));
+    }
+
+    #[test]
+    fn fabrication_is_deterministic_per_seed() {
+        let a = SoaChip::fabricate(&mut SmallRng::seed_from_u64(1), 19);
+        let b = SoaChip::fabricate(&mut SmallRng::seed_from_u64(1), 19);
+        assert_eq!(a.gates(), b.gates());
+    }
+
+    #[test]
+    fn only_one_gate_powered() {
+        let c = chip();
+        assert!((c.power_w() - 0.3).abs() < 1e-12);
+    }
+}

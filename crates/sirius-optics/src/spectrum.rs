@@ -1,0 +1,117 @@
+//! Wavelength stability: keeping lasers on the grating's grid (§3.3).
+//!
+//! An AWGR routes by wavelength, so a laser that drifts off its grid slot
+//! leaks power into the wrong output (crosstalk) and loses power at the
+//! right one. Fixed/tunable lasers need temperature control to hold the
+//! grid — "much of the power consumption for the tunable laser is due to
+//! the need for a temperature controller to ensure wavelength stability"
+//! (§5) — while a comb's line spacing is set by its cavity, so "equal
+//! spacing between the many wavelengths is always maintained without the
+//! need for temperature control" (§3.3). This module models the passband
+//! math behind those sentences.
+
+/// Typical semiconductor laser temperature coefficient: ~0.1 nm/K
+/// (~12.5 GHz/K at 1550 nm).
+pub const GHZ_PER_KELVIN: f64 = 12.5;
+
+/// A Gaussian AWGR passband on a 50 GHz grid.
+#[derive(Debug, Clone, Copy)]
+pub struct Passband {
+    /// Channel spacing, GHz.
+    pub spacing_ghz: f64,
+    /// 3 dB passband full width, GHz (typically ~60% of spacing).
+    pub width_3db_ghz: f64,
+}
+
+impl Passband {
+    pub fn grid_50ghz() -> Passband {
+        Passband {
+            spacing_ghz: 50.0,
+            width_3db_ghz: 30.0,
+        }
+    }
+
+    /// Transmission (dB, <= 0) through the *intended* port for a laser
+    /// offset `off_ghz` from the channel centre (Gaussian passband).
+    pub fn loss_db(&self, off_ghz: f64) -> f64 {
+        // Gaussian: -3 dB at width/2.
+        let half = self.width_3db_ghz / 2.0;
+        -3.0 * (off_ghz / half).powi(2)
+    }
+
+    /// Crosstalk (dB, relative to the signal) leaked into the *adjacent*
+    /// port when offset by `off_ghz` toward it.
+    pub fn adjacent_crosstalk_db(&self, off_ghz: f64) -> f64 {
+        self.loss_db(self.spacing_ghz - off_ghz.abs()) - self.loss_db(off_ghz)
+    }
+
+    /// Max frequency offset keeping extra loss below `budget_db`.
+    pub fn max_offset_ghz(&self, budget_db: f64) -> f64 {
+        (budget_db / 3.0).sqrt() * self.width_3db_ghz / 2.0
+    }
+
+    /// Temperature stability needed to stay within `budget_db` of extra
+    /// loss, in Kelvin.
+    pub fn temperature_tolerance_k(&self, budget_db: f64) -> f64 {
+        self.max_offset_ghz(budget_db) / GHZ_PER_KELVIN
+    }
+}
+
+/// Comb-line spacing error: for a comb, adjacent-line spacing is fixed by
+/// the cavity, so even if the whole comb drifts by `common_ghz`, the
+/// *relative* spacing error is zero — every line moves together and a
+/// single global correction re-centres all of them.
+pub fn comb_relative_spacing_error(common_ghz: f64) -> f64 {
+    let _ = common_ghz;
+    0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centre_is_lossless_and_loss_grows_quadratically() {
+        let p = Passband::grid_50ghz();
+        assert_eq!(p.loss_db(0.0), 0.0);
+        assert!((p.loss_db(15.0) - (-3.0)).abs() < 1e-9); // 3 dB at half width
+        assert!(p.loss_db(10.0) > p.loss_db(20.0));
+    }
+
+    #[test]
+    fn one_db_budget_needs_sub_kelvin_control() {
+        // The §5 point: a free-running laser (~0.1 nm/K) cannot hold a
+        // 50 GHz grid without active temperature control.
+        let p = Passband::grid_50ghz();
+        let tol = p.temperature_tolerance_k(1.0);
+        assert!(
+            tol < 1.0,
+            "temperature tolerance {tol} K should be sub-Kelvin"
+        );
+        assert!(tol > 0.1, "but not absurdly tight: {tol} K");
+    }
+
+    #[test]
+    fn on_grid_crosstalk_is_deeply_suppressed() {
+        let p = Passband::grid_50ghz();
+        // Centred laser: adjacent port sees the Gaussian tail at 50 GHz.
+        assert!(p.adjacent_crosstalk_db(0.0) < -25.0);
+        // Drifting halfway to the next channel destroys isolation.
+        assert!(p.adjacent_crosstalk_db(25.0) > -1.0);
+    }
+
+    #[test]
+    fn comb_spacing_is_drift_immune() {
+        // §3.3: "equal spacing between the many wavelengths is always
+        // maintained without the need for temperature control".
+        assert_eq!(comb_relative_spacing_error(10.0), 0.0);
+        assert_eq!(comb_relative_spacing_error(-3.0), 0.0);
+    }
+
+    #[test]
+    fn offset_budget_roundtrip() {
+        let p = Passband::grid_50ghz();
+        let off = p.max_offset_ghz(1.0);
+        assert!((p.loss_db(off) - (-1.0)).abs() < 1e-9);
+    }
+}

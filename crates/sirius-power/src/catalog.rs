@@ -1,0 +1,136 @@
+//! Component catalog: the power/cost figures §5 builds its analysis from.
+//!
+//! Anchors from the paper: a 25.6 Tbps electrical switch burns 500 W and
+//! costs ~$5,000; 400 Gbps transceivers burn 10 W and cost $1/Gbps
+//! (paper refs 8, 38); fixed lasers burn ~1 W while a fast-tunable laser burns 3-5x that
+//! (dominated by its temperature controller); gratings are passive (0 W)
+//! and at volume cost under 25% of an electrical switch.
+
+/// Catalog of component power (W) and cost ($) figures.
+#[derive(Debug, Clone, Copy)]
+pub struct Catalog {
+    /// Electrical switch capacity, Tbps (sum of port bandwidth).
+    pub switch_tbps: f64,
+    /// Electrical switch power, W.
+    pub switch_w: f64,
+    /// Electrical switch cost, $.
+    pub switch_cost: f64,
+    /// Transceiver bandwidth, Gbps.
+    pub tx_gbps: f64,
+    /// Transceiver power, W (fixed-laser short-reach part).
+    pub tx_w: f64,
+    /// Transceiver cost, $ ($1/Gbps).
+    pub tx_cost: f64,
+    /// Fixed laser power inside a transceiver, W.
+    pub fixed_laser_w: f64,
+    /// Fixed laser cost, $.
+    pub fixed_laser_cost: f64,
+    /// Tunable-to-fixed laser power ratio (Fig. 6a x-axis).
+    pub tunable_laser_power_ratio: f64,
+    /// Tunable-to-fixed laser cost ratio (3x in Fig. 6b, 5x error bars).
+    pub tunable_laser_cost_ratio: f64,
+    /// Grating cost as a fraction of an equal-port-count electrical
+    /// switch's cost (Fig. 6b x-axis; 25% nominal).
+    pub grating_cost_fraction: f64,
+    /// Transceivers one tunable laser feeds (8, from the §4.5 link budget).
+    pub laser_share: f64,
+}
+
+impl Catalog {
+    pub fn paper() -> Catalog {
+        Catalog {
+            switch_tbps: 25.6,
+            switch_w: 500.0,
+            switch_cost: 5_000.0,
+            tx_gbps: 400.0,
+            tx_w: 10.0,
+            tx_cost: 400.0,
+            fixed_laser_w: 1.0,
+            fixed_laser_cost: 40.0,
+            tunable_laser_power_ratio: 4.0, // 3-5x, midpoint
+            tunable_laser_cost_ratio: 3.0,
+            grating_cost_fraction: 0.25,
+            laser_share: 8.0,
+        }
+    }
+
+    /// Switch power per Tbps of traversed bandwidth.
+    pub fn switch_w_per_tbps(&self) -> f64 {
+        self.switch_w / self.switch_tbps
+    }
+    /// Switch cost per Tbps.
+    pub fn switch_cost_per_tbps(&self) -> f64 {
+        self.switch_cost / self.switch_tbps
+    }
+    /// Transceiver power per Tbps (one end of a link).
+    pub fn tx_w_per_tbps(&self) -> f64 {
+        self.tx_w / (self.tx_gbps / 1000.0)
+    }
+    /// Transceiver cost per Tbps.
+    pub fn tx_cost_per_tbps(&self) -> f64 {
+        self.tx_cost / (self.tx_gbps / 1000.0)
+    }
+
+    /// Tunable transceiver power per Tbps: the fixed-laser part is
+    /// replaced by a shared tunable laser at `tunable_laser_power_ratio`x
+    /// the power, amortized over `laser_share` transceivers.
+    pub fn tunable_tx_w_per_tbps(&self) -> f64 {
+        let electronics = (self.tx_w - self.fixed_laser_w) / (self.tx_gbps / 1000.0);
+        // Each 400G-equivalent has 8 x 50G channels, each fed by 1/share of
+        // a tunable laser: 8 * ratio * fixed_laser / share per 400G.
+        let laser_per_400g =
+            8.0 * self.fixed_laser_w * self.tunable_laser_power_ratio / self.laser_share;
+        electronics + laser_per_400g / (self.tx_gbps / 1000.0)
+    }
+
+    /// Tunable transceiver cost per Tbps (same amortization for cost).
+    pub fn tunable_tx_cost_per_tbps(&self) -> f64 {
+        let electronics = (self.tx_cost - self.fixed_laser_cost) / (self.tx_gbps / 1000.0);
+        let laser_per_400g =
+            8.0 * self.fixed_laser_cost * self.tunable_laser_cost_ratio / self.laser_share;
+        electronics + laser_per_400g / (self.tx_gbps / 1000.0)
+    }
+
+    /// Grating cost per Tbps of capacity.
+    pub fn grating_cost_per_tbps(&self) -> f64 {
+        self.switch_cost_per_tbps() * self.grating_cost_fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_unit_figures() {
+        let c = Catalog::paper();
+        assert!((c.switch_w_per_tbps() - 19.53).abs() < 0.01);
+        assert!((c.tx_w_per_tbps() - 25.0).abs() < 1e-9);
+        assert!((c.tx_cost_per_tbps() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tunable_tx_power_at_paper_ratios() {
+        let mut c = Catalog::paper();
+        c.tunable_laser_power_ratio = 1.0;
+        // ratio 1: electronics 9 W + 8 lasers/8 share = 10 W per 400G ==
+        // a fixed transceiver.
+        assert!((c.tunable_tx_w_per_tbps() - 25.0).abs() < 1e-9);
+        c.tunable_laser_power_ratio = 8.0;
+        // ratio 8: 9 + 8 W per 400G.
+        assert!((c.tunable_tx_w_per_tbps() - 42.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tunable_tx_cost_at_3x() {
+        let c = Catalog::paper();
+        // electronics $360 + 3 x $40 = $480 per 400G -> $1200/Tbps.
+        assert!((c.tunable_tx_cost_per_tbps() - 1200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grating_is_a_quarter_of_a_switch() {
+        let c = Catalog::paper();
+        assert!((c.grating_cost_per_tbps() - 0.25 * c.switch_cost_per_tbps()).abs() < 1e-9);
+    }
+}

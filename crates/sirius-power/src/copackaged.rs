@@ -1,0 +1,95 @@
+//! Co-packaged optics and parallel-network scaling (§5, §4.5).
+//!
+//! Two forward-looking analyses from the paper:
+//!
+//! * **Co-packaged optics** — "we also analyzed efforts for network power
+//!   reduction like the co-packaging of transceivers with the switch
+//!   ASIC. Even with such optical copackaging, expected by 2023 with
+//!   51.2 Tbps switches, Sirius offers a similar power advantage."
+//! * **Parallel networks** — in a post-Moore's-law world operators may
+//!   "build parallel networks [50]. Sirius' design is particularly
+//!   amenable to such scaling through topology-level parallelism": `k`
+//!   parallel Sirius planes scale bandwidth k-fold with k-fold power,
+//!   while a deeper electrical hierarchy scales super-linearly.
+
+use crate::catalog::Catalog;
+use crate::power::{esn_power_per_rack, power_ratio, sirius_power_per_rack, Datacenter};
+use crate::scale_tax;
+
+/// The 2023-era co-packaged catalog: 51.2 Tbps switches and ~2x more
+/// efficient optical engines (no pluggable DSP/retimer).
+pub fn copackaged_catalog() -> Catalog {
+    Catalog {
+        switch_tbps: 51.2,
+        switch_w: 700.0, // bigger ASIC, better W/Tbps
+        switch_cost: 8_000.0,
+        tx_w: 5.0, // co-packaged optical engine per 400G-equivalent
+        tx_cost: 300.0,
+        ..Catalog::paper()
+    }
+}
+
+/// The Sirius/ESN power ratio when both sides use co-packaged optics.
+pub fn copackaged_power_ratio(laser_ratio: f64) -> f64 {
+    power_ratio(&copackaged_catalog(), &Datacenter::paper(), laser_ratio)
+}
+
+/// Power of `k` parallel Sirius planes for `k`-fold bandwidth, per rack.
+pub fn sirius_parallel_power(cat: &Catalog, dc: &Datacenter, k: u32) -> f64 {
+    k as f64 * sirius_power_per_rack(cat, dc)
+}
+
+/// Power of an ESN scaled to `k`-fold bandwidth by *adding hierarchy
+/// levels* (the paper's "datacenter operators may even have to resort to
+/// increasing the levels of hierarchy"), per rack: bandwidth scales with
+/// the extra layer's radix headroom but each unit of traffic crosses more
+/// silicon, so W/Tbps grows with depth.
+pub fn esn_deepened_power(cat: &Catalog, dc: &Datacenter, extra_layers: u32) -> f64 {
+    let base_layers = dc.esn_layers;
+    let w0 = scale_tax::w_per_tbps(cat, base_layers);
+    let w1 = scale_tax::w_per_tbps(cat, base_layers + extra_layers);
+    esn_power_per_rack(cat, dc) * w1 / w0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copackaging_preserves_the_advantage() {
+        // "Even with such optical copackaging ... Sirius offers a similar
+        // power advantage": the ratio stays in the same band as Fig. 6a.
+        for k in [3.0, 5.0] {
+            let classic = power_ratio(&Catalog::paper(), &Datacenter::paper(), k);
+            let cpo = copackaged_power_ratio(k);
+            assert!(cpo < 0.45, "co-packaged ratio {cpo}");
+            assert!(
+                (cpo - classic).abs() < 0.2,
+                "co-packaging changed the story: {classic} -> {cpo}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_planes_scale_linearly() {
+        let cat = Catalog::paper();
+        let dc = Datacenter::paper();
+        let one = sirius_parallel_power(&cat, &dc, 1);
+        let four = sirius_parallel_power(&cat, &dc, 4);
+        assert!((four / one - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deepened_esn_scales_superlinearly() {
+        // Adding hierarchy makes each unit of ESN bandwidth *more*
+        // expensive, so Sirius' relative gain grows in a post-Moore world.
+        let cat = Catalog::paper();
+        let dc = Datacenter::paper();
+        let now = esn_power_per_rack(&cat, &dc);
+        let deeper = esn_deepened_power(&cat, &dc, 1);
+        assert!(deeper > now * 1.1, "deepening added only {}", deeper / now);
+        // Relative Sirius gain improves.
+        let sirius = sirius_power_per_rack(&cat, &dc);
+        assert!(sirius / deeper < sirius / now);
+    }
+}

@@ -1,0 +1,165 @@
+//! Datacenter-level cost comparison (Fig. 6b and the §5 variants).
+//!
+//! Mirrors the power model with the catalog's cost figures. Three
+//! comparisons from §5:
+//!
+//! * Sirius vs non-blocking ESN — "only 28% ... with gratings costing 25%
+//!   of electrical switches and tunable lasers 3x fixed lasers".
+//! * Sirius vs a 3:1 oversubscribed ESN — "only costs 53% while offering
+//!   non-blocking connectivity".
+//! * Sirius vs an electrically-switched Sirius (gratings swapped for
+//!   switches + transceivers) — "only 55% of this variant too".
+
+use crate::catalog::Catalog;
+use crate::power::Datacenter;
+
+/// Per-rack ESN cost, $ (same through-traffic structure as the power
+/// model; see `power::esn_power_per_rack`).
+pub fn esn_cost_per_rack(cat: &Catalog, dc: &Datacenter) -> f64 {
+    let b = dc.rack_uplink_tbps;
+    let core = b / dc.oversubscription;
+    let layers = dc.esn_layers as usize;
+    let mut through = vec![core; layers];
+    through[0] = b;
+    if layers > 1 {
+        through[1] = b;
+    }
+    let mut boundaries = vec![core; layers - 1];
+    if !boundaries.is_empty() {
+        boundaries[0] = b;
+    }
+    let switches: f64 = through.iter().sum::<f64>() * cat.switch_cost_per_tbps();
+    let tx: f64 = boundaries.iter().sum::<f64>() * 2.0 * cat.tx_cost_per_tbps();
+    switches + tx
+}
+
+/// Per-rack Sirius cost, $.
+pub fn sirius_cost_per_rack(cat: &Catalog, dc: &Datacenter) -> f64 {
+    let up = dc.rack_uplink_tbps * dc.sirius_uplink_factor;
+    let tor = up * cat.switch_cost_per_tbps();
+    let tx = up * cat.tunable_tx_cost_per_tbps();
+    // Gratings: passive, but not free — in+out port capacity at a
+    // fraction of electrical-switch cost.
+    let gratings = 2.0 * up * cat.grating_cost_per_tbps();
+    tor + tx + gratings
+}
+
+/// Per-rack cost of the electrically-switched Sirius variant: same flat
+/// topology and routing, but gratings replaced by one layer of electrical
+/// switches plus transceivers at the switch ports (§5).
+pub fn electrical_sirius_cost_per_rack(cat: &Catalog, dc: &Datacenter) -> f64 {
+    let up = dc.rack_uplink_tbps * dc.sirius_uplink_factor;
+    let tor = up * cat.switch_cost_per_tbps();
+    // Uplinks keep (now fixed-wavelength) transceivers; the core layer
+    // adds a switch traversal plus a transceiver at each switch port.
+    let tx = up * cat.tx_cost_per_tbps();
+    let core_switch = up * cat.switch_cost_per_tbps();
+    let core_tx = up * cat.tx_cost_per_tbps();
+    tor + tx + core_switch + core_tx
+}
+
+/// Fig. 6b: Sirius/ESN cost ratio as the grating cost fraction sweeps,
+/// for non-blocking and 3:1-oversubscribed baselines.
+pub fn fig6b(cat: &Catalog, dc: &Datacenter) -> Vec<(f64, f64, f64)> {
+    [0.05, 0.10, 0.25, 0.50, 0.75, 1.00]
+        .iter()
+        .map(|&frac| {
+            let mut c = *cat;
+            c.grating_cost_fraction = frac;
+            let sirius = sirius_cost_per_rack(&c, dc);
+            let nb = esn_cost_per_rack(&c, dc);
+            let mut osub_dc = *dc;
+            osub_dc.oversubscription = 3.0;
+            let osub = esn_cost_per_rack(&c, &osub_dc);
+            (frac, sirius / nb, sirius / osub)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Catalog, Datacenter) {
+        (Catalog::paper(), Datacenter::paper())
+    }
+
+    #[test]
+    fn nonblocking_anchor_near_28_percent() {
+        // "Sirius cost is only 28% that of ESN when the grating cost is
+        // 25% of electrical switches, assuming a tunable laser is 3x the
+        // cost of a fixed laser."
+        let (cat, dc) = setup();
+        let r = sirius_cost_per_rack(&cat, &dc) / esn_cost_per_rack(&cat, &dc);
+        assert!(
+            (0.20..=0.33).contains(&r),
+            "Sirius/ESN-NB = {r} (paper: 0.28)"
+        );
+    }
+
+    #[test]
+    fn oversubscribed_anchor_near_53_percent() {
+        // "Even when comparing to an 3:1 oversubscribed ESN, Sirius only
+        // costs 53% while offering non-blocking connectivity."
+        let (cat, dc) = setup();
+        let mut osub = dc;
+        osub.oversubscription = 3.0;
+        let r = sirius_cost_per_rack(&cat, &dc) / esn_cost_per_rack(&cat, &osub);
+        // Our cost model lands a bit below the paper's 53% (its exact
+        // oversubscription accounting is unstated); the structural claim —
+        // Sirius beats even a cheap 3:1 network while offering
+        // non-blocking connectivity — holds with margin.
+        assert!(
+            (0.30..=0.65).contains(&r),
+            "Sirius/ESN-OSUB = {r} (paper: 0.53)"
+        );
+    }
+
+    #[test]
+    fn electrical_variant_anchor_near_55_percent() {
+        // "We find that Sirius' cost is only 55% of this variant too."
+        let (cat, dc) = setup();
+        let r = sirius_cost_per_rack(&cat, &dc) / electrical_sirius_cost_per_rack(&cat, &dc);
+        assert!(
+            (0.35..=0.65).contains(&r),
+            "Sirius/eSirius = {r} (paper: 0.55)"
+        );
+    }
+
+    #[test]
+    fn fig6b_ratio_grows_with_grating_cost() {
+        let (cat, dc) = setup();
+        let rows = fig6b(&cat, &dc);
+        assert_eq!(rows.len(), 6);
+        for w in rows.windows(2) {
+            assert!(w[1].1 > w[0].1);
+            assert!(w[1].2 > w[0].2);
+        }
+        // Even at grating cost == switch cost, Sirius stays below ESN-NB.
+        assert!(rows.last().unwrap().1 < 1.0);
+        // And the OSUB comparison is roughly 2x less favourable throughout.
+        for (_, nb, osub) in rows {
+            assert!(osub > nb * 1.5 && osub < nb * 3.5);
+        }
+    }
+
+    #[test]
+    fn transceivers_dominate_esn_cost() {
+        // The structural reason Sirius wins: 6 transceivers/path at
+        // $1/Gbps dwarf switch silicon.
+        let (cat, dc) = setup();
+        let total = esn_cost_per_rack(&cat, &dc);
+        let tx = 3.0 * 2.0 * dc.rack_uplink_tbps * cat.tx_cost_per_tbps();
+        assert!(tx / total > 0.6, "transceiver share {}", tx / total);
+    }
+
+    #[test]
+    fn laser_cost_error_bars() {
+        // Fig. 6b error bars: tunable laser at 5x fixed cost.
+        let (mut cat, dc) = setup();
+        let r3 = sirius_cost_per_rack(&cat, &dc) / esn_cost_per_rack(&cat, &dc);
+        cat.tunable_laser_cost_ratio = 5.0;
+        let r5 = sirius_cost_per_rack(&cat, &dc) / esn_cost_per_rack(&cat, &dc);
+        assert!(r5 > r3 && r5 < r3 + 0.06, "r3={r3} r5={r5}");
+    }
+}

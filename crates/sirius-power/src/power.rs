@@ -1,0 +1,168 @@
+//! Datacenter-level power comparison: Sirius vs an electrically-switched
+//! network (Fig. 6a).
+//!
+//! Accounting is per rack of uplink bandwidth. The ESN path crosses four
+//! switch layers with "up to six transceivers across an end-to-end path"
+//! (three optical inter-tier links on the up half; the down half belongs
+//! to the destination rack's accounting). Sirius replaces everything above
+//! the ToR with passive gratings and two tunable transceivers per path.
+//!
+//! Normalization note: Fig. 6a compares the networks per unit of rack
+//! uplink bandwidth; the 1.5-2x transceiver over-provisioning that
+//! compensates Valiant load balancing enters the *performance* comparison
+//! (Fig. 12). Our model exposes it as `sirius_uplink_factor` — the
+//! paper-calibrated default of 1.0 lands on the published 23-26% ratio at
+//! 3-5x laser power; setting 2.0 answers "what if the doubled transceivers
+//! are charged to the power bill too".
+
+use crate::catalog::Catalog;
+
+/// A datacenter for the §5 analysis.
+#[derive(Debug, Clone, Copy)]
+pub struct Datacenter {
+    pub racks: u32,
+    /// Rack uplink bandwidth, Tbps (256 x 50 Gbps = 12.8 Tbps).
+    pub rack_uplink_tbps: f64,
+    /// Total switch layers in the ESN, including the ToR (paper: 4).
+    pub esn_layers: u32,
+    /// Aggregation oversubscription of the ESN above the ToR (1 = non-
+    /// blocking).
+    pub oversubscription: f64,
+    /// Uplink capacity multiplier charged to Sirius.
+    pub sirius_uplink_factor: f64,
+}
+
+impl Datacenter {
+    /// §5: "a large datacenter with 4,000 racks", 256 x 50G uplinks.
+    pub fn paper() -> Datacenter {
+        Datacenter {
+            racks: 4_000,
+            rack_uplink_tbps: 12.8,
+            esn_layers: 4,
+            oversubscription: 1.0,
+            sirius_uplink_factor: 1.0,
+        }
+    }
+}
+
+/// Through-traffic rates per switch layer and per tier boundary, Tbps per
+/// rack. Oversubscription (3:1 "at the aggregation tier beyond the racks")
+/// keeps the ToR-aggregation boundary at full rate and shrinks everything
+/// above it.
+fn esn_structure(dc: &Datacenter) -> (Vec<f64>, Vec<f64>) {
+    let b = dc.rack_uplink_tbps;
+    let core = b / dc.oversubscription;
+    let layers = dc.esn_layers as usize;
+    let mut through = vec![core; layers];
+    through[0] = b; // ToR
+    if layers > 1 {
+        through[1] = b; // aggregation still sees full rack rate
+    }
+    let mut boundaries = vec![core; layers - 1];
+    if !boundaries.is_empty() {
+        boundaries[0] = b; // ToR <-> aggregation links at full rate
+    }
+    (through, boundaries)
+}
+
+/// Per-rack ESN power, W. Switches are charged at nameplate W/Tbps of
+/// through traffic; each tier boundary is an optical link with two
+/// transceivers (the paper's "up to six transceivers across an end-to-end
+/// path" for 4 layers).
+pub fn esn_power_per_rack(cat: &Catalog, dc: &Datacenter) -> f64 {
+    let (through, boundaries) = esn_structure(dc);
+    let switches: f64 = through.iter().sum::<f64>() * cat.switch_w_per_tbps();
+    let tx: f64 = boundaries.iter().sum::<f64>() * 2.0 * cat.tx_w_per_tbps();
+    switches + tx
+}
+
+/// Per-rack Sirius power, W.
+pub fn sirius_power_per_rack(cat: &Catalog, dc: &Datacenter) -> f64 {
+    let up = dc.rack_uplink_tbps * dc.sirius_uplink_factor;
+    // ToR: through traffic at (possibly over-provisioned) uplink rate.
+    let tor = up * cat.switch_w_per_tbps();
+    // Tunable transceivers on every uplink; gratings are passive (0 W).
+    let tx = up * cat.tunable_tx_w_per_tbps();
+    tor + tx
+}
+
+/// The Fig. 6a ratio at a given tunable/fixed laser power ratio.
+pub fn power_ratio(cat: &Catalog, dc: &Datacenter, laser_ratio: f64) -> f64 {
+    let mut c = *cat;
+    c.tunable_laser_power_ratio = laser_ratio;
+    sirius_power_per_rack(&c, dc) / esn_power_per_rack(&c, dc)
+}
+
+/// The full Fig. 6a sweep over the paper's x-axis.
+pub fn fig6a(cat: &Catalog, dc: &Datacenter) -> Vec<(f64, f64)> {
+    [1.0, 3.0, 5.0, 7.0, 10.0, 20.0]
+        .iter()
+        .map(|&r| (r, power_ratio(cat, dc, r)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_anchor_23_to_26_percent_at_3_to_5x() {
+        // "Even assuming that the tunable laser consumes 3-5x the power of
+        // a fixed laser, the overall network power is only 23-26% that of
+        // ESN" — i.e. "up to 74-77% lower power" (abstract).
+        let cat = Catalog::paper();
+        let dc = Datacenter::paper();
+        let r3 = power_ratio(&cat, &dc, 3.0);
+        let r5 = power_ratio(&cat, &dc, 5.0);
+        assert!((0.21..=0.28).contains(&r3), "ratio at 3x = {r3}");
+        assert!((0.23..=0.30).contains(&r5), "ratio at 5x = {r5}");
+        assert!(r5 > r3);
+    }
+
+    #[test]
+    fn ratio_grows_slowly_with_laser_power() {
+        // Fig. 6a: even a 20x laser keeps Sirius well under half of ESN,
+        // because the shared laser is a small slice of transceiver power.
+        let cat = Catalog::paper();
+        let dc = Datacenter::paper();
+        let sweep = fig6a(&cat, &dc);
+        assert_eq!(sweep.len(), 6);
+        for w in sweep.windows(2) {
+            assert!(w[1].1 > w[0].1);
+        }
+        let r20 = sweep.last().unwrap().1;
+        assert!(r20 < 0.5, "ratio at 20x = {r20}");
+    }
+
+    #[test]
+    fn charging_the_doubled_uplinks_still_saves_power() {
+        // Even with the full 2x Valiant over-provisioning on Sirius' bill,
+        // the flat network stays well below half of ESN power.
+        let cat = Catalog::paper();
+        let mut dc = Datacenter::paper();
+        dc.sirius_uplink_factor = 2.0;
+        let r = power_ratio(&cat, &dc, 4.0);
+        assert!(r < 0.5, "doubled-uplink ratio = {r}");
+    }
+
+    #[test]
+    fn esn_power_scale_sanity() {
+        // §5-scale datacenter: ESN in the tens of MW territory per the
+        // §1/§2 narrative.
+        let cat = Catalog::paper();
+        let dc = Datacenter::paper();
+        let total_mw = esn_power_per_rack(&cat, &dc) * dc.racks as f64 / 1e6;
+        assert!(total_mw > 8.0 && total_mw < 30.0, "ESN total {total_mw} MW");
+    }
+
+    #[test]
+    fn oversubscribed_esn_uses_less_power() {
+        let cat = Catalog::paper();
+        let mut dc = Datacenter::paper();
+        let nb = esn_power_per_rack(&cat, &dc);
+        dc.oversubscription = 3.0;
+        let osub = esn_power_per_rack(&cat, &dc);
+        assert!(osub < nb);
+        assert!(osub > nb / 3.0, "ToR power does not shrink");
+    }
+}

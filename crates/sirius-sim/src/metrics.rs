@@ -1,0 +1,223 @@
+//! Flow-level metrics: flow completion times, goodput, queue occupancy.
+//!
+//! These implement the measurements of §7: 99th-percentile FCT of short
+//! flows (< 100 KB), average server goodput normalized by `N * R`, peak
+//! aggregate queue occupancy per node, and peak per-flow reorder buffer.
+
+use sirius_core::congestion::CcStats;
+use sirius_core::units::{Duration, Rate, Time};
+
+/// Record of one completed (or still-running) flow.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowRecord {
+    pub bytes: u64,
+    pub arrival: Time,
+    pub completion: Option<Time>,
+    /// Payload bytes delivered in order by the end of the run.
+    pub delivered: u64,
+}
+
+impl FlowRecord {
+    pub fn fct(&self) -> Option<Duration> {
+        self.completion.map(|c| c.since(self.arrival))
+    }
+}
+
+/// Aggregated results of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    pub flows: Vec<FlowRecord>,
+    /// Total payload bytes delivered in order to applications.
+    pub delivered_bytes: u64,
+    /// Wall-clock span of the run (first arrival to last delivery).
+    pub span: Duration,
+    /// Peak fabric (VOQ + relay) cells at any single node.
+    pub peak_node_fabric_cells: u64,
+    /// Peak LOCAL cells at any single node.
+    pub peak_node_local_cells: u64,
+    /// Peak reorder-buffer bytes for any single flow.
+    pub peak_reorder_flow_bytes: u64,
+    /// Cell wire size used (to convert occupancies to bytes), 0 if N/A.
+    pub cell_bytes: u32,
+    /// Flows that had not completed when the run was cut off.
+    pub incomplete_flows: u64,
+    /// Congestion-control counters summed over all nodes (zeros in the
+    /// ideal/greedy modes, which bypass the protocol).
+    pub cc: CcStats,
+}
+
+impl RunMetrics {
+    /// p-th percentile (0..=100) of FCT over completed flows with
+    /// `bytes < size_cap` (the paper's "short flows" are < 100 KB).
+    pub fn fct_percentile(&self, p: f64, size_cap: u64) -> Option<Duration> {
+        let mut fcts: Vec<Duration> = self
+            .flows
+            .iter()
+            .filter(|f| f.bytes < size_cap)
+            .filter_map(|f| f.fct())
+            .collect();
+        if fcts.is_empty() {
+            return None;
+        }
+        fcts.sort_unstable();
+        Some(fcts[percentile_index(fcts.len(), p)])
+    }
+
+    /// Mean FCT over completed flows below `size_cap`.
+    pub fn fct_mean(&self, size_cap: u64) -> Option<Duration> {
+        let fcts: Vec<Duration> = self
+            .flows
+            .iter()
+            .filter(|f| f.bytes < size_cap)
+            .filter_map(|f| f.fct())
+            .collect();
+        if fcts.is_empty() {
+            return None;
+        }
+        let total: u64 = fcts.iter().map(|d| d.as_ps()).sum();
+        Some(Duration::from_ps(total / fcts.len() as u64))
+    }
+
+    /// Average per-server goodput normalized by `servers * rate`
+    /// ("the total number of bytes received during the simulation divided
+    /// by the total simulation time and normalized by N*R", §7).
+    pub fn normalized_goodput(&self, servers: u64, rate: Rate) -> f64 {
+        if self.span.is_zero() {
+            return 0.0;
+        }
+        let bits = self.delivered_bytes as f64 * 8.0;
+        let secs = self.span.as_secs_f64();
+        bits / secs / (servers as f64 * rate.as_bps() as f64)
+    }
+
+    /// Normalized goodput measured over a fixed horizon: payload bytes
+    /// delivered by `horizon` divided by `horizon`, normalized by
+    /// `servers * rate`. Flows still in flight at the horizon contribute
+    /// linearly-interpolated partial progress. Unlike the span-based
+    /// metric, this compares different simulators (and different drain
+    /// policies) over the same window — use it for saturation sweeps.
+    pub fn goodput_within(&self, horizon: Time, servers: u64, rate: Rate) -> f64 {
+        if horizon == Time::ZERO {
+            return 0.0;
+        }
+        let mut bytes = 0f64;
+        for f in &self.flows {
+            if f.arrival >= horizon {
+                continue;
+            }
+            match f.completion {
+                Some(c) if c <= horizon => bytes += f.bytes as f64,
+                Some(c) => {
+                    let frac =
+                        horizon.since(f.arrival).as_ps() as f64 / c.since(f.arrival).as_ps() as f64;
+                    bytes += f.bytes as f64 * frac;
+                }
+                // Cut off incomplete: count what actually arrived.
+                None => bytes += f.delivered as f64,
+            }
+        }
+        bytes * 8.0
+            / horizon.since(Time::ZERO).as_secs_f64()
+            / (servers as f64 * rate.as_bps() as f64)
+    }
+
+    /// Peak aggregate fabric queue occupancy per node, in bytes.
+    pub fn peak_node_fabric_bytes(&self) -> u64 {
+        self.peak_node_fabric_cells * self.cell_bytes as u64
+    }
+
+    pub fn completed_flows(&self) -> u64 {
+        self.flows.iter().filter(|f| f.completion.is_some()).count() as u64
+    }
+}
+
+/// Index of the p-th percentile in a sorted slice of `n` items
+/// (nearest-rank method).
+pub fn percentile_index(n: usize, p: f64) -> usize {
+    assert!(n > 0);
+    assert!((0.0..=100.0).contains(&p));
+    let rank = (p / 100.0 * n as f64).ceil() as usize;
+    rank.saturating_sub(1).min(n - 1)
+}
+
+/// Convenience: p-th percentile of a f64 slice (sorts a copy).
+pub fn percentile_f64(values: &[f64], p: f64) -> f64 {
+    assert!(!values.is_empty());
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[percentile_index(v.len(), p)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(bytes: u64, arrival_ns: u64, fct_ns: Option<u64>) -> FlowRecord {
+        FlowRecord {
+            bytes,
+            arrival: Time::from_ps(arrival_ns * 1000),
+            completion: fct_ns.map(|f| Time::from_ps((arrival_ns + f) * 1000)),
+            delivered: if fct_ns.is_some() { bytes } else { 0 },
+        }
+    }
+
+    #[test]
+    fn percentile_index_nearest_rank() {
+        assert_eq!(percentile_index(100, 99.0), 98);
+        assert_eq!(percentile_index(100, 100.0), 99);
+        assert_eq!(percentile_index(100, 1.0), 0);
+        assert_eq!(percentile_index(1, 99.0), 0);
+        assert_eq!(percentile_index(3, 50.0), 1);
+    }
+
+    #[test]
+    fn fct_percentile_filters_short_flows() {
+        let m = RunMetrics {
+            flows: vec![
+                rec(1_000, 0, Some(10)),
+                rec(2_000, 0, Some(20)),
+                rec(500_000, 0, Some(100_000)), // long flow, excluded
+                rec(3_000, 0, None),            // incomplete, excluded
+            ],
+            delivered_bytes: 0,
+            span: Duration::ZERO,
+            peak_node_fabric_cells: 0,
+            peak_node_local_cells: 0,
+            peak_reorder_flow_bytes: 0,
+            cell_bytes: 562,
+            incomplete_flows: 1,
+            cc: Default::default(),
+        };
+        let p99 = m.fct_percentile(99.0, 100_000).unwrap();
+        assert_eq!(p99, Duration::from_ns(20));
+        let mean = m.fct_mean(100_000).unwrap();
+        assert_eq!(mean, Duration::from_ns(15));
+    }
+
+    #[test]
+    fn goodput_normalization() {
+        let m = RunMetrics {
+            flows: vec![],
+            delivered_bytes: 125_000_000, // 1 Gbit
+            span: Duration::from_ms(1),
+            peak_node_fabric_cells: 10,
+            peak_node_local_cells: 0,
+            peak_reorder_flow_bytes: 0,
+            cell_bytes: 562,
+            incomplete_flows: 0,
+            cc: Default::default(),
+        };
+        // 1 Gbit in 1 ms = 1 Tbps; with 100 servers at 10 Gbps = 1 Tbps
+        // aggregate, normalized goodput = 1.0.
+        let g = m.normalized_goodput(100, Rate::from_gbps(10));
+        assert!((g - 1.0).abs() < 1e-9, "g = {g}");
+        assert_eq!(m.peak_node_fabric_bytes(), 5620);
+    }
+
+    #[test]
+    fn percentile_f64_basic() {
+        let v = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile_f64(&v, 50.0), 3.0);
+        assert_eq!(percentile_f64(&v, 100.0), 5.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Drifting local oscillators (§4.4).
+//!
+//! Each node has a free-running oscillator with a frequency offset of a
+//! few ppm (ordinary XO-grade parts — the paper stresses that "no atomic
+//! clocks are necessary"), slow random-walk drift (temperature/aging), and
+//! white phase jitter. Absolute time does not matter; what the network
+//! needs is that all clocks *agree with each other*, which the rotating
+//! -leader protocol provides.
+
+use rand::Rng;
+
+/// Parameters of a node oscillator.
+#[derive(Debug, Clone, Copy)]
+pub struct OscillatorSpec {
+    /// Initial frequency offset drawn uniformly in +-this, ppm.
+    pub init_offset_ppm: f64,
+    /// Random-walk step of the frequency offset per update, ppm.
+    pub drift_step_ppm: f64,
+    /// White phase jitter per update, ps (1-sigma).
+    pub jitter_ps: f64,
+}
+
+impl OscillatorSpec {
+    /// A commodity crystal oscillator: +-20 ppm initial tolerance, slow
+    /// drift, sub-ps cycle jitter.
+    pub fn commodity_xo() -> OscillatorSpec {
+        OscillatorSpec {
+            init_offset_ppm: 20.0,
+            drift_step_ppm: 1e-5,
+            jitter_ps: 0.1,
+        }
+    }
+}
+
+/// A free-running local clock.
+#[derive(Debug, Clone)]
+pub struct LocalClock {
+    /// Phase offset relative to ideal time, ps.
+    pub phase_ps: f64,
+    /// Frequency offset, ppm (1 ppm = 1 ps of phase per us of real time).
+    pub offset_ppm: f64,
+    spec: OscillatorSpec,
+    /// If set, the oscillator misbehaves: offset jumps around (byzantine
+    /// clock failure, §4.4).
+    pub byzantine: bool,
+}
+
+impl LocalClock {
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, spec: OscillatorSpec) -> LocalClock {
+        LocalClock {
+            phase_ps: 0.0,
+            offset_ppm: (rng.gen::<f64>() * 2.0 - 1.0) * spec.init_offset_ppm,
+            spec,
+            byzantine: false,
+        }
+    }
+
+    /// Advance the clock by `dt_us` of ideal time: the phase accumulates
+    /// the frequency offset plus jitter, and the offset random-walks.
+    pub fn advance<R: Rng + ?Sized>(&mut self, rng: &mut R, dt_us: f64) {
+        self.phase_ps += self.offset_ppm * dt_us;
+        self.phase_ps += gauss(rng) * self.spec.jitter_ps;
+        self.offset_ppm += gauss(rng) * self.spec.drift_step_ppm;
+        if self.byzantine {
+            // Erratic frequency excursions up to +-100 ppm.
+            self.offset_ppm += gauss(rng) * 10.0;
+            self.offset_ppm = self.offset_ppm.clamp(-100.0, 100.0);
+        }
+    }
+
+    /// Apply a frequency correction (from the PLL), ppm.
+    pub fn adjust_frequency(&mut self, delta_ppm: f64) {
+        self.offset_ppm += delta_ppm;
+    }
+
+    /// Apply a phase step (from the PLL), ps.
+    pub fn adjust_phase(&mut self, delta_ps: f64) {
+        self.phase_ps += delta_ps;
+    }
+}
+
+/// Standard normal sample (Box-Muller).
+pub fn gauss<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uncorrected_clocks_diverge() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let spec = OscillatorSpec::commodity_xo();
+        let mut a = LocalClock::new(&mut rng, spec);
+        let mut b = LocalClock::new(&mut rng, spec);
+        // One second of free running at a 1.6 us update period.
+        for _ in 0..625_000 {
+            a.advance(&mut rng, 1.6);
+            b.advance(&mut rng, 1.6);
+        }
+        // ppm-scale offsets produce micro-second scale divergence in 1 s.
+        let diff_ps = (a.phase_ps - b.phase_ps).abs();
+        assert!(diff_ps > 1e4, "clocks implausibly close: {diff_ps} ps");
+    }
+
+    #[test]
+    fn initial_offsets_within_spec() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let c = LocalClock::new(&mut rng, OscillatorSpec::commodity_xo());
+            assert!(c.offset_ppm.abs() <= 20.0);
+        }
+    }
+
+    #[test]
+    fn adjustments_take_effect() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut c = LocalClock::new(&mut rng, OscillatorSpec::commodity_xo());
+        let f0 = c.offset_ppm;
+        c.adjust_frequency(-f0);
+        assert!(c.offset_ppm.abs() < 1e-12);
+        c.adjust_phase(-c.phase_ps);
+        assert_eq!(c.phase_ps, 0.0);
+    }
+
+    #[test]
+    fn byzantine_clock_wanders_fast() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut c = LocalClock::new(&mut rng, OscillatorSpec::commodity_xo());
+        c.byzantine = true;
+        let mut max_excursion = 0f64;
+        for _ in 0..10_000 {
+            c.advance(&mut rng, 1.6);
+            max_excursion = max_excursion.max(c.offset_ppm.abs());
+        }
+        assert!(max_excursion > 20.0, "byzantine clock stayed tame");
+        assert!(max_excursion <= 100.0);
+    }
+
+    #[test]
+    fn gauss_is_roughly_standard() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| gauss(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+}

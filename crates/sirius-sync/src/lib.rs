@@ -1,0 +1,26 @@
+//! # sirius-sync
+//!
+//! Time synchronization for Sirius (§4.4, §A.2): drifting oscillator
+//! models ([`clock`]), the PLL/DLL frequency-recovery loop ([`pll`]), the
+//! rotating-leader protocol ([`leader`]), propagation-delay calibration
+//! with per-node epoch-start offsets ([`delay`]), and the network-wide
+//! simulation reproducing the paper's ±5 ps / 24 h measurement
+//! ([`sync_sim`]).
+//!
+//! The design leans on two properties of the Sirius core: gratings are
+//! passive (no retiming, so the sender's clock survives to the receiver)
+//! and the cyclic schedule reconnects every node pair every epoch (so a
+//! reference is always at most an epoch old, and a dead leader is replaced
+//! within microseconds).
+
+pub mod clock;
+pub mod delay;
+pub mod leader;
+pub mod pll;
+pub mod sync_sim;
+
+pub use clock::{LocalClock, OscillatorSpec};
+pub use delay::{arrival_misalignment, epoch_start_offsets, DelayEstimator};
+pub use leader::LeaderSchedule;
+pub use pll::Pll;
+pub use sync_sim::{run as run_sync, SyncResult, SyncSimConfig};

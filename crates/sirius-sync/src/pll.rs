@@ -1,0 +1,128 @@
+//! Frequency/phase recovery loop (§4.4).
+//!
+//! Because the gratings are passive and do no retiming, a receiver can
+//! extract the *sender's* clock from any incoming bit stream and slave its
+//! own oscillator to it with a standard PLL/DLL. Each node applies one
+//! update per epoch, when the (current) leader's cell arrives. The DLL
+//! variant slew-limits the applied correction, which "digitally filters
+//! too large frequency variations, thus partially addressing the case of
+//! byzantine clock failures".
+
+/// A proportional-integral phase/frequency tracking loop.
+#[derive(Debug, Clone, Copy)]
+pub struct Pll {
+    /// Proportional gain on the measured phase error (fraction of the
+    /// error removed as an immediate phase step).
+    pub kp: f64,
+    /// Integral gain: ppm of frequency correction per ps of phase error.
+    pub ki: f64,
+    /// Max |frequency correction| applied per update, ppm (the DLL's
+    /// byzantine filter); `f64::INFINITY` disables filtering.
+    pub max_slew_ppm: f64,
+}
+
+impl Pll {
+    /// Gains tuned for one update per 1.6 us epoch.
+    pub fn paper_tuning() -> Pll {
+        Pll {
+            kp: 0.7,
+            ki: 0.08,
+            max_slew_ppm: 1.0,
+        }
+    }
+
+    /// Unfiltered variant (plain PLL, no slew limit).
+    pub fn unfiltered() -> Pll {
+        Pll {
+            max_slew_ppm: f64::INFINITY,
+            ..Pll::paper_tuning()
+        }
+    }
+
+    /// One update: given the measured phase error (own phase minus
+    /// reference phase, ps), return `(phase_step_ps, freq_step_ppm)` to
+    /// apply to the local clock.
+    pub fn update(&self, phase_err_ps: f64) -> (f64, f64) {
+        let phase_step = -self.kp * phase_err_ps;
+        let mut freq_step = -self.ki * phase_err_ps;
+        if freq_step.abs() > self.max_slew_ppm {
+            freq_step = freq_step.signum() * self.max_slew_ppm;
+        }
+        (phase_step, freq_step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{LocalClock, OscillatorSpec};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Drive a clock against a perfect reference; returns the steady-state
+    /// max |phase| over the last half of the run.
+    fn lock_and_measure(pll: Pll, seed: u64, epochs: usize) -> f64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut c = LocalClock::new(&mut rng, OscillatorSpec::commodity_xo());
+        let mut worst: f64 = 0.0;
+        for e in 0..epochs {
+            c.advance(&mut rng, 1.6);
+            // Phase measurement with 0.2 ps detector noise.
+            let measured = c.phase_ps + crate::clock::gauss(&mut rng) * 0.2;
+            let (dp, df) = pll.update(measured);
+            c.adjust_phase(dp);
+            c.adjust_frequency(df);
+            if e > epochs / 2 {
+                worst = worst.max(c.phase_ps.abs());
+            }
+        }
+        worst
+    }
+
+    #[test]
+    fn pll_locks_to_picoseconds() {
+        // The §6 measurement: +-5 ps over 24 h. Steady-state must be
+        // comfortably inside that.
+        let worst = lock_and_measure(Pll::paper_tuning(), 1, 40_000);
+        assert!(worst < 5.0, "steady-state phase error {worst} ps");
+    }
+
+    #[test]
+    fn pll_pulls_in_a_20ppm_offset() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut c = LocalClock::new(&mut rng, OscillatorSpec::commodity_xo());
+        c.offset_ppm = 20.0;
+        let pll = Pll::paper_tuning();
+        for _ in 0..30_000 {
+            c.advance(&mut rng, 1.6);
+            let (dp, df) = pll.update(c.phase_ps);
+            c.adjust_phase(dp);
+            c.adjust_frequency(df);
+        }
+        assert!(
+            c.offset_ppm.abs() < 0.5,
+            "residual offset {} ppm",
+            c.offset_ppm
+        );
+        assert!(c.phase_ps.abs() < 5.0, "residual phase {} ps", c.phase_ps);
+    }
+
+    #[test]
+    fn slew_limit_caps_corrections() {
+        let pll = Pll::paper_tuning();
+        let (_, df) = pll.update(1e6); // absurd 1 us phase error
+        assert_eq!(df.abs(), pll.max_slew_ppm);
+        let un = Pll::unfiltered();
+        let (_, df) = un.update(1e6);
+        assert!(df.abs() > 1000.0);
+    }
+
+    #[test]
+    fn update_signs_oppose_the_error() {
+        let pll = Pll::paper_tuning();
+        let (dp, df) = pll.update(10.0);
+        assert!(dp < 0.0 && df < 0.0);
+        let (dp, df) = pll.update(-10.0);
+        assert!(dp > 0.0 && df > 0.0);
+    }
+}

@@ -1,0 +1,324 @@
+//! Network-wide synchronization simulation: reproduces the §6 result that
+//! clock phase deviation between nodes stays within ±5 ps over 24 hours.
+//!
+//! Every node runs a drifting oscillator and a PLL; once per epoch each
+//! follower measures the current leader's phase (from the leader's cell,
+//! with detector noise) and applies one PLL update. The leader rotates
+//! every few epochs; failures forfeit turns. We track the maximum pairwise
+//! phase deviation among alive nodes.
+//!
+//! A real 24 h run is 5.4e10 epochs; the deviation process is stationary
+//! once locked (verified by comparing window maxima), so the harness runs
+//! tens of millions of epochs and reports the stationary maximum — the
+//! quantity the paper's oscilloscope measured.
+
+use crate::clock::{gauss, LocalClock, OscillatorSpec};
+use crate::leader::LeaderSchedule;
+use crate::pll::Pll;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Parameters for a synchronization run.
+#[derive(Debug, Clone)]
+pub struct SyncSimConfig {
+    pub nodes: usize,
+    pub epoch_us: f64,
+    pub oscillator: OscillatorSpec,
+    pub pll: Pll,
+    /// Phase-detector noise when reading the leader's clock, ps (1-sigma).
+    pub detector_noise_ps: f64,
+    pub rotation_epochs: u64,
+    pub seed: u64,
+}
+
+impl SyncSimConfig {
+    /// The paper's measurement setup, scaled to `nodes` nodes.
+    pub fn paper(nodes: usize) -> SyncSimConfig {
+        SyncSimConfig {
+            nodes,
+            epoch_us: 1.6,
+            oscillator: OscillatorSpec::commodity_xo(),
+            pll: Pll::paper_tuning(),
+            detector_noise_ps: 0.2,
+            rotation_epochs: 4,
+            seed: 1,
+        }
+    }
+}
+
+/// Result of a synchronization run.
+#[derive(Debug, Clone)]
+pub struct SyncResult {
+    /// Max |pairwise phase deviation| after lock, ps.
+    pub max_deviation_ps: f64,
+    /// Max deviation in each quarter of the post-lock window (stationarity
+    /// check: these should be of similar magnitude).
+    pub window_max_ps: [f64; 4],
+    /// Epochs simulated.
+    pub epochs: u64,
+    /// Max |frequency offset| reached by any *honest* clock, ppm — the
+    /// damage a byzantine reference can induce (common-mode, so invisible
+    /// to pairwise deviation; bounded by the DLL slew limit).
+    pub max_honest_offset_ppm: f64,
+}
+
+/// Run with byzantine injections: `byzantine` lists `(node, epoch)` at
+/// which a node's oscillator starts misbehaving (wild frequency
+/// excursions). The node keeps participating — including taking its
+/// leader turns — so this measures how far a bad clock can drag the
+/// others. With the slew-limited DLL (the default `Pll::paper_tuning`),
+/// followers clamp the correction a byzantine leader can induce (§4.4:
+/// "digitally filter too large frequency variations").
+pub fn run_with_byzantine(
+    cfg: &SyncSimConfig,
+    epochs: u64,
+    byzantine: &[(usize, u64)],
+) -> SyncResult {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut clocks: Vec<LocalClock> = (0..cfg.nodes)
+        .map(|_| LocalClock::new(&mut rng, cfg.oscillator))
+        .collect();
+    let leaders = LeaderSchedule::new(cfg.nodes, cfg.rotation_epochs);
+    let mut byz = vec![false; cfg.nodes];
+    let warmup = (epochs / 5).max(5_000.min(epochs / 2));
+    let mut max_dev = 0f64;
+    let mut max_offset = 0f64;
+    let mut window_max = [0f64; 4];
+    let mut byz_iter = byzantine.iter().peekable();
+    for e in 0..epochs {
+        while let Some(&&(node, at)) = byz_iter.peek() {
+            if at <= e {
+                clocks[node].byzantine = true;
+                byz[node] = true;
+                byz_iter.next();
+            } else {
+                break;
+            }
+        }
+        for c in clocks.iter_mut() {
+            c.advance(&mut rng, cfg.epoch_us);
+        }
+        if let Some(lead) = leaders.leader_at(e) {
+            let ref_phase = clocks[lead].phase_ps;
+            for i in 0..cfg.nodes {
+                if i == lead {
+                    continue;
+                }
+                let measured =
+                    clocks[i].phase_ps - ref_phase + gauss(&mut rng) * cfg.detector_noise_ps;
+                let (dp, df) = cfg.pll.update(measured);
+                clocks[i].adjust_phase(dp);
+                clocks[i].adjust_frequency(df);
+            }
+        }
+        if e >= warmup {
+            // Deviation among the *honest* nodes: the byzantine node is
+            // lost, the question is whether it corrupts the rest.
+            let dev = pairwise_max_dev(&clocks, &byz);
+            max_dev = max_dev.max(dev);
+            let quarter = ((e - warmup) * 4 / (epochs - warmup).max(1)).min(3) as usize;
+            window_max[quarter] = window_max[quarter].max(dev);
+            for (i, c) in clocks.iter().enumerate() {
+                if !byz[i] {
+                    max_offset = max_offset.max(c.offset_ppm.abs());
+                }
+            }
+        }
+    }
+    SyncResult {
+        max_deviation_ps: max_dev,
+        window_max_ps: window_max,
+        epochs,
+        max_honest_offset_ppm: max_offset,
+    }
+}
+
+/// Run the synchronization protocol for `epochs` epochs; `failures` lists
+/// `(node, epoch)` failure injections.
+pub fn run(cfg: &SyncSimConfig, epochs: u64, failures: &[(usize, u64)]) -> SyncResult {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut clocks: Vec<LocalClock> = (0..cfg.nodes)
+        .map(|_| LocalClock::new(&mut rng, cfg.oscillator))
+        .collect();
+    let mut leaders = LeaderSchedule::new(cfg.nodes, cfg.rotation_epochs);
+    let mut failed = vec![false; cfg.nodes];
+
+    // Lock-in window: ignore the first 20% (or 5k epochs) for the max.
+    let warmup = (epochs / 5).max(5_000.min(epochs / 2));
+    let mut max_dev = 0f64;
+    let mut window_max = [0f64; 4];
+
+    let mut max_offset = 0f64;
+    let mut fail_iter = failures.iter().peekable();
+    for e in 0..epochs {
+        while let Some(&&(node, at)) = fail_iter.peek() {
+            if at <= e {
+                leaders.mark_failed(node);
+                failed[node] = true;
+                fail_iter.next();
+            } else {
+                break;
+            }
+        }
+        // All clocks free-run for one epoch.
+        for (i, c) in clocks.iter_mut().enumerate() {
+            if !failed[i] {
+                c.advance(&mut rng, cfg.epoch_us);
+            }
+        }
+        // Followers measure the leader once per epoch and update.
+        if let Some(lead) = leaders.leader_at(e) {
+            let ref_phase = clocks[lead].phase_ps;
+            for i in 0..cfg.nodes {
+                if i == lead || failed[i] {
+                    continue;
+                }
+                let measured =
+                    clocks[i].phase_ps - ref_phase + gauss(&mut rng) * cfg.detector_noise_ps;
+                let (dp, df) = cfg.pll.update(measured);
+                clocks[i].adjust_phase(dp);
+                clocks[i].adjust_frequency(df);
+            }
+        }
+        if e >= warmup {
+            let dev = pairwise_max_dev(&clocks, &failed);
+            max_dev = max_dev.max(dev);
+            let quarter = ((e - warmup) * 4 / (epochs - warmup).max(1)).min(3) as usize;
+            window_max[quarter] = window_max[quarter].max(dev);
+            for (i, c) in clocks.iter().enumerate() {
+                if !failed[i] {
+                    max_offset = max_offset.max(c.offset_ppm.abs());
+                }
+            }
+        }
+    }
+    SyncResult {
+        max_deviation_ps: max_dev,
+        window_max_ps: window_max,
+        epochs,
+        max_honest_offset_ppm: max_offset,
+    }
+}
+
+fn pairwise_max_dev(clocks: &[LocalClock], failed: &[bool]) -> f64 {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for (c, &f) in clocks.iter().zip(failed) {
+        if !f {
+            min = min.min(c.phase_ps);
+            max = max.max(c.phase_ps);
+        }
+    }
+    if min.is_finite() {
+        max - min
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_nodes_stay_within_5ps() {
+        // The §6 headline: "Over 24 hours, the maximum deviation was
+        // +-5 ps" between two FPGAs. +-5 ps = 10 ps peak-to-peak.
+        let r = run(&SyncSimConfig::paper(2), 60_000, &[]);
+        assert!(
+            r.max_deviation_ps < 10.0,
+            "max deviation {} ps",
+            r.max_deviation_ps
+        );
+    }
+
+    #[test]
+    fn deviation_process_is_stationary() {
+        // Window maxima must be comparable — this is what licenses
+        // extrapolating a bounded run to 24 h.
+        let r = run(&SyncSimConfig::paper(4), 80_000, &[]);
+        let lo = r
+            .window_max_ps
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let hi = r.window_max_ps.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            hi / lo < 3.0,
+            "non-stationary windows: {:?}",
+            r.window_max_ps
+        );
+    }
+
+    #[test]
+    fn scales_to_many_nodes() {
+        let r = run(&SyncSimConfig::paper(32), 40_000, &[]);
+        assert!(
+            r.max_deviation_ps < 15.0,
+            "32-node deviation {} ps",
+            r.max_deviation_ps
+        );
+    }
+
+    #[test]
+    fn survives_leader_failure() {
+        // Kill node 0 (the first leader) mid-run: the rotation replaces it
+        // and the survivors stay synchronized.
+        let r = run(&SyncSimConfig::paper(4), 60_000, &[(0, 30_000)]);
+        assert!(
+            r.max_deviation_ps < 12.0,
+            "deviation with failure {} ps",
+            r.max_deviation_ps
+        );
+    }
+
+    #[test]
+    fn slew_limit_contains_a_byzantine_leader() {
+        // A byzantine node takes its leader turns and its phase reference
+        // jumps wildly; the honest nodes' slew-limited DLL caps how fast
+        // they can be dragged, and honest-to-honest deviation stays small
+        // relative to the byzantine clock's own excursions.
+        let filtered = run_with_byzantine(&SyncSimConfig::paper(8), 40_000, &[(0, 10_000)]);
+        let mut unfiltered_cfg = SyncSimConfig::paper(8);
+        unfiltered_cfg.pll = Pll::unfiltered();
+        let unfiltered = run_with_byzantine(&unfiltered_cfg, 40_000, &[(0, 10_000)]);
+        // The byzantine drag is common-mode (all honest followers chase
+        // the same wild reference), so pairwise honest deviation stays
+        // small either way; the damage shows in the *frequency excursion*
+        // honest clocks are driven to, which the slew limit caps.
+        // The filter is rate-limiting, not rejecting — the paper calls it
+        // "partially addressing the case of byzantine clock failures" —
+        // so we assert a clear (not total) reduction in how hard honest
+        // clocks get yanked.
+        assert!(
+            filtered.max_honest_offset_ppm < unfiltered.max_honest_offset_ppm * 0.85,
+            "slew limit did not help: filtered {} ppm vs unfiltered {} ppm",
+            filtered.max_honest_offset_ppm,
+            unfiltered.max_honest_offset_ppm
+        );
+        // Honest nodes remain mutually usable.
+        assert!(
+            filtered.max_deviation_ps < 50.0,
+            "honest deviation {} ps under byzantine leader",
+            filtered.max_deviation_ps
+        );
+    }
+
+    #[test]
+    fn unsynchronized_network_would_be_useless() {
+        // Ablation: with the PLL effectively disabled, deviation explodes
+        // — quantifying what the protocol buys.
+        let mut cfg = SyncSimConfig::paper(2);
+        cfg.pll = Pll {
+            kp: 0.0,
+            ki: 0.0,
+            max_slew_ppm: 0.0,
+        };
+        let r = run(&cfg, 20_000, &[]);
+        assert!(
+            r.max_deviation_ps > 1000.0,
+            "free-running deviation only {} ps",
+            r.max_deviation_ps
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! Source/destination selection patterns.
+//!
+//! The paper's §7 workload picks sources and destinations uniformly at
+//! random; the motivation sections describe the patterns that stress a
+//! network differently — high-fanout key-value stores (incast), hotspots,
+//! and the all-to-all phases of distributed DNN training. All are provided
+//! here so examples and ablation benches can exercise them.
+
+use rand::Rng;
+
+/// A traffic pattern: picks `(src, dst)` server pairs.
+#[derive(Debug, Clone)]
+pub enum Pattern {
+    /// Uniformly random source and destination (paper §7 default).
+    Uniform,
+    /// A fixed random permutation: server `i` always talks to `perm[i]`.
+    Permutation(Vec<u32>),
+    /// Many-to-one: all sources target one of `targets` victims.
+    Incast { targets: Vec<u32> },
+    /// A fraction of flows concentrate on a small hot set of destinations.
+    HotSpot {
+        hot: Vec<u32>,
+        /// Probability that a flow targets the hot set.
+        p_hot: f64,
+    },
+    /// Ring all-to-all: server `i` sends to `(i + stride) mod n`, with the
+    /// stride advanced per flow — the communication shape of ring
+    /// all-reduce in distributed DNN training.
+    Ring { stride: u32 },
+}
+
+impl Pattern {
+    /// Build a random permutation pattern over `n` servers.
+    pub fn random_permutation<R: Rng + ?Sized>(rng: &mut R, n: u32) -> Pattern {
+        let mut perm: Vec<u32> = (0..n).collect();
+        // Fisher-Yates, avoiding fixed points afterwards by rotating any.
+        for i in (1..n as usize).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        // Eliminate self-pairs by shifting them onto a neighbour.
+        for i in 0..n {
+            if perm[i as usize] == i {
+                let j = (i + 1) % n;
+                perm.swap(i as usize, j as usize);
+            }
+        }
+        Pattern::Permutation(perm)
+    }
+
+    /// Pick a `(src, dst)` pair (`src != dst`) among `n` servers; `k` is a
+    /// per-flow counter used by deterministic patterns.
+    pub fn pick<R: Rng + ?Sized>(&self, rng: &mut R, n: u32, k: u64) -> (u32, u32) {
+        assert!(n >= 2, "need at least two servers");
+        match self {
+            Pattern::Uniform => {
+                let src = rng.gen_range(0..n);
+                let mut dst = rng.gen_range(0..n - 1);
+                if dst >= src {
+                    dst += 1;
+                }
+                (src, dst)
+            }
+            Pattern::Permutation(perm) => {
+                let src = rng.gen_range(0..n);
+                (src, perm[src as usize % perm.len()] % n)
+            }
+            Pattern::Incast { targets } => {
+                let dst = targets[(k % targets.len() as u64) as usize] % n;
+                let mut src = rng.gen_range(0..n - 1);
+                if src >= dst {
+                    src += 1;
+                }
+                (src, dst)
+            }
+            Pattern::HotSpot { hot, p_hot } => {
+                let src = rng.gen_range(0..n);
+                let dst = if rng.gen::<f64>() < *p_hot && !hot.is_empty() {
+                    hot[rng.gen_range(0..hot.len())] % n
+                } else {
+                    rng.gen_range(0..n)
+                };
+                if dst == src {
+                    (src, (dst + 1) % n)
+                } else {
+                    (src, dst)
+                }
+            }
+            Pattern::Ring { stride } => {
+                let src = (k % n as u64) as u32;
+                let s = (stride + (k / n as u64) as u32) % n;
+                let s = if s == 0 { 1 } else { s };
+                (src, (src + s) % n)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_never_self() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for k in 0..10_000 {
+            let (s, d) = Pattern::Uniform.pick(&mut rng, 16, k);
+            assert_ne!(s, d);
+            assert!(s < 16 && d < 16);
+        }
+    }
+
+    #[test]
+    fn uniform_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut dst_counts = [0u32; 8];
+        for k in 0..80_000 {
+            let (_, d) = Pattern::Uniform.pick(&mut rng, 8, k);
+            dst_counts[d as usize] += 1;
+        }
+        for &c in &dst_counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "{dst_counts:?}");
+        }
+    }
+
+    #[test]
+    fn permutation_is_fixed_point_free() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for n in [2u32, 3, 8, 100] {
+            let p = Pattern::random_permutation(&mut rng, n);
+            if let Pattern::Permutation(perm) = &p {
+                for (i, &d) in perm.iter().enumerate() {
+                    assert_ne!(i as u32, d, "fixed point at {i} for n={n}");
+                }
+            } else {
+                unreachable!();
+            }
+        }
+    }
+
+    #[test]
+    fn incast_targets_victims_only() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let p = Pattern::Incast {
+            targets: vec![3, 7],
+        };
+        for k in 0..1000 {
+            let (s, d) = p.pick(&mut rng, 16, k);
+            assert!(d == 3 || d == 7);
+            assert_ne!(s, d);
+        }
+    }
+
+    #[test]
+    fn hotspot_skews_to_hot_set() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let p = Pattern::HotSpot {
+            hot: vec![0],
+            p_hot: 0.5,
+        };
+        let mut hot = 0;
+        let n = 10_000;
+        for k in 0..n {
+            let (s, d) = p.pick(&mut rng, 100, k);
+            assert_ne!(s, d);
+            if d == 0 {
+                hot += 1;
+            }
+        }
+        // ~50% hot (plus ~0.5% background hits on dst 0).
+        assert!((hot as f64 / n as f64 - 0.5).abs() < 0.05, "hot = {hot}");
+    }
+
+    #[test]
+    fn ring_covers_all_sources() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let p = Pattern::Ring { stride: 1 };
+        let mut seen = [false; 8];
+        for k in 0..8 {
+            let (s, d) = p.pick(&mut rng, 8, k);
+            assert_ne!(s, d);
+            seen[s as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

@@ -1,0 +1,121 @@
+//! Fault tolerance (§4.5): kill a rack mid-run and watch the fabric keep
+//! delivering.
+//!
+//! Valiant load balancing widens the blast radius of a failure — every
+//! node detours traffic through every other node — but the cyclic
+//! schedule also makes detection fast (every pair reconnects every few
+//! microseconds), and after the failure is disseminated the only lasting
+//! effect is a proportional 1/N bandwidth loss.
+//!
+//! ```sh
+//! cargo run --release --example failure_injection
+//! ```
+
+use sirius_core::fault::{FailureDetector, FaultConfig};
+use sirius_core::topology::NodeId;
+use sirius_core::units::{Duration, Rate};
+use sirius_core::SiriusConfig;
+use sirius_sim::{ScheduledFailure, SiriusSim, SiriusSimConfig};
+use sirius_workload::{Pareto, Pattern, WorkloadSpec};
+
+fn main() {
+    let mut net = SiriusConfig::scaled(32, 8);
+    net.servers_per_node = 8;
+    let victim = NodeId(13);
+
+    let spec = WorkloadSpec {
+        servers: net.total_servers() as u32,
+        server_rate: Rate::from_gbps(25),
+        load: 0.4,
+        sizes: Pareto::paper_default().truncated(1e6),
+        flows: 6_000,
+        pattern: Pattern::Uniform,
+        seed: 5,
+    };
+    let wl = spec.generate();
+    let victim_servers: Vec<u32> = (victim.0 * 8..victim.0 * 8 + 8).collect();
+    let victim_flows = wl
+        .iter()
+        .filter(|f| {
+            victim_servers.contains(&f.src_server) || victim_servers.contains(&f.dst_server)
+        })
+        .count();
+    println!(
+        "workload: {} flows ({} touch the victim rack {victim})",
+        wl.len(),
+        victim_flows
+    );
+
+    // Healthy baseline.
+    let mut cfg = SiriusSimConfig::new(net.clone()).with_seed(1);
+    cfg.drain_timeout = Duration::from_ms(5);
+    let healthy = SiriusSim::new(cfg.clone()).run(&wl);
+
+    // Kill rack 13 at epoch 200; detection + dissemination = 3 epochs.
+    let mut sim = SiriusSim::new(cfg);
+    sim.inject_failures(vec![ScheduledFailure {
+        node: victim,
+        epoch: 200,
+        detect_epochs: 3,
+    }]);
+    let failed = sim.run(&wl);
+
+    println!("\n{:<24} {:>12} {:>12}", "", "healthy", "rack failure");
+    println!(
+        "{:<24} {:>12} {:>12}",
+        "completed flows",
+        healthy.completed_flows(),
+        failed.completed_flows()
+    );
+    println!(
+        "{:<24} {:>12} {:>12}",
+        "incomplete flows", healthy.incomplete_flows, failed.incomplete_flows
+    );
+    println!(
+        "{:<24} {:>12} {:>12}",
+        "p99 FCT (short)",
+        format!("{}", healthy.fct_percentile(99.0, 100_000).unwrap()),
+        format!("{}", failed.fct_percentile(99.0, 100_000).unwrap()),
+    );
+
+    let stranded = failed.incomplete_flows as usize;
+    println!(
+        "\nthe failure strands {stranded} flows (those sourced at / destined to / in\n\
+         flight through rack {victim} inside the detection window); everyone else\n\
+         completes — traffic re-detours around the failed rack automatically."
+    );
+    assert!(stranded <= victim_flows + 200, "blast radius too large");
+
+    // The detector view: how fast does a peer notice the silence?
+    let mut fd = FailureDetector::new(net.nodes, FaultConfig::default());
+    for e in 0..200u64 {
+        for p in 0..net.nodes as u32 {
+            fd.heard_from(NodeId(p), e);
+        }
+        fd.tick(e);
+    }
+    let mut detected_at = None;
+    for e in 200..220u64 {
+        for p in 0..net.nodes as u32 {
+            if NodeId(p) != victim {
+                fd.heard_from(NodeId(p), e);
+            }
+        }
+        if fd.tick(e).contains(&victim) {
+            detected_at = Some(e);
+            break;
+        }
+    }
+    let e = detected_at.expect("victim never detected");
+    println!(
+        "\nfailure detector: rack {victim} silent from epoch 200, suspected at epoch {e}\n\
+         ({} epochs = {} of wall clock — 'low overhead yet fast failure detection').",
+        e - 200,
+        net.epoch() * (e - 200)
+    );
+    println!(
+        "post-failure bandwidth loss: 1/{} = {:.1}% per the §4.5 rule.",
+        net.nodes,
+        100.0 / net.nodes as f64
+    );
+}

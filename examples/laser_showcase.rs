@@ -1,0 +1,88 @@
+//! The optical substrate, end to end: tuning latencies of all four laser
+//! designs, the link budget with laser sharing, AWGR routing, and the
+//! composition of the 3.84 ns end-to-end reconfiguration time.
+//!
+//! ```sh
+//! cargo run --release --example laser_showcase
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sirius_optics::awgr::Awgr;
+use sirius_optics::laser::standard::{DriveMode, DsdbrLaser};
+use sirius_optics::laser::{CombLaser, FixedLaserBank, TunableLaserBank, TunableSource};
+use sirius_optics::link_budget::LinkBudget;
+use sirius_optics::transceiver::{v1, v2};
+
+fn show(name: &str, src: &dyn TunableSource) {
+    println!(
+        "{:<28} {:>4} ch   median {:>12}   worst {:>12}   {:>7.1} W",
+        name,
+        src.wavelengths(),
+        format!("{}", src.median_tuning_latency()),
+        format!("{}", src.worst_tuning_latency()),
+        src.electrical_power_w(),
+    );
+}
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(2026);
+
+    println!("== tunable laser designs (S3.2-S3.3) ==");
+    show(
+        "DSDBR, stock drive",
+        &DsdbrLaser::new(112, DriveMode::Stock),
+    );
+    show(
+        "DSDBR, single-step drive",
+        &DsdbrLaser::new(112, DriveMode::SingleStep),
+    );
+    show(
+        "DSDBR, dampened drive (v1)",
+        &DsdbrLaser::new(112, DriveMode::Dampened),
+    );
+    show(
+        "fixed bank + SOA (v2 chip)",
+        &FixedLaserBank::paper_chip(&mut rng),
+    );
+    show("pipelined tunable bank", &TunableLaserBank::paper_bank());
+    show("comb + SOA selector", &CombLaser::hundred_line(&mut rng));
+
+    println!("\n== AWGR wavelength routing (S3.1) ==");
+    let g = Awgr::new(16);
+    println!(
+        "16-port grating: input 3 + wavelength 7 -> output {} (insertion loss {:.1} dB)",
+        g.route(3, 7),
+        g.insertion_loss_db()
+    );
+    println!(
+        "to reach output 12 from input 3, tune to wavelength {}",
+        g.wavelength_for(3, 12)
+    );
+
+    println!("\n== link budget and laser sharing (S4.5) ==");
+    let b = LinkBudget::paper();
+    println!(
+        "laser {} dBm; losses {}+{} dB + {} dB margin; rx floor {} dBm",
+        b.laser_dbm, b.coupling_loss_db, b.grating_loss_db, b.margin_db, b.rx_sensitivity_dbm
+    );
+    println!(
+        "-> each transceiver needs {} dBm; one laser feeds {} transceivers;",
+        b.required_tx_dbm(),
+        b.max_shared_transceivers()
+    );
+    println!(
+        "   a 256-uplink rack needs only {} tunable laser chips (+spares).",
+        b.lasers_for_rack(256, 0)
+    );
+
+    println!("\n== end-to-end reconfiguration (S6) ==");
+    let t1 = v1::transceiver();
+    let t2 = v2::transceiver(&mut rng);
+    println!("Sirius v1 (DSDBR, 25G NRZ) : {}", t1.reconfiguration_time());
+    println!("Sirius v2 (chip, 50G PAM4) : {}", t2.reconfiguration_time());
+    println!(
+        "v2 overhead at a 38.4 ns slot: {:.1}% (the 10% target of S2.2)",
+        t2.guardband_overhead(sirius_core::Duration::from_ps(38_400)) * 100.0
+    );
+}

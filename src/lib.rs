@@ -1,0 +1,36 @@
+//! # sirius
+//!
+//! A full software reproduction of *"Sirius: A Flat Datacenter Network
+//! with Nanosecond Optical Switching"* (Ballani et al., SIGCOMM 2020).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] — topology, cyclic schedule, Valiant load balancing, the
+//!   request/grant congestion-control protocol, reorder buffers, fault
+//!   handling (§4).
+//! * [`optics`] — AWGRs, the four tunable-laser designs, SOA gates, link
+//!   budget, BER/FEC, phase-caching CDR (§3, §6).
+//! * [`sync`] — clock models, PLL/DLL, rotating-leader synchronization,
+//!   delay calibration (§4.4, §A.2).
+//! * [`sim`] — the cell-level Sirius simulator and the idealized
+//!   electrical baselines (§7).
+//! * [`workload`] — heavy-tailed flow and packet generators (§2.2, §7).
+//! * [`power`] — the power/cost analysis (§2, §5).
+//!
+//! See `examples/` for runnable walkthroughs and `crates/sirius-bench`
+//! for the harness that regenerates every figure in the paper.
+//!
+//! ```
+//! use sirius::core::SiriusConfig;
+//!
+//! let net = SiriusConfig::paper_sim();
+//! assert_eq!(net.total_servers(), 3072);
+//! assert!((net.epoch().as_us_f64() - 1.6).abs() < 0.01);
+//! ```
+
+pub use sirius_core as core;
+pub use sirius_optics as optics;
+pub use sirius_power as power;
+pub use sirius_sim as sim;
+pub use sirius_sync as sync;
+pub use sirius_workload as workload;

@@ -1,0 +1,130 @@
+//! Sirius against the electrical baselines: the qualitative claims of §7
+//! must hold at reduced scale — who wins, and roughly by how much.
+
+use sirius::core::units::Rate;
+use sirius::core::SiriusConfig;
+use sirius::sim::{CcMode, EsnConfig, EsnSim, SiriusSim, SiriusSimConfig};
+use sirius::workload::{Flow, Pareto, Pattern, WorkloadSpec};
+use sirius_core::units::Duration;
+
+fn net() -> SiriusConfig {
+    let mut c = SiriusConfig::scaled(16, 4);
+    c.servers_per_node = 2;
+    c.server_rate = Rate::from_gbps(100);
+    c
+}
+
+fn esn(osub: f64) -> EsnConfig {
+    EsnConfig {
+        servers: 32,
+        server_rate: Rate::from_gbps(100),
+        servers_per_rack: 2,
+        oversubscription: osub,
+        base_latency: Duration::from_us(3),
+    }
+}
+
+fn workload(load: f64, flows: u64, seed: u64) -> Vec<Flow> {
+    WorkloadSpec {
+        servers: 32,
+        server_rate: Rate::from_gbps(100),
+        load,
+        sizes: Pareto::paper_default().truncated(1e6),
+        flows,
+        pattern: Pattern::Uniform,
+        seed,
+    }
+    .generate()
+}
+
+#[test]
+fn sirius_tracks_esn_goodput_at_moderate_load() {
+    // Fig. 9b: "closely matching the performance achieved by ESN (Ideal)".
+    // At this reduced scale (16 nodes) the protocol quantum — one grant
+    // per (intermediate, destination) per epoch — caps per-destination
+    // service at (N-1) cells/epoch, which is only ~1.6x the offered
+    // per-node rate here (at the paper's N = 128 the headroom is much
+    // larger and the curves overlap). Assert the reduced-scale bound; the
+    // paper-scale comparison lives in the fig9 harness / EXPERIMENTS.md.
+    let wl = workload(0.5, 2500, 1);
+    let s = SiriusSim::new(SiriusSimConfig::new(net())).run(&wl);
+    let e = EsnSim::new(esn(1.0)).run(&wl);
+    let gs = s.normalized_goodput(32, Rate::from_gbps(100));
+    let ge = e.normalized_goodput(32, Rate::from_gbps(100));
+    assert!(
+        gs > 0.6 * ge,
+        "Sirius goodput {gs:.3} far below ESN {ge:.3} at 50% load"
+    );
+}
+
+#[test]
+fn oversubscribed_esn_collapses_under_inter_rack_load() {
+    // Fig. 9: "SIRIUS significantly outperforms ESN-OSUB (Ideal) ...
+    // goodput (increased by up to a factor of 6.7)". At reduced scale the
+    // factor is smaller but the ordering is robust.
+    let wl = workload(0.9, 2500, 2);
+    let s = SiriusSim::new(SiriusSimConfig::new(net())).run(&wl);
+    let o = EsnSim::new(esn(3.0)).run(&wl);
+    let gs = s.normalized_goodput(32, Rate::from_gbps(100));
+    let go = o.normalized_goodput(32, Rate::from_gbps(100));
+    assert!(
+        gs > 1.2 * go,
+        "Sirius {gs:.3} should clearly beat OSUB {go:.3} at high load"
+    );
+}
+
+#[test]
+fn esn_fct_is_a_lower_bound_at_low_load() {
+    // The fluid ESN has no cell padding, no epoch pipeline: at low load
+    // its short-flow tail must not exceed Sirius'.
+    let wl = workload(0.1, 2000, 3);
+    let s = SiriusSim::new(SiriusSimConfig::new(net())).run(&wl);
+    let e = EsnSim::new(esn(1.0)).run(&wl);
+    let fs = s.fct_percentile(99.0, 100_000).unwrap();
+    let fe = e.fct_percentile(99.0, 100_000).unwrap();
+    assert!(
+        fe <= fs,
+        "idealized ESN p99 {fe} should lower-bound Sirius {fs} at low load"
+    );
+}
+
+#[test]
+fn queue_threshold_trade_off_matches_fig10() {
+    // Q = 2 struggles to absorb bursts (lower goodput at high load);
+    // Q = 16 queues more (higher occupancy). Q = 4 is the paper's pick.
+    let wl = workload(0.9, 3000, 4);
+    let run_q = |q: usize| {
+        let mut n = net();
+        n.queue_threshold = q;
+        SiriusSim::new(SiriusSimConfig::new(n)).run(&wl)
+    };
+    let m2 = run_q(2);
+    let m16 = run_q(16);
+    let g2 = m2.normalized_goodput(32, Rate::from_gbps(100));
+    let g16 = m16.normalized_goodput(32, Rate::from_gbps(100));
+    assert!(
+        g16 >= g2 * 0.98,
+        "larger Q should not lose goodput: Q2 {g2:.3} vs Q16 {g16:.3}"
+    );
+    assert!(
+        m16.peak_node_fabric_cells >= m2.peak_node_fabric_cells,
+        "Q16 occupancy {} < Q2 {}",
+        m16.peak_node_fabric_cells,
+        m2.peak_node_fabric_cells
+    );
+}
+
+#[test]
+fn ideal_sirius_upper_bounds_protocol_goodput() {
+    let wl = workload(1.0, 2500, 5);
+    let mut cfg = SiriusSimConfig::new(net());
+    cfg.drain_timeout = Duration::from_ms(1);
+    let p = SiriusSim::new(cfg.clone()).run(&wl);
+    let i = SiriusSim::new(cfg.with_mode(CcMode::Ideal)).run(&wl);
+    let gp = p.normalized_goodput(32, Rate::from_gbps(100));
+    let gi = i.normalized_goodput(32, Rate::from_gbps(100));
+    assert!(
+        gi >= gp * 0.95,
+        "ideal goodput {gi:.3} should not trail protocol {gp:.3}"
+    );
+}

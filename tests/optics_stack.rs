@@ -1,0 +1,109 @@
+//! The optical substrate composed end to end: guardbands derived from the
+//! transceiver models drive the network simulator; the pipelined laser
+//! bank sustains the actual cyclic schedule; the link budget closes for
+//! the deployed grating sizes.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sirius::core::units::{Duration, Rate};
+use sirius::core::SiriusConfig;
+use sirius::optics::awgr::Awgr;
+use sirius::optics::laser::{TunableLaserBank, TunableSource};
+use sirius::optics::link_budget::LinkBudget;
+use sirius::optics::transceiver::{v1, v2};
+use sirius::sim::{SiriusSim, SiriusSimConfig};
+use sirius::workload::{Pareto, Pattern, WorkloadSpec};
+
+#[test]
+fn v2_guardband_drives_a_working_network() {
+    // Derive the guardband from the v2 transceiver model (3.84 ns), build
+    // a network with 10x slots, and run traffic through it.
+    let mut rng = SmallRng::seed_from_u64(1);
+    let t = v2::transceiver(&mut rng);
+    let guard = t.reconfiguration_time();
+    assert_eq!(guard, Duration::from_ps(3_840));
+
+    let mut net = SiriusConfig::scaled(16, 4);
+    net.servers_per_node = 2;
+    net.server_rate = Rate::from_gbps(100);
+    net.guardband = guard;
+    // Keep guardband ~10% of slot: shrink the cell to 9x the guardband.
+    net.cell_bytes = net.channel_rate.bytes_in(guard * 9) as u32;
+    net.payload_bytes = net.cell_bytes - 22;
+    net.validate().unwrap();
+    let overhead = net.guardband.as_ps() as f64 / net.slot().as_ps() as f64;
+    assert!((overhead - 0.10).abs() < 0.02, "overhead {overhead}");
+
+    let wl = WorkloadSpec {
+        servers: 32,
+        server_rate: Rate::from_gbps(100),
+        load: 0.3,
+        sizes: Pareto::paper_default().truncated(1e5),
+        flows: 300,
+        pattern: Pattern::Uniform,
+        seed: 2,
+    }
+    .generate();
+    let m = SiriusSim::new(SiriusSimConfig::new(net)).run(&wl);
+    assert_eq!(m.incomplete_flows, 0, "v2-guardband network must deliver");
+}
+
+#[test]
+fn v1_and_v2_match_the_paper_prototypes() {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let t1 = v1::transceiver();
+    let t2 = v2::transceiver(&mut rng);
+    // v1: 100 ns guardband budget; v2: 3.84 ns.
+    assert!(t1.reconfiguration_time() <= Duration::from_ns(100));
+    assert!(t1.reconfiguration_time() > Duration::from_ns(90));
+    assert_eq!(t2.reconfiguration_time(), Duration::from_ns_f64(3.84));
+}
+
+#[test]
+fn pipelined_bank_sustains_the_real_schedule() {
+    // §4.5: a bank of two tunable lasers (plus a spare) hides the 92 ns
+    // worst-case tune behind 100 ns slots — verified against the actual
+    // wavelength sequence of the cyclic schedule.
+    let net = SiriusConfig::paper_sim();
+    let bank = TunableLaserBank::paper_bank();
+    assert!(bank.sustains(net.slot()));
+    // The schedule's wavelength sequence is 0,1,2,...,G-1 repeating.
+    let seq: Vec<usize> = (0..10_000).map(|k| k % net.grating_ports).collect();
+    assert_eq!(
+        bank.simulate_stalls(&seq, net.slot()),
+        Duration::ZERO,
+        "bank stalled on the cyclic schedule"
+    );
+}
+
+#[test]
+fn link_budget_closes_for_deployed_grating_sizes() {
+    // The paper's budget assumes a 100-port (6 dB) grating; smaller
+    // deployments only have more headroom.
+    let base = LinkBudget::paper();
+    for ports in [16u16, 32, 64, 100] {
+        let mut b = base;
+        b.grating_loss_db = Awgr::new(ports).insertion_loss_db();
+        assert!(b.closes(), "budget fails at {ports}-port gratings");
+        assert!(
+            b.max_shared_transceivers() >= 8,
+            "sharing degrades at {ports} ports"
+        );
+    }
+    // 512-port gratings (research prototypes) need more laser power.
+    let mut b = base;
+    b.grating_loss_db = Awgr::new(512).insertion_loss_db();
+    assert!(b.max_shared_transceivers() < 8);
+}
+
+#[test]
+fn chip_tuning_beats_every_slot_budget() {
+    // The fabricated chip must retune inside even a 38 ns slot's
+    // guardband; the DSDBR cannot.
+    let mut rng = SmallRng::seed_from_u64(4);
+    let chip = sirius::optics::laser::FixedLaserBank::paper_chip(&mut rng);
+    let dsdbr = sirius::optics::laser::DsdbrLaser::paper_prototype();
+    let slot38_guard = Duration::from_ps(3_840);
+    assert!(chip.worst_tuning_latency() < slot38_guard);
+    assert!(dsdbr.worst_tuning_latency() > slot38_guard);
+}

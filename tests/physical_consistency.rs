@@ -1,0 +1,121 @@
+//! Cross-crate consistency: the logical cyclic schedule (`sirius-core`)
+//! and the physical layer (`sirius-optics` AWGRs wired per the topology)
+//! must agree — light launched on the scheduled wavelength must land on
+//! the scheduled destination, with no output-port contention anywhere in
+//! the core.
+
+use sirius_core::schedule::{Schedule, SlotInEpoch};
+use sirius_core::topology::{NodeId, Topology, UplinkId};
+use sirius_core::SiriusConfig;
+use sirius_optics::awgr::Awgr;
+
+/// Trace one transmission through the physical model: node -> TX grating
+/// input port -> AWGR wavelength routing -> RX node.
+fn physical_dest(topo: &Topology, i: NodeId, u: UplinkId, slot: u16) -> NodeId {
+    let grating = Awgr::new(topo.grating_ports() as u16);
+    let g = topo.tx_grating(i, u);
+    let input = topo.port_of(i) as u16;
+    // The network-wide wavelength at slot t is t (laser sharing, §4.5).
+    let output = grating.route(input, slot);
+    topo.rx_node(g, output as u32)
+}
+
+#[test]
+fn awgr_routing_realizes_the_schedule_exactly() {
+    for cfg in [
+        SiriusConfig::four_node_prototype(),
+        SiriusConfig::scaled(32, 8),
+        SiriusConfig::paper_sim(),
+    ] {
+        let topo = Topology::new(&cfg);
+        let sched = Schedule::new(&cfg);
+        for u in 0..topo.uplinks() as u16 {
+            for t in 0..cfg.grating_ports as u16 {
+                for i in 0..cfg.nodes as u32 {
+                    let logical = sched.dest(NodeId(i), UplinkId(u), SlotInEpoch(t));
+                    let physical = physical_dest(&topo, NodeId(i), UplinkId(u), t);
+                    assert_eq!(
+                        logical, physical,
+                        "node {i} uplink {u} slot {t}: schedule says {logical}, optics deliver to {physical}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn no_grating_output_contention_at_any_slot() {
+    let cfg = SiriusConfig::paper_sim();
+    let topo = Topology::new(&cfg);
+    let grating = Awgr::new(cfg.grating_ports as u16);
+    for t in 0..cfg.grating_ports as u16 {
+        for g in topo.gratings() {
+            let mut outputs_used = vec![false; cfg.grating_ports];
+            // Every input of this grating carries the same wavelength t.
+            for p in 0..cfg.grating_ports as u16 {
+                let q = grating.route(p, t) as usize;
+                assert!(
+                    !outputs_used[q],
+                    "grating {g:?}: two inputs collide on output {q} at slot {t}"
+                );
+                outputs_used[q] = true;
+            }
+        }
+    }
+}
+
+#[test]
+fn one_wavelength_per_slot_enables_laser_sharing() {
+    // §4.5: "laser sharing is made possible by Sirius' use of load
+    // balanced routing as it allows all transceivers on a node to use the
+    // same wavelength at any timeslot". Verify the schedule only ever
+    // needs wavelength == slot on every uplink.
+    let cfg = SiriusConfig::paper_sim();
+    let topo = Topology::new(&cfg);
+    let sched = Schedule::new(&cfg);
+    let grating = Awgr::new(cfg.grating_ports as u16);
+    for i in (0..cfg.nodes as u32).step_by(17) {
+        for t in 0..cfg.grating_ports as u16 {
+            for u in 0..topo.uplinks() as u16 {
+                let dst = sched.dest(NodeId(i), UplinkId(u), SlotInEpoch(t));
+                // Which wavelength would physically reach dst from here?
+                let g = topo.tx_grating(NodeId(i), UplinkId(u));
+                let input = topo.port_of(NodeId(i)) as u16;
+                // Find dst's port on this grating.
+                let q = (0..cfg.grating_ports as u32)
+                    .find(|&q| topo.rx_node(g, q) == dst)
+                    .expect("dst not on this grating");
+                let needed = grating.wavelength_for(input, q as u16);
+                assert_eq!(
+                    needed,
+                    sched.wavelength(SlotInEpoch(t)).0,
+                    "uplink {u} of node {i} would need a different wavelength at slot {t}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn grating_count_and_size_match_deployment_arithmetic() {
+    // §4.1: "A large datacenter with 4,096 racks could thus be connected
+    // through just 16-port gratings" — with 256 uplinks and 16-port
+    // gratings, groups = 4096/16 = 256 = uplinks.
+    let mut cfg = SiriusConfig::paper_sim();
+    cfg.nodes = 4096;
+    cfg.grating_ports = 16;
+    cfg.base_uplinks = 256;
+    cfg.uplink_factor = 1.0;
+    cfg.validate().unwrap();
+    let topo = Topology::new(&cfg);
+    assert_eq!(topo.uplinks(), 256);
+    assert_eq!(topo.grating_count(), 256 * 256);
+    // And the rack-based maximum: 100-port gratings x 256 uplinks.
+    let mut big = cfg.clone();
+    big.nodes = 25_600;
+    big.grating_ports = 100;
+    big.base_uplinks = 256;
+    big.validate().unwrap();
+    assert_eq!(Topology::new(&big).nodes(), 25_600);
+}

@@ -1,0 +1,47 @@
+//! Cross-crate property tests: random small geometries and workloads
+//! against the end-to-end invariants (byte conservation, losslessness,
+//! schedule/AWGR agreement).
+
+use proptest::prelude::*;
+use sirius::core::units::Rate;
+use sirius::core::SiriusConfig;
+use sirius::sim::{CcMode, SiriusSim, SiriusSimConfig};
+use sirius::workload::{Pareto, Pattern, WorkloadSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any valid small geometry delivers every byte of a modest workload
+    /// exactly once, in both congestion-control modes.
+    #[test]
+    fn bytes_conserved_on_random_geometries(
+        groups in 2usize..5,
+        g in 2usize..6,
+        spn in 1usize..4,
+        load in 0.05f64..0.4,
+        seed in 0u64..50,
+        ideal in proptest::bool::ANY,
+    ) {
+        let nodes = groups * g;
+        let mut net = SiriusConfig::scaled(nodes, g);
+        net.servers_per_node = spn;
+        net.server_rate = Rate::from_gbps(200);
+        prop_assume!(net.validate().is_ok());
+        let wl = WorkloadSpec {
+            servers: net.total_servers() as u32,
+            server_rate: Rate::from_gbps(200),
+            load,
+            sizes: Pareto::paper_default().truncated(2e5),
+            flows: 150,
+            pattern: Pattern::Uniform,
+            seed,
+        }
+        .generate();
+        let mode = if ideal { CcMode::Ideal } else { CcMode::Protocol };
+        let m = SiriusSim::new(SiriusSimConfig::new(net).with_mode(mode)).run(&wl);
+        prop_assert_eq!(m.incomplete_flows, 0, "stuck flows at load {}", load);
+        prop_assert_eq!(m.delivered_bytes, wl.iter().map(|f| f.bytes).sum::<u64>());
+        prop_assert_eq!(m.cc.untracked_arrivals, 0);
+        prop_assert_eq!(m.cc.bound_exceeded, 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Synchronization + calibration integrated with the network geometry:
+//! per-node epoch offsets derived from noisy delay measurements keep slot
+//! arrivals aligned well inside the guardband, and the network-wide
+//! frequency sync stays inside the symbol budget.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sirius::core::SiriusConfig;
+use sirius::sync::delay::{arrival_misalignment, epoch_start_offsets, DelayEstimator};
+use sirius::sync::sync_sim::{run, SyncSimConfig};
+use sirius_core::units::Duration;
+
+#[test]
+fn calibration_fits_inside_the_guardband_budget() {
+    // 128 racks at fiber lengths 5..500 m, 50 ps timestamp noise, 100
+    // loopback samples each (one per epoch: 160 us of calibration).
+    let net = SiriusConfig::paper_sim();
+    let mut rng = SmallRng::seed_from_u64(1);
+    let true_delays: Vec<Duration> = (0..net.nodes)
+        .map(|_| Duration::from_ps(rng.gen_range(5u64..500) * 5_000))
+        .collect();
+    let estimates: Vec<Duration> = true_delays
+        .iter()
+        .map(|&d| {
+            let mut est = DelayEstimator::new();
+            for _ in 0..100 {
+                est.record(&mut rng, d, 50.0);
+            }
+            est.estimate().unwrap()
+        })
+        .collect();
+    let offsets = epoch_start_offsets(&estimates);
+    let mis = arrival_misalignment(&true_delays, &offsets);
+    let worst_ps = mis.iter().map(|m| m.abs()).max().unwrap();
+    // The 10 ns guardband absorbs laser tuning (912 ps) + CDR + preamble;
+    // arrival misalignment must be a small fraction of what remains.
+    assert!(
+        worst_ps < 500,
+        "misalignment {worst_ps} ps eats into the guardband"
+    );
+}
+
+#[test]
+fn sync_error_is_negligible_vs_symbol_time() {
+    // §6: ±5 ps deviation vs 40 ps symbols at 25 GBaud — an order of
+    // magnitude of margin for the phase-caching CDR.
+    let r = run(&SyncSimConfig::paper(8), 40_000, &[]);
+    let symbol_ps = 40.0;
+    assert!(
+        r.max_deviation_ps < symbol_ps / 4.0,
+        "deviation {} ps vs symbol {} ps",
+        r.max_deviation_ps,
+        symbol_ps
+    );
+}
+
+#[test]
+fn sync_survives_cascading_leader_failures() {
+    // Kill three successive leaders; the rotation must keep the rest
+    // locked.
+    let r = run(
+        &SyncSimConfig::paper(8),
+        60_000,
+        &[(0, 20_000), (1, 30_000), (2, 40_000)],
+    );
+    assert!(
+        r.max_deviation_ps < 15.0,
+        "deviation after cascading failures: {} ps",
+        r.max_deviation_ps
+    );
+}
+
+#[test]
+fn epoch_offsets_monotone_in_distance() {
+    // Sanity of the §A.2 rule: farther node starts earlier.
+    let delays: Vec<Duration> = (1..=10).map(|k| Duration::from_ps(k * 100_000)).collect();
+    let offsets = epoch_start_offsets(&delays);
+    for w in offsets.windows(2) {
+        assert!(w[0] >= w[1], "offsets must shrink with distance");
+    }
+}
