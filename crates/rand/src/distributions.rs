@@ -1,0 +1,145 @@
+//! Standard and uniform-range sampling.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// A distribution over values of `T`.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a type: `[0, 1)` for floats, the full
+/// range for integers, a fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 high bits -> uniform dyadic rationals in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        (rng.next_u64() as u128) << 64 | rng.next_u64() as u128
+    }
+}
+
+/// A range that can be sampled from (`a..b`, `a..=b`).
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Multiply-shift bounded sampling: maps a 64-bit word onto `[0, span)`.
+/// Bias is at most `span / 2^64` — immaterial for simulation use.
+#[inline]
+fn bounded(word: u64, span: u64) -> u64 {
+    ((word as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + bounded(rng.next_u64(), span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64 + 1; // 0 means the full 2^64 span
+                if span == 0 {
+                    return lo.wrapping_add(rng.next_u64() as $t);
+                }
+                lo + bounded(rng.next_u64(), span) as $t
+            }
+        }
+    )*};
+}
+range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                (self.start as i64).wrapping_add(bounded(rng.next_u64(), span) as i64) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64 + 1;
+                if span == 0 {
+                    return (lo as i64).wrapping_add(rng.next_u64() as i64) as $t;
+                }
+                (lo as i64).wrapping_add(bounded(rng.next_u64(), span) as i64) as $t
+            }
+        }
+    )*};
+}
+range_int!(i8, i16, i32, i64, isize);
+
+macro_rules! range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit: f64 = Standard.sample(rng);
+                self.start + (self.end - self.start) * unit as $t
+            }
+        }
+    )*};
+}
+range_float!(f32, f64);
+
+/// Uniform distribution over a half-open range, mirroring
+/// `rand::distributions::Uniform`.
+#[derive(Debug, Clone)]
+pub struct Uniform<T> {
+    range: Range<T>,
+}
+
+impl<T: Copy> Uniform<T> {
+    pub fn new(low: T, high: T) -> Uniform<T> {
+        Uniform { range: low..high }
+    }
+}
+
+impl<T: Copy> Distribution<T> for Uniform<T>
+where
+    Range<T>: SampleRange<T>,
+{
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        self.range.clone().sample_single(rng)
+    }
+}

@@ -1,0 +1,170 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this workspace
+//! uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the tiny slice of `rand` it actually needs: the [`Rng`] /
+//! [`RngCore`] / [`SeedableRng`] traits, [`rngs::SmallRng`] (implemented
+//! as xoshiro256++, seeded through SplitMix64 exactly like the upstream
+//! `seed_from_u64`), uniform range sampling, and
+//! [`seq::SliceRandom`] shuffling.
+//!
+//! Everything here is deterministic: the same seed always yields the same
+//! stream on every platform, which the simulator's run-digest determinism
+//! guarantee (see `sirius-sim`) depends on. The generator constants are
+//! the published xoshiro256++ / SplitMix64 ones; statistical quality is
+//! more than sufficient for simulation workloads.
+//!
+//! Note the streams are *not* bit-compatible with the real `rand` crate;
+//! swapping the real crate back in changes sampled workloads (but not any
+//! correctness property — tests in this workspace assert distributional
+//! facts, not golden values).
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+use distributions::{Distribution, SampleRange, Standard};
+
+/// Core trait: a source of random 64-bit words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let w = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&w[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Ergonomic sampling methods, mirroring `rand::Rng`.
+///
+/// Unlike upstream, the methods here do not require `Self: Sized`, so they
+/// are directly callable through `R: Rng + ?Sized` bounds.
+pub trait Rng: RngCore {
+    /// Sample a value from the standard distribution of `T`
+    /// (`f64`/`f32` in `[0, 1)`, full range for integers, fair `bool`).
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Sample uniformly from a range (`a..b` or `a..=b`).
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Deterministically build a generator from a 64-bit seed
+    /// (SplitMix64-expanded, as in upstream `rand`).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_bounds_exclusive_and_inclusive() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3u32..7);
+            assert!((3..7).contains(&x));
+            let y = rng.gen_range(0u8..=255);
+            let _ = y; // full-width inclusive range must not overflow
+            let z = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&z));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = [0u32; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[rng.gen_range(0usize..10)] += 1;
+        }
+        let expect = n as f64 / 10.0;
+        for &c in &counts {
+            assert!((c as f64 - expect).abs() < expect * 0.08, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "shuffle left the slice sorted (astronomically unlikely)"
+        );
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        assert_eq!([7u32].choose(&mut rng), Some(&7));
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((hits as f64 - 30_000.0).abs() < 1_500.0, "hits {hits}");
+    }
+}

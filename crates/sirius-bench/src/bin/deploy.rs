@@ -20,9 +20,19 @@ fn main() {
         ],
     );
     let rows = [
-        ("GPU cluster (server-based)", DeploymentKind::ServerBased, 4_800usize, 48usize),
+        (
+            "GPU cluster (server-based)",
+            DeploymentKind::ServerBased,
+            4_800usize,
+            48usize,
+        ),
         ("max rack-based DC", DeploymentKind::RackBased, 25_600, 256),
-        ("large DC, 16-port gratings", DeploymentKind::RackBased, 4_096, 256),
+        (
+            "large DC, 16-port gratings",
+            DeploymentKind::RackBased,
+            4_096,
+            256,
+        ),
         ("paper §7 simulation", DeploymentKind::RackBased, 128, 8),
     ];
     for (name, kind, nodes, uplinks) in rows {

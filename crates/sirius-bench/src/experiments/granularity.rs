@@ -18,11 +18,11 @@ use sirius_sim::SiriusSim;
 
 /// Representative reconfiguration times per §8 technology class.
 pub const TECHNOLOGIES: [(&str, u64); 5] = [
-    ("Sirius v2 (SOA select)", 4),          // ~3.84 ns
-    ("Sirius v1 (DSDBR)", 100),             // ~100 ns
-    ("electrical circuit (Shoal)", 1_000),  // ~1 us class
-    ("free-space / piezo", 20_000),         // ~20 us (RotorNet's switch)
-    ("MEMS circuit switch", 1_000_000),     // ~1 ms class
+    ("Sirius v2 (SOA select)", 4),         // ~3.84 ns
+    ("Sirius v1 (DSDBR)", 100),            // ~100 ns
+    ("electrical circuit (Shoal)", 1_000), // ~1 us class
+    ("free-space / piezo", 20_000),        // ~20 us (RotorNet's switch)
+    ("MEMS circuit switch", 1_000_000),    // ~1 ms class
 ];
 
 #[derive(Debug, Clone)]

@@ -3,7 +3,6 @@
 
 pub mod ablation;
 pub mod fig10;
-pub mod granularity;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;
@@ -11,5 +10,6 @@ pub mod fig2;
 pub mod fig6;
 pub mod fig8;
 pub mod fig9;
+pub mod granularity;
 pub mod sync;
 pub mod tuning;

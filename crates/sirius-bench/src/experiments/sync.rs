@@ -6,6 +6,9 @@ use crate::table::{f, Table};
 use sirius_sync::pll::Pll;
 use sirius_sync::sync_sim::{run, SyncSimConfig};
 
+/// One scenario row: label, config, and `(node, epoch)` failure schedule.
+type Scenario = (&'static str, SyncSimConfig, Vec<(usize, u64)>);
+
 /// Epochs per scenario (the deviation process is stationary after lock;
 /// the harness's stationarity check below licenses extrapolating to the
 /// paper's 24 h).
@@ -15,7 +18,7 @@ pub fn sync_table(epochs: u64) -> Table {
         &["scenario", "nodes", "epochs", "max_dev_ps", "stationary"],
     );
 
-    let scenarios: Vec<(&str, SyncSimConfig, Vec<(usize, u64)>)> = vec![
+    let scenarios: Vec<Scenario> = vec![
         ("2 nodes (paper setup)", SyncSimConfig::paper(2), vec![]),
         ("8 nodes", SyncSimConfig::paper(8), vec![]),
         ("32 nodes", SyncSimConfig::paper(32), vec![]),

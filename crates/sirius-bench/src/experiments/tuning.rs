@@ -76,7 +76,11 @@ pub fn dsdbr_cdf_table() -> Table {
     for i in 0..112 {
         for j in 0..112 {
             if i != j {
-                all.push(l.tuning_latency(i, j).as_ns_f64());
+                all.push(
+                    l.tuning_latency(i, j)
+                        .expect("grid-internal channel")
+                        .as_ns_f64(),
+                );
             }
         }
     }

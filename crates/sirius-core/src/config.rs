@@ -192,7 +192,7 @@ impl SiriusConfig {
         if self.grating_ports == 0 {
             return Err(ConfigError::ZeroField("grating_ports"));
         }
-        if self.nodes % self.grating_ports != 0 {
+        if !self.nodes.is_multiple_of(self.grating_ports) {
             return Err(ConfigError::NodesNotMultipleOfGrating {
                 nodes: self.nodes,
                 grating_ports: self.grating_ports,

@@ -521,8 +521,8 @@ mod tests {
                         cc.begin_epoch(epoch);
                         // Grant expiry may have reclaimed some deliverable
                         // budget; resynchronize our model.
-                        for d in 0..n {
-                            deliverable[d] = deliverable[d].min(cc.outstanding(NodeId(d as u32)));
+                        for (d, v) in deliverable.iter_mut().enumerate() {
+                            *v = (*v).min(cc.outstanding(NodeId(d as u32)));
                         }
                         let grants = cc.issue_grants(&mut rng, epoch);
                         for (_, d) in grants {

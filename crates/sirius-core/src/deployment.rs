@@ -57,7 +57,7 @@ pub fn plan(
     if base_uplinks == 0 {
         return Err(ConfigError::ZeroField("base_uplinks"));
     }
-    if nodes % base_uplinks != 0 {
+    if !nodes.is_multiple_of(base_uplinks) {
         return Err(ConfigError::NodesNotMultipleOfGrating {
             nodes,
             grating_ports: nodes / base_uplinks.max(1),

@@ -287,7 +287,13 @@ mod tests {
         // Peer 2's column 1 transceiver dies; its other columns keep
         // talking. The link detector pins the failure to (2, 1) and
         // classifies peer 2 as grey, not dead.
-        let mut ld = LinkDetector::new(4, 3, FaultConfig { silence_threshold: 3 });
+        let mut ld = LinkDetector::new(
+            4,
+            3,
+            FaultConfig {
+                silence_threshold: 3,
+            },
+        );
         for e in 0..10u64 {
             for p in 0..4u32 {
                 for c in 0..3usize {
@@ -312,7 +318,13 @@ mod tests {
 
     #[test]
     fn total_silence_is_not_grey() {
-        let mut ld = LinkDetector::new(2, 2, FaultConfig { silence_threshold: 1 });
+        let mut ld = LinkDetector::new(
+            2,
+            2,
+            FaultConfig {
+                silence_threshold: 1,
+            },
+        );
         ld.tick(5); // peer 1 never heard at all
         assert!(ld.is_suspected(NodeId(1), 0) && ld.is_suspected(NodeId(1), 1));
         assert!(!ld.is_grey(NodeId(1)), "fully dead, not grey");
@@ -320,7 +332,13 @@ mod tests {
 
     #[test]
     fn grey_link_recovers() {
-        let mut ld = LinkDetector::new(2, 2, FaultConfig { silence_threshold: 2 });
+        let mut ld = LinkDetector::new(
+            2,
+            2,
+            FaultConfig {
+                silence_threshold: 2,
+            },
+        );
         ld.tick(4);
         assert!(ld.is_suspected(NodeId(0), 0));
         ld.heard_from(NodeId(0), 0, 5);

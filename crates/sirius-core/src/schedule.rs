@@ -221,13 +221,9 @@ mod tests {
                 }
             }
         }
-        for i in 0..s.nodes() {
-            for j in 0..s.nodes() {
-                assert_eq!(
-                    count[i][j], 1,
-                    "pair ({i},{j}) connected {} times",
-                    count[i][j]
-                );
+        for (i, row) in count.iter().enumerate() {
+            for (j, &c) in row.iter().enumerate() {
+                assert_eq!(c, 1, "pair ({i},{j}) connected {c} times");
             }
         }
     }

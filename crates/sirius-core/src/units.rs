@@ -248,7 +248,7 @@ impl Rate {
         assert!(self.0 > 0, "zero rate");
         // ps = bits * 1e12 / bps, computed in u128 to avoid overflow.
         let bits = (bytes as u128) * 8;
-        let ps = (bits * 1_000_000_000_000 + self.0 as u128 - 1) / self.0 as u128;
+        let ps = (bits * 1_000_000_000_000).div_ceil(self.0 as u128);
         Duration(ps as u64)
     }
 

@@ -76,16 +76,38 @@ impl Vlb {
         if eligible == 0 {
             return None;
         }
-        // Rejection sampling: with few failures this takes ~1 draw; under
-        // mass failure the alive fraction still bounds expected draws.
-        loop {
+        // Rejection sampling: with few failures this takes ~1 draw. Bound
+        // the draws so a near-total failure (tiny alive fraction) cannot
+        // stall the per-cell hot path for an unbounded number of rounds.
+        for _ in 0..MAX_REJECTION_DRAWS {
             let c = NodeId(rng.gen_range(0..n as u32));
             if c != src && c != dst && self.alive[c.0 as usize] {
                 return Some(c);
             }
         }
+        // Fallback: one uniform draw over the eligible set by rank — O(n)
+        // scan, still exactly uniform, and only reached when the eligible
+        // fraction is so small that `MAX_REJECTION_DRAWS` misses repeatedly
+        // (probability <= (1 - eligible/n)^MAX_REJECTION_DRAWS).
+        let rank = rng.gen_range(0..eligible as u32);
+        let mut seen = 0;
+        for (i, &alive) in self.alive.iter().enumerate() {
+            let c = NodeId(i as u32);
+            if alive && c != src && c != dst {
+                if seen == rank {
+                    return Some(c);
+                }
+                seen += 1;
+            }
+        }
+        unreachable!("eligible count disagrees with the alive list")
     }
 }
+
+/// Rejection-sampling attempts before [`Vlb::pick`] falls back to a linear
+/// scan. 32 misses at even a 10% alive fraction has probability ~3e-2;
+/// below that the O(n) fallback is cheap relative to the failure state.
+const MAX_REJECTION_DRAWS: usize = 32;
 
 #[cfg(test)]
 mod tests {
@@ -166,6 +188,40 @@ mod tests {
             let i = v.pick(&mut rng, NodeId(1), NodeId(1)).unwrap();
             assert_ne!(i, NodeId(1));
         }
+    }
+
+    #[test]
+    fn near_total_failure_terminates_and_stays_uniform() {
+        // 4096 nodes with three survivors: a random draw hits an eligible
+        // node with probability ~2/4096, so the bounded rejection loop
+        // almost always misses and the linear-scan fallback must both
+        // terminate and stay exactly uniform over the eligible pair.
+        let n = 4096;
+        let mut v = Vlb::new(n);
+        for i in 0..n {
+            if ![17, 1000, 3000].contains(&i) {
+                v.mark_failed(NodeId(i as u32));
+            }
+        }
+        assert_eq!(v.alive_count(), 3);
+        let mut rng = SmallRng::seed_from_u64(13);
+        let (mut a, mut b) = (0u32, 0u32);
+        for _ in 0..2000 {
+            let i = v.pick(&mut rng, NodeId(17), NodeId(5)).unwrap();
+            match i.0 {
+                1000 => a += 1,
+                3000 => b += 1,
+                other => panic!("picked ineligible node {other}"),
+            }
+        }
+        assert!(a > 800 && b > 800, "skewed fallback: {a} vs {b}");
+
+        // One survivor that is also the source: nothing eligible.
+        let mut v = Vlb::new(64);
+        for i in 1..64 {
+            v.mark_failed(NodeId(i));
+        }
+        assert_eq!(v.pick(&mut rng, NodeId(0), NodeId(9)), None);
     }
 
     #[test]

@@ -134,8 +134,8 @@ impl Ffe {
     /// Symbol error rate over a payload with known transmitted symbols.
     pub fn evaluate(&self, rx: &[f64], tx: &[f64]) -> f64 {
         let mut errs = 0usize;
-        for i in 0..tx.len().min(rx.len()) {
-            if (slice_pam4(self.output(rx, i)) - tx[i]).abs() > 1e-9 {
+        for (i, &sym) in tx.iter().enumerate().take(rx.len()) {
+            if (slice_pam4(self.output(rx, i)) - sym).abs() > 1e-9 {
                 errs += 1;
             }
         }
@@ -187,7 +187,7 @@ impl EqualizerCache {
 
 /// Generate a pseudo-random PAM-4 symbol sequence.
 pub fn random_symbols<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<f64> {
-    (0..n).map(|_| PAM4[rng.gen_range(0..4)]).collect()
+    (0..n).map(|_| PAM4[rng.gen_range(0..4usize)]).collect()
 }
 
 #[cfg(test)]

@@ -45,11 +45,14 @@ impl TunableSource for CombLaser {
         self.selector.len()
     }
 
-    fn tuning_latency(&self, from: usize, to: usize) -> Duration {
+    fn tuning_latency(&self, from: usize, to: usize) -> Option<Duration> {
+        if from >= self.selector.len() || to >= self.selector.len() {
+            return None;
+        }
         if from == to {
-            Duration::ZERO
+            Some(Duration::ZERO)
         } else {
-            self.selector.tuning_latency(from, to)
+            Some(self.selector.tuning_latency(from, to))
         }
     }
 

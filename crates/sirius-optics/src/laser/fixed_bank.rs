@@ -56,15 +56,17 @@ impl FixedLaserBank {
         FixedLaserBank::new(rng, 19, 19)
     }
 
-    fn locate(&self, ch: usize) -> (usize, usize) {
+    /// Map a channel to its (chip, gate) position; `None` when the channel
+    /// is beyond the bank's grid.
+    fn locate(&self, ch: usize) -> Option<(usize, usize)> {
         let mut base = 0;
         for (ci, chip) in self.chips.iter().enumerate() {
             if ch < base + chip.len() {
-                return (ci, ch - base);
+                return Some((ci, ch - base));
             }
             base += chip.len();
         }
-        panic!("channel {ch} out of range");
+        None
     }
 
     pub fn chips(&self) -> &[SoaChip] {
@@ -77,17 +79,19 @@ impl TunableSource for FixedLaserBank {
         self.chips.iter().map(|c| c.len()).sum()
     }
 
-    fn tuning_latency(&self, from: usize, to: usize) -> Duration {
+    fn tuning_latency(&self, from: usize, to: usize) -> Option<Duration> {
+        let (cf, gf) = self.locate(from)?;
+        let (ct, gt) = self.locate(to)?;
         if from == to {
-            return Duration::ZERO;
+            return Some(Duration::ZERO);
         }
-        let (cf, gf) = self.locate(from);
-        let (ct, gt) = self.locate(to);
         // Off-gate fall and on-gate rise overlap; the slower one bounds the
         // latency even across chips.
-        self.chips[cf].gates()[gf]
-            .fall
-            .max(self.chips[ct].gates()[gt].rise)
+        Some(
+            self.chips[cf].gates()[gf]
+                .fall
+                .max(self.chips[ct].gates()[gt].rise),
+        )
     }
 
     fn electrical_power_w(&self) -> f64 {
@@ -128,8 +132,8 @@ mod tests {
         // Unlike the DSDBR, adjacent and extreme switches cost the same
         // order: both sub-ns (Fig. 8b).
         let b = bank();
-        assert!(b.tuning_latency(0, 1) < Duration::from_ns(1));
-        assert!(b.tuning_latency(0, 18) < Duration::from_ns(1));
+        assert!(b.tuning_latency(0, 1).unwrap() < Duration::from_ns(1));
+        assert!(b.tuning_latency(0, 18).unwrap() < Duration::from_ns(1));
     }
 
     #[test]
@@ -139,7 +143,7 @@ mod tests {
         assert_eq!(b.wavelengths(), 112);
         assert_eq!(b.chips().len(), 6);
         // Cross-chip switching is still sub-ns.
-        assert!(b.tuning_latency(0, 111) < Duration::from_ns(1));
+        assert!(b.tuning_latency(0, 111).unwrap() < Duration::from_ns(1));
     }
 
     #[test]
@@ -153,9 +157,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn channel_out_of_range() {
+    fn channel_out_of_range_is_an_error_not_a_panic() {
         let b = bank();
-        let _ = b.tuning_latency(0, 19);
+        assert_eq!(b.tuning_latency(0, 19), None);
+        assert_eq!(b.tuning_latency(19, 0), None);
+        assert_eq!(b.tuning_latency(19, 19), None); // even for from == to
+        assert!(b.tuning_latency(0, 18).is_some());
     }
 }

@@ -27,8 +27,11 @@ pub trait TunableSource {
     fn wavelengths(&self) -> usize;
 
     /// Latency to retune from channel `from` to channel `to` (the interval
-    /// during which no clean light is emitted).
-    fn tuning_latency(&self, from: usize, to: usize) -> Duration;
+    /// during which no clean light is emitted). `None` if either channel
+    /// is outside the source's grid — callers drive these sources from
+    /// schedules, and a schedule bug should surface as a checkable error,
+    /// not a panic deep inside the optics model.
+    fn tuning_latency(&self, from: usize, to: usize) -> Option<Duration>;
 
     /// Worst-case tuning latency over all ordered channel pairs.
     fn worst_tuning_latency(&self) -> Duration {
@@ -37,7 +40,7 @@ pub trait TunableSource {
         for i in 0..n {
             for j in 0..n {
                 if i != j {
-                    worst = worst.max(self.tuning_latency(i, j));
+                    worst = worst.max(self.tuning_latency(i, j).expect("grid-internal channel"));
                 }
             }
         }
@@ -51,7 +54,7 @@ pub trait TunableSource {
         for i in 0..n {
             for j in 0..n {
                 if i != j {
-                    all.push(self.tuning_latency(i, j));
+                    all.push(self.tuning_latency(i, j).expect("grid-internal channel"));
                 }
             }
         }

@@ -70,13 +70,15 @@ impl TunableSource for DsdbrLaser {
         self.channels
     }
 
-    fn tuning_latency(&self, from: usize, to: usize) -> Duration {
-        assert!(from < self.channels && to < self.channels);
+    fn tuning_latency(&self, from: usize, to: usize) -> Option<Duration> {
+        if from >= self.channels || to >= self.channels {
+            return None;
+        }
         if from == to {
-            return Duration::ZERO;
+            return Some(Duration::ZERO);
         }
         let span = from.abs_diff(to) as f64 / self.max_span();
-        match self.mode {
+        Some(match self.mode {
             DriveMode::Stock => Duration::from_ms(10),
             DriveMode::SingleStep => {
                 // Ringing-limited: ~linear in current step; 30 ns floor.
@@ -86,7 +88,7 @@ impl TunableSource for DsdbrLaser {
                 // Calibrated to 14 ns median / 92 ns worst on 112 channels.
                 Duration::from_ns_f64(3.0 + 89.0 * span.powf(1.7))
             }
-        }
+        })
     }
 
     fn electrical_power_w(&self) -> f64 {
@@ -126,14 +128,14 @@ mod tests {
         let damp = DsdbrLaser::new(112, DriveMode::Dampened);
         let step = DsdbrLaser::new(112, DriveMode::SingleStep);
         for span in [1usize, 10, 50, 111] {
-            assert!(damp.tuning_latency(0, span) < step.tuning_latency(0, span));
+            assert!(damp.tuning_latency(0, span).unwrap() < step.tuning_latency(0, span).unwrap());
         }
     }
 
     #[test]
     fn stock_drive_is_milliseconds() {
         let l = DsdbrLaser::new(112, DriveMode::Stock);
-        assert_eq!(l.tuning_latency(0, 1), Duration::from_ms(10));
+        assert_eq!(l.tuning_latency(0, 1), Some(Duration::from_ms(10)));
     }
 
     #[test]
@@ -142,7 +144,7 @@ mod tests {
         let l = DsdbrLaser::paper_prototype();
         let mut prev = Duration::ZERO;
         for span in 1..112 {
-            let t = l.tuning_latency(0, span);
+            let t = l.tuning_latency(0, span).unwrap();
             assert!(t >= prev, "settle not monotone at span {span}");
             prev = t;
         }
@@ -151,8 +153,9 @@ mod tests {
     #[test]
     fn tuning_is_symmetric_and_zero_on_self() {
         let l = DsdbrLaser::paper_prototype();
-        assert_eq!(l.tuning_latency(5, 5), Duration::ZERO);
+        assert_eq!(l.tuning_latency(5, 5), Some(Duration::ZERO));
         assert_eq!(l.tuning_latency(3, 80), l.tuning_latency(80, 3));
+        assert_eq!(l.tuning_latency(0, 112), None);
     }
 
     #[test]

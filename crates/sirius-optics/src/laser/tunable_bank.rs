@@ -86,7 +86,9 @@ impl TunableLaserBank {
             // later.
             let next_idx = k + self.working;
             let settle = if next_idx < sequence.len() {
-                self.laser.tuning_latency(wl, sequence[next_idx])
+                self.laser
+                    .tuning_latency(wl, sequence[next_idx])
+                    .expect("sequence wavelength outside the laser grid")
             } else {
                 Duration::ZERO
             };
@@ -103,11 +105,14 @@ impl TunableSource for TunableLaserBank {
     }
 
     /// Visible tuning latency when the pipeline is warm: just the SOA gate.
-    fn tuning_latency(&self, from: usize, to: usize) -> Duration {
+    fn tuning_latency(&self, from: usize, to: usize) -> Option<Duration> {
+        if from >= self.wavelengths() || to >= self.wavelengths() {
+            return None;
+        }
         if from == to {
-            Duration::ZERO
+            Some(Duration::ZERO)
         } else {
-            self.soa_gate
+            Some(self.soa_gate)
         }
     }
 
@@ -168,8 +173,9 @@ mod tests {
     #[test]
     fn visible_latency_is_soa_gate() {
         let b = TunableLaserBank::paper_bank();
-        assert_eq!(b.tuning_latency(0, 111), Duration::from_ps(912));
-        assert_eq!(b.tuning_latency(4, 4), Duration::ZERO);
+        assert_eq!(b.tuning_latency(0, 111), Some(Duration::from_ps(912)));
+        assert_eq!(b.tuning_latency(4, 4), Some(Duration::ZERO));
+        assert_eq!(b.tuning_latency(0, 112), None);
     }
 
     #[test]

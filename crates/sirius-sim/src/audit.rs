@@ -1,0 +1,497 @@
+//! Run-time invariant auditing and run digests.
+//!
+//! The simulator is the evidence base for every figure the harness
+//! reproduces, so it carries an optional audit layer that re-checks the
+//! paper's structural invariants from first principles every epoch,
+//! independently of the data structures that are supposed to enforce them:
+//!
+//! * **Cell conservation** — at every epoch boundary, every injected cell
+//!   is exactly one of: resident in a node queue, in flight on the fiber,
+//!   buffered out of order at a receiver, released in order, or blackholed
+//!   at a failed node.
+//! * **§4.3 queue bounds** — under the request/grant protocol (and the
+//!   ideal back-pressure baseline) no relay queue ever holds more than `Q`
+//!   cells for any destination.
+//! * **In-order release** — the reorder buffer releases each flow's cells
+//!   as a strictly contiguous prefix, verified against an independent
+//!   shadow reassembly rather than the buffer's own bookkeeping.
+//! * **Receive-port exclusivity** — no (node, uplink) receive port is
+//!   driven by two senders in the same slot (the optical core has no
+//!   buffers, §4.2 — two simultaneous senders would mean the cyclic
+//!   schedule is not a permutation).
+//!
+//! Violations are recorded, not panicked on, so failure-injection runs can
+//! observe how invariants degrade; clean runs assert
+//! [`AuditReport::is_clean`]. Auditing is controlled by
+//! `SiriusSimConfig::audit` (on by default in debug builds, off in release
+//! so the paper-scale sweeps keep their throughput).
+//!
+//! The module also provides [`RunDigest`], an order-sensitive FNV-1a hash
+//! of the delivered-cell sequence folded with the final run summary. Two
+//! runs with identical `(config, seed)` must produce bit-identical
+//! digests; the workspace conformance suite asserts this for all three
+//! congestion-control modes.
+
+use sirius_core::cell::{Cell, FlowId};
+use sirius_core::node::SiriusNode;
+use sirius_core::topology::NodeId;
+use std::collections::{BTreeSet, HashMap};
+
+/// Cap on verbatim violation messages kept in the report (the total count
+/// keeps climbing past it, so `is_clean` stays exact).
+pub const MAX_RECORDED_VIOLATIONS: usize = 32;
+
+/// Outcome of one audited run.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Epoch boundaries at which the full invariant sweep ran.
+    pub epochs_checked: u64,
+    /// Cells injected into the fabric by source nodes.
+    pub cells_injected: u64,
+    /// Cells released in order to applications.
+    pub cells_released: u64,
+    /// Cells still buffered out of order when the run ended.
+    pub cells_buffered: u64,
+    /// Cells blackholed at failed nodes (0 without failure injection).
+    pub cells_blackholed: u64,
+    /// Cells the receiver saw twice (must stay 0: the core is lossless and
+    /// never retransmits).
+    pub duplicate_cells: u64,
+    /// Total invariant violations observed.
+    pub total_violations: u64,
+    /// First [`MAX_RECORDED_VIOLATIONS`] violation messages, verbatim.
+    pub violations: Vec<String>,
+}
+
+impl AuditReport {
+    /// True when the run upheld every audited invariant.
+    pub fn is_clean(&self) -> bool {
+        self.total_violations == 0 && self.duplicate_cells == 0
+    }
+}
+
+/// Independent shadow reassembly state for one flow.
+#[derive(Debug, Default)]
+struct FlowShadow {
+    /// Next in-order sequence number expected.
+    next: u32,
+    /// Out-of-order sequence numbers seen but not yet released.
+    pending: BTreeSet<u32>,
+}
+
+/// The audit engine. The simulator feeds it injection, receive, and
+/// delivery events plus a per-epoch state snapshot; it accumulates an
+/// [`AuditReport`].
+#[derive(Debug)]
+pub struct Audit {
+    enabled: bool,
+    n: usize,
+    uplinks: usize,
+    q: usize,
+    /// Whether the mode claims the §4.3 relay bound (protocol and ideal
+    /// modes do; the greedy ablation deliberately does not).
+    check_queue_bound: bool,
+    injected: u64,
+    released: u64,
+    buffered: u64,
+    blackholed: u64,
+    duplicates: u64,
+    epochs_checked: u64,
+    total_violations: u64,
+    violations: Vec<String>,
+    shadow: HashMap<FlowId, FlowShadow>,
+    /// Receive ports driven this slot, indexed `dst * uplinks + uplink`.
+    rx_busy: Vec<bool>,
+    rx_touched: Vec<u32>,
+}
+
+impl Audit {
+    /// `check_queue_bound` should be true for modes that promise the §4.3
+    /// relay bound. A disabled audit costs one branch per event.
+    pub fn new(
+        enabled: bool,
+        n: usize,
+        uplinks: usize,
+        q: usize,
+        check_queue_bound: bool,
+    ) -> Audit {
+        Audit {
+            enabled,
+            n,
+            uplinks,
+            q,
+            check_queue_bound,
+            injected: 0,
+            released: 0,
+            buffered: 0,
+            blackholed: 0,
+            duplicates: 0,
+            epochs_checked: 0,
+            total_violations: 0,
+            violations: Vec::new(),
+            shadow: HashMap::new(),
+            rx_busy: if enabled {
+                vec![false; n * uplinks]
+            } else {
+                Vec::new()
+            },
+            rx_touched: Vec::new(),
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn violation(&mut self, msg: String) {
+        self.total_violations += 1;
+        if self.violations.len() < MAX_RECORDED_VIOLATIONS {
+            self.violations.push(msg);
+        }
+    }
+
+    /// A source node injected a cell into the fabric.
+    #[inline]
+    pub fn note_injected(&mut self) {
+        self.injected += 1;
+    }
+
+    /// A cell was dropped at a failed node.
+    #[inline]
+    pub fn note_blackholed(&mut self) {
+        self.blackholed += 1;
+    }
+
+    /// A sender is driving receive port (`dst`, `uplink`) this slot.
+    /// Flags a violation if the port is already driven — the schedule's
+    /// per-slot permutation property is broken.
+    #[inline]
+    pub fn note_rx(&mut self, slot: u64, dst: NodeId, uplink: u16) {
+        if !self.enabled {
+            return;
+        }
+        let idx = dst.0 as usize * self.uplinks + uplink as usize;
+        if self.rx_busy[idx] {
+            self.violation(format!(
+                "slot {slot}: rx exclusivity: two senders drive node {} uplink {uplink}",
+                dst.0
+            ));
+        } else {
+            self.rx_busy[idx] = true;
+            self.rx_touched.push(idx as u32);
+        }
+    }
+
+    /// Reset per-slot receive-port state (call once per slot).
+    #[inline]
+    pub fn end_slot(&mut self) {
+        if !self.enabled {
+            return;
+        }
+        for &idx in &self.rx_touched {
+            self.rx_busy[idx as usize] = false;
+        }
+        self.rx_touched.clear();
+    }
+
+    /// The reorder buffer accepted cell `seq` of `cell.flow` and reported
+    /// releasing `released_cells` cells in order. Replays the acceptance
+    /// against the shadow reassembly and checks the two agree.
+    pub fn note_delivery(&mut self, cell: &Cell, released_cells: u32) {
+        if !self.enabled {
+            return;
+        }
+        let st = self.shadow.entry(cell.flow).or_default();
+        if cell.seq < st.next || st.pending.contains(&cell.seq) {
+            self.duplicates += 1;
+            let flow = cell.flow.0;
+            let seq = cell.seq;
+            self.violation(format!("flow {flow}: cell seq {seq} delivered twice"));
+            return;
+        }
+        if cell.seq == st.next {
+            st.next += 1;
+            let mut delta: u32 = 1;
+            while st.pending.remove(&st.next) {
+                st.next += 1;
+                delta += 1;
+            }
+            self.buffered -= (delta - 1) as u64;
+            self.released += delta as u64;
+            if released_cells != delta {
+                let flow = cell.flow.0;
+                self.violation(format!(
+                    "flow {flow}: in-order release mismatch: buffer reported {released_cells} \
+                     cells, shadow reassembly expected {delta}"
+                ));
+            }
+        } else {
+            st.pending.insert(cell.seq);
+            self.buffered += 1;
+            if released_cells != 0 {
+                let flow = cell.flow.0;
+                let seq = cell.seq;
+                self.violation(format!(
+                    "flow {flow}: out-of-order cell seq {seq} released {released_cells} cells"
+                ));
+            }
+        }
+    }
+
+    /// Full invariant sweep at an epoch boundary. `in_flight` is the
+    /// number of cells currently on the fiber (in the propagation ring).
+    pub fn epoch_check(&mut self, epoch: u64, nodes: &[SiriusNode], in_flight: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.epochs_checked += 1;
+
+        // Cell conservation: every injected cell is in exactly one place.
+        let resident: u64 = nodes.iter().map(|n| n.resident_cells()).sum();
+        let accounted = resident
+            + in_flight
+            + self.buffered
+            + self.released
+            + self.blackholed
+            + self.duplicates;
+        if accounted != self.injected {
+            let injected = self.injected;
+            let (buffered, released) = (self.buffered, self.released);
+            let (blackholed, duplicates) = (self.blackholed, self.duplicates);
+            self.violation(format!(
+                "epoch {epoch}: cell conservation broken: injected {injected} != \
+                 resident {resident} + in-flight {in_flight} + buffered {buffered} + \
+                 released {released} + blackholed {blackholed} + duplicates {duplicates}"
+            ));
+        }
+
+        // §4.3 bound: relay occupancy per destination never exceeds Q.
+        if self.check_queue_bound {
+            for node in nodes {
+                for d in 0..self.n as u32 {
+                    let len = node.relay_len(NodeId(d));
+                    if len > self.q {
+                        let id = node.id().0;
+                        let q = self.q;
+                        self.violation(format!(
+                            "epoch {epoch}: queue bound broken: node {id} relays {len} \
+                             cells for destination {d} (Q = {q})"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Consume the audit into its report.
+    pub fn finish(self) -> AuditReport {
+        AuditReport {
+            epochs_checked: self.epochs_checked,
+            cells_injected: self.injected,
+            cells_released: self.released,
+            cells_buffered: self.buffered,
+            cells_blackholed: self.blackholed,
+            duplicate_cells: self.duplicates,
+            total_violations: self.total_violations,
+            violations: self.violations,
+        }
+    }
+}
+
+/// Order-sensitive 64-bit FNV-1a digest of a run: the delivered-cell
+/// sequence folded with the final summary metrics. Identical
+/// `(config, seed)` runs must produce identical digests — this is the
+/// determinism guarantee the conformance suite enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunDigest(u64);
+
+impl Default for RunDigest {
+    fn default() -> RunDigest {
+        RunDigest::new()
+    }
+}
+
+impl RunDigest {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    pub fn new() -> RunDigest {
+        RunDigest(Self::OFFSET)
+    }
+
+    /// Fold one 64-bit word, byte by byte (FNV-1a).
+    #[inline]
+    pub fn update(&mut self, word: u64) {
+        let mut h = self.0;
+        for b in word.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(Self::PRIME);
+        }
+        self.0 = h;
+    }
+
+    /// Fold a delivered cell (identity + payload) at delivery time `ps`.
+    #[inline]
+    pub fn update_cell(&mut self, cell: &Cell, ps: u64) {
+        self.update(cell.flow.0);
+        self.update(((cell.seq as u64) << 32) | cell.payload as u64);
+        self.update(ps);
+    }
+
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirius_core::topology::ServerId;
+
+    fn cell(flow: u64, seq: u32) -> Cell {
+        Cell {
+            flow: FlowId(flow),
+            seq,
+            payload: 540,
+            src: NodeId(0),
+            dst: NodeId(1),
+            dst_server: ServerId(2),
+            last: false,
+        }
+    }
+
+    #[test]
+    fn broken_schedule_trips_rx_exclusivity() {
+        // A deliberately broken schedule: two senders drive node 3's
+        // uplink 1 in the same slot. The permutation property (§4.2) is
+        // what normally prevents this; the audit must catch its absence.
+        let mut a = Audit::new(true, 8, 4, 4, true);
+        a.note_rx(7, NodeId(3), 1);
+        a.note_rx(7, NodeId(3), 1);
+        // Distinct ports in the same slot are fine.
+        a.note_rx(7, NodeId(3), 2);
+        a.note_rx(7, NodeId(4), 1);
+        a.end_slot();
+        // Same port next slot is fine again.
+        a.note_rx(8, NodeId(3), 1);
+        a.end_slot();
+        let r = a.finish();
+        assert_eq!(r.total_violations, 1);
+        assert!(
+            r.violations[0].contains("rx exclusivity"),
+            "{:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn conservation_flags_a_vanished_cell() {
+        let mut a = Audit::new(true, 4, 2, 4, false);
+        a.note_injected();
+        a.note_injected();
+        // One cell in flight, the other unaccounted for anywhere.
+        a.epoch_check(0, &[], 1);
+        let r = a.finish();
+        assert_eq!(r.total_violations, 1);
+        assert!(
+            r.violations[0].contains("conservation"),
+            "{:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn conservation_accepts_blackholed_cells() {
+        let mut a = Audit::new(true, 4, 2, 4, false);
+        a.note_injected();
+        a.note_blackholed();
+        a.epoch_check(0, &[], 0);
+        assert!(a.finish().is_clean());
+    }
+
+    #[test]
+    fn shadow_reassembly_tracks_out_of_order_release() {
+        let mut a = Audit::new(true, 4, 2, 4, false);
+        for _ in 0..3 {
+            a.note_injected();
+        }
+        // Arrival order 1, 2, 0: the first two buffer, the third releases
+        // all three (what a correct ReorderBuffer reports).
+        a.note_delivery(&cell(9, 1), 0);
+        a.note_delivery(&cell(9, 2), 0);
+        a.epoch_check(0, &[], 1); // two buffered + one still in flight
+        a.note_delivery(&cell(9, 0), 3);
+        a.epoch_check(1, &[], 0);
+        let r = a.finish();
+        assert!(r.is_clean(), "{:?}", r.violations);
+        assert_eq!(r.cells_released, 3);
+        assert_eq!(r.cells_buffered, 0);
+    }
+
+    #[test]
+    fn shadow_reassembly_flags_wrong_release_count() {
+        let mut a = Audit::new(true, 4, 2, 4, false);
+        a.note_injected();
+        // A buggy buffer claims the in-order head released two cells.
+        a.note_delivery(&cell(9, 0), 2);
+        let r = a.finish();
+        assert_eq!(r.total_violations, 1);
+        assert!(
+            r.violations[0].contains("release mismatch"),
+            "{:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn duplicate_delivery_is_flagged() {
+        let mut a = Audit::new(true, 4, 2, 4, false);
+        a.note_injected();
+        a.note_delivery(&cell(9, 0), 1);
+        a.note_delivery(&cell(9, 0), 0);
+        let r = a.finish();
+        assert_eq!(r.duplicate_cells, 1);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn violation_messages_are_capped_but_counted() {
+        let mut a = Audit::new(true, 4, 2, 4, false);
+        for slot in 0..(MAX_RECORDED_VIOLATIONS as u64 + 10) {
+            a.note_rx(slot, NodeId(0), 0);
+            a.note_rx(slot, NodeId(0), 0);
+            a.end_slot();
+        }
+        let r = a.finish();
+        assert_eq!(r.violations.len(), MAX_RECORDED_VIOLATIONS);
+        assert_eq!(r.total_violations, MAX_RECORDED_VIOLATIONS as u64 + 10);
+    }
+
+    #[test]
+    fn disabled_audit_records_nothing() {
+        let mut a = Audit::new(false, 4, 2, 4, true);
+        a.note_rx(0, NodeId(0), 0);
+        a.note_rx(0, NodeId(0), 0);
+        a.note_delivery(&cell(1, 5), 7);
+        a.epoch_check(0, &[], 99);
+        let r = a.finish();
+        assert!(r.is_clean());
+        assert_eq!(r.epochs_checked, 0);
+    }
+
+    #[test]
+    fn digest_is_deterministic_and_order_sensitive() {
+        let mut a = RunDigest::new();
+        let mut b = RunDigest::new();
+        a.update_cell(&cell(1, 0), 100);
+        a.update_cell(&cell(1, 1), 200);
+        b.update_cell(&cell(1, 0), 100);
+        b.update_cell(&cell(1, 1), 200);
+        assert_eq!(a.value(), b.value());
+        // Swapped delivery order must change the digest.
+        let mut c = RunDigest::new();
+        c.update_cell(&cell(1, 1), 200);
+        c.update_cell(&cell(1, 0), 100);
+        assert_ne!(a.value(), c.value());
+    }
+}

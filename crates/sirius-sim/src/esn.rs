@@ -17,6 +17,7 @@
 //! padding) are naturally absent here: the fluid model transports exactly
 //! `bytes` per flow, which is what Fig. 13 measures.
 
+use crate::audit::RunDigest;
 use crate::metrics::{FlowRecord, RunMetrics};
 use sirius_core::units::{Duration, Rate, Time};
 use sirius_workload::Flow;
@@ -202,20 +203,36 @@ impl EsnSim {
         }
 
         let incomplete = records.iter().filter(|f| f.completion.is_none()).count() as u64;
+        let span = if last_delivery > Time::ZERO {
+            last_delivery.since(Time::ZERO)
+        } else {
+            now.since(Time::ZERO)
+        };
+        // The fluid model has no cell stream; digest the flow outcomes so
+        // ESN runs get the same determinism guarantee as the cell sim.
+        let mut digest = RunDigest::new();
+        digest.update(delivered);
+        digest.update(span.as_ps());
+        for r in &records {
+            digest.update(r.delivered);
+            digest.update(
+                r.completion
+                    .map(|c| c.since(Time::ZERO).as_ps())
+                    .unwrap_or(u64::MAX),
+            );
+        }
         RunMetrics {
             flows: records,
             delivered_bytes: delivered,
-            span: if last_delivery > Time::ZERO {
-                last_delivery.since(Time::ZERO)
-            } else {
-                now.since(Time::ZERO)
-            },
+            span,
             peak_node_fabric_cells: 0,
             peak_node_local_cells: 0,
             peak_reorder_flow_bytes: 0,
             cell_bytes: 0,
             incomplete_flows: incomplete,
             cc: Default::default(),
+            digest: digest.value(),
+            audit: None,
         }
     }
 

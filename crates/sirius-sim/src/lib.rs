@@ -29,12 +29,14 @@
 //! assert_eq!(metrics.incomplete_flows, 0);
 //! ```
 
+pub mod audit;
 pub mod esn;
 pub mod metrics;
 pub mod packet_layer;
 pub mod sirius_net;
 pub mod telemetry;
 
+pub use audit::{Audit, AuditReport, RunDigest};
 pub use esn::{EsnConfig, EsnSim};
 pub use metrics::{FlowRecord, RunMetrics};
 pub use sirius_net::{CcMode, ScheduledFailure, SiriusSim, SiriusSimConfig};

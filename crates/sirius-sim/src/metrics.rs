@@ -4,6 +4,7 @@
 //! flows (< 100 KB), average server goodput normalized by `N * R`, peak
 //! aggregate queue occupancy per node, and peak per-flow reorder buffer.
 
+use crate::audit::AuditReport;
 use sirius_core::congestion::CcStats;
 use sirius_core::units::{Duration, Rate, Time};
 
@@ -44,6 +45,12 @@ pub struct RunMetrics {
     /// Congestion-control counters summed over all nodes (zeros in the
     /// ideal/greedy modes, which bypass the protocol).
     pub cc: CcStats,
+    /// Order-sensitive digest of the delivered-cell sequence and the
+    /// summary above; bit-identical across runs with the same
+    /// `(config, seed)` (see [`crate::audit::RunDigest`]).
+    pub digest: u64,
+    /// Invariant-audit report, present when auditing was enabled.
+    pub audit: Option<AuditReport>,
 }
 
 impl RunMetrics {
@@ -187,6 +194,8 @@ mod tests {
             cell_bytes: 562,
             incomplete_flows: 1,
             cc: Default::default(),
+            digest: 0,
+            audit: None,
         };
         let p99 = m.fct_percentile(99.0, 100_000).unwrap();
         assert_eq!(p99, Duration::from_ns(20));
@@ -206,6 +215,8 @@ mod tests {
             cell_bytes: 562,
             incomplete_flows: 0,
             cc: Default::default(),
+            digest: 0,
+            audit: None,
         };
         // 1 Gbit in 1 ms = 1 Tbps; with 100 servers at 10 Gbps = 1 Tbps
         // aggregate, normalized goodput = 1.0.

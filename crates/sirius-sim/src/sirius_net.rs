@@ -24,6 +24,7 @@
 //! is the SIRIUS (IDEAL) upper bound with per-flow queues and idealized
 //! (zero-latency, global-knowledge) back-pressure.
 
+use crate::audit::{Audit, RunDigest};
 use crate::metrics::{FlowRecord, RunMetrics};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -64,6 +65,10 @@ pub struct SiriusSimConfig {
     pub drain_timeout: Duration,
     /// Hard cap on simulated slots (safety net).
     pub max_slots: u64,
+    /// Run the per-epoch invariant audit (see [`crate::audit`]). Defaults
+    /// to on in debug builds (where every test exercises it) and off in
+    /// release, keeping the paper-scale sweeps at full throughput.
+    pub audit: bool,
 }
 
 impl SiriusSimConfig {
@@ -74,6 +79,7 @@ impl SiriusSimConfig {
             seed: 1,
             drain_timeout: Duration::from_ms(2),
             max_slots: 200_000_000,
+            audit: cfg!(debug_assertions),
         }
     }
 
@@ -83,6 +89,10 @@ impl SiriusSimConfig {
     }
     pub fn with_seed(mut self, seed: u64) -> SiriusSimConfig {
         self.seed = seed;
+        self
+    }
+    pub fn with_audit(mut self, audit: bool) -> SiriusSimConfig {
+        self.audit = audit;
         self
     }
 }
@@ -137,6 +147,8 @@ pub struct SiriusSim {
     ideal_occ: Vec<u32>,
     failures: Vec<ScheduledFailure>,
     failure_plane: FailurePlane,
+    audit: Audit,
+    digest: RunDigest,
     // Run accounting.
     delivered_bytes: u64,
     completed: u64,
@@ -154,9 +166,23 @@ impl SiriusSim {
         let mut grant_timeout = net.grant_timeout_epochs;
         // A grant must survive the request->grant->send->arrive pipeline,
         // which includes the fiber flight time.
-        let prop_slots = (net.propagation.as_ps() + net.slot().as_ps() - 1) / net.slot().as_ps();
+        let prop_slots = net.propagation.as_ps().div_ceil(net.slot().as_ps());
         let prop_epochs = prop_slots / net.epoch_slots() + 1;
-        grant_timeout = grant_timeout.max(16 + prop_epochs);
+        // Floor: the worst legitimate VOQ wait. A granted cell for
+        // intermediate I queues behind at most Q cells per destination
+        // (each holding one of I's `queued + outstanding < Q` reservation
+        // units), i.e. < Q*n cells, and relay-burst arbitration guarantees
+        // the VOQ at least one departure every `RELAY_BURST + 1` scheduled
+        // slots to I — so a grant that outlives `(RELAY_BURST+1) * Q * n`
+        // epochs plus the flight time is genuinely lost (node failure),
+        // never merely slow. A smaller timeout fires the loss backstop
+        // spuriously at saturation and corrupts the conservation
+        // accounting the audit layer checks.
+        let voq_wait_bound =
+            (sirius_core::node::RELAY_BURST as u64 + 1) * (net.queue_threshold as u64) * (n as u64);
+        grant_timeout = grant_timeout
+            .max(16 + prop_epochs)
+            .max(voq_wait_bound + prop_epochs);
         let nodes: Vec<SiriusNode> = (0..n as u32)
             .map(|i| match cfg.mode {
                 CcMode::Protocol => {
@@ -179,7 +205,17 @@ impl SiriusSim {
         let epoch_credit_bytes = ((net.server_rate.as_bps() as i128 / 8)
             * net.epoch().as_ps() as i128
             / 1_000_000_000_000) as i64;
+        let audit = Audit::new(
+            cfg.audit,
+            n,
+            sched.uplinks(),
+            net.queue_threshold,
+            // The greedy ablation deliberately abandons the §4.3 bound.
+            cfg.mode != CcMode::Greedy,
+        );
         SiriusSim {
+            audit,
+            digest: RunDigest::new(),
             sched,
             vlb: Vlb::new(n),
             nodes,
@@ -255,7 +291,7 @@ impl SiriusSim {
             if now > deadline {
                 break;
             }
-            if abs_slot % epoch_slots == 0 {
+            if abs_slot.is_multiple_of(epoch_slots) {
                 let epoch = abs_slot / epoch_slots;
                 // Inject scheduled failures.
                 while next_failure < self.failures.len()
@@ -267,6 +303,10 @@ impl SiriusSim {
                 }
                 self.failure_plane.sync_to_vlb(&mut self.vlb, epoch);
                 self.epoch_boundary(epoch, now, workload, &mut next_flow);
+                if self.audit.enabled() {
+                    let in_flight = self.ring.iter().map(|v| v.len() as u64).sum();
+                    self.audit.epoch_check(epoch, &self.nodes, in_flight);
+                }
             }
 
             // Deliver cells whose propagation completes this slot.
@@ -289,6 +329,7 @@ impl SiriusSim {
                     if self.failure_plane.is_failed(j) {
                         continue;
                     }
+                    self.audit.note_rx(abs_slot, j, u);
                     let tx = match self.cfg.mode {
                         CcMode::Protocol => self.nodes[i as usize].transmit(j),
                         CcMode::Greedy => {
@@ -324,6 +365,7 @@ impl SiriusSim {
                     }
                 }
             }
+            self.audit.end_slot();
             abs_slot += 1;
         }
 
@@ -363,10 +405,7 @@ impl SiriusSim {
                 continue;
             }
             self.servers[s].credit += self.epoch_credit_bytes;
-            loop {
-                let Some(&fi) = self.servers[s].active.front() else {
-                    break;
-                };
+            while let Some(&fi) = self.servers[s].active.front() {
                 let spn = self.cfg.network.servers_per_node as u32;
                 let f = &mut self.flows[fi as usize];
                 let seq = f.cells_injected;
@@ -389,6 +428,7 @@ impl SiriusSim {
                 f.cells_injected += 1;
                 let finished = f.cells_injected == f.cells_total;
                 self.nodes[src_node.0 as usize].enqueue_local(cell);
+                self.audit.note_injected();
                 // Round-robin: rotate the flow to the back (or drop it).
                 let fi = self.servers[s].active.pop_front().unwrap();
                 if !finished {
@@ -450,16 +490,20 @@ impl SiriusSim {
     /// Process a cell arriving at `dst` (relay or final delivery).
     fn deliver(&mut self, dst: NodeId, cell: Cell, now: Time) {
         if self.failure_plane.is_failed(dst) {
+            self.audit.note_blackholed();
             return; // blackholed until routing learns of the failure
         }
         match self.nodes[dst.0 as usize].receive_cell(cell) {
             None => {} // queued for relay (ideal occupancy already counted)
             Some(cell) => {
+                self.digest
+                    .update_cell(&cell, now.since(Time::ZERO).as_ps());
                 let d = self.reorder[cell.dst_server.0 as usize].accept(
                     cell.flow,
                     cell.seq,
                     cell.payload,
                 );
+                self.audit.note_delivery(&cell, d.cells);
                 if d.bytes > 0 {
                     let f = &mut self.flows[cell.flow.0 as usize];
                     f.delivered += d.bytes;
@@ -480,6 +524,26 @@ impl SiriusSim {
             self.last_delivery.since(Time::ZERO)
         } else {
             end.since(Time::ZERO)
+        };
+        // Fold the summary into the delivered-cell digest: two runs agree
+        // iff they delivered the same cells in the same order *and* ended
+        // in the same aggregate state.
+        let mut digest = self.digest;
+        digest.update(self.delivered_bytes);
+        digest.update(span.as_ps());
+        digest.update(total_flows - self.completed);
+        for f in &self.flows {
+            digest.update(f.delivered);
+            digest.update(
+                f.completion
+                    .map(|c| c.since(Time::ZERO).as_ps())
+                    .unwrap_or(u64::MAX),
+            );
+        }
+        let audit = if self.audit.enabled() {
+            Some(self.audit.finish())
+        } else {
+            None
         };
         RunMetrics {
             flows: self
@@ -521,6 +585,8 @@ impl SiriusSim {
                 }
                 total
             },
+            digest: digest.value(),
+            audit,
         }
     }
 }
@@ -559,6 +625,28 @@ mod tests {
         assert_eq!(m.incomplete_flows, 0, "flows stuck at low load");
         let expect: u64 = wl.iter().map(|f| f.bytes).sum();
         assert_eq!(m.delivered_bytes, expect, "byte conservation violated");
+    }
+
+    #[test]
+    fn drain_timeout_terminates_an_overloaded_run() {
+        // At twice the offerable load the backlog never drains; the run
+        // must still stop `drain_timeout` after the last arrival and
+        // report the unfinished flows instead of spinning forever.
+        let net = tiny_net();
+        let wl = tiny_workload(&net, 2.0, 400, 12);
+        let last_arrival = wl.last().unwrap().arrival;
+        let mut cfg = SiriusSimConfig::new(net);
+        cfg.drain_timeout = Duration::from_us(50);
+        let m = SiriusSim::new(cfg).run(&wl);
+        assert!(m.incomplete_flows > 0, "overload run completed everything");
+        assert!(m.delivered_bytes > 0, "nothing delivered before cutoff");
+        // The clock stopped within one epoch of the deadline.
+        let deadline = last_arrival + Duration::from_us(50);
+        assert!(
+            m.span <= deadline.since(Time::ZERO) + Duration::from_us(5),
+            "run span {} way past the drain deadline",
+            m.span
+        );
     }
 
     #[test]

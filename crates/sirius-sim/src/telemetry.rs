@@ -40,7 +40,7 @@ impl Telemetry {
     /// even and >= 2); when full, adjacent samples merge and the interval
     /// doubles.
     pub fn new(interval: Duration, max_samples: usize) -> Telemetry {
-        assert!(max_samples >= 2 && max_samples % 2 == 0);
+        assert!(max_samples >= 2 && max_samples.is_multiple_of(2));
         assert!(!interval.is_zero());
         Telemetry {
             interval,
@@ -123,6 +123,11 @@ impl Telemetry {
         &self.samples
     }
 
+    /// Current sampling interval (doubles on every decimation).
+    pub fn interval(&self) -> Duration {
+        self.interval
+    }
+
     /// Goodput (bits/s) of each sample window.
     pub fn goodput_series(&self) -> Vec<(Time, f64)> {
         let mut out = Vec::with_capacity(self.samples.len());
@@ -187,6 +192,51 @@ mod tests {
         assert_eq!(total, 1000, "total {total}");
         // Peak survives merging.
         assert!(tel.peak_fabric_cells() >= 90);
+    }
+
+    #[test]
+    fn decimation_halves_the_count_and_doubles_the_interval() {
+        let mut tel = Telemetry::new(Duration::from_us(1), 8);
+        assert_eq!(tel.interval(), Duration::from_us(1));
+        // Exactly fill the buffer: the 8th push triggers one decimation.
+        for k in 1..=8u64 {
+            tel.on_delivery(k * 100, k % 2 == 0);
+            tel.maybe_sample(t(k), k, 10 - k);
+        }
+        assert_eq!(tel.samples().len(), 4);
+        assert_eq!(tel.interval(), Duration::from_us(2));
+        let s = tel.samples();
+        for (i, m) in s.iter().enumerate() {
+            let (a, b) = (2 * i as u64 + 1, 2 * i as u64 + 2);
+            // Merged sample sits at the later timestamp of its pair...
+            assert_eq!(m.at, t(b));
+            // ...delta counters add (deliveries conserved; completions were
+            // every even step)...
+            assert_eq!(m.delivered_bytes, 100 * (a + b));
+            assert_eq!(m.completed_flows, 1);
+            // ...and queue levels keep the pair's peak.
+            assert_eq!(m.local_cells, b);
+            assert_eq!(m.fabric_cells, 10 - a);
+        }
+        // A second fill decimates again: still bounded, interval 4 us.
+        for k in 9..=16u64 {
+            tel.maybe_sample(t(k), 0, 0);
+        }
+        assert!(tel.samples().len() < 8);
+        assert_eq!(tel.interval(), Duration::from_us(4));
+    }
+
+    #[test]
+    fn flush_emits_only_pending_progress() {
+        let mut tel = Telemetry::new(Duration::from_us(10), 8);
+        tel.flush(t(1), 5, 5); // nothing accumulated: no sample
+        assert!(tel.samples().is_empty());
+        tel.on_delivery(400, false);
+        tel.flush(t(2), 5, 5);
+        assert_eq!(tel.samples().len(), 1);
+        assert_eq!(tel.samples()[0].delivered_bytes, 400);
+        tel.flush(t(3), 5, 5); // accumulators were reset
+        assert_eq!(tel.samples().len(), 1);
     }
 
     #[test]

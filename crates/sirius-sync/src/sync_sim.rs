@@ -100,15 +100,14 @@ pub fn run_with_byzantine(
         }
         if let Some(lead) = leaders.leader_at(e) {
             let ref_phase = clocks[lead].phase_ps;
-            for i in 0..cfg.nodes {
+            for (i, clock) in clocks.iter_mut().enumerate() {
                 if i == lead {
                     continue;
                 }
-                let measured =
-                    clocks[i].phase_ps - ref_phase + gauss(&mut rng) * cfg.detector_noise_ps;
+                let measured = clock.phase_ps - ref_phase + gauss(&mut rng) * cfg.detector_noise_ps;
                 let (dp, df) = cfg.pll.update(measured);
-                clocks[i].adjust_phase(dp);
-                clocks[i].adjust_frequency(df);
+                clock.adjust_phase(dp);
+                clock.adjust_frequency(df);
             }
         }
         if e >= warmup {

@@ -34,7 +34,7 @@ fn allreduce_flows(servers: u32, shards: u32, shard_bytes: u64, phase_gap: Durat
             });
             id += 1;
         }
-        t = t + phase_gap;
+        t += phase_gap;
     }
     flows
 }

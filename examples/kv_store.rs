@@ -32,7 +32,7 @@ fn main() {
     let mut flows = Vec::new();
     let mut t = Time::ZERO;
     for id in 0..20_000u64 {
-        t = t + Duration::from_ns(rng.gen_range(20..120));
+        t += Duration::from_ns(rng.gen_range(20..120));
         let (src, dst) = if rng.gen::<f64>() < 0.3 {
             let dst = hot[rng.gen_range(0..hot.len())];
             let mut src = rng.gen_range(0..servers - 1);
