@@ -15,4 +15,10 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> audit-enabled conformance (release)"
+# Paper-scale runs with the invariant audit on, the §4.5 fault-tolerance
+# suite, and the golden run digests — release mode, since the audited
+# 128-node runs are too slow for debug builds to gate every push.
+cargo test --release -q -p sirius --test conformance --test fault_tolerance --test golden_digests
+
 echo "CI green."

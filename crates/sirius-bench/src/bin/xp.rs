@@ -34,5 +34,20 @@ fn main() {
     fig12::table(&fig12::run(scale, &fig9::LOADS, 1)).emit("fig12");
     fig13::table(&fig13::run(scale, 0.5, 1)).emit("fig13");
     ablation::table(&ablation::run(scale, &fig9::LOADS, 1)).emit("ablation");
+    let ft = fault_tolerance::run(scale, 1);
+    let (det, gp, grey) = fault_tolerance::tables(&ft);
+    det.emit("fault_detect");
+    gp.emit("fault_goodput");
+    grey.emit("fault_grey");
+    let rb_fct = relay_burst::run_fct(
+        scale,
+        0.75,
+        1,
+        &relay_burst::BURSTS,
+        &relay_burst::GUARDS_NS,
+    );
+    relay_burst::fct_table(&rb_fct).emit("relay_burst_fct");
+    let rb_sat = relay_burst::run_saturation(scale, 1, &relay_burst::BURSTS);
+    relay_burst::sat_table(&rb_sat).emit("relay_burst_sat");
     eprintln!("=== done; CSVs under results/ ===");
 }

@@ -1,0 +1,344 @@
+//! §4.5 fault tolerance, measured end-to-end through the emergent
+//! silence-detection pipeline: detection latency for scripted crashes,
+//! goodput degradation vs the `1 - failed/N` capacity line, and grey-link
+//! localization accuracy across receive-power levels.
+//!
+//! All runs use a *fabric-limited* variant of the scale's network
+//! (`uplink_factor` 1.0, two servers per rack sized so fabric TX exactly
+//! balances NIC injection across the two VLB hops): only when the optical
+//! fabric is the binding constraint does dead-slot capacity loss show up
+//! as goodput loss instead of vanishing into uplink headroom.
+
+use crate::scale::Scale;
+use crate::table::{f, Table};
+use sirius_core::config::SiriusConfig;
+use sirius_core::fault::FaultConfig;
+use sirius_core::topology::NodeId;
+use sirius_core::units::{Duration, Rate, Time};
+use sirius_optics::ber::Modulation;
+use sirius_sim::{cell_drop_probability, FaultEvent, FaultInjector, SiriusSim, SiriusSimConfig};
+use sirius_workload::{Flow, Pareto, Pattern, WorkloadSpec};
+
+/// Receive-power sweep for the grey-link localization curve, bracketing
+/// the KP4 FEC waterfall (per-cell drop ~1e-15 at -8 dBm, ~1 by -10): a
+/// clean column, two points on the cliff, and a dead column.
+pub const GREY_RX_DBM: [f64; 4] = [-8.0, -8.75, -9.0, -12.0];
+
+/// Fabric-limited network at this scale's rack count: 2 servers per rack
+/// with `server_rate` chosen so `2 x rate x 2 VLB hops = base_uplinks x
+/// channel_rate`.
+pub fn fabric_limited_net(scale: Scale) -> SiriusConfig {
+    let base = scale.network();
+    let mut c = SiriusConfig::scaled(base.nodes, base.grating_ports);
+    c.uplink_factor = 1.0;
+    c.servers_per_node = 2;
+    c.server_rate = Rate::from_bps(c.channel_rate.as_bps() * c.base_uplinks as u64 / 4);
+    c
+}
+
+/// Saturation workload over the first `servers` server IDs with all
+/// arrivals shifted past `start`: crashing the *last* racks leaves a
+/// steady-state run among the survivors only.
+fn survivor_workload(
+    net: &SiriusConfig,
+    servers: u32,
+    flows: u64,
+    seed: u64,
+    start: Time,
+) -> Vec<Flow> {
+    let mut wl = WorkloadSpec {
+        servers,
+        server_rate: net.server_rate,
+        load: 1.0,
+        sizes: Pareto::paper_default().truncated(1e5),
+        flows,
+        pattern: Pattern::Uniform,
+        seed,
+    }
+    .generate();
+    for fl in &mut wl {
+        fl.arrival += start.since(Time::ZERO);
+    }
+    wl
+}
+
+/// One scripted crash and what the silence detectors made of it.
+#[derive(Debug, Clone)]
+pub struct DetectionPoint {
+    pub node: u32,
+    pub fail_epoch: u64,
+    /// Epochs from ground-truth death to first suspicion (None: missed).
+    pub latency_epochs: Option<u64>,
+    /// Epochs from suspicion to routing exclusion taking effect.
+    pub exclusion_gap: Option<u64>,
+    /// The §4.5 bound every latency must respect.
+    pub bound_epochs: u64,
+}
+
+/// Four staggered crashes, detected purely from slot-level silence.
+pub fn detection_points(scale: Scale, seed: u64) -> Vec<DetectionPoint> {
+    let net = fabric_limited_net(scale);
+    let n = net.nodes as u32;
+    let victims = 4u32.min(n / 4);
+    let servers = (n - victims) * net.servers_per_node as u32;
+    let wl = survivor_workload(&net, servers, servers as u64 * 30, seed, Time::ZERO);
+    let mut inj = FaultInjector::new(seed);
+    for k in 0..victims {
+        inj.push(FaultEvent::Crash {
+            node: NodeId(n - 1 - k),
+            epoch: 5 + 10 * k as u64,
+        });
+    }
+    let mut cfg = SiriusSimConfig::new(net).with_seed(seed).with_audit(true);
+    cfg.drain_timeout = Duration::from_us(300);
+    let m = SiriusSim::new(cfg).with_faults(inj).run(&wl);
+    let bound = FaultConfig::default().silence_threshold + 1;
+    let fr = m.fault.expect("fault report missing");
+    fr.failures
+        .iter()
+        .map(|rec| DetectionPoint {
+            node: rec.node.0,
+            fail_epoch: rec.fail_epoch,
+            latency_epochs: rec.detection_epochs(),
+            exclusion_gap: rec.excluded_at.zip(rec.first_suspected).map(|(e, s)| e - s),
+            bound_epochs: bound,
+        })
+        .collect()
+}
+
+/// Saturation goodput with `failed` of `nodes` racks dark, against the
+/// `capacity_factor = 1 - failed/N` line.
+#[derive(Debug, Clone)]
+pub struct GoodputPoint {
+    pub failed: u32,
+    pub nodes: u32,
+    pub capacity_factor: f64,
+    /// Degraded / healthy goodput over the same saturated horizon.
+    pub goodput_ratio: f64,
+}
+
+/// Goodput-vs-failed-nodes sweep. Each point is a healthy/degraded run
+/// pair over the survivor population only, measured strictly inside the
+/// arrival span so the ratio means capacity, not drain behavior.
+pub fn goodput_points(scale: Scale, seed: u64, failed_counts: &[u32]) -> Vec<GoodputPoint> {
+    let net = fabric_limited_net(scale);
+    let n = net.nodes as u32;
+    let start = Time::ZERO + net.epoch() * 12; // routing settles first
+    let mut out = Vec::new();
+    for &failed in failed_counts {
+        let servers = (n - failed) * net.servers_per_node as u32;
+        let wl = survivor_workload(&net, servers, servers as u64 * 60, seed, start);
+        let last = wl.last().unwrap().arrival.since(Time::ZERO).as_ps();
+        let horizon = Time::from_ps(last * 4 / 5);
+        let mut cfg = SiriusSimConfig::new(net.clone()).with_seed(seed);
+        cfg.drain_timeout = Duration::from_ms(2);
+
+        let healthy = SiriusSim::new(cfg.clone()).run(&wl);
+        let mut inj = FaultInjector::new(seed);
+        for k in 0..failed {
+            inj.push(FaultEvent::Crash {
+                node: NodeId(n - 1 - k),
+                epoch: 0,
+            });
+        }
+        let degraded = SiriusSim::new(cfg).with_faults(inj).run(&wl);
+
+        let cf = degraded.fault.as_ref().unwrap().capacity_factor_end;
+        let g =
+            |m: &sirius_sim::RunMetrics| m.goodput_within(horizon, servers as u64, net.server_rate);
+        out.push(GoodputPoint {
+            failed,
+            nodes: n,
+            capacity_factor: cf,
+            goodput_ratio: g(&degraded) / g(&healthy),
+        });
+    }
+    out
+}
+
+/// One grey-link run: a single TX column degraded to `rx_dbm`, and
+/// whether the per-column silence detector localized it.
+#[derive(Debug, Clone)]
+pub struct GreyPoint {
+    pub rx_dbm: f64,
+    /// Per-cell drop probability the BER model assigns at this power.
+    pub drop_prob: f64,
+    pub cells_lost: u64,
+    pub localized: bool,
+    /// Whole-node exclusions the dead column provoked, and how many were
+    /// vetoed by keepalives on the healthy columns.
+    pub exclusions: u64,
+    pub readmissions: u64,
+    pub audit_clean: bool,
+}
+
+/// Grey-link localization accuracy across receive powers: marginal links
+/// lose little and stay invisible; a dead column must be localized to
+/// exactly its (node, uplink) without permanently excluding the node.
+pub fn grey_points(scale: Scale, seed: u64, rx_dbm: &[f64]) -> Vec<GreyPoint> {
+    let net = fabric_limited_net(scale);
+    let servers = net.total_servers() as u32;
+    let wl = survivor_workload(&net, servers, servers as u64 * 25, seed, Time::ZERO);
+    rx_dbm
+        .iter()
+        .map(|&dbm| {
+            let inj = FaultInjector::new(seed).grey_link_from_ber(
+                NodeId(7),
+                2,
+                dbm,
+                Modulation::Pam4_50,
+                net.cell_bytes,
+                4,
+                300,
+            );
+            let mut cfg = SiriusSimConfig::new(net.clone())
+                .with_seed(seed)
+                .with_audit(true);
+            cfg.drain_timeout = Duration::from_us(300);
+            let m = SiriusSim::new(cfg).with_faults(inj).run(&wl);
+            let fr = m.fault.expect("fault report missing");
+            GreyPoint {
+                rx_dbm: dbm,
+                drop_prob: cell_drop_probability(dbm, Modulation::Pam4_50, net.cell_bytes),
+                cells_lost: fr.cells_lost_grey,
+                localized: fr.grey_links_localized == fr.grey_links_declared,
+                exclusions: fr.exclusions,
+                readmissions: fr.readmissions,
+                audit_clean: m.audit.map(|a| a.is_clean()).unwrap_or(false),
+            }
+        })
+        .collect()
+}
+
+/// The full §4.5 evaluation.
+pub struct Points {
+    pub detection: Vec<DetectionPoint>,
+    pub goodput: Vec<GoodputPoint>,
+    pub grey: Vec<GreyPoint>,
+}
+
+/// Failed-node sweep proportional to the rack count.
+pub fn failed_sweep(nodes: u32) -> Vec<u32> {
+    let mut ks = vec![1, nodes / 8, nodes / 2];
+    ks.dedup();
+    ks
+}
+
+pub fn run(scale: Scale, seed: u64) -> Points {
+    let n = fabric_limited_net(scale).nodes as u32;
+    Points {
+        detection: detection_points(scale, seed),
+        goodput: goodput_points(scale, seed, &failed_sweep(n)),
+        grey: grey_points(scale, seed, &GREY_RX_DBM),
+    }
+}
+
+pub fn tables(points: &Points) -> (Table, Table, Table) {
+    let mut det = Table::new(
+        "§4.5 crash detection latency (emergent, slot-level silence)",
+        &[
+            "node",
+            "fail_epoch",
+            "latency_epochs",
+            "bound",
+            "exclusion_gap",
+        ],
+    );
+    for p in &points.detection {
+        det.row(vec![
+            p.node.to_string(),
+            p.fail_epoch.to_string(),
+            p.latency_epochs
+                .map(|l| l.to_string())
+                .unwrap_or_else(|| "missed".into()),
+            p.bound_epochs.to_string(),
+            p.exclusion_gap
+                .map(|g| g.to_string())
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    let mut gp = Table::new(
+        "§4.5 saturation goodput vs failed racks (fabric-limited)",
+        &["failed", "nodes", "capacity_factor", "goodput_ratio"],
+    );
+    for p in &points.goodput {
+        gp.row(vec![
+            p.failed.to_string(),
+            p.nodes.to_string(),
+            f(p.capacity_factor, 4),
+            f(p.goodput_ratio, 4),
+        ]);
+    }
+    let mut grey = Table::new(
+        "§4.5 grey-link localization vs receive power (one TX column)",
+        &[
+            "rx_dbm",
+            "drop_prob",
+            "cells_lost",
+            "localized",
+            "exclusions",
+            "readmissions",
+            "audit_clean",
+        ],
+    );
+    for p in &points.grey {
+        grey.row(vec![
+            f(p.rx_dbm, 1),
+            format!("{:.2e}", p.drop_prob),
+            p.cells_lost.to_string(),
+            p.localized.to_string(),
+            p.exclusions.to_string(),
+            p.readmissions.to_string(),
+            p.audit_clean.to_string(),
+        ]);
+    }
+    (det, gp, grey)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_latency_is_bounded_at_smoke_scale() {
+        let pts = detection_points(Scale::Smoke, 11);
+        assert_eq!(pts.len(), 4);
+        for p in &pts {
+            let lat = p.latency_epochs.expect("crash missed");
+            assert!(lat <= p.bound_epochs, "node {}: {lat} epochs", p.node);
+            assert_eq!(p.exclusion_gap, Some(1));
+        }
+    }
+
+    #[test]
+    fn goodput_tracks_the_capacity_line() {
+        let pts = goodput_points(Scale::Smoke, 11, &[2]);
+        let p = &pts[0];
+        assert!((p.capacity_factor - (1.0 - 2.0 / p.nodes as f64)).abs() < 1e-9);
+        assert!(
+            (p.goodput_ratio - p.capacity_factor).abs() <= 0.05,
+            "ratio {} vs capacity {}",
+            p.goodput_ratio,
+            p.capacity_factor
+        );
+    }
+
+    #[test]
+    fn dead_column_is_localized_and_marginal_column_is_invisible() {
+        let pts = grey_points(Scale::Smoke, 11, &[-8.0, -12.0]);
+        let marginal = &pts[0];
+        let dead = &pts[1];
+        assert!(marginal.drop_prob < 1e-6, "-8 dBm should be FEC-clean");
+        assert!(dead.localized, "-12 dBm column not localized");
+        assert!(dead.cells_lost > 0);
+        assert_eq!(dead.exclusions, dead.readmissions, "exclusion not vetoed");
+        assert!(dead.audit_clean && marginal.audit_clean);
+        let (t1, t2, t3) = tables(&Points {
+            detection: vec![],
+            goodput: vec![],
+            grey: pts,
+        });
+        assert!(t1.is_empty() && t2.is_empty());
+        assert_eq!(t3.len(), 2);
+    }
+}

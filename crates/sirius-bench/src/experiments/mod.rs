@@ -2,6 +2,7 @@
 //! functions used by both the harness binaries and the criterion benches.
 
 pub mod ablation;
+pub mod fault_tolerance;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;
@@ -11,5 +12,6 @@ pub mod fig6;
 pub mod fig8;
 pub mod fig9;
 pub mod granularity;
+pub mod relay_burst;
 pub mod sync;
 pub mod tuning;

@@ -20,6 +20,8 @@
 //! | §3.2/§4.5 tuning tables | `tuning` | [`experiments::tuning`] |
 //! | §6 sync measurement | `sync_xp` | [`experiments::sync`] |
 //! | CC on/ideal/off ablation | `ablation` | [`experiments::ablation`] |
+//! | §4.5 fault tolerance | `fault_tolerance` | [`experiments::fault_tolerance`] |
+//! | RELAY_BURST sensitivity | `relay_burst` | [`experiments::relay_burst`] |
 //! | everything | `xp` | all of the above |
 
 pub mod experiments;

@@ -58,13 +58,13 @@ impl AdjustedSchedule {
     /// far enough ahead for dissemination — at least one full epoch).
     pub fn stage_omit(&mut self, node: NodeId, epoch: u64) {
         self.pending.push((epoch, node, true));
-        self.pending.sort_by_key(|&(e, _, _)| e);
+        self.pending.sort_by_key(|&(e, n, _)| (e, n.0));
     }
 
     /// Stage the re-admission of a repaired `node` at `epoch`.
     pub fn stage_readmit(&mut self, node: NodeId, epoch: u64) {
         self.pending.push((epoch, node, false));
-        self.pending.sort_by_key(|&(e, _, _)| e);
+        self.pending.sort_by_key(|&(e, n, _)| (e, n.0));
     }
 
     /// Apply all staged updates whose activation epoch has arrived.

@@ -64,12 +64,24 @@ impl ReedSolomon {
         }
         let n = self.n as f64;
         let t = self.t();
+        let ln_p = p.ln();
+        let ln_q = (1.0 - p).ln();
+        if n * p > t as f64 {
+            // The binomial mode sits above the correction capability: the
+            // upper tail is most of the mass, so compute its complement
+            // P(X <= t) exactly (t+1 terms) instead — the windowed tail
+            // sum below would miss the mode entirely.
+            let mut below = 0f64;
+            for j in 0..=t {
+                let ln_term = ln_choose(self.n, j) + j as f64 * ln_p + (n - j as f64) * ln_q;
+                below += ln_term.exp();
+            }
+            return (1.0 - below).clamp(0.0, 1.0);
+        }
         // Sum_{j=t+1..n} C(n,j) p^j (1-p)^(n-j). The tail is dominated by
         // j = t+1 for small p; we sum a window beyond that and bound the
         // remainder by a geometric series.
         let mut total = 0f64;
-        let ln_p = p.ln();
-        let ln_q = (1.0 - p).ln();
         for j in (t + 1)..=(t + 60).min(self.n) {
             let ln_term = ln_choose(self.n, j) + j as f64 * ln_p + (n - j as f64) * ln_q;
             total += ln_term.exp();
@@ -121,6 +133,23 @@ pub fn ber_from_q(q: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn frame_error_rate_saturates_at_catastrophic_ber() {
+        // Above the correction capability the windowed tail sum used in
+        // the waterfall region misses the binomial mode; the complement
+        // path must take over and saturate toward 1.
+        assert!(KP4.frame_error_rate(0.3) > 0.999);
+        assert!(KP4.frame_error_rate(0.05) > 0.999);
+        // Monotone across the regime switch (mode crosses t near
+        // p_sym = t/n, i.e. BER ~ 2.9e-3 for KP4).
+        let mut prev = 0.0;
+        for &ber in &[1e-4, 5e-4, 1e-3, 2e-3, 3e-3, 5e-3, 1e-2, 1e-1] {
+            let fer = KP4.frame_error_rate(ber);
+            assert!(fer >= prev, "FER not monotone at BER {ber}");
+            prev = fer;
+        }
+    }
 
     #[test]
     fn code_parameters() {

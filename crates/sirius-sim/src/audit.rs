@@ -20,6 +20,18 @@
 //!   buffers, §4.2 — two simultaneous senders would mean the cyclic
 //!   schedule is not a permutation).
 //!
+//! The audit is **failure-aware**: the simulator declares every scripted
+//! fault window up front ([`Audit::declare_window`]), and the checks then
+//! hold *with attribution* instead of being waived — every blackholed or
+//! link-lost cell must fall inside a declared window of the matching cause
+//! ([`Audit::note_blackholed`], [`Audit::note_lost`]), every detector
+//! suspicion must be justified by a window on the suspected node
+//! ([`Audit::note_suspicion`]; an unjustified one is a *false positive*
+//! and a violation), and the RX-exclusivity check tolerates double-driven
+//! ports only while a declared mistuning window taints them
+//! ([`Audit::note_rx_mistuned`]). A fault-free run degenerates to the
+//! strict checks.
+//!
 //! Violations are recorded, not panicked on, so failure-injection runs can
 //! observe how invariants degrade; clean runs assert
 //! [`AuditReport::is_clean`]. Auditing is controlled by
@@ -41,6 +53,27 @@ use std::collections::{BTreeSet, HashMap};
 /// keeps climbing past it, so `is_clean` stays exact).
 pub const MAX_RECORDED_VIOLATIONS: usize = 32;
 
+/// Why a cell left the fabric without being delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossCause {
+    /// Arrived at a crashed node.
+    Crash,
+    /// Erased on a grey (BER-degraded) TX link.
+    Grey,
+    /// Sent by — or corrupted by a collision with — a mistuned laser.
+    Mistune,
+}
+
+/// A declared fault window `[from, until)` on `node`; losses and detector
+/// suspicions are only legitimate inside a covering window.
+#[derive(Debug, Clone, Copy)]
+struct FaultWindow {
+    cause: LossCause,
+    node: NodeId,
+    from: u64,
+    until: u64,
+}
+
 /// Outcome of one audited run.
 #[derive(Debug, Clone, Default)]
 pub struct AuditReport {
@@ -54,6 +87,12 @@ pub struct AuditReport {
     pub cells_buffered: u64,
     /// Cells blackholed at failed nodes (0 without failure injection).
     pub cells_blackholed: u64,
+    /// Cells erased or corrupted on the fiber by grey links / mistuned
+    /// lasers (0 without failure injection).
+    pub cells_lost_link: u64,
+    /// Detector suspicions not justified by any declared fault window
+    /// (false positives; each is also a violation).
+    pub false_suspicions: u64,
     /// Cells the receiver saw twice (must stay 0: the core is lossless and
     /// never retransmits).
     pub duplicate_cells: u64,
@@ -95,6 +134,8 @@ pub struct Audit {
     released: u64,
     buffered: u64,
     blackholed: u64,
+    lost_link: u64,
+    false_suspicions: u64,
     duplicates: u64,
     epochs_checked: u64,
     total_violations: u64,
@@ -103,6 +144,14 @@ pub struct Audit {
     /// Receive ports driven this slot, indexed `dst * uplinks + uplink`.
     rx_busy: Vec<bool>,
     rx_touched: Vec<u32>,
+    /// Ports hit by a declared-mistuned signal this slot (double drives
+    /// there are expected corruption, not schedule bugs).
+    rx_mistuned: Vec<bool>,
+    rx_mistuned_touched: Vec<u32>,
+    /// Declared fault windows (attribution base for losses/suspicions).
+    windows: Vec<FaultWindow>,
+    /// Detector silence threshold (suspicion-justification slack).
+    silence_threshold: u64,
 }
 
 impl Audit {
@@ -125,6 +174,8 @@ impl Audit {
             released: 0,
             buffered: 0,
             blackholed: 0,
+            lost_link: 0,
+            false_suspicions: 0,
             duplicates: 0,
             epochs_checked: 0,
             total_violations: 0,
@@ -136,11 +187,43 @@ impl Audit {
                 Vec::new()
             },
             rx_touched: Vec::new(),
+            rx_mistuned: if enabled {
+                vec![false; n * uplinks]
+            } else {
+                Vec::new()
+            },
+            rx_mistuned_touched: Vec::new(),
+            windows: Vec::new(),
+            silence_threshold: sirius_core::fault::FaultConfig::default().silence_threshold,
         }
     }
 
     pub fn enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Declare a fault window `[from, until)` on `node` (use `u64::MAX`
+    /// for an open-ended crash). Losses and suspicions are checked for
+    /// coverage against the declared set.
+    pub fn declare_window(&mut self, cause: LossCause, node: NodeId, from: u64, until: u64) {
+        self.windows.push(FaultWindow {
+            cause,
+            node,
+            from,
+            until,
+        });
+    }
+
+    /// Set the detector's silence threshold, used as justification slack
+    /// when checking suspicions against windows.
+    pub fn set_silence_threshold(&mut self, threshold: u64) {
+        self.silence_threshold = threshold;
+    }
+
+    fn covered(&self, cause: LossCause, node: NodeId, epoch: u64) -> bool {
+        self.windows
+            .iter()
+            .any(|w| w.cause == cause && w.node == node && w.from <= epoch && epoch < w.until)
     }
 
     fn violation(&mut self, msg: String) {
@@ -156,10 +239,64 @@ impl Audit {
         self.injected += 1;
     }
 
-    /// A cell was dropped at a failed node.
-    #[inline]
-    pub fn note_blackholed(&mut self) {
+    /// A cell was dropped at crashed `node` during `epoch`. Must fall
+    /// inside a declared crash window — an unattributed blackhole is a
+    /// violation (cells vanishing without a scripted cause).
+    pub fn note_blackholed(&mut self, node: NodeId, epoch: u64) {
         self.blackholed += 1;
+        if self.enabled && !self.covered(LossCause::Crash, node, epoch) {
+            let id = node.0;
+            self.violation(format!(
+                "epoch {epoch}: unattributed blackhole at node {id} (no declared crash window)"
+            ));
+        }
+    }
+
+    /// A cell was lost on the fiber during `epoch` — `cause` says how,
+    /// `node` is the faulty party (the grey sender, or the mistuned node
+    /// whose signal corrupted the port). Must fall inside a declared
+    /// window of the same cause.
+    pub fn note_lost(&mut self, cause: LossCause, node: NodeId, epoch: u64) {
+        debug_assert_ne!(cause, LossCause::Crash, "crash losses use note_blackholed");
+        self.lost_link += 1;
+        if self.enabled && !self.covered(cause, node, epoch) {
+            let id = node.0;
+            self.violation(format!(
+                "epoch {epoch}: unattributed {cause:?} loss at node {id} (no declared window)"
+            ));
+        }
+    }
+
+    /// The silence detector suspected `node` at `epoch`. Justified only if
+    /// some declared window on that node was active within the detector's
+    /// lookback (`silence_threshold + 1` epochs past the window's end);
+    /// otherwise it is a false positive — a healthy node starved of
+    /// keepalives, which §4.5's always-on slots make structurally
+    /// impossible.
+    ///
+    /// Exception: while a *mistune* window is active anywhere, suspicions
+    /// of other nodes are also justified. A laser stuck `k` ports off its
+    /// tuning target jams the RX port scheduled `k` slots later — under
+    /// the cyclic schedule that is the same collateral sender on every
+    /// slot, so an innocent node genuinely goes silent on the fabric. The
+    /// victim is schedule-dependent, so the window cannot name it.
+    pub fn note_suspicion(&mut self, epoch: u64, node: NodeId) {
+        if !self.enabled {
+            return;
+        }
+        let slack = self.silence_threshold + 1;
+        let justified = self.windows.iter().any(|w| {
+            (w.node == node || w.cause == LossCause::Mistune)
+                && w.from <= epoch
+                && epoch < w.until.saturating_add(slack)
+        });
+        if !justified {
+            self.false_suspicions += 1;
+            let id = node.0;
+            self.violation(format!(
+                "epoch {epoch}: false suspicion of healthy node {id} (no declared fault window)"
+            ));
+        }
     }
 
     /// A sender is driving receive port (`dst`, `uplink`) this slot.
@@ -172,11 +309,38 @@ impl Audit {
         }
         let idx = dst.0 as usize * self.uplinks + uplink as usize;
         if self.rx_busy[idx] {
-            self.violation(format!(
-                "slot {slot}: rx exclusivity: two senders drive node {} uplink {uplink}",
-                dst.0
-            ));
+            // A port tainted by a declared-mistuned signal is *expected*
+            // to be double-driven (the mistuned laser collides with the
+            // scheduled sender); only untainted double drives are
+            // schedule bugs.
+            if !self.rx_mistuned[idx] {
+                self.violation(format!(
+                    "slot {slot}: rx exclusivity: two senders drive node {} uplink {uplink}",
+                    dst.0
+                ));
+            }
         } else {
+            self.rx_busy[idx] = true;
+            self.rx_touched.push(idx as u32);
+        }
+    }
+
+    /// A declared-mistuned laser's signal lands on receive port
+    /// (`dst`, `uplink`) this slot: taint the port so the exclusivity
+    /// check accounts for the collision, and treat the stray signal as a
+    /// drive of its own (two mistuned strays on one port are still only
+    /// garbage, not a schedule bug).
+    #[inline]
+    pub fn note_rx_mistuned(&mut self, _slot: u64, dst: NodeId, uplink: u16) {
+        if !self.enabled {
+            return;
+        }
+        let idx = dst.0 as usize * self.uplinks + uplink as usize;
+        if !self.rx_mistuned[idx] {
+            self.rx_mistuned[idx] = true;
+            self.rx_mistuned_touched.push(idx as u32);
+        }
+        if !self.rx_busy[idx] {
             self.rx_busy[idx] = true;
             self.rx_touched.push(idx as u32);
         }
@@ -192,6 +356,10 @@ impl Audit {
             self.rx_busy[idx as usize] = false;
         }
         self.rx_touched.clear();
+        for &idx in &self.rx_mistuned_touched {
+            self.rx_mistuned[idx as usize] = false;
+        }
+        self.rx_mistuned_touched.clear();
     }
 
     /// The reorder buffer accepted cell `seq` of `cell.flow` and reported
@@ -253,15 +421,18 @@ impl Audit {
             + self.buffered
             + self.released
             + self.blackholed
+            + self.lost_link
             + self.duplicates;
         if accounted != self.injected {
             let injected = self.injected;
             let (buffered, released) = (self.buffered, self.released);
             let (blackholed, duplicates) = (self.blackholed, self.duplicates);
+            let lost_link = self.lost_link;
             self.violation(format!(
                 "epoch {epoch}: cell conservation broken: injected {injected} != \
                  resident {resident} + in-flight {in_flight} + buffered {buffered} + \
-                 released {released} + blackholed {blackholed} + duplicates {duplicates}"
+                 released {released} + blackholed {blackholed} + link-lost {lost_link} + \
+                 duplicates {duplicates}"
             ));
         }
 
@@ -291,6 +462,8 @@ impl Audit {
             cells_released: self.released,
             cells_buffered: self.buffered,
             cells_blackholed: self.blackholed,
+            cells_lost_link: self.lost_link,
+            false_suspicions: self.false_suspicions,
             duplicate_cells: self.duplicates,
             total_violations: self.total_violations,
             violations: self.violations,
@@ -401,12 +574,83 @@ mod tests {
     }
 
     #[test]
-    fn conservation_accepts_blackholed_cells() {
+    fn conservation_accepts_attributed_blackholed_cells() {
         let mut a = Audit::new(true, 4, 2, 4, false);
+        a.declare_window(LossCause::Crash, NodeId(2), 5, u64::MAX);
         a.note_injected();
-        a.note_blackholed();
-        a.epoch_check(0, &[], 0);
-        assert!(a.finish().is_clean());
+        a.note_blackholed(NodeId(2), 7);
+        a.epoch_check(7, &[], 0);
+        let r = a.finish();
+        assert!(r.is_clean(), "{:?}", r.violations);
+        assert_eq!(r.cells_blackholed, 1);
+    }
+
+    #[test]
+    fn unattributed_blackhole_is_a_violation() {
+        let mut a = Audit::new(true, 4, 2, 4, false);
+        a.declare_window(LossCause::Crash, NodeId(2), 5, 10);
+        a.note_injected();
+        a.note_injected();
+        a.note_blackholed(NodeId(3), 7); // wrong node
+        a.note_blackholed(NodeId(2), 12); // after the window closed
+        let r = a.finish();
+        assert_eq!(r.total_violations, 2);
+        assert!(r.violations[0].contains("unattributed blackhole"));
+    }
+
+    #[test]
+    fn link_losses_require_a_matching_window() {
+        let mut a = Audit::new(true, 4, 2, 4, false);
+        a.declare_window(LossCause::Grey, NodeId(1), 0, 100);
+        a.note_injected();
+        a.note_injected();
+        a.note_lost(LossCause::Grey, NodeId(1), 50);
+        // Conservation counts the attributed loss.
+        a.epoch_check(50, &[], 1);
+        // A mistune loss is not covered by a grey window.
+        a.note_lost(LossCause::Mistune, NodeId(1), 50);
+        let r = a.finish();
+        assert_eq!(r.cells_lost_link, 2);
+        assert_eq!(r.total_violations, 1);
+        assert!(r.violations[0].contains("Mistune"));
+    }
+
+    #[test]
+    fn suspicion_justification_and_false_positives() {
+        let mut a = Audit::new(true, 4, 2, 4, false);
+        a.set_silence_threshold(3);
+        a.declare_window(LossCause::Crash, NodeId(1), 10, u64::MAX);
+        a.declare_window(LossCause::Grey, NodeId(2), 10, 20);
+        a.declare_window(LossCause::Mistune, NodeId(0), 40, 50);
+        a.note_suspicion(13, NodeId(1)); // crash, justified
+        a.note_suspicion(22, NodeId(2)); // grey ended at 20, within slack
+        a.note_suspicion(13, NodeId(3)); // healthy node: false positive
+        a.note_suspicion(30, NodeId(2)); // way past the grey window
+        a.note_suspicion(45, NodeId(3)); // mistune collateral: justified
+        let r = a.finish();
+        assert_eq!(r.false_suspicions, 2);
+        assert_eq!(r.total_violations, 2);
+        assert!(r.violations[0].contains("false suspicion"));
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn mistune_taint_suppresses_expected_double_drives_only() {
+        let mut a = Audit::new(true, 8, 4, 4, true);
+        // Slot 7: a declared-mistuned stray lands on (3, 1); the scheduled
+        // sender drives the same port. Expected collision, no violation.
+        a.note_rx_mistuned(7, NodeId(3), 1);
+        a.note_rx(7, NodeId(3), 1);
+        // An untainted port double-driven in the same slot still trips.
+        a.note_rx(7, NodeId(4), 2);
+        a.note_rx(7, NodeId(4), 2);
+        a.end_slot();
+        // Taint does not leak into the next slot.
+        a.note_rx(8, NodeId(3), 1);
+        a.note_rx(8, NodeId(3), 1);
+        a.end_slot();
+        let r = a.finish();
+        assert_eq!(r.total_violations, 2, "{:?}", r.violations);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! padding) are naturally absent here: the fluid model transports exactly
 //! `bytes` per flow, which is what Fig. 13 measures.
 
-use crate::audit::RunDigest;
+use crate::audit::{AuditReport, RunDigest, MAX_RECORDED_VIOLATIONS};
 use crate::metrics::{FlowRecord, RunMetrics};
 use sirius_core::units::{Duration, Rate, Time};
 use sirius_workload::Flow;
@@ -82,11 +82,28 @@ struct ActiveFlow {
 /// Event-driven max-min fluid simulator for the ESN baselines.
 pub struct EsnSim {
     cfg: EsnConfig,
+    audit: bool,
 }
+
+/// Relative tolerance for the fluid-model capacity checks (water-filling
+/// is exact rational arithmetic done in f64; violations beyond this are
+/// algorithmic, not rounding).
+const ESN_AUDIT_EPS: f64 = 1e-6;
 
 impl EsnSim {
     pub fn new(cfg: EsnConfig) -> EsnSim {
-        EsnSim { cfg }
+        EsnSim { cfg, audit: false }
+    }
+
+    /// Enable the fluid-model invariant audit: after every rate
+    /// recomputation the allocation is re-checked from first principles
+    /// (capacity feasibility at every NIC and rack pool, non-negative
+    /// rates, and max-min bottleneck maximality), and at the end of the
+    /// run byte conservation is verified. Mirrors `SiriusSimConfig::
+    /// with_audit` for the cell simulator.
+    pub fn with_audit(mut self, audit: bool) -> EsnSim {
+        self.audit = audit;
+        self
     }
 
     /// Run the workload; returns the same metrics shape as the Sirius
@@ -109,6 +126,9 @@ impl EsnSim {
         let mut next = 0usize;
         let mut now = Time::ZERO;
         let mut events_since_fill = 0usize;
+        let mut audit_checks = 0u64;
+        let mut audit_violations = 0u64;
+        let mut audit_messages: Vec<String> = Vec::new();
         // Event loop: next event is either the next arrival or the earliest
         // completion under current rates.
         loop {
@@ -132,6 +152,10 @@ impl EsnSim {
                         break;
                     }
                     self.waterfill(&mut active);
+                    if self.audit {
+                        audit_checks += 1;
+                        self.audit_rates(&active, &mut audit_violations, &mut audit_messages);
+                    }
                     events_since_fill = 0;
                     continue;
                 }
@@ -198,11 +222,29 @@ impl EsnSim {
             let budget = (active.len() / 64).max(1);
             if active.len() <= 64 || events_since_fill >= budget {
                 self.waterfill(&mut active);
+                if self.audit {
+                    audit_checks += 1;
+                    self.audit_rates(&active, &mut audit_violations, &mut audit_messages);
+                }
                 events_since_fill = 0;
             }
         }
 
         let incomplete = records.iter().filter(|f| f.completion.is_none()).count() as u64;
+        if self.audit {
+            // Byte conservation: the fluid model has no loss channel, so
+            // everything injected must come out, flow by flow.
+            let injected: u64 = workload.iter().map(|f| f.bytes).sum();
+            if delivered != injected || incomplete != 0 {
+                audit_violations += 1;
+                if audit_messages.len() < MAX_RECORDED_VIOLATIONS {
+                    audit_messages.push(format!(
+                        "fluid conservation broken: injected {injected} B, delivered \
+                         {delivered} B, {incomplete} flows incomplete"
+                    ));
+                }
+            }
+        }
         let span = if last_delivery > Time::ZERO {
             last_delivery.since(Time::ZERO)
         } else {
@@ -232,7 +274,93 @@ impl EsnSim {
             incomplete_flows: incomplete,
             cc: Default::default(),
             digest: digest.value(),
-            audit: None,
+            audit: if self.audit {
+                Some(AuditReport {
+                    epochs_checked: audit_checks,
+                    cells_injected: workload.len() as u64,
+                    cells_released: workload.len() as u64 - incomplete,
+                    total_violations: audit_violations,
+                    violations: audit_messages,
+                    ..AuditReport::default()
+                })
+            } else {
+                None
+            },
+            fault: None,
+        }
+    }
+
+    /// Re-check a freshly computed rate allocation from first principles,
+    /// independently of the water-filling bookkeeping: rates are
+    /// non-negative, no NIC or rack pool is oversubscribed, and the
+    /// allocation is max-min maximal (every flow is pinned by at least one
+    /// saturated resource — otherwise water-filling stopped early and the
+    /// "upper bound on any protocol" claim is void).
+    fn audit_rates(&self, active: &[ActiveFlow], violations: &mut u64, messages: &mut Vec<String>) {
+        let n_servers = self.cfg.servers as usize;
+        let racks = self.cfg.racks() as usize;
+        let spr = self.cfg.servers_per_rack;
+        let r = self.cfg.server_rate.as_bps() as f64;
+        let pool = self.cfg.rack_pool_bps();
+        let rack_of = |s: u32| (s / spr) as usize;
+
+        let mut flag = |msg: String| {
+            *violations += 1;
+            if messages.len() < MAX_RECORDED_VIOLATIONS {
+                messages.push(msg);
+            }
+        };
+
+        let mut used = vec![0f64; 2 * n_servers + racks];
+        for f in active {
+            if f.rate_bps < 0.0 {
+                flag(format!("flow {}: negative rate {}", f.id, f.rate_bps));
+            }
+            used[f.src as usize] += f.rate_bps;
+            used[n_servers + f.dst as usize] += f.rate_bps;
+            if pool.is_finite() && rack_of(f.src) != rack_of(f.dst) {
+                used[2 * n_servers + rack_of(f.src)] += f.rate_bps;
+            }
+        }
+        let tol = r * ESN_AUDIT_EPS;
+        for s in 0..n_servers {
+            if used[s] > r + tol {
+                flag(format!(
+                    "server {s} uplink oversubscribed: {} > {r}",
+                    used[s]
+                ));
+            }
+            if used[n_servers + s] > r + tol {
+                flag(format!(
+                    "server {s} downlink oversubscribed: {} > {r}",
+                    used[n_servers + s]
+                ));
+            }
+        }
+        if pool.is_finite() {
+            for k in 0..racks {
+                let u = used[2 * n_servers + k];
+                if u > pool + pool * ESN_AUDIT_EPS {
+                    flag(format!("rack {k} pool oversubscribed: {u} > {pool}"));
+                }
+            }
+        }
+        // Max-min maximality: a flow whose every resource has slack could
+        // be sped up, so the allocation is not max-min fair.
+        for f in active {
+            let up_slack = r - used[f.src as usize] > tol;
+            let down_slack = r - used[n_servers + f.dst as usize] > tol;
+            let pool_slack = if pool.is_finite() && rack_of(f.src) != rack_of(f.dst) {
+                pool - used[2 * n_servers + rack_of(f.src)] > pool * ESN_AUDIT_EPS
+            } else {
+                true
+            };
+            if up_slack && down_slack && pool_slack {
+                flag(format!(
+                    "flow {}: not bottlenecked (rate {} bps, all resources slack)",
+                    f.id, f.rate_bps
+                ));
+            }
         }
     }
 
@@ -466,6 +594,18 @@ mod tests {
         let f_lo = lo.fct_percentile(99.0, 100_000).unwrap();
         let f_hi = hi.fct_percentile(99.0, 100_000).unwrap();
         assert!(f_hi >= f_lo);
+    }
+
+    #[test]
+    fn audit_is_clean_for_both_esn_variants() {
+        let wl = workload(0.8, 1500, 11);
+        for osub in [1.0, 3.0] {
+            let m = EsnSim::new(cfg(osub)).with_audit(true).run(&wl);
+            let a = m.audit.expect("audit report");
+            assert!(a.is_clean(), "osub {osub}: {:?}", a.violations);
+            assert!(a.epochs_checked > 0);
+            assert_eq!(a.cells_released, wl.len() as u64);
+        }
     }
 
     #[test]

@@ -1,0 +1,384 @@
+//! Scriptable fault injection for the Sirius simulator (§4.5).
+//!
+//! The injector owns the *ground truth* of what is broken and when; the
+//! simulator never tells its routing plane about any of it. Detection is
+//! emergent: a fault only affects routing once the silence-driven
+//! [`sirius_core::fault::FailureDetector`] notices the missing scheduled
+//! slots and stages a consistent update (see `sirius_net`).
+//!
+//! Supported faults:
+//!
+//! * **Fail-stop crashes** ([`FaultEvent::Crash`]) — the node stops
+//!   transmitting (no data, no keepalives) and blackholes arrivals, with
+//!   optional scheduled [`FaultEvent::Recover`].
+//! * **Grey links** ([`FaultEvent::GreyLink`]) — one TX column erases
+//!   cells with a probability fed from the `sirius-optics` BER model
+//!   ([`FaultInjector::grey_link_from_ber`]): a degraded transceiver drops
+//!   cells on specific paths while the node stays otherwise healthy.
+//! * **Mistuned lasers** ([`FaultEvent::Mistune`]) — a stuck/mistuned
+//!   tunable laser shifts the node's wavelength by a fixed slot offset, so
+//!   its cells land on the *wrong* RX port (corrupting whatever legitimate
+//!   cell arrives there) for the duration of the window.
+//! * **Control loss** ([`FaultEvent::ControlLoss`]) — request/grant
+//!   messages in `CcMode::Protocol` are dropped with a probability; the
+//!   protocol's sticky-request re-issue and grant-expiry backstops must
+//!   absorb this without losing data.
+//!
+//! Erasure draws come from the injector's own RNG stream (`seed ^ salt`),
+//! decoupled from the simulator's protocol RNG, and are made once per
+//! *scheduled slot* in a fault window — never per data cell — so a fault
+//! script perturbs the protocol's random choices not at all and double
+//! runs stay bit-identical.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sirius_core::topology::NodeId;
+use sirius_optics::ber::{Modulation, Receiver};
+use sirius_optics::fec::KP4;
+
+/// One scripted fault. Windows are `[from, until)` in epochs; events are
+/// instantaneous at their epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// Fail-stop: `node` dies at `epoch`.
+    Crash { node: NodeId, epoch: u64 },
+    /// `node` reboots at `epoch` (queues survive; detector state does not).
+    Recover { node: NodeId, epoch: u64 },
+    /// TX column `uplink` of `node` erases each scheduled slot with
+    /// probability `drop_prob` during `[from, until)`.
+    GreyLink {
+        node: NodeId,
+        uplink: u16,
+        drop_prob: f64,
+        from: u64,
+        until: u64,
+    },
+    /// `node`'s laser is stuck `offset` grating ports away from its tuning
+    /// target during `[from, until)`: every cell it sends lands on the RX
+    /// port scheduled `offset` slots later in the cycle.
+    Mistune {
+        node: NodeId,
+        offset: u16,
+        from: u64,
+        until: u64,
+    },
+    /// Request/grant messages are dropped with `drop_prob` during
+    /// `[from, until)` (Protocol mode only).
+    ControlLoss {
+        drop_prob: f64,
+        from: u64,
+        until: u64,
+    },
+}
+
+/// Per-epoch snapshot of the active fault plane, rebuilt at boundaries so
+/// the per-slot hot path only reads flat arrays.
+#[derive(Debug, Default)]
+pub struct ActiveFaults {
+    /// Erasure probability per `(node, uplink)` (empty when no grey link
+    /// is active this epoch).
+    pub grey: Vec<f64>,
+    /// Mistune offset per node (empty when none active this epoch).
+    pub mistuned: Vec<Option<u16>>,
+    /// Probability of losing each control message this epoch.
+    pub control_loss: f64,
+    /// Nodes with a mistune active this epoch (for the per-slot pre-pass).
+    pub mistuned_nodes: Vec<NodeId>,
+}
+
+impl ActiveFaults {
+    pub fn any_grey(&self) -> bool {
+        !self.grey.is_empty()
+    }
+    pub fn any_mistune(&self) -> bool {
+        !self.mistuned_nodes.is_empty()
+    }
+    pub fn grey_prob(&self, node: NodeId, uplink: u16, uplinks: usize) -> f64 {
+        if self.grey.is_empty() {
+            0.0
+        } else {
+            self.grey[node.0 as usize * uplinks + uplink as usize]
+        }
+    }
+    pub fn mistune_of(&self, node: NodeId) -> Option<u16> {
+        if self.mistuned.is_empty() {
+            None
+        } else {
+            self.mistuned[node.0 as usize]
+        }
+    }
+}
+
+/// Scriptable fault injector; build one, add events, hand it to
+/// `SiriusSim::with_faults`.
+#[derive(Debug)]
+pub struct FaultInjector {
+    events: Vec<FaultEvent>,
+    rng: SmallRng,
+}
+
+/// Salt for the injector's RNG stream so fault draws are independent of
+/// the simulator's protocol draws even under the same seed.
+const FAULT_RNG_SALT: u64 = 0x5149_5249_5553_4633; // "SIRIUSF3"
+
+impl FaultInjector {
+    pub fn new(seed: u64) -> FaultInjector {
+        FaultInjector {
+            events: Vec::new(),
+            rng: SmallRng::seed_from_u64(seed ^ FAULT_RNG_SALT),
+        }
+    }
+
+    pub fn push(&mut self, ev: FaultEvent) -> &mut Self {
+        self.events.push(ev);
+        self
+    }
+
+    pub fn crash(mut self, node: NodeId, epoch: u64) -> Self {
+        self.events.push(FaultEvent::Crash { node, epoch });
+        self
+    }
+
+    pub fn recover(mut self, node: NodeId, epoch: u64) -> Self {
+        self.events.push(FaultEvent::Recover { node, epoch });
+        self
+    }
+
+    pub fn grey_link(
+        mut self,
+        node: NodeId,
+        uplink: u16,
+        drop_prob: f64,
+        from: u64,
+        until: u64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&drop_prob));
+        self.events.push(FaultEvent::GreyLink {
+            node,
+            uplink,
+            drop_prob,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Grey link whose erasure probability comes from the optics stack: a
+    /// transceiver receiving `rx_dbm` of optical power has a pre-FEC BER
+    /// from the [`Receiver`] model; KP4 FEC then either corrects a frame
+    /// or loses it, so the per-cell drop probability is the chance that
+    /// any of the cell's RS frames is uncorrectable.
+    #[allow(clippy::too_many_arguments)]
+    pub fn grey_link_from_ber(
+        self,
+        node: NodeId,
+        uplink: u16,
+        rx_dbm: f64,
+        modulation: Modulation,
+        cell_bytes: u32,
+        from: u64,
+        until: u64,
+    ) -> Self {
+        let p = cell_drop_probability(rx_dbm, modulation, cell_bytes);
+        self.grey_link(node, uplink, p, from, until)
+    }
+
+    pub fn mistune(mut self, node: NodeId, offset: u16, from: u64, until: u64) -> Self {
+        assert!(offset > 0, "offset 0 is a correctly tuned laser");
+        self.events.push(FaultEvent::Mistune {
+            node,
+            offset,
+            from,
+            until,
+        });
+        self
+    }
+
+    pub fn control_loss(mut self, drop_prob: f64, from: u64, until: u64) -> Self {
+        assert!((0.0..=1.0).contains(&drop_prob));
+        self.events.push(FaultEvent::ControlLoss {
+            drop_prob,
+            from,
+            until,
+        });
+        self
+    }
+
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Does any event ever perturb individual links (grey or mistune)?
+    /// Gates the per-link detector bookkeeping in the simulator.
+    pub fn has_link_faults(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, FaultEvent::GreyLink { .. } | FaultEvent::Mistune { .. }))
+    }
+
+    /// Crash/recover transitions due at exactly `epoch`, in script order.
+    /// `true` = crash, `false` = recover.
+    pub fn node_events_at(&self, epoch: u64) -> Vec<(NodeId, bool)> {
+        self.events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::Crash { node, epoch: at } if at == epoch => Some((node, true)),
+                FaultEvent::Recover { node, epoch: at } if at == epoch => Some((node, false)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Rebuild the flat per-epoch fault snapshot.
+    pub fn refresh(&self, epoch: u64, n: usize, uplinks: usize, out: &mut ActiveFaults) {
+        out.grey.clear();
+        out.mistuned.clear();
+        out.mistuned_nodes.clear();
+        out.control_loss = 0.0;
+        for e in &self.events {
+            match *e {
+                FaultEvent::GreyLink {
+                    node,
+                    uplink,
+                    drop_prob,
+                    from,
+                    until,
+                } if (from..until).contains(&epoch) => {
+                    if out.grey.is_empty() {
+                        out.grey.resize(n * uplinks, 0.0);
+                    }
+                    let idx = node.0 as usize * uplinks + uplink as usize;
+                    // Overlapping windows on one link compound (this form
+                    // is exact when the accumulator is still zero).
+                    out.grey[idx] += drop_prob - out.grey[idx] * drop_prob;
+                }
+                FaultEvent::Mistune {
+                    node,
+                    offset,
+                    from,
+                    until,
+                } if (from..until).contains(&epoch) => {
+                    if out.mistuned.is_empty() {
+                        out.mistuned.resize(n, None);
+                    }
+                    if out.mistuned[node.0 as usize].is_none() {
+                        out.mistuned_nodes.push(node);
+                    }
+                    out.mistuned[node.0 as usize] = Some(offset);
+                }
+                FaultEvent::ControlLoss {
+                    drop_prob,
+                    from,
+                    until,
+                } if (from..until).contains(&epoch) => {
+                    out.control_loss += drop_prob - out.control_loss * drop_prob;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// One Bernoulli draw from the fault stream (erasures, control loss).
+    pub fn draw(&mut self, prob: f64) -> bool {
+        prob > 0.0 && self.rng.gen_bool(prob)
+    }
+
+    /// The last epoch at which this script changes anything (grey/mistune
+    /// windows closing, crashes, recoveries). Runs that measure
+    /// degradation should extend at least this far.
+    pub fn horizon(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match *e {
+                FaultEvent::Crash { epoch, .. } | FaultEvent::Recover { epoch, .. } => epoch,
+                FaultEvent::GreyLink { until, .. }
+                | FaultEvent::Mistune { until, .. }
+                | FaultEvent::ControlLoss { until, .. } => until,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Per-cell drop probability of a degraded link: pre-FEC BER from the
+/// receiver model at `rx_dbm`, KP4 frame error rate, compounded over the
+/// RS frames a cell spans.
+pub fn cell_drop_probability(rx_dbm: f64, modulation: Modulation, cell_bytes: u32) -> f64 {
+    let ber = Receiver::new(modulation).pre_fec_ber(rx_dbm);
+    let fer = KP4.frame_error_rate(ber);
+    let frame_payload_bits = (KP4.k * KP4.m) as f64;
+    let frames = ((cell_bytes * 8) as f64 / frame_payload_bits).ceil();
+    1.0 - (1.0 - fer).powf(frames)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_gate_the_snapshot() {
+        let inj = FaultInjector::new(1)
+            .grey_link(NodeId(2), 1, 0.5, 10, 20)
+            .mistune(NodeId(3), 2, 15, 25)
+            .control_loss(0.1, 5, 30);
+        let mut af = ActiveFaults::default();
+        inj.refresh(9, 8, 4, &mut af);
+        assert!(!af.any_grey());
+        assert!(!af.any_mistune());
+        assert_eq!(af.control_loss, 0.1);
+        inj.refresh(15, 8, 4, &mut af);
+        assert_eq!(af.grey_prob(NodeId(2), 1, 4), 0.5);
+        assert_eq!(af.grey_prob(NodeId(2), 0, 4), 0.0);
+        assert_eq!(af.mistune_of(NodeId(3)), Some(2));
+        assert_eq!(af.mistuned_nodes, vec![NodeId(3)]);
+        inj.refresh(25, 8, 4, &mut af);
+        assert!(!af.any_mistune());
+        assert_eq!(af.mistune_of(NodeId(3)), None);
+        assert!(inj.has_link_faults());
+        assert_eq!(inj.horizon(), 30);
+    }
+
+    #[test]
+    fn node_events_fire_at_their_epoch() {
+        let inj = FaultInjector::new(1)
+            .crash(NodeId(1), 5)
+            .recover(NodeId(1), 9)
+            .crash(NodeId(2), 5);
+        assert_eq!(
+            inj.node_events_at(5),
+            vec![(NodeId(1), true), (NodeId(2), true)]
+        );
+        assert_eq!(inj.node_events_at(9), vec![(NodeId(1), false)]);
+        assert!(inj.node_events_at(6).is_empty());
+        assert!(!inj.has_link_faults());
+    }
+
+    #[test]
+    fn ber_fed_drop_probability_is_monotone_in_power() {
+        // A healthy receive power is error-free through KP4; a badly
+        // degraded one loses essentially every cell; in between the curve
+        // is monotone.
+        let healthy = cell_drop_probability(-4.0, Modulation::Pam4_50, 562);
+        let marginal = cell_drop_probability(-11.0, Modulation::Pam4_50, 562);
+        let dead = cell_drop_probability(-20.0, Modulation::Pam4_50, 562);
+        assert!(healthy < 1e-9, "healthy link drops cells: {healthy}");
+        assert!(dead > 0.99, "dead link still delivers: {dead}");
+        assert!(healthy <= marginal && marginal <= dead);
+    }
+
+    #[test]
+    fn fault_rng_is_deterministic_and_seed_dependent() {
+        let draw_seq = |seed: u64| {
+            let mut inj = FaultInjector::new(seed);
+            (0..64).map(|_| inj.draw(0.5)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw_seq(7), draw_seq(7));
+        assert_ne!(draw_seq(7), draw_seq(8));
+        let mut inj = FaultInjector::new(1);
+        assert!(!inj.draw(0.0), "p=0 must not draw");
+    }
+}

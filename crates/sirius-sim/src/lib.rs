@@ -31,13 +31,15 @@
 
 pub mod audit;
 pub mod esn;
+pub mod faults;
 pub mod metrics;
 pub mod packet_layer;
 pub mod sirius_net;
 pub mod telemetry;
 
-pub use audit::{Audit, AuditReport, RunDigest};
+pub use audit::{Audit, AuditReport, LossCause, RunDigest};
 pub use esn::{EsnConfig, EsnSim};
-pub use metrics::{FlowRecord, RunMetrics};
+pub use faults::{cell_drop_probability, FaultEvent, FaultInjector};
+pub use metrics::{FailureRecord, FaultReport, FlowRecord, RunMetrics};
 pub use sirius_net::{CcMode, ScheduledFailure, SiriusSim, SiriusSimConfig};
 pub use telemetry::{Sample, Telemetry};

@@ -24,6 +24,70 @@ impl FlowRecord {
     }
 }
 
+/// What happened to one scripted node crash, as *measured* by the
+/// silence-driven detection pipeline (§4.5): when the node actually died,
+/// when the first detector suspected it, when routing excluded it, and —
+/// if it recovered — when routing readmitted it.
+#[derive(Debug, Clone, Copy)]
+pub struct FailureRecord {
+    pub node: sirius_core::topology::NodeId,
+    /// Ground-truth epoch the node died.
+    pub fail_epoch: u64,
+    /// Epoch the first silence detector suspected it (None: never).
+    pub first_suspected: Option<u64>,
+    /// Epoch the staged exclusion took routing effect (None: never).
+    pub excluded_at: Option<u64>,
+    /// Ground-truth epoch the node rebooted, if scripted.
+    pub recovered_epoch: Option<u64>,
+    /// Epoch the staged readmission took routing effect, if any.
+    pub readmitted_at: Option<u64>,
+}
+
+impl FailureRecord {
+    /// Detection latency in epochs (suspicion minus ground-truth death).
+    pub fn detection_epochs(&self) -> Option<u64> {
+        self.first_suspected.map(|s| s - self.fail_epoch)
+    }
+}
+
+/// Fault-plane accounting for a run with a `FaultInjector` attached.
+/// Everything here is measured from emergent behavior — nothing is an
+/// echo of the script.
+#[derive(Debug, Clone, Default)]
+pub struct FaultReport {
+    /// One record per scripted crash, in script order.
+    pub failures: Vec<FailureRecord>,
+    /// (observer, suspect) suspicion transitions seen by the detectors.
+    pub suspicion_events: u64,
+    /// Routing exclusions / readmissions applied at update epochs.
+    pub exclusions: u64,
+    pub readmissions: u64,
+    /// Cells lost, by cause.
+    pub cells_lost_crash: u64,
+    pub cells_lost_grey: u64,
+    pub cells_lost_mistune: u64,
+    /// Control messages dropped by a `ControlLoss` window.
+    pub requests_lost: u64,
+    pub grants_lost: u64,
+    /// Distinct grey TX links declared by the script, and how many of
+    /// them the per-column silence detector localized.
+    pub grey_links_declared: u32,
+    pub grey_links_localized: u32,
+    /// `AdjustedSchedule::capacity_factor` at the end of the run.
+    pub capacity_factor_end: f64,
+}
+
+impl FaultReport {
+    /// Worst measured detection latency across scripted crashes, in
+    /// epochs (None when nothing was detected).
+    pub fn max_detection_epochs(&self) -> Option<u64> {
+        self.failures
+            .iter()
+            .filter_map(|f| f.detection_epochs())
+            .max()
+    }
+}
+
 /// Aggregated results of one simulation run.
 #[derive(Debug, Clone)]
 pub struct RunMetrics {
@@ -51,6 +115,9 @@ pub struct RunMetrics {
     pub digest: u64,
     /// Invariant-audit report, present when auditing was enabled.
     pub audit: Option<AuditReport>,
+    /// Fault-plane measurements, present when a `FaultInjector` was
+    /// attached to the run.
+    pub fault: Option<FaultReport>,
 }
 
 impl RunMetrics {
@@ -196,6 +263,7 @@ mod tests {
             cc: Default::default(),
             digest: 0,
             audit: None,
+            fault: None,
         };
         let p99 = m.fct_percentile(99.0, 100_000).unwrap();
         assert_eq!(p99, Duration::from_ns(20));
@@ -217,6 +285,7 @@ mod tests {
             cc: Default::default(),
             digest: 0,
             audit: None,
+            fault: None,
         };
         // 1 Gbit in 1 ms = 1 Tbps; with 100 servers at 10 Gbps = 1 Tbps
         // aggregate, normalized goodput = 1.0.

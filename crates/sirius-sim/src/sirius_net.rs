@@ -24,16 +24,18 @@
 //! is the SIRIUS (IDEAL) upper bound with per-flow queues and idealized
 //! (zero-latency, global-knowledge) back-pressure.
 
-use crate::audit::{Audit, RunDigest};
-use crate::metrics::{FlowRecord, RunMetrics};
+use crate::audit::{Audit, LossCause, RunDigest};
+use crate::faults::{ActiveFaults, FaultEvent, FaultInjector};
+use crate::metrics::{FailureRecord, FaultReport, FlowRecord, RunMetrics};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use sirius_core::cell::{Cell, FlowId};
 use sirius_core::config::SiriusConfig;
-use sirius_core::fault::FailurePlane;
+use sirius_core::fault::{FailureDetector, FailurePlane, FaultConfig, LinkDetector};
 use sirius_core::node::{SiriusNode, SlotTx};
 use sirius_core::reorder::ReorderBuffer;
-use sirius_core::schedule::Schedule;
+use sirius_core::repair::AdjustedSchedule;
+use sirius_core::schedule::{Schedule, SlotInEpoch};
 use sirius_core::topology::{NodeId, ServerId, UplinkId};
 use sirius_core::units::{Duration, Time};
 use sirius_core::vlb::Vlb;
@@ -69,6 +71,12 @@ pub struct SiriusSimConfig {
     /// to on in debug builds (where every test exercises it) and off in
     /// release, keeping the paper-scale sweeps at full throughput.
     pub audit: bool,
+    /// Failure-detector parameters (§4.5): the silence threshold bounds
+    /// detection latency in epochs.
+    pub fault: FaultConfig,
+    /// Relay-vs-VOQ arbitration burst (see
+    /// [`sirius_core::node::SiriusNode::set_relay_burst`]).
+    pub relay_burst: u8,
 }
 
 impl SiriusSimConfig {
@@ -80,6 +88,8 @@ impl SiriusSimConfig {
             drain_timeout: Duration::from_ms(2),
             max_slots: 200_000_000,
             audit: cfg!(debug_assertions),
+            fault: FaultConfig::default(),
+            relay_burst: sirius_core::node::RELAY_BURST,
         }
     }
 
@@ -93,6 +103,14 @@ impl SiriusSimConfig {
     }
     pub fn with_audit(mut self, audit: bool) -> SiriusSimConfig {
         self.audit = audit;
+        self
+    }
+    pub fn with_silence_threshold(mut self, epochs: u64) -> SiriusSimConfig {
+        self.fault.silence_threshold = epochs;
+        self
+    }
+    pub fn with_relay_burst(mut self, burst: u8) -> SiriusSimConfig {
+        self.relay_burst = burst;
         self
     }
 }
@@ -119,20 +137,24 @@ struct ServerSt {
     credit: i64,
 }
 
-/// A scheduled failure: node `node` dies at `epoch`.
+/// A scheduled fail-stop crash: node `node` dies at `epoch`. Detection is
+/// *emergent* — routing learns of the failure only once the silence-driven
+/// detectors notice the missing scheduled slots (§4.5); there is no
+/// detection-latency hint to give. Shorthand for
+/// [`FaultEvent::Crash`] via [`SiriusSim::inject_failures`].
 #[derive(Debug, Clone, Copy)]
 pub struct ScheduledFailure {
     pub node: NodeId,
     pub epoch: u64,
-    /// Epochs until the failure is visible to routing.
-    pub detect_epochs: u64,
 }
 
 /// The simulator itself. Build with [`SiriusSim::new`], then
 /// [`run`](SiriusSim::run) a workload.
 pub struct SiriusSim {
     cfg: SiriusSimConfig,
-    sched: Schedule,
+    /// Data-plane schedule with consistent-update dead-slot overlays; the
+    /// base physical schedule is `sched.base()`.
+    sched: AdjustedSchedule,
     vlb: Vlb,
     nodes: Vec<SiriusNode>,
     reorder: Vec<ReorderBuffer>,
@@ -145,8 +167,24 @@ pub struct SiriusSim {
     /// Ideal-mode back-pressure shadow: in-flight + queued cells per
     /// (intermediate, destination).
     ideal_occ: Vec<u32>,
-    failures: Vec<ScheduledFailure>,
+    /// Scripted ground-truth faults; detection is emergent.
+    injector: FaultInjector,
+    /// Per-epoch snapshot of active grey/mistune/control-loss windows.
+    active: ActiveFaults,
     failure_plane: FailurePlane,
+    /// One silence detector per node, fed from actual slot receptions
+    /// (data or keepalive) — `FailurePlane` exclusions are staged only
+    /// from what these observe.
+    detectors: Vec<FailureDetector>,
+    /// Latest reception epoch of each *sender* across all receivers
+    /// (keepalives included) — drives emergent readmission.
+    last_heard_any: Vec<u64>,
+    /// Per-(sender, TX column) silence detector for grey-failure
+    /// localization; only maintained when the script has link faults.
+    link_det: Option<LinkDetector>,
+    /// (sender, column) pairs ever suspected by the link detector.
+    links_suspected: Vec<(NodeId, u16)>,
+    fault_report: FaultReport,
     audit: Audit,
     digest: RunDigest,
     // Run accounting.
@@ -179,18 +217,22 @@ impl SiriusSim {
         // spuriously at saturation and corrupts the conservation
         // accounting the audit layer checks.
         let voq_wait_bound =
-            (sirius_core::node::RELAY_BURST as u64 + 1) * (net.queue_threshold as u64) * (n as u64);
+            (cfg.relay_burst as u64 + 1) * (net.queue_threshold as u64) * (n as u64);
         grant_timeout = grant_timeout
             .max(16 + prop_epochs)
             .max(voq_wait_bound + prop_epochs);
         let nodes: Vec<SiriusNode> = (0..n as u32)
-            .map(|i| match cfg.mode {
-                CcMode::Protocol => {
-                    SiriusNode::new(NodeId(i), n, net.queue_threshold, grant_timeout)
-                }
-                CcMode::Ideal | CcMode::Greedy => {
-                    SiriusNode::new_ideal(NodeId(i), n, net.queue_threshold)
-                }
+            .map(|i| {
+                let mut node = match cfg.mode {
+                    CcMode::Protocol => {
+                        SiriusNode::new(NodeId(i), n, net.queue_threshold, grant_timeout)
+                    }
+                    CcMode::Ideal | CcMode::Greedy => {
+                        SiriusNode::new_ideal(NodeId(i), n, net.queue_threshold)
+                    }
+                };
+                node.set_relay_burst(cfg.relay_burst);
+                node
             })
             .collect();
         let servers = (0..net.total_servers())
@@ -216,7 +258,7 @@ impl SiriusSim {
         SiriusSim {
             audit,
             digest: RunDigest::new(),
-            sched,
+            sched: AdjustedSchedule::new(sched),
             vlb: Vlb::new(n),
             nodes,
             reorder,
@@ -230,8 +272,14 @@ impl SiriusSim {
             } else {
                 Vec::new()
             },
-            failures: Vec::new(),
+            injector: FaultInjector::new(cfg.seed),
+            active: ActiveFaults::default(),
             failure_plane: FailurePlane::new(n),
+            detectors: (0..n).map(|_| FailureDetector::new(n, cfg.fault)).collect(),
+            last_heard_any: vec![0; n],
+            link_det: None,
+            links_suspected: Vec::new(),
+            fault_report: FaultReport::default(),
             delivered_bytes: 0,
             completed: 0,
             last_delivery: Time::ZERO,
@@ -241,10 +289,26 @@ impl SiriusSim {
         }
     }
 
-    /// Schedule node failures to inject during the run.
+    /// Attach a scripted fault plane (builder form).
+    pub fn with_faults(mut self, injector: FaultInjector) -> SiriusSim {
+        self.set_faults(injector);
+        self
+    }
+
+    /// Attach a scripted fault plane.
+    pub fn set_faults(&mut self, injector: FaultInjector) {
+        self.injector = injector;
+    }
+
+    /// Schedule fail-stop node crashes (shorthand for a [`FaultInjector`]
+    /// script of [`FaultEvent::Crash`] events).
     pub fn inject_failures(&mut self, failures: Vec<ScheduledFailure>) {
-        self.failures = failures;
-        self.failures.sort_by_key(|f| f.epoch);
+        for f in failures {
+            self.injector.push(FaultEvent::Crash {
+                node: f.node,
+                epoch: f.epoch,
+            });
+        }
     }
 
     fn node_of_server(&self, s: u32) -> NodeId {
@@ -257,7 +321,7 @@ impl SiriusSim {
         let slot_ps = net.slot().as_ps();
         let epoch_slots = net.epoch_slots();
         let n_nodes = net.nodes;
-        let uplinks = self.sched.uplinks();
+        let uplinks = self.sched.base().uplinks();
         self.flows = workload
             .iter()
             .map(|f| FlowSt {
@@ -281,8 +345,57 @@ impl SiriusSim {
         let last_arrival = workload.last().map(|f| f.arrival).unwrap_or(Time::ZERO);
         let deadline = last_arrival + self.cfg.drain_timeout;
 
+        // Declare every scripted fault window up front so the audit holds
+        // its invariants *with attribution*: losses must fall inside a
+        // declared window of the matching cause, and detector suspicions
+        // outside any window are false positives.
+        let has_faults = !self.injector.is_empty();
+        if has_faults {
+            self.audit
+                .set_silence_threshold(self.cfg.fault.silence_threshold);
+            if self.injector.has_link_faults() {
+                self.link_det = Some(LinkDetector::new(n_nodes, uplinks, self.cfg.fault));
+            }
+            let events: Vec<FaultEvent> = self.injector.events().to_vec();
+            for e in &events {
+                match *e {
+                    FaultEvent::Crash { node, epoch } => {
+                        let until = events
+                            .iter()
+                            .filter_map(|e2| match *e2 {
+                                FaultEvent::Recover { node: n2, epoch: r }
+                                    if n2 == node && r > epoch =>
+                                {
+                                    Some(r)
+                                }
+                                _ => None,
+                            })
+                            .min()
+                            .unwrap_or(u64::MAX);
+                        self.audit
+                            .declare_window(LossCause::Crash, node, epoch, until);
+                    }
+                    FaultEvent::GreyLink {
+                        node, from, until, ..
+                    } => {
+                        self.audit
+                            .declare_window(LossCause::Grey, node, from, until);
+                    }
+                    FaultEvent::Mistune {
+                        node, from, until, ..
+                    } => {
+                        self.audit
+                            .declare_window(LossCause::Mistune, node, from, until);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Per-slot scratch: RX ports hit by a stray (mistuned) signal.
+        let mut corrupt: Vec<Option<NodeId>> = vec![None; n_nodes * uplinks];
+        let mut corrupt_touched: Vec<u32> = Vec::new();
+
         let mut next_flow = 0usize;
-        let mut next_failure = 0usize;
         let mut abs_slot: u64 = 0;
         let total_flows = self.flows.len() as u64;
 
@@ -291,21 +404,13 @@ impl SiriusSim {
             if now > deadline {
                 break;
             }
+            let cur_epoch = abs_slot / epoch_slots;
             if abs_slot.is_multiple_of(epoch_slots) {
-                let epoch = abs_slot / epoch_slots;
-                // Inject scheduled failures.
-                while next_failure < self.failures.len()
-                    && self.failures[next_failure].epoch <= epoch
-                {
-                    let f = self.failures[next_failure];
-                    self.failure_plane.fail(f.node, epoch, f.detect_epochs);
-                    next_failure += 1;
-                }
-                self.failure_plane.sync_to_vlb(&mut self.vlb, epoch);
-                self.epoch_boundary(epoch, now, workload, &mut next_flow);
+                self.fault_boundary(cur_epoch);
+                self.epoch_boundary(cur_epoch, now, workload, &mut next_flow);
                 if self.audit.enabled() {
                     let in_flight = self.ring.iter().map(|v| v.len() as u64).sum();
-                    self.audit.epoch_check(epoch, &self.nodes, in_flight);
+                    self.audit.epoch_check(cur_epoch, &self.nodes, in_flight);
                 }
             }
 
@@ -313,23 +418,79 @@ impl SiriusSim {
             let idx = (abs_slot % self.ring.len() as u64) as usize;
             let due = std::mem::take(&mut self.ring[idx]);
             for (dst, cell) in due {
-                self.deliver(dst, cell, now);
+                self.deliver(dst, cell, now, cur_epoch);
             }
 
             // Transmissions.
-            let t = self.sched.slot_in_epoch(abs_slot);
+            let t = self.sched.base().slot_in_epoch(abs_slot);
             let arrive_idx =
                 ((abs_slot + self.prop_slots as u64) % self.ring.len() as u64) as usize;
-            for i in 0..n_nodes as u32 {
-                if self.failure_plane.is_failed(NodeId(i)) {
-                    continue;
-                }
-                for u in 0..uplinks as u16 {
-                    let j = self.sched.dest(NodeId(i), UplinkId(u), t);
-                    if self.failure_plane.is_failed(j) {
-                        continue;
+            // Receptions this slot reach the detectors when the light
+            // lands, one propagation later.
+            let arrival_epoch = (abs_slot + self.prop_slots as u64) / epoch_slots;
+
+            // Mistune pre-pass: a wavelength shifted by `offset` follows
+            // the grating to the destination scheduled `offset` slots
+            // later, so the stray signal corrupts whatever legitimately
+            // arrives on that RX port this slot.
+            if self.active.any_mistune() {
+                for k in 0..self.active.mistuned_nodes.len() {
+                    let m = self.active.mistuned_nodes[k];
+                    if self.failure_plane.is_failed(m) {
+                        continue; // a dead laser emits nothing
                     }
-                    self.audit.note_rx(abs_slot, j, u);
+                    let off = self.active.mistune_of(m).unwrap() as u64;
+                    let shifted = SlotInEpoch(((t.0 as u64 + off) % epoch_slots) as u16);
+                    for u in 0..uplinks as u16 {
+                        let wrong = self.sched.base().dest(m, UplinkId(u), shifted);
+                        let idx = wrong.0 as usize * uplinks + u as usize;
+                        if corrupt[idx].is_none() {
+                            corrupt[idx] = Some(m);
+                            corrupt_touched.push(idx as u32);
+                        }
+                        self.audit.note_rx_mistuned(abs_slot, wrong, u);
+                    }
+                }
+            }
+
+            for i in 0..n_nodes as u32 {
+                let ni = NodeId(i);
+                if self.failure_plane.is_failed(ni) {
+                    continue; // fail-stop: no data, no keepalive carrier
+                }
+                let mistuned = self.active.mistune_of(ni).is_some();
+                for u in 0..uplinks as u16 {
+                    let j = self.sched.base().dest(ni, UplinkId(u), t);
+                    // One erasure draw per scheduled slot on a grey link
+                    // (never per cell), from the injector's own RNG
+                    // stream — fault scripts leave the protocol RNG
+                    // untouched.
+                    let grey_p = self.active.grey_prob(ni, u, uplinks);
+                    let erased = self.active.any_grey() && self.injector.draw(grey_p);
+                    let corrupted_by = corrupt[j.0 as usize * uplinks + u as usize];
+                    if !mistuned {
+                        self.audit.note_rx(abs_slot, j, u);
+                    }
+                    // §4.5 detection feeds on the carrier itself: any
+                    // well-tuned, non-erased transmission — idle
+                    // keepalives included — counts as "heard", which is
+                    // why an alive sender can never be falsely suspected.
+                    if !mistuned
+                        && !erased
+                        && corrupted_by.is_none()
+                        && !self.failure_plane.is_failed(j)
+                    {
+                        self.detectors[j.0 as usize].heard_from(ni, arrival_epoch);
+                        if self.last_heard_any[i as usize] < arrival_epoch {
+                            self.last_heard_any[i as usize] = arrival_epoch;
+                        }
+                        if let Some(ld) = &mut self.link_det {
+                            ld.heard_from(ni, u as usize, arrival_epoch);
+                        }
+                    }
+                    if self.sched.is_omitted(ni) || self.sched.is_omitted(j) {
+                        continue; // dead slot: keepalive carrier only
+                    }
                     let tx = match self.cfg.mode {
                         CcMode::Protocol => self.nodes[i as usize].transmit(j),
                         CcMode::Greedy => {
@@ -357,19 +518,181 @@ impl SiriusSim {
                             tx
                         }
                     };
-                    match tx {
-                        SlotTx::Relay(c) | SlotTx::ToIntermediate(c) => {
-                            self.ring[arrive_idx].push((j, c));
+                    let (cell, to_intermediate) = match tx {
+                        SlotTx::Relay(c) => (Some(c), false),
+                        SlotTx::ToIntermediate(c) => (Some(c), true),
+                        SlotTx::Idle => (None, false),
+                    };
+                    if let Some(c) = cell {
+                        let lost = if mistuned {
+                            Some((LossCause::Mistune, ni))
+                        } else if erased {
+                            Some((LossCause::Grey, ni))
+                        } else {
+                            corrupted_by.map(|m| (LossCause::Mistune, m))
+                        };
+                        match lost {
+                            None => self.ring[arrive_idx].push((j, c)),
+                            Some((cause, blame)) => {
+                                self.audit.note_lost(cause, blame, cur_epoch);
+                                match cause {
+                                    LossCause::Grey => self.fault_report.cells_lost_grey += 1,
+                                    LossCause::Mistune => self.fault_report.cells_lost_mistune += 1,
+                                    LossCause::Crash => unreachable!(),
+                                }
+                                // The launch counted into the ideal-mode
+                                // shadow occupancy never arrives.
+                                if self.cfg.mode == CcMode::Ideal && to_intermediate && c.dst != j {
+                                    self.ideal_occ[j.0 as usize * n_nodes + c.dst.0 as usize] -= 1;
+                                }
+                            }
                         }
-                        SlotTx::Idle => {}
                     }
                 }
             }
+            for &idx in &corrupt_touched {
+                corrupt[idx as usize] = None;
+            }
+            corrupt_touched.clear();
             self.audit.end_slot();
             abs_slot += 1;
         }
 
         self.finish(Time::from_ps(abs_slot * slot_ps), total_flows)
+    }
+
+    /// Epoch-boundary fault pipeline: scripted ground truth lands, the
+    /// silence detectors tick, suspicions stage consistent updates one
+    /// epoch out, and both routing planes flip the same staged set at the
+    /// same boundary.
+    fn fault_boundary(&mut self, epoch: u64) {
+        // 1. Ground-truth transitions (routing is NOT told).
+        for (node, is_crash) in self.injector.node_events_at(epoch) {
+            if is_crash {
+                self.failure_plane.fail(node, epoch);
+                self.fault_report.failures.push(FailureRecord {
+                    node,
+                    fail_epoch: epoch,
+                    first_suspected: None,
+                    excluded_at: None,
+                    recovered_epoch: None,
+                    readmitted_at: None,
+                });
+            } else {
+                self.failure_plane.recover(node);
+                // A rebooted node's counters predate the outage; reset so
+                // it re-earns suspicions instead of suspecting everyone.
+                self.detectors[node.0 as usize].reset(epoch);
+                if let Some(rec) = self
+                    .fault_report
+                    .failures
+                    .iter_mut()
+                    .rev()
+                    .find(|r| r.node == node && r.recovered_epoch.is_none())
+                {
+                    rec.recovered_epoch = Some(epoch);
+                }
+            }
+        }
+
+        // 2. Refresh the flat per-epoch fault snapshot.
+        let n = self.nodes.len();
+        let uplinks = self.sched.base().uplinks();
+        self.injector.refresh(epoch, n, uplinks, &mut self.active);
+
+        // 3. Silence detection: every live node's detector ticks; a new
+        //    suspicion stages exclusion at `epoch + 1` (one epoch of
+        //    dissemination riding the cyclic schedule).
+        for o in 0..n {
+            if self.failure_plane.is_failed(NodeId(o as u32)) {
+                continue;
+            }
+            for p in self.detectors[o].tick(epoch) {
+                if p.0 as usize == o {
+                    continue; // a node never hears itself on the fabric
+                }
+                self.fault_report.suspicion_events += 1;
+                self.audit.note_suspicion(epoch, p);
+                if let Some(rec) = self
+                    .fault_report
+                    .failures
+                    .iter_mut()
+                    .rev()
+                    .find(|r| r.node == p && r.first_suspected.is_none())
+                {
+                    rec.first_suspected = Some(epoch);
+                }
+                if !self.failure_plane.is_excluded(p) && self.failure_plane.pending(p) != Some(true)
+                {
+                    self.sched.stage_omit(p, epoch + 1);
+                    self.failure_plane.stage_exclude(p, epoch + 1);
+                }
+            }
+        }
+        if let Some(ld) = &mut self.link_det {
+            for (peer, col) in ld.tick(epoch) {
+                let link = (peer, col as u16);
+                if !self.links_suspected.contains(&link) {
+                    self.links_suspected.push(link);
+                }
+            }
+        }
+
+        // 4. Emergent readmission: an excluded node heard again within the
+        //    last epoch (keepalives resume the moment it reboots) is
+        //    staged back in.
+        for p in 0..n as u32 {
+            let p = NodeId(p);
+            if self.failure_plane.is_excluded(p)
+                && self.failure_plane.pending(p) != Some(false)
+                && self.last_heard_any[p.0 as usize] + 1 >= epoch
+            {
+                self.sched.stage_readmit(p, epoch + 1);
+                self.failure_plane.stage_restore(p, epoch + 1);
+            }
+        }
+
+        // 5. Update epoch: the data plane (dead slots) and the VLB view
+        //    must apply the identical staged set at the identical boundary.
+        let applied = self.sched.advance_to(epoch);
+        let routed = self.failure_plane.sync_to_vlb(&mut self.vlb, epoch);
+        debug_assert_eq!(
+            applied, routed,
+            "schedule and VLB routing views diverged at epoch {epoch}"
+        );
+        for (node, excluded) in applied {
+            if excluded {
+                self.fault_report.exclusions += 1;
+                // Granted cells queued for the now-dead-slot intermediate
+                // would strand until grant expiry; pull them back to LOCAL
+                // (front, order preserved) so they re-request live detours.
+                for o in 0..n {
+                    if o != node.0 as usize && !self.failure_plane.is_failed(NodeId(o as u32)) {
+                        self.nodes[o].reclaim_voq(node);
+                    }
+                }
+                if let Some(rec) = self
+                    .fault_report
+                    .failures
+                    .iter_mut()
+                    .rev()
+                    .find(|r| r.node == node && r.excluded_at.is_none())
+                {
+                    rec.excluded_at = Some(epoch);
+                }
+            } else {
+                self.fault_report.readmissions += 1;
+                if let Some(rec) = self
+                    .fault_report
+                    .failures
+                    .iter_mut()
+                    .rev()
+                    .find(|r| r.node == node && r.readmitted_at.is_none())
+                {
+                    rec.readmitted_at = Some(epoch);
+                }
+            }
+        }
     }
 
     /// Epoch boundary: flow admission + injection, then the CC round.
@@ -398,6 +721,11 @@ impl SiriusSim {
         // 2. Server injection: every server earns one epoch of link credit
         //    and injects cells round-robin across its active flows.
         for s in 0..self.servers.len() {
+            if self.failure_plane.is_failed(self.node_of_server(s as u32)) {
+                // Servers behind a crashed ToR are off the fabric entirely.
+                self.servers[s].credit = 0;
+                continue;
+            }
             if self.servers[s].active.is_empty() {
                 // Credit does not accumulate while idle (non-work-conserving
                 // credits would let a server burst above its link rate).
@@ -449,16 +777,24 @@ impl SiriusSim {
 
         // 4. Issue grants for requests received last epoch; deliver them to
         //    the sources, which move granted cells into VOQs.
+        let control_loss = self.active.control_loss;
         for i in 0..self.nodes.len() {
-            if self.failure_plane.is_failed(NodeId(i as u32)) {
+            let ni = NodeId(i as u32);
+            if self.failure_plane.is_failed(ni) || self.failure_plane.is_excluded(ni) {
                 continue;
             }
             let grants = self.nodes[i].cc.issue_grants(&mut self.rng, epoch);
             for (src, dst) in grants {
-                if self.failure_plane.is_failed(src) {
+                if self.failure_plane.is_failed(src) || self.failure_plane.is_excluded(src) {
                     continue; // the loss backstop reclaims this grant
                 }
-                let used = self.nodes[src.0 as usize].receive_grant(NodeId(i as u32), dst);
+                // ControlLoss window: the grant is corrupted in flight.
+                // Grant expiry at the intermediate reclaims the slot.
+                if control_loss > 0.0 && self.injector.draw(control_loss) {
+                    self.fault_report.grants_lost += 1;
+                    continue;
+                }
+                let used = self.nodes[src.0 as usize].receive_grant(ni, dst);
                 if !used {
                     // Source had no waiting cell: decline (piggybacked on
                     // the next scheduled cell back to the intermediate).
@@ -470,7 +806,8 @@ impl SiriusSim {
         // 5. Generate this epoch's requests (piggybacked on this epoch's
         //    cells; considered for grants next epoch).
         for i in 0..self.nodes.len() {
-            if self.failure_plane.is_failed(NodeId(i as u32)) {
+            let ni = NodeId(i as u32);
+            if self.failure_plane.is_failed(ni) || self.failure_plane.is_excluded(ni) {
                 continue;
             }
             let vlb = &self.vlb;
@@ -478,19 +815,27 @@ impl SiriusSim {
                 self.nodes[i].gen_requests(&mut self.rng, |rng, src, dst| vlb.pick(rng, src, dst));
             for (intermediate, dst) in reqs {
                 if self.failure_plane.is_failed(intermediate) {
+                    // A request addressed to a dead node vanishes with it;
+                    // the sticky VOQ entry re-requests next epoch.
+                    continue;
+                }
+                // ControlLoss window: the request is corrupted in flight.
+                if control_loss > 0.0 && self.injector.draw(control_loss) {
+                    self.fault_report.requests_lost += 1;
                     continue;
                 }
                 self.nodes[intermediate.0 as usize]
                     .cc
-                    .receive_request(NodeId(i as u32), dst);
+                    .receive_request(ni, dst);
             }
         }
     }
 
     /// Process a cell arriving at `dst` (relay or final delivery).
-    fn deliver(&mut self, dst: NodeId, cell: Cell, now: Time) {
+    fn deliver(&mut self, dst: NodeId, cell: Cell, now: Time, epoch: u64) {
         if self.failure_plane.is_failed(dst) {
-            self.audit.note_blackholed();
+            self.audit.note_blackholed(dst, epoch);
+            self.fault_report.cells_lost_crash += 1;
             return; // blackholed until routing learns of the failure
         }
         match self.nodes[dst.0 as usize].receive_cell(cell) {
@@ -545,6 +890,28 @@ impl SiriusSim {
         } else {
             None
         };
+        let fault = if !self.injector.is_empty() {
+            let mut fr = self.fault_report;
+            fr.capacity_factor_end = self.sched.capacity_factor();
+            // Grey-localization score: of the (node, uplink) TX columns the
+            // script degraded, how many did the per-column detector flag?
+            let mut declared: Vec<(NodeId, u16)> = Vec::new();
+            for e in self.injector.events() {
+                if let FaultEvent::GreyLink { node, uplink, .. } = *e {
+                    if !declared.contains(&(node, uplink)) {
+                        declared.push((node, uplink));
+                    }
+                }
+            }
+            fr.grey_links_declared = declared.len() as u32;
+            fr.grey_links_localized = declared
+                .iter()
+                .filter(|l| self.links_suspected.contains(l))
+                .count() as u32;
+            Some(fr)
+        } else {
+            None
+        };
         RunMetrics {
             flows: self
                 .flows
@@ -587,6 +954,7 @@ impl SiriusSim {
             },
             digest: digest.value(),
             audit,
+            fault,
         }
     }
 }
@@ -743,7 +1111,6 @@ mod tests {
         sim.inject_failures(vec![ScheduledFailure {
             node: NodeId(3),
             epoch: 0,
-            detect_epochs: 2,
         }]);
         let m = sim.run(&wl);
         // Some cells may be lost in the detection window if they were
@@ -751,6 +1118,118 @@ mod tests {
         assert!(m.incomplete_flows >= 1);
         // But the network as a whole keeps delivering.
         assert!(m.completed_flows() >= 10);
+        // Detection was emergent: nothing told routing about the crash, yet
+        // the silence detectors converged within threshold + 1 epochs.
+        let fr = m.fault.expect("injector attached, report missing");
+        let rec = &fr.failures[0];
+        assert_eq!(rec.fail_epoch, 0);
+        let lat = rec.detection_epochs().expect("crash never suspected");
+        assert!(lat <= 3 + 1, "detection latency {lat} epochs");
+        assert_eq!(
+            rec.excluded_at.expect("never excluded"),
+            rec.first_suspected.unwrap() + 1,
+            "exclusion must land exactly one update epoch after suspicion"
+        );
+        assert!(fr.capacity_factor_end < 1.0);
+    }
+
+    #[test]
+    fn crash_and_recover_readmits_emergently() {
+        let net = tiny_net();
+        let wl = tiny_workload(&net, 0.2, 200, 19);
+        let inj = FaultInjector::new(19)
+            .crash(NodeId(5), 10)
+            .recover(NodeId(5), 60);
+        let m = SiriusSim::new(SiriusSimConfig::new(net))
+            .with_faults(inj)
+            .run(&wl);
+        let fr = m.fault.unwrap();
+        let rec = &fr.failures[0];
+        assert!(rec.excluded_at.is_some(), "crash never excluded");
+        let readmit = rec.readmitted_at.expect("reboot never readmitted");
+        assert!(
+            (60..=60 + 3 + 2).contains(&readmit),
+            "readmission at {readmit}, reboot at 60"
+        );
+        assert_eq!(fr.exclusions, 1);
+        assert_eq!(fr.readmissions, 1);
+        // Full capacity restored by the end of the run.
+        assert_eq!(fr.capacity_factor_end, 1.0);
+    }
+
+    #[test]
+    fn control_loss_is_absorbed_without_data_loss() {
+        // Sticky request re-issue and grant expiry must absorb lossy
+        // control messaging: flows complete, no cells vanish.
+        let net = tiny_net();
+        let wl = tiny_workload(&net, 0.3, 300, 23);
+        let inj = FaultInjector::new(23).control_loss(0.3, 0, u64::MAX);
+        let mut cfg = SiriusSimConfig::new(net).with_audit(true);
+        // Lossy control costs extra request/grant round trips; give the
+        // tail flows room to drain.
+        cfg.drain_timeout = Duration::from_ms(10);
+        let m = SiriusSim::new(cfg).with_faults(inj).run(&wl);
+        assert_eq!(m.incomplete_flows, 0, "control loss stranded flows");
+        let fr = m.fault.unwrap();
+        assert!(
+            fr.requests_lost + fr.grants_lost > 0,
+            "control-loss window never fired"
+        );
+        assert_eq!(
+            fr.cells_lost_crash + fr.cells_lost_grey + fr.cells_lost_mistune,
+            0
+        );
+        let audit = m.audit.unwrap();
+        assert!(audit.is_clean(), "audit violations: {:?}", audit.violations);
+    }
+
+    #[test]
+    fn grey_link_losses_are_attributed() {
+        let net = tiny_net();
+        let wl = tiny_workload(&net, 0.5, 400, 29);
+        let inj = FaultInjector::new(29).grey_link(NodeId(2), 1, 0.5, 5, 200);
+        let m = SiriusSim::new(SiriusSimConfig::new(net).with_audit(true))
+            .with_faults(inj)
+            .run(&wl);
+        let fr = m.fault.unwrap();
+        assert!(fr.cells_lost_grey > 0, "grey window erased nothing");
+        let audit = m.audit.unwrap();
+        assert!(audit.is_clean(), "audit violations: {:?}", audit.violations);
+    }
+
+    #[test]
+    fn mistuned_laser_is_detected_and_excluded() {
+        // A fully mistuned node goes silent on every RX column it should
+        // be driving, so node-level silence detection excludes it; when the
+        // laser is re-tuned its keepalives readmit it.
+        let net = tiny_net();
+        let wl = tiny_workload(&net, 0.2, 200, 31);
+        let inj = FaultInjector::new(31).mistune(NodeId(4), 3, 10, 60);
+        let m = SiriusSim::new(SiriusSimConfig::new(net).with_audit(true))
+            .with_faults(inj)
+            .run(&wl);
+        let fr = m.fault.unwrap();
+        assert!(fr.exclusions >= 1, "mistuned node never excluded");
+        assert!(fr.readmissions >= 1, "re-tuned node never readmitted");
+        assert!(fr.cells_lost_mistune > 0);
+        let audit = m.audit.unwrap();
+        assert!(audit.is_clean(), "audit violations: {:?}", audit.violations);
+    }
+
+    #[test]
+    fn no_false_suspicions_without_faults_under_saturation() {
+        // Keepalives ride every scheduled slot, so load can never imitate
+        // silence: a saturated but healthy run must produce zero suspicion
+        // events. (Run with an empty injector attached to get the report.)
+        let net = tiny_net();
+        let wl = tiny_workload(&net, 1.0, 800, 37);
+        let inj = FaultInjector::new(37).crash(NodeId(0), u64::MAX - 1);
+        let m = SiriusSim::new(SiriusSimConfig::new(net))
+            .with_faults(inj)
+            .run(&wl);
+        let fr = m.fault.unwrap();
+        assert_eq!(fr.suspicion_events, 0, "false suspicion under saturation");
+        assert_eq!(fr.exclusions, 0);
     }
 
     #[test]

@@ -12,8 +12,11 @@
 //!    bit-identical delivered-cell digest and flow table, so any reported
 //!    number can be regenerated exactly.
 
+use sirius::core::topology::NodeId;
 use sirius::core::SiriusConfig;
-use sirius::sim::{CcMode, RunMetrics, SiriusSim, SiriusSimConfig};
+use sirius::sim::{
+    CcMode, EsnConfig, EsnSim, FaultInjector, RunMetrics, SiriusSim, SiriusSimConfig,
+};
 use sirius::workload::{Flow, Pareto, Pattern, WorkloadSpec};
 
 /// Paper-scale network with a short, fully-completing workload: flow
@@ -102,6 +105,81 @@ fn double_run_is_bit_identical_in_every_mode() {
             .map(|f| (f.completion, f.delivered))
             .collect();
         assert_eq!(fa, fb, "{mode:?}: flow tables diverged");
+    }
+}
+
+#[test]
+fn failure_detection_is_emergent_at_paper_scale() {
+    // Kill one node mid-run with NO hint to the routing plane: the only
+    // path from the scripted crash to an exclusion is through per-node
+    // silence detectors fed by actual slot receptions. The failure-aware
+    // audit stays on, so every blackholed cell must fall inside the
+    // declared crash window and every suspicion must be justified.
+    let net = SiriusConfig::paper_sim();
+    let wl = paper_workload(&net, 0.3, 300, 17);
+    let victim = NodeId(40);
+    let inj = FaultInjector::new(3).crash(victim, 5);
+    let m = SiriusSim::new(
+        SiriusSimConfig::new(net.clone())
+            .with_seed(3)
+            .with_audit(true),
+    )
+    .with_faults(inj)
+    .run(&wl);
+    let fr = m.fault.expect("fault report missing");
+    let rec = &fr.failures[0];
+    assert_eq!(rec.node, victim);
+    let threshold = sirius::core::fault::FaultConfig::default().silence_threshold;
+    let lat = rec.detection_epochs().expect("crash never suspected");
+    assert!(
+        lat <= threshold + 1,
+        "detection took {lat} epochs (threshold {threshold})"
+    );
+    assert_eq!(
+        rec.excluded_at.unwrap(),
+        rec.first_suspected.unwrap() + 1,
+        "exclusion must land one update epoch after suspicion"
+    );
+    // All losses attributed: the audit saw only justified suspicions and
+    // only blackholes inside the declared crash window.
+    let audit = m.audit.expect("audit was enabled");
+    assert!(
+        audit.is_clean(),
+        "failure-aware audit violations: {:?}",
+        audit.violations.first()
+    );
+    assert_eq!(audit.false_suspicions, 0);
+    // The §4.5 rule: capacity drops by exactly 1/N.
+    let expect = 1.0 - 1.0 / net.nodes as f64;
+    assert!((fr.capacity_factor_end - expect).abs() < 1e-9);
+}
+
+#[test]
+fn esn_fluid_audit_is_clean_at_paper_scale() {
+    // The electrical baselines get the same treatment as the cell-level
+    // simulator: an independent re-check of the water-filling rates
+    // (feasibility, non-negativity, max-min maximality) plus end-of-run
+    // byte conservation.
+    let net = SiriusConfig::paper_sim();
+    let wl = paper_workload(&net, 0.3, 300, 17);
+    for osub in [1.0, 3.0] {
+        let m = EsnSim::new(EsnConfig {
+            servers: net.total_servers() as u32,
+            server_rate: net.server_rate,
+            servers_per_rack: net.servers_per_node as u32,
+            oversubscription: osub,
+            base_latency: sirius::core::units::Duration::from_us(3),
+        })
+        .with_audit(true)
+        .run(&wl);
+        let audit = m.audit.expect("esn audit was enabled");
+        assert!(
+            audit.is_clean(),
+            "ESN(1:{osub}) violations: {:?}",
+            audit.violations.first()
+        );
+        assert!(audit.epochs_checked > 0);
+        assert_eq!(audit.cells_released, audit.cells_injected);
     }
 }
 

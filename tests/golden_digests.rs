@@ -1,0 +1,100 @@
+//! Golden run digests for the `paper_sim` configuration (ROADMAP item):
+//! the order-sensitive delivered-cell digest of one reference run per
+//! congestion-control mode, checked into `tests/golden/paper_sim.digests`.
+//!
+//! Any behavior-preserving refactor of the simulator can now be *proved*
+//! behavior-preserving: if the digests match, the refactored simulator
+//! delivered the identical cell sequence and ended in the identical
+//! aggregate state. A digest change is not necessarily a bug — but it is
+//! always a behavior change, and must be a conscious one.
+//!
+//! To regenerate after an intentional behavior change:
+//!
+//! ```sh
+//! GOLDEN_BLESS=1 cargo test --test golden_digests
+//! ```
+//!
+//! and commit the updated `tests/golden/paper_sim.digests` together with
+//! the change that caused it.
+
+use sirius::core::SiriusConfig;
+use sirius::sim::{CcMode, SiriusSim, SiriusSimConfig};
+use sirius::workload::{Flow, Pareto, Pattern, WorkloadSpec};
+use std::path::PathBuf;
+
+const SEED: u64 = 17;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("paper_sim.digests")
+}
+
+fn reference_workload(net: &SiriusConfig) -> Vec<Flow> {
+    WorkloadSpec {
+        servers: net.total_servers() as u32,
+        server_rate: net.server_rate,
+        load: 0.3,
+        sizes: Pareto::paper_default().truncated(1e5),
+        flows: 300,
+        pattern: Pattern::Uniform,
+        seed: SEED,
+    }
+    .generate()
+}
+
+fn mode_name(mode: CcMode) -> &'static str {
+    match mode {
+        CcMode::Protocol => "protocol",
+        CcMode::Ideal => "ideal",
+        CcMode::Greedy => "greedy",
+    }
+}
+
+#[test]
+fn paper_sim_digests_match_golden_file() {
+    let net = SiriusConfig::paper_sim();
+    let wl = reference_workload(&net);
+    let mut lines = String::new();
+    let mut measured = Vec::new();
+    for mode in [CcMode::Protocol, CcMode::Ideal, CcMode::Greedy] {
+        let m = SiriusSim::new(
+            SiriusSimConfig::new(net.clone())
+                .with_mode(mode)
+                .with_seed(SEED),
+        )
+        .run(&wl);
+        lines.push_str(&format!("{} {:016x}\n", mode_name(mode), m.digest));
+        measured.push((mode, m.digest));
+    }
+
+    let path = golden_path();
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &lines).unwrap();
+        eprintln!("blessed {} with:\n{lines}", path.display());
+        return;
+    }
+
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run GOLDEN_BLESS=1 cargo test --test golden_digests",
+            path.display()
+        )
+    });
+    for (mode, digest) in measured {
+        let name = mode_name(mode);
+        let want = golden
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} ")))
+            .unwrap_or_else(|| panic!("no golden entry for mode {name}"));
+        let want = u64::from_str_radix(want.trim(), 16).expect("malformed golden digest");
+        assert_eq!(
+            digest, want,
+            "{name}: run digest {digest:016x} != golden {want:016x} — the simulator's \
+             behavior changed; if intentional, regenerate with GOLDEN_BLESS=1 \
+             cargo test --test golden_digests"
+        );
+    }
+}
