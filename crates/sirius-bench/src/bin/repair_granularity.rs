@@ -1,0 +1,15 @@
+//! Regenerates the repair-granularity comparison: k dead TX columns
+//! under link-granular column omission vs the §4.5 whole-node rule.
+use sirius_bench::experiments::repair_granularity;
+use sirius_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("running repair granularity at {scale:?} scale...");
+    let n = repair_granularity::run(
+        scale,
+        1,
+        &repair_granularity::k_sweep(scale.network().nodes as u32),
+    );
+    repair_granularity::table(&n).emit("repair_granularity");
+}

@@ -39,6 +39,9 @@ fn main() {
     det.emit("fault_detect");
     gp.emit("fault_goodput");
     grey.emit("fault_grey");
+    let n = scale.network().nodes as u32;
+    let rg = repair_granularity::run(scale, 1, &repair_granularity::k_sweep(n));
+    repair_granularity::table(&rg).emit("repair_granularity");
     let rb_fct = relay_burst::run_fct(
         scale,
         0.75,

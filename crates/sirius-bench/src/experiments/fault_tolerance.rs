@@ -39,7 +39,7 @@ pub fn fabric_limited_net(scale: Scale) -> SiriusConfig {
 /// Saturation workload over the first `servers` server IDs with all
 /// arrivals shifted past `start`: crashing the *last* racks leaves a
 /// steady-state run among the survivors only.
-fn survivor_workload(
+pub(crate) fn survivor_workload(
     net: &SiriusConfig,
     servers: u32,
     flows: u64,
@@ -165,8 +165,8 @@ pub struct GreyPoint {
     pub drop_prob: f64,
     pub cells_lost: u64,
     pub localized: bool,
-    /// Whole-node exclusions the dead column provoked, and how many were
-    /// vetoed by keepalives on the healthy columns.
+    /// Whole-node exclusions the dead column provoked (zero when the
+    /// link-granular repair path confines it to its column).
     pub exclusions: u64,
     pub readmissions: u64,
     pub audit_clean: bool,

@@ -13,5 +13,6 @@ pub mod fig8;
 pub mod fig9;
 pub mod granularity;
 pub mod relay_burst;
+pub mod repair_granularity;
 pub mod sync;
 pub mod tuning;

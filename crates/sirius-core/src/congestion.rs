@@ -181,10 +181,29 @@ impl CongestionState {
         rng: &mut R,
         epoch: u64,
     ) -> Vec<(NodeId, NodeId)> {
+        self.issue_grants_filtered(rng, epoch, |_| true)
+    }
+
+    /// [`issue_grants`](Self::issue_grants) restricted to destinations this
+    /// intermediate can still forward to: under link-granular repair
+    /// (§4.5) an omitted TX column can sever `self -> D` while `self` stays
+    /// otherwise healthy, and granting such a request would queue a cell
+    /// here that can never depart. Ineligible destinations' requests are
+    /// denied (the sources re-roll a different intermediate next epoch).
+    pub fn issue_grants_filtered<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        epoch: u64,
+        eligible: impl Fn(NodeId) -> bool,
+    ) -> Vec<(NodeId, NodeId)> {
         let mut grants = Vec::new();
         for &d in &self.pending_dirty {
             let reqs = &mut self.pending[d as usize];
             debug_assert!(!reqs.is_empty());
+            if !eligible(NodeId(d)) {
+                self.stats.requests_denied += reqs.len() as u64;
+                continue;
+            }
             // Random service order: shuffle by swapping the pick to the end.
             while !reqs.is_empty()
                 && self.queued[d as usize] + self.outstanding[d as usize] < self.q
@@ -369,6 +388,26 @@ mod tests {
         src.sort_unstable();
         src.dedup();
         assert_eq!(src.len(), 4);
+    }
+
+    #[test]
+    fn filtered_grants_deny_unreachable_destinations() {
+        let mut c = cc(4);
+        let mut rng = SmallRng::seed_from_u64(17);
+        let reachable = NodeId(2);
+        let severed = NodeId(6);
+        c.begin_epoch(0);
+        c.receive_request(NodeId(1), reachable);
+        c.receive_request(NodeId(3), severed);
+        c.receive_request(NodeId(4), severed);
+        c.begin_epoch(1);
+        let g = c.issue_grants_filtered(&mut rng, 1, |d| d != severed);
+        assert_eq!(g, vec![(NodeId(1), reachable)]);
+        assert_eq!(c.outstanding(severed), 0, "no grant onto a severed pair");
+        assert_eq!(c.stats().requests_denied, 2);
+        // The denied requesters are not stuck: next epoch's inbox is fresh.
+        c.begin_epoch(2);
+        assert!(c.issue_grants_filtered(&mut rng, 2, |_| true).is_empty());
     }
 
     #[test]

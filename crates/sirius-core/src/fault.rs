@@ -23,6 +23,12 @@ pub struct FaultConfig {
     /// declared failed. The schedule guarantees one opportunity per epoch,
     /// so this directly bounds detection latency in epochs.
     pub silence_threshold: u64,
+    /// Fraction of a node's TX columns that must be simultaneously
+    /// suspected before link-granular repair escalates to whole-node
+    /// exclusion (the §4.5 rule). `0.0` disables column repair entirely —
+    /// any suspected column evicts the node, reproducing the paper's
+    /// node-granular behavior for comparison.
+    pub column_escalation_fraction: f64,
 }
 
 impl Default for FaultConfig {
@@ -30,9 +36,25 @@ impl Default for FaultConfig {
         // 3 epochs ~ 5 us at paper scale: "interconnection of rack-pairs
         // every few microseconds allows for low overhead yet fast failure
         // detection" (§4.5).
+        //
+        // Escalation at half the columns: below that, each bad column is
+        // omitted individually at 1/(N·U) capacity cost; at or above it,
+        // the transceiver bank is likely sick as a whole and §4.5
+        // whole-node exclusion applies.
         FaultConfig {
             silence_threshold: 3,
+            column_escalation_fraction: 0.5,
         }
+    }
+}
+
+impl FaultConfig {
+    /// Number of simultaneously suspected TX columns at which link repair
+    /// escalates to whole-node exclusion. Never below 1: a fraction of
+    /// `0.0` means the very first suspected column escalates (the paper's
+    /// node-granular rule).
+    pub fn escalation_threshold(&self, uplinks: usize) -> usize {
+        ((self.column_escalation_fraction * uplinks as f64).ceil() as usize).max(1)
     }
 }
 
@@ -278,6 +300,23 @@ impl LinkDetector {
         self.suspected[self.idx(peer, column)]
     }
 
+    /// Last epoch anything was heard from `peer` on `column`.
+    pub fn last_heard(&self, peer: NodeId, column: usize) -> u64 {
+        self.last_heard[self.idx(peer, column)]
+    }
+
+    /// How many of `peer`'s TX columns are currently suspected — the
+    /// quantity compared against
+    /// [`FaultConfig::escalation_threshold`] to decide link-granular
+    /// repair vs whole-node exclusion.
+    pub fn suspected_count(&self, peer: NodeId) -> usize {
+        let base = peer.0 as usize * self.uplinks;
+        self.suspected[base..base + self.uplinks]
+            .iter()
+            .filter(|&&b| b)
+            .count()
+    }
+
     /// A peer is *grey*-failed if some, but not all, of its links are
     /// suspected — alive enough to answer on other columns, dead on these.
     pub fn is_grey(&self, peer: NodeId) -> bool {
@@ -300,6 +339,7 @@ mod tests {
             4,
             FaultConfig {
                 silence_threshold: 3,
+                ..FaultConfig::default()
             },
         );
         for e in 0..3 {
@@ -330,6 +370,7 @@ mod tests {
             2,
             FaultConfig {
                 silence_threshold: 2,
+                ..FaultConfig::default()
             },
         );
         fd.tick(5);
@@ -402,6 +443,7 @@ mod tests {
             3,
             FaultConfig {
                 silence_threshold: 2,
+                ..FaultConfig::default()
             },
         );
         // A rebooted node's counters all predate the outage...
@@ -423,6 +465,7 @@ mod tests {
             3,
             FaultConfig {
                 silence_threshold: 3,
+                ..FaultConfig::default()
             },
         );
         for e in 0..10u64 {
@@ -454,6 +497,7 @@ mod tests {
             2,
             FaultConfig {
                 silence_threshold: 1,
+                ..FaultConfig::default()
             },
         );
         ld.tick(5); // peer 1 never heard at all
@@ -468,6 +512,7 @@ mod tests {
             2,
             FaultConfig {
                 silence_threshold: 2,
+                ..FaultConfig::default()
             },
         );
         ld.tick(4);

@@ -1,4 +1,4 @@
-//! Consistent schedule adjustment around failures (§4.5).
+//! Consistent schedule adjustment around failures (§4.5), at two grains.
 //!
 //! "For any failures that cannot be remedied immediately, the network
 //! schedule for all the nodes can be adjusted to omit the failed node ...
@@ -20,32 +20,60 @@
 //!   alludes to; dissemination rides the cyclic schedule, so one epoch of
 //!   lead time reaches everyone).
 //!
-//! The resulting capacity loss is exactly the dead-slot fraction, i.e.
-//! `failed/N` of every node's uplink bandwidth — the paper's
-//! proportional-loss rule — and is what [`AdjustedSchedule::capacity_factor`]
-//! reports.
+//! The paper's rule excludes the *whole node* on any failure, costing
+//! `1/N` of every node's uplink bandwidth. But a grey failure localized
+//! to a single TX column (one uplink's slots) only poisons that column's
+//! cells; omitting just the **(node, uplink) column** keeps the node's
+//! other `U-1` uplinks and every RX port in service, costing `1/(N·U)`
+//! instead. Both grains share the same staged, epoch-versioned update
+//! path, and [`AdjustedSchedule::capacity_factor`] reports the combined
+//! proportional loss `1 - failed/N - grey_columns/(N·U)`.
 
 use crate::schedule::{Schedule, SlotInEpoch};
 use crate::topology::{NodeId, UplinkId};
 
-/// A schedule plus an epoch-versioned set of omitted (failed) nodes.
+/// Repairs applied by one [`AdjustedSchedule::advance_to`] call, split by
+/// grain. `true` means omit, `false` means readmit.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct AppliedRepairs {
+    /// Whole-node transitions (the §4.5 rule / escalation path).
+    pub nodes: Vec<(NodeId, bool)>,
+    /// Single TX-column transitions (link-granular repair).
+    pub columns: Vec<(NodeId, UplinkId, bool)>,
+}
+
+impl AppliedRepairs {
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty() && self.columns.is_empty()
+    }
+}
+
+/// A schedule plus an epoch-versioned set of omitted (failed) nodes and
+/// omitted (grey) TX columns.
 #[derive(Debug)]
 pub struct AdjustedSchedule {
     base: Schedule,
-    /// Current omitted set (applied).
+    /// Current omitted node set (applied).
     omitted: Vec<bool>,
     omitted_count: usize,
-    /// A pending update: (activation epoch, node, omit?).
-    pending: Vec<(u64, NodeId, bool)>,
+    /// Current omitted TX columns (applied), indexed `node * U + uplink`.
+    omitted_col: Vec<bool>,
+    omitted_col_count: usize,
+    /// Pending updates: (activation epoch, node, column, omit?), sorted.
+    /// `column == None` is a whole-node transition.
+    pending: Vec<(u64, NodeId, Option<UplinkId>, bool)>,
 }
 
 impl AdjustedSchedule {
     pub fn new(base: Schedule) -> AdjustedSchedule {
         let n = base.nodes();
+        let cols = n * base.uplinks();
         AdjustedSchedule {
             base,
             omitted: vec![false; n],
             omitted_count: 0,
+            omitted_col: vec![false; cols],
+            omitted_col_count: 0,
             pending: Vec::new(),
         }
     }
@@ -54,37 +82,75 @@ impl AdjustedSchedule {
         &self.base
     }
 
+    fn col_idx(&self, node: NodeId, uplink: UplinkId) -> usize {
+        node.0 as usize * self.base.uplinks() + uplink.0 as usize
+    }
+
+    fn stage(&mut self, epoch: u64, node: NodeId, col: Option<UplinkId>, omit: bool) {
+        self.pending.push((epoch, node, col, omit));
+        self.pending
+            .sort_by_key(|&(e, n, c, _)| (e, n.0, c.map(|u| u.0)));
+    }
+
     /// Stage the omission of `node`, activating at `epoch` (which must be
     /// far enough ahead for dissemination — at least one full epoch).
     pub fn stage_omit(&mut self, node: NodeId, epoch: u64) {
-        self.pending.push((epoch, node, true));
-        self.pending.sort_by_key(|&(e, n, _)| (e, n.0));
+        self.stage(epoch, node, None, true);
     }
 
     /// Stage the re-admission of a repaired `node` at `epoch`.
     pub fn stage_readmit(&mut self, node: NodeId, epoch: u64) {
-        self.pending.push((epoch, node, false));
-        self.pending.sort_by_key(|&(e, n, _)| (e, n.0));
+        self.stage(epoch, node, None, false);
+    }
+
+    /// Stage the omission of a single TX column — `node`'s `uplink` —
+    /// activating at `epoch`. The node's other uplinks and all its RX
+    /// ports stay in service.
+    pub fn stage_omit_column(&mut self, node: NodeId, uplink: UplinkId, epoch: u64) {
+        self.stage(epoch, node, Some(uplink), true);
+    }
+
+    /// Stage the re-admission of a repaired TX column at `epoch`.
+    pub fn stage_readmit_column(&mut self, node: NodeId, uplink: UplinkId, epoch: u64) {
+        self.stage(epoch, node, Some(uplink), false);
     }
 
     /// Apply all staged updates whose activation epoch has arrived.
-    /// Returns the changes applied this call.
-    pub fn advance_to(&mut self, epoch: u64) -> Vec<(NodeId, bool)> {
-        let mut applied = Vec::new();
-        while let Some(&(e, node, omit)) = self.pending.first() {
+    /// Returns the real transitions applied this call, split by grain;
+    /// duplicate stagings are idempotent and report nothing.
+    pub fn advance_to(&mut self, epoch: u64) -> AppliedRepairs {
+        let mut applied = AppliedRepairs::default();
+        while let Some(&(e, node, col, omit)) = self.pending.first() {
             if e > epoch {
                 break;
             }
             self.pending.remove(0);
-            let slot = &mut self.omitted[node.0 as usize];
-            if *slot != omit {
-                *slot = omit;
-                self.omitted_count = if omit {
-                    self.omitted_count + 1
-                } else {
-                    self.omitted_count - 1
-                };
-                applied.push((node, omit));
+            match col {
+                None => {
+                    let slot = &mut self.omitted[node.0 as usize];
+                    if *slot != omit {
+                        *slot = omit;
+                        self.omitted_count = if omit {
+                            self.omitted_count + 1
+                        } else {
+                            self.omitted_count - 1
+                        };
+                        applied.nodes.push((node, omit));
+                    }
+                }
+                Some(u) => {
+                    let idx = self.col_idx(node, u);
+                    let slot = &mut self.omitted_col[idx];
+                    if *slot != omit {
+                        *slot = omit;
+                        self.omitted_col_count = if omit {
+                            self.omitted_col_count + 1
+                        } else {
+                            self.omitted_col_count - 1
+                        };
+                        applied.columns.push((node, u, omit));
+                    }
+                }
             }
         }
         applied
@@ -94,10 +160,60 @@ impl AdjustedSchedule {
         self.omitted[node.0 as usize]
     }
 
-    /// Destination of a slot, or `None` if the slot is dead (its scheduled
-    /// destination is omitted) or the source itself is omitted.
+    /// Is this single TX column omitted? Independent of whole-node
+    /// omission — an omitted node may have zero omitted columns.
+    pub fn is_column_omitted(&self, node: NodeId, uplink: UplinkId) -> bool {
+        self.omitted_col[self.col_idx(node, uplink)]
+    }
+
+    /// Any column omitted anywhere? `false` on the healthy fast path, so
+    /// callers can skip per-destination reachability filtering entirely.
+    pub fn has_omitted_columns(&self) -> bool {
+        self.omitted_col_count > 0
+    }
+
+    /// The newest pending transition for this column, if any.
+    pub fn pending_column(&self, node: NodeId, uplink: UplinkId) -> Option<bool> {
+        self.pending
+            .iter()
+            .rev()
+            .find(|&&(_, n, c, _)| n == node && c == Some(uplink))
+            .map(|&(_, _, _, omit)| omit)
+    }
+
+    /// Currently omitted columns, for bookkeeping sweeps.
+    pub fn omitted_columns(&self) -> Vec<(NodeId, UplinkId)> {
+        let u = self.base.uplinks();
+        self.omitted_col
+            .iter()
+            .enumerate()
+            .filter(|&(_, &o)| o)
+            .map(|(idx, _)| (NodeId((idx / u) as u32), UplinkId((idx % u) as u16)))
+            .collect()
+    }
+
+    /// Can `i` reach `j` directly through the adjusted schedule — both
+    /// endpoints live and at least one of the columns serving the
+    /// `i -> j` group offset not omitted at `i`?
+    pub fn pair_usable(&self, i: NodeId, j: NodeId) -> bool {
+        if self.omitted[i.0 as usize] || self.omitted[j.0 as usize] {
+            return false;
+        }
+        if self.omitted_col_count == 0 {
+            return true;
+        }
+        let d = self.base.group_offset(i, j);
+        self.base
+            .columns_for_group_offset(d)
+            .iter()
+            .any(|&u| !self.is_column_omitted(i, u))
+    }
+
+    /// Destination of a slot, or `None` if the slot is dead: its scheduled
+    /// destination is omitted, the source itself is omitted, or the
+    /// source's TX column is omitted.
     pub fn dest(&self, i: NodeId, u: UplinkId, t: SlotInEpoch) -> Option<NodeId> {
-        if self.omitted[i.0 as usize] {
+        if self.omitted[i.0 as usize] || self.omitted_col[self.col_idx(i, u)] {
             return None;
         }
         let d = self.base.dest(i, u, t);
@@ -108,10 +224,24 @@ impl AdjustedSchedule {
         }
     }
 
-    /// Fraction of each node's uplink slots still usable: `1 - failed/N`
-    /// (the paper's proportional bandwidth-loss rule).
+    /// Fraction of the fabric's uplink slots still usable:
+    /// `1 - failed/N - live_grey_columns/(N·U)`. Columns on an omitted
+    /// node are already covered by the `failed/N` term and don't
+    /// double-count.
     pub fn capacity_factor(&self) -> f64 {
-        1.0 - self.omitted_count as f64 / self.base.nodes() as f64
+        let n = self.base.nodes();
+        let u = self.base.uplinks();
+        let mut f = 1.0 - self.omitted_count as f64 / n as f64;
+        if self.omitted_col_count > 0 {
+            let live_cols = self
+                .omitted_col
+                .iter()
+                .enumerate()
+                .filter(|&(idx, &o)| o && !self.omitted[idx / u])
+                .count();
+            f -= live_cols as f64 / (n * u) as f64;
+        }
+        f
     }
 
     /// Dead slots per epoch for a live node (usable for calibration
@@ -148,7 +278,8 @@ mod tests {
         assert!(a.advance_to(9).is_empty());
         assert!(!a.is_omitted(NodeId(3)));
         let applied = a.advance_to(10);
-        assert_eq!(applied, vec![(NodeId(3), true)]);
+        assert_eq!(applied.nodes, vec![(NodeId(3), true)]);
+        assert!(applied.columns.is_empty());
         assert!(a.is_omitted(NodeId(3)));
     }
 
@@ -224,5 +355,124 @@ mod tests {
         }
         a.advance_to(0);
         assert!((a.capacity_factor() - 12.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn column_omission_costs_one_over_nu() {
+        let mut a = adj();
+        let u = a.base().uplinks();
+        a.stage_omit_column(NodeId(3), UplinkId(1), 10);
+        assert!(a.advance_to(9).is_empty());
+        assert!(!a.is_column_omitted(NodeId(3), UplinkId(1)));
+        let applied = a.advance_to(10);
+        assert_eq!(applied.columns, vec![(NodeId(3), UplinkId(1), true)]);
+        assert!(applied.nodes.is_empty());
+        assert!(a.is_column_omitted(NodeId(3), UplinkId(1)));
+        assert!(a.has_omitted_columns());
+        let expect = 1.0 - 1.0 / (16.0 * u as f64);
+        assert!(
+            (a.capacity_factor() - expect).abs() < 1e-12,
+            "one grey column must cost 1/(N*U), got {}",
+            a.capacity_factor()
+        );
+        // The dead slots are exactly that column's slots at node 3, and
+        // nothing anywhere else.
+        assert_eq!(
+            a.dead_slots_per_epoch(NodeId(3)) as u64,
+            a.base().epoch_slots()
+        );
+        for i in 0..16u32 {
+            if i == 3 {
+                continue;
+            }
+            assert_eq!(a.dead_slots_per_epoch(NodeId(i)), 0, "node {i}");
+        }
+    }
+
+    #[test]
+    fn column_readmission_restores_capacity_and_reports_transition() {
+        let mut a = adj();
+        a.stage_omit_column(NodeId(2), UplinkId(0), 5);
+        a.stage_readmit_column(NodeId(2), UplinkId(0), 20);
+        a.advance_to(5);
+        assert!(a.has_omitted_columns());
+        assert_eq!(a.pending_column(NodeId(2), UplinkId(0)), Some(false));
+        let applied = a.advance_to(20);
+        assert_eq!(applied.columns, vec![(NodeId(2), UplinkId(0), false)]);
+        assert!(!a.has_omitted_columns());
+        assert_eq!(a.capacity_factor(), 1.0);
+        assert_eq!(a.pending_column(NodeId(2), UplinkId(0)), None);
+    }
+
+    #[test]
+    fn duplicate_column_updates_are_idempotent() {
+        let mut a = adj();
+        a.stage_omit_column(NodeId(4), UplinkId(2), 3);
+        a.stage_omit_column(NodeId(4), UplinkId(2), 4);
+        let applied = a.advance_to(10);
+        assert_eq!(applied.columns.len(), 1);
+        let u = a.base().uplinks() as f64;
+        assert!((a.capacity_factor() - (1.0 - 1.0 / (16.0 * u))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_omission_subsumes_its_columns_in_capacity() {
+        // A grey column on a node that later dies entirely must not be
+        // double-counted: the node term covers all its columns.
+        let mut a = adj();
+        a.stage_omit_column(NodeId(6), UplinkId(1), 0);
+        a.advance_to(0);
+        a.stage_omit(NodeId(6), 1);
+        a.advance_to(1);
+        assert!((a.capacity_factor() - 15.0 / 16.0).abs() < 1e-12);
+        assert_eq!(
+            a.omitted_columns(),
+            vec![(NodeId(6), UplinkId(1))],
+            "column state survives node omission for later readmission"
+        );
+    }
+
+    #[test]
+    fn pair_usable_tracks_column_coverage() {
+        let mut a = adj();
+        let src = NodeId(3);
+        let dst = NodeId(9);
+        assert!(a.pair_usable(src, dst));
+        let d = a.base().group_offset(src, dst);
+        let cols: Vec<UplinkId> = a.base().columns_for_group_offset(d).to_vec();
+        assert!(!cols.is_empty());
+        // Kill all but the last column serving this offset: still usable.
+        for (k, &u) in cols.iter().enumerate() {
+            if k + 1 < cols.len() {
+                a.stage_omit_column(src, u, 0);
+            }
+        }
+        a.advance_to(0);
+        assert!(a.pair_usable(src, dst), "one live column should suffice");
+        // Kill the last: the src->dst group offset is now unreachable.
+        a.stage_omit_column(src, *cols.last().unwrap(), 1);
+        a.advance_to(1);
+        assert!(!a.pair_usable(src, dst));
+        // Other sources are unaffected.
+        assert!(a.pair_usable(NodeId(0), dst));
+        // dest() agrees: no slot at src reaches dst any more.
+        for u in 0..a.base().uplinks() as u16 {
+            for t in 0..a.base().epoch_slots() as u16 {
+                assert_ne!(a.dest(src, UplinkId(u), SlotInEpoch(t)), Some(dst));
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_grain_transitions_apply_in_one_advance() {
+        let mut a = adj();
+        a.stage_omit(NodeId(1), 7);
+        a.stage_omit_column(NodeId(2), UplinkId(3), 7);
+        let applied = a.advance_to(7);
+        assert_eq!(applied.nodes, vec![(NodeId(1), true)]);
+        assert_eq!(applied.columns, vec![(NodeId(2), UplinkId(3), true)]);
+        let u = a.base().uplinks() as f64;
+        let expect = 1.0 - 1.0 / 16.0 - 1.0 / (16.0 * u);
+        assert!((a.capacity_factor() - expect).abs() < 1e-12);
     }
 }

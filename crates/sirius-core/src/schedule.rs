@@ -154,6 +154,15 @@ impl Schedule {
         &self.columns_for_shift[d as usize]
     }
 
+    /// Group offset from `i` to `j` — the index into
+    /// [`columns_for_group_offset`](Self::columns_for_group_offset) naming
+    /// the TX columns that carry `i -> j` traffic.
+    pub fn group_offset(&self, i: NodeId, j: NodeId) -> u32 {
+        let g = self.g as u32;
+        let groups = self.groups as u32;
+        ((j.0 / g) + groups - (i.0 / g)) % groups
+    }
+
     /// Connections from `i` to `j` per epoch (1 for base-only offsets, 2
     /// where an extra column duplicates coverage).
     pub fn connections_per_epoch(&self, i: NodeId, j: NodeId) -> usize {

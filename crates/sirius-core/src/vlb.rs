@@ -102,6 +102,48 @@ impl Vlb {
         }
         unreachable!("eligible count disagrees with the alive list")
     }
+
+    /// Like [`pick`](Self::pick), but restricted to intermediates for which
+    /// `usable` returns true — e.g. nodes still reachable from the source
+    /// *and* able to reach the destination through a column-repaired
+    /// schedule (§4.5 link-granular repair). The distribution is exactly
+    /// uniform over the surviving eligible set.
+    ///
+    /// This is a separate entry point rather than the default so the
+    /// healthy fast path keeps its O(1) eligible count (and its exact RNG
+    /// draw sequence, which run digests depend on).
+    pub fn pick_where<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        src: NodeId,
+        dst: NodeId,
+        usable: impl Fn(NodeId) -> bool,
+    ) -> Option<NodeId> {
+        let n = self.alive.len();
+        let ok = |c: NodeId| c != src && c != dst && self.alive[c.0 as usize] && usable(c);
+        let eligible = (0..n as u32).filter(|&i| ok(NodeId(i))).count();
+        if eligible == 0 {
+            return None;
+        }
+        for _ in 0..MAX_REJECTION_DRAWS {
+            let c = NodeId(rng.gen_range(0..n as u32));
+            if ok(c) {
+                return Some(c);
+            }
+        }
+        let rank = rng.gen_range(0..eligible as u32);
+        let mut seen = 0;
+        for i in 0..n as u32 {
+            let c = NodeId(i);
+            if ok(c) {
+                if seen == rank {
+                    return Some(c);
+                }
+                seen += 1;
+            }
+        }
+        unreachable!("eligible count disagrees with the filtered alive list")
+    }
 }
 
 /// Rejection-sampling attempts before [`Vlb::pick`] falls back to a linear
@@ -222,6 +264,64 @@ mod tests {
             v.mark_failed(NodeId(i));
         }
         assert_eq!(v.pick(&mut rng, NodeId(0), NodeId(9)), None);
+    }
+
+    #[test]
+    fn filtered_pick_respects_predicate_and_stays_uniform() {
+        let v = Vlb::new(10);
+        let mut rng = SmallRng::seed_from_u64(21);
+        // Only even intermediates are usable (say, odd ones lost the TX
+        // column serving the destination's group).
+        let mut counts = [0u32; 10];
+        let n = 40_000;
+        for _ in 0..n {
+            let i = v
+                .pick_where(&mut rng, NodeId(0), NodeId(2), |c| c.0 % 2 == 0)
+                .unwrap();
+            counts[i.0 as usize] += 1;
+        }
+        // Eligible: {4, 6, 8} (0 is src, 2 is dst, odds filtered).
+        for (i, &c) in counts.iter().enumerate() {
+            if [4, 6, 8].contains(&i) {
+                let expect = n as f64 / 3.0;
+                assert!(
+                    (c as f64 - expect).abs() < expect * 0.1,
+                    "non-uniform: {counts:?}"
+                );
+            } else {
+                assert_eq!(c, 0, "picked filtered-out node {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn filtered_pick_none_when_filter_empties_the_set() {
+        let mut v = Vlb::new(6);
+        v.mark_failed(NodeId(4));
+        let mut rng = SmallRng::seed_from_u64(23);
+        // Filter passes only the failed node and the endpoints.
+        assert_eq!(
+            v.pick_where(&mut rng, NodeId(0), NodeId(1), |c| c.0 <= 1 || c.0 == 4),
+            None
+        );
+        // Unfiltered pick still succeeds.
+        assert!(v.pick(&mut rng, NodeId(0), NodeId(1)).is_some());
+    }
+
+    #[test]
+    fn filtered_pick_matches_pick_with_trivial_filter() {
+        // With `|_| true` the two entry points draw from identical
+        // distributions (they share the rejection-sampling structure).
+        let v = Vlb::new(8);
+        let mut rng_a = SmallRng::seed_from_u64(29);
+        let mut rng_b = SmallRng::seed_from_u64(29);
+        for _ in 0..2000 {
+            let a = v.pick(&mut rng_a, NodeId(1), NodeId(6)).unwrap();
+            let b = v
+                .pick_where(&mut rng_b, NodeId(1), NodeId(6), |_| true)
+                .unwrap();
+            assert_eq!(a, b, "trivial filter diverged from plain pick");
+        }
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Burst-mode clock-and-data recovery with phase and amplitude caching
-//! (§4.5, §A.1, and the Nature Electronics companion paper [21]).
+//! (§4.5, §A.1, and the Nature Electronics companion paper \[21\]).
 //!
 //! Every timeslot establishes a brand-new optical connection, so the
 //! receiver's CDR would normally have to re-lock from scratch — standard
@@ -30,7 +30,7 @@ pub struct CdrConfig {
     /// Cold acquisition time without a valid cache entry (standard
     /// transceiver CDR: microseconds; §4.5).
     pub cold_lock: Duration,
-    /// Lock time with a fresh cache entry ("<625 ps", [20]).
+    /// Lock time with a fresh cache entry ("<625 ps", \[20\]).
     pub cached_lock: Duration,
     /// Residual phase drift between two *synchronized* nodes, in
     /// picoseconds of phase per microsecond of elapsed time (bounded by

@@ -5,7 +5,7 @@
 //! of training — useless when the link partner changes every 100 ns slot.
 //! The paper: "to cope with the multi-level signal encoding, we also
 //! developed a custom digital signal processing algorithm to guarantee
-//! fast equalization [68]. Both techniques leverage the cyclic schedule to
+//! fast equalization \[68\]. Both techniques leverage the cyclic schedule to
 //! 'cache' the relevant parameters instead of having to learn them from
 //! scratch."
 //!

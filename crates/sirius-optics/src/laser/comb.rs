@@ -34,7 +34,7 @@ impl CombLaser {
         }
     }
 
-    /// A >100-line comb as demonstrated in [46] of the paper.
+    /// A >100-line comb as demonstrated in \[46\] of the paper.
     pub fn hundred_line<R: Rng + ?Sized>(rng: &mut R) -> CombLaser {
         CombLaser::new(rng, 112)
     }

@@ -6,7 +6,7 @@
 //! wavelengths before settling, and the farther apart the source and
 //! destination wavelengths, the larger the current step and the longer the
 //! settling. The paper's dampening technique (overshoot, then undershoot,
-//! then settle [26]) reduces this to a **median of 14 ns and worst case of
+//! then settle \[26\]) reduces this to a **median of 14 ns and worst case of
 //! 92 ns across all 12,432 wavelength pairs** of the 112-channel grid.
 //!
 //! Hardware substitution: settling is modelled as a span power law
@@ -34,7 +34,7 @@ pub enum DriveMode {
     /// Custom PCB, single current step: ringing makes the settle roughly
     /// linear in span and an order of magnitude above the dampened drive.
     SingleStep,
-    /// Custom PCB with the overshoot/undershoot dampening schedule [26].
+    /// Custom PCB with the overshoot/undershoot dampening schedule \[26\].
     Dampened,
 }
 

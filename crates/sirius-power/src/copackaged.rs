@@ -7,7 +7,7 @@
 //!   ASIC. Even with such optical copackaging, expected by 2023 with
 //!   51.2 Tbps switches, Sirius offers a similar power advantage."
 //! * **Parallel networks** — in a post-Moore's-law world operators may
-//!   "build parallel networks [50]. Sirius' design is particularly
+//!   "build parallel networks \[50\]. Sirius' design is particularly
 //!   amenable to such scaling through topology-level parallelism": `k`
 //!   parallel Sirius planes scale bandwidth k-fold with k-fold power,
 //!   while a deeper electrical hierarchy scales super-linearly.

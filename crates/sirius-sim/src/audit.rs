@@ -152,6 +152,11 @@ pub struct Audit {
     windows: Vec<FaultWindow>,
     /// Detector silence threshold (suspicion-justification slack).
     silence_threshold: u64,
+    /// TX columns the repair layer has dropped from the schedule, indexed
+    /// `node * uplinks + uplink`. Kept as an independent shadow of
+    /// `AdjustedSchedule` so data sends onto an omitted column are caught
+    /// even if the scheduler's own dead-slot check regresses.
+    tx_omitted: Vec<bool>,
 }
 
 impl Audit {
@@ -195,6 +200,11 @@ impl Audit {
             rx_mistuned_touched: Vec::new(),
             windows: Vec::new(),
             silence_threshold: sirius_core::fault::FaultConfig::default().silence_threshold,
+            tx_omitted: if enabled {
+                vec![false; n * uplinks]
+            } else {
+                Vec::new()
+            },
         }
     }
 
@@ -295,6 +305,35 @@ impl Audit {
             let id = node.0;
             self.violation(format!(
                 "epoch {epoch}: false suspicion of healthy node {id} (no declared fault window)"
+            ));
+        }
+    }
+
+    /// The repair layer applied a column transition: TX column
+    /// (`node`, `uplink`) is now omitted from (`omitted = true`) or
+    /// readmitted to (`omitted = false`) the schedule. Updates the
+    /// audit's shadow view used by [`Audit::note_data_tx`].
+    pub fn note_column_omitted(&mut self, node: NodeId, uplink: u16, omitted: bool) {
+        if !self.enabled {
+            return;
+        }
+        self.tx_omitted[node.0 as usize * self.uplinks + uplink as usize] = omitted;
+    }
+
+    /// A *data* cell (not the always-on keepalive carrier) left on TX
+    /// column (`node`, `uplink`) this slot. Scheduling payload onto an
+    /// omitted column is a violation: the repair contract says omitted
+    /// columns carry carrier only, and the receiver's silence bookkeeping
+    /// would otherwise resurrect a link the detector already condemned.
+    #[inline]
+    pub fn note_data_tx(&mut self, slot: u64, node: NodeId, uplink: u16) {
+        if !self.enabled {
+            return;
+        }
+        if self.tx_omitted[node.0 as usize * self.uplinks + uplink as usize] {
+            self.violation(format!(
+                "slot {slot}: data cell sent on omitted TX column (node {}, uplink {uplink})",
+                node.0
             ));
         }
     }
@@ -696,6 +735,28 @@ mod tests {
         let r = a.finish();
         assert_eq!(r.duplicate_cells, 1);
         assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn data_tx_on_omitted_column_is_a_violation() {
+        let mut a = Audit::new(true, 8, 4, 4, true);
+        // Healthy column: data sends are fine.
+        a.note_data_tx(3, NodeId(2), 1);
+        // Omit (2, 1): a data send there is now a repair-contract breach,
+        // but the node's other columns stay usable.
+        a.note_column_omitted(NodeId(2), 1, true);
+        a.note_data_tx(4, NodeId(2), 1);
+        a.note_data_tx(4, NodeId(2), 0);
+        // Readmission clears the shadow state.
+        a.note_column_omitted(NodeId(2), 1, false);
+        a.note_data_tx(5, NodeId(2), 1);
+        let r = a.finish();
+        assert_eq!(r.total_violations, 1);
+        assert!(
+            r.violations[0].contains("omitted TX column"),
+            "{:?}",
+            r.violations
+        );
     }
 
     #[test]

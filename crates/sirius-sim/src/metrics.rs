@@ -50,6 +50,26 @@ impl FailureRecord {
     }
 }
 
+/// What happened to one suspected grey TX column, as measured by the
+/// per-column silence pipeline: when some receiver first went silent on
+/// it, when the column-granular repair dropped it from the schedule, and
+/// — if its keepalives came back — when it was readmitted. Columns that
+/// escalate to whole-node exclusion keep their record but may never get
+/// an `omitted_at` of their own.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkRecord {
+    pub node: sirius_core::topology::NodeId,
+    pub uplink: u16,
+    /// Epoch the per-column detector first suspected this TX column.
+    pub first_suspected: u64,
+    /// Epoch the staged column omission took routing effect (None: the
+    /// suspicion escalated to whole-node exclusion instead, or repair is
+    /// running in node-granular comparison mode).
+    pub omitted_at: Option<u64>,
+    /// Epoch the staged column readmission took routing effect, if any.
+    pub readmitted_at: Option<u64>,
+}
+
 /// Fault-plane accounting for a run with a `FaultInjector` attached.
 /// Everything here is measured from emergent behavior — nothing is an
 /// echo of the script.
@@ -62,6 +82,15 @@ pub struct FaultReport {
     /// Routing exclusions / readmissions applied at update epochs.
     pub exclusions: u64,
     pub readmissions: u64,
+    /// Column-granular (single TX link) repairs applied at update epochs.
+    pub column_omissions: u64,
+    pub column_readmissions: u64,
+    /// One record per suspected TX column, in first-suspicion order.
+    pub links: Vec<LinkRecord>,
+    /// Cells already committed to a path severed by a column omission
+    /// that were pulled back and relaunched on a fresh detour (reclaimed
+    /// from VOQs, drained from relay queues, or rerouted on arrival).
+    pub cells_rerouted: u64,
     /// Cells lost, by cause.
     pub cells_lost_crash: u64,
     pub cells_lost_grey: u64,

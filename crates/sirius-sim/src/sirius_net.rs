@@ -109,6 +109,15 @@ impl SiriusSimConfig {
         self.fault.silence_threshold = epochs;
         self
     }
+    /// Fraction of a node's TX columns that must be suspect before the
+    /// repair escalates from column-granular omission to whole-node
+    /// exclusion (see [`FaultConfig::column_escalation_fraction`]). `0.0`
+    /// reproduces the paper's §4.5 node-granular rule exactly — the first
+    /// suspected column excludes the whole node.
+    pub fn with_column_escalation_fraction(mut self, fraction: f64) -> SiriusSimConfig {
+        self.fault.column_escalation_fraction = fraction;
+        self
+    }
     pub fn with_relay_burst(mut self, burst: u8) -> SiriusSimConfig {
         self.relay_burst = burst;
         self
@@ -488,7 +497,10 @@ impl SiriusSim {
                             ld.heard_from(ni, u as usize, arrival_epoch);
                         }
                     }
-                    if self.sched.is_omitted(ni) || self.sched.is_omitted(j) {
+                    if self.sched.is_omitted(ni)
+                        || self.sched.is_omitted(j)
+                        || self.sched.is_column_omitted(ni, UplinkId(u))
+                    {
                         continue; // dead slot: keepalive carrier only
                     }
                     let tx = match self.cfg.mode {
@@ -524,6 +536,9 @@ impl SiriusSim {
                         SlotTx::Idle => (None, false),
                     };
                     if let Some(c) = cell {
+                        // Safety net: the dead-slot check above must make
+                        // this unreachable for omitted columns.
+                        self.audit.note_data_tx(abs_slot, ni, u);
                         let lost = if mistuned {
                             Some((LossCause::Mistune, ni))
                         } else if erased {
@@ -600,9 +615,51 @@ impl SiriusSim {
         let uplinks = self.sched.base().uplinks();
         self.injector.refresh(epoch, n, uplinks, &mut self.active);
 
-        // 3. Silence detection: every live node's detector ticks; a new
-        //    suspicion stages exclusion at `epoch + 1` (one epoch of
-        //    dissemination riding the cyclic schedule).
+        // 3. Link-granular silence detection (maintained only when the
+        //    script can produce partial-node faults): a newly silent TX
+        //    column is repaired by dropping just that (uplink, slot)
+        //    column from the schedule — costing `1/(N*U)` of capacity —
+        //    unless enough of the node's columns are suspect that the
+        //    §4.5 whole-node rule takes over (escalation, and the whole
+        //    mechanism in node-granular comparison mode).
+        let thresh = self.cfg.fault.escalation_threshold(uplinks);
+        if let Some(ld) = &mut self.link_det {
+            for (peer, col) in ld.tick(epoch) {
+                let link = (peer, col as u16);
+                if !self.links_suspected.contains(&link) {
+                    self.links_suspected.push(link);
+                    self.fault_report.links.push(crate::metrics::LinkRecord {
+                        node: peer,
+                        uplink: col as u16,
+                        first_suspected: epoch,
+                        omitted_at: None,
+                        readmitted_at: None,
+                    });
+                }
+                if ld.suspected_count(peer) >= thresh {
+                    if !self.failure_plane.is_excluded(peer)
+                        && self.failure_plane.pending(peer) != Some(true)
+                    {
+                        self.sched.stage_omit(peer, epoch + 1);
+                        self.failure_plane.stage_exclude(peer, epoch + 1);
+                    }
+                } else if !self.sched.is_column_omitted(peer, UplinkId(col as u16))
+                    && self.sched.pending_column(peer, UplinkId(col as u16)) != Some(true)
+                {
+                    self.sched
+                        .stage_omit_column(peer, UplinkId(col as u16), epoch + 1);
+                }
+            }
+        }
+
+        // 3b. Node-level silence detection: every live node's detector
+        //    ticks; a new suspicion stages exclusion at `epoch + 1` (one
+        //    epoch of dissemination riding the cyclic schedule). A
+        //    grey node below the escalation threshold keeps its healthy
+        //    columns — the column omission above already repaired the
+        //    schedule, so the node-level suspicion (receivers served
+        //    only by the dead column genuinely stop hearing the sender)
+        //    must not exclude the whole node.
         for o in 0..n {
             if self.failure_plane.is_failed(NodeId(o as u32)) {
                 continue;
@@ -622,33 +679,57 @@ impl SiriusSim {
                 {
                     rec.first_suspected = Some(epoch);
                 }
-                if !self.failure_plane.is_excluded(p) && self.failure_plane.pending(p) != Some(true)
+                // When the per-column detector runs, it owns repair
+                // staging: a receiver's node-level silence cannot
+                // distinguish a dead node from the death of the one
+                // column serving it, and its per-receiver counters lag
+                // the column view by up to an epoch — acting on them
+                // would exclude a whole node for a single grey column.
+                // Node-level suspicions then only feed the record books;
+                // exclusion comes from column escalation above.
+                if self.link_det.is_none()
+                    && !self.failure_plane.is_excluded(p)
+                    && self.failure_plane.pending(p) != Some(true)
                 {
                     self.sched.stage_omit(p, epoch + 1);
                     self.failure_plane.stage_exclude(p, epoch + 1);
                 }
             }
         }
-        if let Some(ld) = &mut self.link_det {
-            for (peer, col) in ld.tick(epoch) {
-                let link = (peer, col as u16);
-                if !self.links_suspected.contains(&link) {
-                    self.links_suspected.push(link);
-                }
-            }
-        }
 
         // 4. Emergent readmission: an excluded node heard again within the
         //    last epoch (keepalives resume the moment it reboots) is
-        //    staged back in.
+        //    staged back in — unless the per-column view still holds
+        //    `thresh` or more suspect columns, in which case keepalives on
+        //    the surviving columns must not resurrect an escalated node.
         for p in 0..n as u32 {
             let p = NodeId(p);
+            let still_escalated = self
+                .link_det
+                .as_ref()
+                .is_some_and(|ld| ld.suspected_count(p) >= thresh);
             if self.failure_plane.is_excluded(p)
                 && self.failure_plane.pending(p) != Some(false)
+                && !still_escalated
                 && self.last_heard_any[p.0 as usize] + 1 >= epoch
             {
                 self.sched.stage_readmit(p, epoch + 1);
                 self.failure_plane.stage_restore(p, epoch + 1);
+            }
+        }
+
+        // 4b. Column readmission: an omitted column still carries the
+        //    keepalive carrier on its dead slots, so the moment its
+        //    receivers hear it again (grey window healed) it is staged
+        //    back into the schedule.
+        if let Some(ld) = &self.link_det {
+            for (p, c) in self.sched.omitted_columns() {
+                if self.sched.pending_column(p, c) != Some(false)
+                    && !self.failure_plane.is_failed(p)
+                    && ld.last_heard(p, c.0 as usize) + 1 >= epoch
+                {
+                    self.sched.stage_readmit_column(p, c, epoch + 1);
+                }
             }
         }
 
@@ -657,10 +738,10 @@ impl SiriusSim {
         let applied = self.sched.advance_to(epoch);
         let routed = self.failure_plane.sync_to_vlb(&mut self.vlb, epoch);
         debug_assert_eq!(
-            applied, routed,
+            applied.nodes, routed,
             "schedule and VLB routing views diverged at epoch {epoch}"
         );
-        for (node, excluded) in applied {
+        for &(node, excluded) in &applied.nodes {
             if excluded {
                 self.fault_report.exclusions += 1;
                 // Granted cells queued for the now-dead-slot intermediate
@@ -690,6 +771,74 @@ impl SiriusSim {
                     .find(|r| r.node == node && r.readmitted_at.is_none())
                 {
                     rec.readmitted_at = Some(epoch);
+                }
+            }
+        }
+        for &(node, uplink, omitted) in &applied.columns {
+            if omitted {
+                self.fault_report.column_omissions += 1;
+                self.audit.note_column_omitted(node, uplink.0, true);
+                if let Some(rec) = self
+                    .fault_report
+                    .links
+                    .iter_mut()
+                    .rev()
+                    .find(|r| r.node == node && r.uplink == uplink.0)
+                {
+                    if rec.omitted_at.is_none() {
+                        rec.omitted_at = Some(epoch);
+                    }
+                }
+                // At uplink factor 1 each (src, dst) pair rides exactly
+                // one column, so the dropped column fully severs `node`
+                // from the destination group it alone served. Pull back
+                // every cell already committed to a now-dead path so it
+                // re-requests a live detour instead of stranding until
+                // grant expiry.
+                let stranded: Vec<bool> = (0..n as u32)
+                    .map(|d| !self.sched.pair_usable(node, NodeId(d)))
+                    .collect();
+                let p = node.0 as usize;
+                for o in 0..n {
+                    // Cells at other sources granted through `node` whose
+                    // second hop `node -> dst` died.
+                    if o != p && !self.failure_plane.is_failed(NodeId(o as u32)) {
+                        let pulled =
+                            self.nodes[o].reclaim_voq_where(node, |d| stranded[d.0 as usize]);
+                        self.fault_report.cells_rerouted += pulled as u64;
+                    }
+                }
+                for (m, &dead) in stranded.iter().enumerate() {
+                    // `node`'s own granted cells whose first hop
+                    // `node -> intermediate` died.
+                    if m != p && dead {
+                        let pulled = self.nodes[p].reclaim_voq(NodeId(m as u32));
+                        self.fault_report.cells_rerouted += pulled as u64;
+                    }
+                }
+                for (d, &dead) in stranded.iter().enumerate() {
+                    // Relay cells already queued at `node` whose second
+                    // hop died: rejoin LOCAL for a fresh detour.
+                    if d != p && dead {
+                        for cell in self.nodes[p].drain_relay(NodeId(d as u32)) {
+                            self.fault_report.cells_rerouted += 1;
+                            self.nodes[p].enqueue_local(cell);
+                        }
+                    }
+                }
+            } else {
+                self.fault_report.column_readmissions += 1;
+                self.audit.note_column_omitted(node, uplink.0, false);
+                if let Some(rec) = self
+                    .fault_report
+                    .links
+                    .iter_mut()
+                    .rev()
+                    .find(|r| r.node == node && r.uplink == uplink.0)
+                {
+                    if rec.readmitted_at.is_none() {
+                        rec.readmitted_at = Some(epoch);
+                    }
                 }
             }
         }
@@ -783,7 +932,20 @@ impl SiriusSim {
             if self.failure_plane.is_failed(ni) || self.failure_plane.is_excluded(ni) {
                 continue;
             }
-            let grants = self.nodes[i].cc.issue_grants(&mut self.rng, epoch);
+            // With a column-repaired schedule the intermediate must not
+            // grant requests for destinations its own TX columns can no
+            // longer reach (denied requests re-roll a fresh detour at the
+            // source). The unfiltered path is kept for the healthy case so
+            // fault-free runs keep their exact RNG draw sequence (and
+            // golden digests).
+            let grants = if self.sched.has_omitted_columns() {
+                let sched = &self.sched;
+                self.nodes[i]
+                    .cc
+                    .issue_grants_filtered(&mut self.rng, epoch, |d| sched.pair_usable(ni, d))
+            } else {
+                self.nodes[i].cc.issue_grants(&mut self.rng, epoch)
+            };
             for (src, dst) in grants {
                 if self.failure_plane.is_failed(src) || self.failure_plane.is_excluded(src) {
                     continue; // the loss backstop reclaims this grant
@@ -811,8 +973,19 @@ impl SiriusSim {
                 continue;
             }
             let vlb = &self.vlb;
-            let reqs =
-                self.nodes[i].gen_requests(&mut self.rng, |rng, src, dst| vlb.pick(rng, src, dst));
+            let sched = &self.sched;
+            // Same split as grant issue: under column repair, a VLB detour
+            // must be reachable from the source *and* able to reach the
+            // destination through the repaired schedule.
+            let reqs = if sched.has_omitted_columns() {
+                self.nodes[i].gen_requests(&mut self.rng, |rng, src, dst| {
+                    vlb.pick_where(rng, src, dst, |m| {
+                        sched.pair_usable(src, m) && sched.pair_usable(m, dst)
+                    })
+                })
+            } else {
+                self.nodes[i].gen_requests(&mut self.rng, |rng, src, dst| vlb.pick(rng, src, dst))
+            };
             for (intermediate, dst) in reqs {
                 if self.failure_plane.is_failed(intermediate) {
                     // A request addressed to a dead node vanishes with it;
@@ -837,6 +1010,22 @@ impl SiriusSim {
             self.audit.note_blackholed(dst, epoch);
             self.fault_report.cells_lost_crash += 1;
             return; // blackholed until routing learns of the failure
+        }
+        // A cell reaching its intermediate after a column omission severed
+        // the second hop would strand in the relay queue until the column
+        // heals; consume its reservation and bounce it back to LOCAL for a
+        // fresh request/grant round through a live detour.
+        if cell.dst != dst
+            && self.sched.has_omitted_columns()
+            && !self.sched.pair_usable(dst, cell.dst)
+        {
+            self.fault_report.cells_rerouted += 1;
+            if self.cfg.mode == CcMode::Ideal {
+                let n = self.nodes.len();
+                self.ideal_occ[dst.0 as usize * n + cell.dst.0 as usize] -= 1;
+            }
+            self.nodes[dst.0 as usize].reroute_arrival(cell);
+            return;
         }
         match self.nodes[dst.0 as usize].receive_cell(cell) {
             None => {} // queued for relay (ideal occupancy already counted)

@@ -10,6 +10,11 @@
 //!   5% (measured for k = 1, 4, 16 of 32).
 //! * Grey failures are localized to the degraded TX column, and every
 //!   lost cell is attributed to a declared fault window.
+//! * Link-granular repair: a single grey TX column costs `1/(N*U)` of
+//!   capacity (one schedule column), not the `1/N` the whole-node §4.5
+//!   rule would pay — measured as goodput >= `1 - k/(N*U)` - 5% for `k`
+//!   single-column faults, strictly above the `1 - k/N` node floor on
+//!   the same fault script.
 //! * Fault scripts perturb nothing they shouldn't: double runs stay
 //!   bit-identical.
 
@@ -165,9 +170,11 @@ fn grey_failure_is_localized_and_attributed() {
     // lost cell to the declared grey window. The schedule connects each
     // pair exactly once per epoch, so the peers served by the dead column
     // genuinely lose all evidence the node is alive and suspect it — but
-    // the keepalives still arriving on the healthy columns veto the
-    // exclusion at the next update epoch, and the system settles with
-    // full node capacity plus a localized bad link.
+    // the repair is column-granular: only the suspect (uplink, slot)
+    // column is dropped from the schedule, the node keeps relaying on its
+    // healthy columns, and the whole-node §4.5 rule never fires. When the
+    // grey window heals, the still-running keepalive carrier on the dead
+    // slots readmits the column.
     let net = fabric_limited_net();
     let wl = survivor_workload(&net, net.total_servers() as u32, 1200, 47, Time::ZERO);
     let inj = FaultInjector::new(47).grey_link_from_ber(
@@ -190,13 +197,34 @@ fn grey_failure_is_localized_and_attributed() {
         "grey column not localized by the per-column detector"
     );
     assert_eq!(
-        fr.exclusions, fr.readmissions,
-        "grey-link exclusion was not vetoed by healthy-column keepalives"
+        fr.exclusions, 0,
+        "single grey column must not cost the whole node"
     );
-    assert!(fr.exclusions <= 2, "grey link caused flapping exclusions");
+    assert!(
+        fr.column_omissions >= 1,
+        "grey column was never dropped from the schedule"
+    );
+    assert!(
+        fr.column_omissions <= 3,
+        "grey column caused flapping repairs"
+    );
+    assert_eq!(
+        fr.column_omissions, fr.column_readmissions,
+        "healed grey column was not readmitted"
+    );
+    let rec = fr
+        .links
+        .iter()
+        .find(|r| r.node == NodeId(7) && r.uplink == 2)
+        .expect("no link record for the declared grey column");
+    assert_eq!(
+        rec.omitted_at.expect("suspected column never omitted"),
+        rec.first_suspected + 1,
+        "column omission not one update epoch after suspicion"
+    );
     assert_eq!(
         fr.capacity_factor_end, 1.0,
-        "grey link must not permanently kill the whole node"
+        "grey link must not permanently cost capacity"
     );
     let audit = m.audit.unwrap();
     assert!(
@@ -204,6 +232,181 @@ fn grey_failure_is_localized_and_attributed() {
         "unattributed losses: {:?}",
         audit.violations.first()
     );
+}
+
+#[test]
+fn single_column_repair_detects_omits_and_readmits_on_schedule() {
+    // A fully dead TX column (erasure probability 1.0) over a bounded
+    // window, timed exactly: suspicion within `silence_threshold + 1`
+    // epochs of the window opening, omission one update epoch later, and
+    // readmission within a few epochs of the window healing — the same
+    // latency bounds the node-granular pipeline proves for crashes, now
+    // at 1/(N*U) capacity cost instead of 1/N.
+    let net = fabric_limited_net();
+    let n = net.nodes as f64;
+    let u = 4.0; // uplinks at uplink_factor 1.0: g / groups_ratio
+    let wl = survivor_workload(&net, net.total_servers() as u32, 600, 59, Time::ZERO);
+    let inj = FaultInjector::new(59).grey_link(NodeId(7), 2, 1.0, 5, 60);
+    let mut cfg = SiriusSimConfig::new(net).with_seed(59).with_audit(true);
+    cfg.drain_timeout = Duration::from_us(300);
+    let m = SiriusSim::new(cfg).with_faults(inj).run(&wl);
+    let fr = m.fault.unwrap();
+    let thr = FaultConfig::default().silence_threshold;
+
+    assert_eq!(fr.exclusions, 0);
+    assert_eq!(fr.column_omissions, 1);
+    assert_eq!(fr.column_readmissions, 1);
+    let rec = &fr.links[0];
+    assert_eq!((rec.node, rec.uplink), (NodeId(7), 2));
+    let sus = rec.first_suspected;
+    assert!(
+        (5..=5 + thr + 2).contains(&sus),
+        "column suspected at {sus}, window opened at 5"
+    );
+    assert_eq!(
+        rec.omitted_at.unwrap(),
+        sus + 1,
+        "omission not one update epoch after suspicion"
+    );
+    let readmit = rec.readmitted_at.expect("healed column never readmitted");
+    assert!(
+        (60..=60 + thr + 2).contains(&readmit),
+        "readmission at {readmit}, window healed at 60"
+    );
+    // While omitted, exactly one of N*U columns is dark.
+    assert_eq!(fr.capacity_factor_end, 1.0);
+    let one_column = 1.0 / (n * u);
+    assert!(one_column < 1.0 / n, "column cost must undercut node cost");
+    let audit = m.audit.unwrap();
+    assert!(audit.is_clean(), "{:?}", audit.violations.first());
+}
+
+#[test]
+fn column_escalation_restores_the_whole_node_rule() {
+    // Two of four TX columns dead on one node: at the default escalation
+    // fraction (0.5) that is exactly the threshold, so the repair gives
+    // up on column granularity and applies the paper's §4.5 whole-node
+    // exclusion — and keepalives on the two surviving columns must NOT
+    // resurrect the node while the suspect columns stay silent.
+    let net = fabric_limited_net();
+    let wl = survivor_workload(&net, 62, 800, 61, Time::ZERO); // nodes 0..31
+    let inj = FaultInjector::new(61)
+        .grey_link(NodeId(31), 0, 1.0, 0, u64::MAX)
+        .grey_link(NodeId(31), 1, 1.0, 0, u64::MAX);
+    let mut cfg = SiriusSimConfig::new(net.clone())
+        .with_seed(61)
+        .with_audit(true);
+    cfg.drain_timeout = Duration::from_us(200);
+    let m = SiriusSim::new(cfg).with_faults(inj).run(&wl);
+    let fr = m.fault.unwrap();
+    assert_eq!(
+        fr.exclusions, 1,
+        "half-dead node not escalated to exclusion"
+    );
+    assert_eq!(fr.readmissions, 0, "escalated node flapped back in");
+    assert_eq!(
+        fr.column_omissions, 0,
+        "columns suspected together must escalate, not repair piecemeal"
+    );
+    let expect = 1.0 - 1.0 / net.nodes as f64;
+    assert!(
+        (fr.capacity_factor_end - expect).abs() < 1e-9,
+        "escalated capacity {} != {expect}",
+        fr.capacity_factor_end
+    );
+    let audit = m.audit.unwrap();
+    assert!(audit.is_clean(), "{:?}", audit.violations.first());
+}
+
+#[test]
+fn link_granular_repair_beats_node_granular_floor() {
+    // The tentpole claim: for k single-column grey faults, column-granular
+    // repair retains goodput >= 1 - k/(N*U) - 5%, strictly above the
+    // 1 - k/N floor that whole-node exclusion (the escalation-fraction-0
+    // comparison mode, i.e. the paper's §4.5 rule) pays on the *same*
+    // fault script. Faults land on the last 4 nodes; traffic runs among
+    // the other 28, so the ratio to the healthy run measures pure fabric
+    // capacity, exactly like the crash-based capacity-factor test.
+    let net = fabric_limited_net();
+    let n = net.nodes as u32;
+    let uplinks = 4u32;
+    let k = 4u32;
+    let survivors = n - k;
+    let servers = survivors * net.servers_per_node as u32;
+    let start = net.epoch() * 12; // repair settles before traffic starts
+    let wl = survivor_workload(&net, servers, servers as u64 * 40, 67, Time::ZERO + start);
+    let last = wl.last().unwrap().arrival.since(Time::ZERO).as_ps();
+    let horizon = Time::from_ps(last * 4 / 5);
+    let script = || {
+        let mut inj = FaultInjector::new(67);
+        for i in 0..k {
+            inj = inj.grey_link(NodeId(n - 1 - i), 1, 1.0, 0, u64::MAX);
+        }
+        inj
+    };
+    let mut cfg = SiriusSimConfig::new(net.clone()).with_seed(67);
+    cfg.drain_timeout = Duration::from_ms(2);
+
+    let healthy = SiriusSim::new(cfg.clone()).run(&wl);
+    let link = SiriusSim::new(cfg.clone()).with_faults(script()).run(&wl);
+    let node = SiriusSim::new(cfg.clone().with_column_escalation_fraction(0.0))
+        .with_faults(script())
+        .run(&wl);
+
+    // Column-granular: k columns dark, zero nodes excluded.
+    let fl = link.fault.as_ref().unwrap();
+    assert_eq!(fl.exclusions, 0, "column faults must not exclude nodes");
+    assert_eq!(fl.column_omissions as u32, k);
+    assert_eq!(fl.column_readmissions, 0, "permanently dead column healed?");
+    let cf_link = 1.0 - k as f64 / (n * uplinks) as f64;
+    assert!(
+        (fl.capacity_factor_end - cf_link).abs() < 1e-9,
+        "link-granular capacity {} != {cf_link}",
+        fl.capacity_factor_end
+    );
+
+    // Node-granular comparison mode: the same script costs whole nodes.
+    let fn_ = node.fault.as_ref().unwrap();
+    assert_eq!(fn_.exclusions as u32, k, "node mode must exclude per fault");
+    assert_eq!(fn_.readmissions, 0, "dead-column node flapped back in");
+    assert_eq!(fn_.column_omissions, 0, "node mode must not repair columns");
+    let cf_node = 1.0 - k as f64 / n as f64;
+    assert!(
+        (fn_.capacity_factor_end - cf_node).abs() < 1e-9,
+        "node-granular capacity {} != {cf_node}",
+        fn_.capacity_factor_end
+    );
+
+    // Goodput: link-granular holds the 1 - k/(N*U) bound and strictly
+    // beats both the node-granular floor and the node-granular run.
+    let rate = net.server_rate;
+    let g_healthy = goodput(&healthy, horizon, servers as u64, rate);
+    assert!(g_healthy > 0.5, "healthy run not saturated: {g_healthy}");
+    let ratio_link = goodput(&link, horizon, servers as u64, rate) / g_healthy;
+    let ratio_node = goodput(&node, horizon, servers as u64, rate) / g_healthy;
+    assert!(
+        ratio_link >= cf_link - 0.05,
+        "link-granular goodput ratio {ratio_link:.4} below bound {cf_link:.4} - 5%"
+    );
+    assert!(
+        (ratio_node - cf_node).abs() <= 0.05,
+        "node-granular ratio {ratio_node:.4} off its {cf_node:.4} floor"
+    );
+    assert!(
+        ratio_link > cf_node,
+        "link-granular ratio {ratio_link:.4} not above the node floor {cf_node:.4}"
+    );
+    assert!(
+        ratio_link > ratio_node,
+        "link granularity did not beat node granularity ({ratio_link:.4} vs {ratio_node:.4})"
+    );
+
+    // Determinism: the repaired run replays bit-identically.
+    let link2 = SiriusSim::new(cfg).with_faults(script()).run(&wl);
+    assert_eq!(link.digest, link2.digest, "repaired run digest diverged");
+    let fl2 = link2.fault.unwrap();
+    assert_eq!(fl.column_omissions, fl2.column_omissions);
+    assert_eq!(fl.cells_rerouted, fl2.cells_rerouted);
 }
 
 #[test]
@@ -235,6 +438,9 @@ fn fault_scripts_keep_double_runs_bit_identical() {
     assert_eq!(fa.requests_lost, fb.requests_lost);
     assert_eq!(fa.grants_lost, fb.grants_lost);
     assert_eq!(fa.suspicion_events, fb.suspicion_events);
+    assert_eq!(fa.column_omissions, fb.column_omissions);
+    assert_eq!(fa.column_readmissions, fb.column_readmissions);
+    assert_eq!(fa.cells_rerouted, fb.cells_rerouted);
     // The script actually exercised each class.
     assert!(fa.cells_lost_grey > 0);
     assert!(fa.requests_lost + fa.grants_lost > 0);

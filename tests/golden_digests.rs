@@ -52,6 +52,33 @@ fn mode_name(mode: CcMode) -> &'static str {
     }
 }
 
+/// The exact command that refreshes the golden file; printed verbatim in
+/// every mismatch message so the fix is copy-pasteable.
+const BLESS_CMD: &str = "GOLDEN_BLESS=1 cargo test --test golden_digests";
+
+/// Pure comparison of measured digests against golden-file contents.
+/// Errors carry both digests and the regeneration command, so the
+/// failure output alone is enough to diagnose and (if the behavior
+/// change was intentional) repair the mismatch.
+fn verify_against_golden(golden: &str, measured: &[(CcMode, u64)]) -> Result<(), String> {
+    for &(mode, digest) in measured {
+        let name = mode_name(mode);
+        let want = golden
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} ")))
+            .ok_or_else(|| format!("no golden entry for mode {name}; regenerate: {BLESS_CMD}"))?;
+        let want = u64::from_str_radix(want.trim(), 16)
+            .map_err(|e| format!("malformed golden digest for mode {name} ({e}): {want:?}"))?;
+        if digest != want {
+            return Err(format!(
+                "{name}: run digest {digest:016x} != golden {want:016x} — the simulator's \
+                 behavior changed; if intentional, regenerate with: {BLESS_CMD}"
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[test]
 fn paper_sim_digests_match_golden_file() {
     let net = SiriusConfig::paper_sim();
@@ -79,22 +106,35 @@ fn paper_sim_digests_match_golden_file() {
 
     let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
         panic!(
-            "missing golden file {} ({e}); run GOLDEN_BLESS=1 cargo test --test golden_digests",
+            "missing golden file {} ({e}); run: {BLESS_CMD}",
             path.display()
         )
     });
-    for (mode, digest) in measured {
-        let name = mode_name(mode);
-        let want = golden
-            .lines()
-            .find_map(|l| l.strip_prefix(&format!("{name} ")))
-            .unwrap_or_else(|| panic!("no golden entry for mode {name}"));
-        let want = u64::from_str_radix(want.trim(), 16).expect("malformed golden digest");
-        assert_eq!(
-            digest, want,
-            "{name}: run digest {digest:016x} != golden {want:016x} — the simulator's \
-             behavior changed; if intentional, regenerate with GOLDEN_BLESS=1 \
-             cargo test --test golden_digests"
-        );
+    if let Err(msg) = verify_against_golden(&golden, &measured) {
+        panic!("{}: {msg}", path.display());
     }
+}
+
+/// A digest drift must fail loudly with both digests and the exact
+/// bless command — never silently pass or produce an opaque error.
+#[test]
+fn mutated_golden_digest_fails_with_actionable_message() {
+    let measured = [(CcMode::Protocol, 0x1234_5678_9abc_def0u64)];
+    let golden = "protocol 123456789abcdef0\n";
+    assert_eq!(verify_against_golden(golden, &measured), Ok(()));
+
+    let mutated = "protocol 0000000000000bad\n";
+    let msg = verify_against_golden(mutated, &measured).unwrap_err();
+    assert!(
+        msg.contains("123456789abcdef0"),
+        "actual digest missing: {msg}"
+    );
+    assert!(
+        msg.contains("0000000000000bad"),
+        "expected digest missing: {msg}"
+    );
+    assert!(msg.contains(BLESS_CMD), "bless command missing: {msg}");
+
+    let missing = verify_against_golden("ideal 0\n", &measured).unwrap_err();
+    assert!(missing.contains("protocol") && missing.contains(BLESS_CMD));
 }
