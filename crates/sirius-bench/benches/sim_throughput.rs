@@ -1,0 +1,44 @@
+//! End-to-end simulator throughput: one full `SiriusSim::run` per
+//! congestion-control mode at smoke scale (criterion needs many
+//! iterations; the paper-scale number comes from the `sim_throughput`
+//! binary, which runs each mode once and reports cells/sec directly).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sirius_bench::experiments::sim_throughput;
+use sirius_bench::Scale;
+use sirius_sim::{CcMode, SiriusSim, SiriusSimConfig};
+
+fn bench_run(c: &mut Criterion) {
+    let scale = Scale::Smoke;
+    let net = scale.network();
+    let mut spec = scale.workload(0.5, 1);
+    spec.flows = sim_throughput::flow_count(scale);
+    let wl = spec.generate();
+    for (mode, name) in [
+        (CcMode::Protocol, "sim_run_smoke_protocol"),
+        (CcMode::Ideal, "sim_run_smoke_ideal"),
+        (CcMode::Greedy, "sim_run_smoke_greedy"),
+    ] {
+        let net = net.clone();
+        let wl = wl.clone();
+        c.bench_function(name, move |b| {
+            b.iter(|| {
+                let cfg = SiriusSimConfig::new(net.clone())
+                    .with_mode(mode)
+                    .with_seed(1)
+                    .with_audit(false);
+                black_box(SiriusSim::new(cfg).run(&wl))
+            })
+        });
+    }
+}
+
+criterion_group!(
+    name = sim_throughput_bench;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(5));
+    targets = bench_run
+);
+criterion_main!(sim_throughput_bench);

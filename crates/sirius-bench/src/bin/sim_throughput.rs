@@ -1,0 +1,18 @@
+//! Simulator throughput harness: wall-clock cells/sec and epochs/sec for
+//! Protocol/Ideal/Greedy. Pass `--full` for paper_sim scale (the
+//! configuration the ≥2× refactor bar is measured at), `--smoke` for the
+//! harness self-test size. Emits `results/sim_throughput.csv` and
+//! `results/BENCH_sim_throughput.json`.
+use sirius_bench::experiments::sim_throughput;
+use sirius_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("=== simulator throughput, {scale:?} scale ===");
+    // Paper scale is the acceptance measurement: best-of-3 to shed
+    // one-sided OS noise. The smaller scales are smoke checks.
+    let repeats = if scale == Scale::Paper { 3 } else { 1 };
+    let pts = sim_throughput::run_best(scale, 1, repeats);
+    sim_throughput::table(&pts).emit("sim_throughput");
+    sim_throughput::emit_json(&pts, scale);
+}

@@ -52,5 +52,8 @@ fn main() {
     relay_burst::fct_table(&rb_fct).emit("relay_burst_fct");
     let rb_sat = relay_burst::run_saturation(scale, 1, &relay_burst::BURSTS);
     relay_burst::sat_table(&rb_sat).emit("relay_burst_sat");
+    let tp = sim_throughput::run(scale, 1);
+    sim_throughput::table(&tp).emit("sim_throughput");
+    sim_throughput::emit_json(&tp, scale);
     eprintln!("=== done; CSVs under results/ ===");
 }

@@ -14,5 +14,6 @@ pub mod fig9;
 pub mod granularity;
 pub mod relay_burst;
 pub mod repair_granularity;
+pub mod sim_throughput;
 pub mod sync;
 pub mod tuning;

@@ -22,6 +22,7 @@
 //! | CC on/ideal/off ablation | `ablation` | [`experiments::ablation`] |
 //! | §4.5 fault tolerance | `fault_tolerance` | [`experiments::fault_tolerance`] |
 //! | RELAY_BURST sensitivity | `relay_burst` | [`experiments::relay_burst`] |
+//! | simulator throughput | `sim_throughput` | [`experiments::sim_throughput`] |
 //! | everything | `xp` | all of the above |
 
 pub mod experiments;

@@ -1,0 +1,157 @@
+//! A slab arena for [`Cell`]s with a free list.
+//!
+//! Every queue in [`crate::node::SiriusNode`] (LOCAL, VOQ, relay) holds
+//! `u32` handles into one shared per-node arena instead of owning
+//! `Cell`s. Moving a cell between queues — the grant path, the reclaim
+//! path, relay rerouting — then moves 4 bytes instead of a 32-byte cell,
+//! and a steady-state run performs zero queue-side heap traffic once the
+//! arena and queues reach their high-water marks: freed slots are
+//! recycled LIFO through the free list.
+//!
+//! Handles are plain indices; validity is the owning queue's discipline
+//! (a handle lives in exactly one queue between `insert` and `remove`).
+//! Debug builds track freed slots and panic on use-after-free or
+//! double-free.
+
+use crate::cell::Cell;
+
+/// Slab of cells + LIFO free list. See the module docs.
+#[derive(Debug, Default, Clone)]
+pub struct CellArena {
+    slots: Vec<Cell>,
+    free: Vec<u32>,
+    #[cfg(debug_assertions)]
+    freed: Vec<bool>,
+}
+
+impl CellArena {
+    pub fn new() -> CellArena {
+        CellArena::default()
+    }
+
+    /// Store `cell`, recycling a freed slot when one exists. Returns the
+    /// handle to pass to [`get`](Self::get) / [`remove`](Self::remove).
+    #[inline]
+    pub fn insert(&mut self, cell: Cell) -> u32 {
+        match self.free.pop() {
+            Some(h) => {
+                self.slots[h as usize] = cell;
+                #[cfg(debug_assertions)]
+                {
+                    self.freed[h as usize] = false;
+                }
+                h
+            }
+            None => {
+                let h = u32::try_from(self.slots.len()).expect("cell arena handle overflow");
+                self.slots.push(cell);
+                #[cfg(debug_assertions)]
+                self.freed.push(false);
+                h
+            }
+        }
+    }
+
+    /// Read the cell behind a live handle.
+    #[inline]
+    pub fn get(&self, h: u32) -> &Cell {
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            !self.freed[h as usize],
+            "cell arena: read of freed slot {h}"
+        );
+        &self.slots[h as usize]
+    }
+
+    /// Take the cell out and free its slot.
+    #[inline]
+    pub fn remove(&mut self, h: u32) -> Cell {
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(
+                !self.freed[h as usize],
+                "cell arena: double free of slot {h}"
+            );
+            self.freed[h as usize] = true;
+        }
+        self.free.push(h);
+        self.slots[h as usize]
+    }
+
+    /// Live cells (inserted and not yet removed).
+    pub fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Slots ever allocated — the arena's high-water mark. Steady after
+    /// warm-up; allocation-regression tests pin it.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::FlowId;
+    use crate::topology::{NodeId, ServerId};
+
+    fn cell(seq: u32) -> Cell {
+        Cell {
+            flow: FlowId(7),
+            seq,
+            payload: 540,
+            src: NodeId(0),
+            dst: NodeId(1),
+            dst_server: ServerId(2),
+            last: false,
+        }
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut a = CellArena::new();
+        let h0 = a.insert(cell(0));
+        let h1 = a.insert(cell(1));
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get(h0).seq, 0);
+        assert_eq!(a.get(h1).seq, 1);
+        assert_eq!(a.remove(h0).seq, 0);
+        assert_eq!(a.len(), 1);
+        assert!(!a.is_empty());
+        assert_eq!(a.remove(h1).seq, 1);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn free_slots_are_recycled_and_capacity_is_stable() {
+        let mut a = CellArena::new();
+        let hs: Vec<u32> = (0..64).map(|k| a.insert(cell(k))).collect();
+        assert_eq!(a.capacity(), 64);
+        for &h in &hs {
+            a.remove(h);
+        }
+        // A full churn cycle reuses the freed slots: no growth.
+        for round in 0..10 {
+            let hs: Vec<u32> = (0..64).map(|k| a.insert(cell(k * round))).collect();
+            assert_eq!(a.capacity(), 64, "arena grew on round {round}");
+            for &h in &hs {
+                a.remove(h);
+            }
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics_in_debug() {
+        let mut a = CellArena::new();
+        let h = a.insert(cell(0));
+        a.remove(h);
+        a.remove(h);
+    }
+}

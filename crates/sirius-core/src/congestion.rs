@@ -30,7 +30,6 @@
 
 use crate::topology::NodeId;
 use rand::Rng;
-use std::collections::VecDeque;
 
 /// Statistics the protocol keeps for observability and tests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -86,9 +85,14 @@ pub struct CongestionState {
     queued: Vec<u32>,
     /// As an intermediate: grants issued whose cell has not yet arrived.
     outstanding: Vec<u32>,
-    /// Expiry bookkeeping for outstanding grants, per destination:
-    /// the epoch at which each outstanding grant lapses (FIFO).
-    expiry: Vec<VecDeque<u64>>,
+    /// Expiry bookkeeping for outstanding grants: the epoch at which each
+    /// outstanding grant lapses, FIFO per destination. `outstanding[d]`
+    /// never exceeds `q` (grants are only issued while
+    /// `queued + outstanding < q`), so each destination owns a flat ring
+    /// of `q` slots at `expiry[d*q..]` — length `outstanding[d]`, front at
+    /// `expiry_head[d]` — instead of a heap-allocated deque.
+    expiry: Vec<u64>,
+    expiry_head: Vec<u32>,
     /// Requests received during the current epoch, processed next epoch:
     /// per destination, the list of requesters.
     inbox: Vec<Vec<NodeId>>,
@@ -109,7 +113,8 @@ impl CongestionState {
             grant_timeout_epochs,
             queued: vec![0; n],
             outstanding: vec![0; n],
-            expiry: vec![VecDeque::new(); n],
+            expiry: vec![0; n * q],
+            expiry_head: vec![0; n],
             inbox: vec![Vec::new(); n],
             inbox_dirty: Vec::new(),
             pending: vec![Vec::new(); n],
@@ -133,19 +138,42 @@ impl CongestionState {
         self.outstanding[d.0 as usize]
     }
 
+    /// Front of destination `d`'s expiry ring (undefined when
+    /// `outstanding[d] == 0` — callers gate on the counter).
+    #[inline]
+    fn expiry_front(&self, d: usize) -> u64 {
+        self.expiry[d * self.q as usize + self.expiry_head[d] as usize]
+    }
+
+    #[inline]
+    fn expiry_pop_front(&mut self, d: usize) {
+        let h = self.expiry_head[d] + 1;
+        self.expiry_head[d] = if h == self.q { 0 } else { h };
+    }
+
+    /// Append to `d`'s ring; the caller increments `outstanding[d]` (the
+    /// ring length) right after.
+    #[inline]
+    fn expiry_push_back(&mut self, d: usize, lapse: u64) {
+        let q = self.q as usize;
+        let mut idx = self.expiry_head[d] as usize + self.outstanding[d] as usize;
+        if idx >= q {
+            idx -= q;
+        }
+        self.expiry[d * q + idx] = lapse;
+    }
+
     /// Epoch boundary: expire stale grants and rotate the request inbox so
     /// that requests received last epoch become grantable this epoch.
     pub fn begin_epoch(&mut self, epoch: u64) {
-        // Expire outstanding grants that were never used.
-        for d in 0..self.expiry.len() {
-            while let Some(&e) = self.expiry[d].front() {
-                if e <= epoch {
-                    self.expiry[d].pop_front();
-                    self.outstanding[d] -= 1;
-                    self.stats.grants_expired += 1;
-                } else {
-                    break;
-                }
+        // Expire outstanding grants that were never used. Every expiry
+        // push/pop pairs with an `outstanding` increment/decrement, so the
+        // contiguous counter tells us which rings to even look at.
+        for d in 0..self.outstanding.len() {
+            while self.outstanding[d] > 0 && self.expiry_front(d) <= epoch {
+                self.expiry_pop_front(d);
+                self.outstanding[d] -= 1;
+                self.stats.grants_expired += 1;
             }
         }
         // Unserved requests from last epoch are dropped (the source will
@@ -197,25 +225,23 @@ impl CongestionState {
         eligible: impl Fn(NodeId) -> bool,
     ) -> Vec<(NodeId, NodeId)> {
         let mut grants = Vec::new();
-        for &d in &self.pending_dirty {
-            let reqs = &mut self.pending[d as usize];
-            debug_assert!(!reqs.is_empty());
-            if !eligible(NodeId(d)) {
-                self.stats.requests_denied += reqs.len() as u64;
+        for di in 0..self.pending_dirty.len() {
+            let d = self.pending_dirty[di] as usize;
+            debug_assert!(!self.pending[d].is_empty());
+            if !eligible(NodeId(d as u32)) {
+                self.stats.requests_denied += self.pending[d].len() as u64;
                 continue;
             }
             // Random service order: shuffle by swapping the pick to the end.
-            while !reqs.is_empty()
-                && self.queued[d as usize] + self.outstanding[d as usize] < self.q
-            {
-                let k = rng.gen_range(0..reqs.len());
-                let pick = reqs.swap_remove(k);
-                self.outstanding[d as usize] += 1;
-                self.expiry[d as usize].push_back(epoch + self.grant_timeout_epochs);
+            while !self.pending[d].is_empty() && self.queued[d] + self.outstanding[d] < self.q {
+                let k = rng.gen_range(0..self.pending[d].len());
+                let pick = self.pending[d].swap_remove(k);
+                self.expiry_push_back(d, epoch + self.grant_timeout_epochs);
+                self.outstanding[d] += 1;
                 self.stats.grants_issued += 1;
-                grants.push((pick, NodeId(d)));
+                grants.push((pick, NodeId(d as u32)));
             }
-            self.stats.requests_denied += reqs.len() as u64;
+            self.stats.requests_denied += self.pending[d].len() as u64;
         }
         grants
     }
@@ -230,7 +256,7 @@ impl CongestionState {
         let d = d.0 as usize;
         if self.outstanding[d] > 0 {
             // Consume the oldest grant's expiry slot.
-            self.expiry[d].pop_front();
+            self.expiry_pop_front(d);
             self.outstanding[d] -= 1;
         } else {
             self.stats.untracked_arrivals += 1;
@@ -248,9 +274,9 @@ impl CongestionState {
     pub fn grant_declined(&mut self, d: NodeId) {
         let d = d.0 as usize;
         if self.outstanding[d] > 0 {
+            // The declined grant is the most recently issued one: shrinking
+            // the ring length (`outstanding`) drops the back entry.
             self.outstanding[d] -= 1;
-            // The declined grant is the most recently issued one.
-            self.expiry[d].pop_back();
             self.stats.grants_declined += 1;
         }
     }

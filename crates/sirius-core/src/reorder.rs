@@ -10,6 +10,35 @@
 use crate::cell::FlowId;
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative hasher for the simulator-internal [`FlowId`] keys: one
+/// `accept` per delivered cell makes the flow-map probe a hot-path cost,
+/// and SipHash's DoS resistance buys nothing against keys we generate
+/// ourselves. Iteration order is never observed (the map is only probed
+/// and drained per flow), so the hash choice cannot affect behavior.
+#[derive(Default)]
+struct FlowIdHasher(u64);
+
+impl Hasher for FlowIdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-u64 key fragments (unused by FlowId).
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        // Fibonacci multiply + fold: the high bits HashMap uses get
+        // avalanche from the whole key.
+        let h = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 32);
+    }
+}
+
+type FlowMap = HashMap<FlowId, FlowReorder, BuildHasherDefault<FlowIdHasher>>;
 
 /// Reorder state for a single flow.
 #[derive(Debug, Default)]
@@ -35,7 +64,7 @@ pub struct Delivered {
 /// Reorder buffers for all flows terminating at one server.
 #[derive(Debug, Default)]
 pub struct ReorderBuffer {
-    flows: HashMap<FlowId, FlowReorder>,
+    flows: FlowMap,
     /// Peak buffered bytes observed for any single flow (paper Fig. 10d is
     /// "peak size of the reorder buffer at the servers per flow").
     peak_flow_bytes: u64,
@@ -112,6 +141,13 @@ impl ReorderBuffer {
     pub fn duplicates(&self) -> u64 {
         self.duplicates
     }
+    /// Flows currently holding reorder state at this server. Completed
+    /// flows are evicted by [`finish_flow`](ReorderBuffer::finish_flow),
+    /// so over a long run this tracks concurrently active flows, not
+    /// total flows ever seen.
+    pub fn resident_flows(&self) -> usize {
+        self.flows.len()
+    }
 }
 
 #[cfg(test)]
@@ -171,6 +207,39 @@ mod tests {
         rb.finish_flow(F);
         rb.finish_flow(f2);
         assert_eq!(rb.buffered_bytes(), 0);
+    }
+
+    #[test]
+    fn finish_flow_evicts_resident_state() {
+        let mut rb = ReorderBuffer::new();
+        rb.accept(FlowId(1), 0, 100);
+        rb.accept(FlowId(2), 0, 100);
+        assert_eq!(rb.resident_flows(), 2);
+        rb.finish_flow(FlowId(1));
+        assert_eq!(rb.resident_flows(), 1);
+        rb.finish_flow(FlowId(2));
+        assert_eq!(rb.resident_flows(), 0);
+        // Finishing an unknown flow is a no-op.
+        rb.finish_flow(FlowId(99));
+        assert_eq!(rb.resident_flows(), 0);
+    }
+
+    #[test]
+    fn resident_state_stays_bounded_over_many_flows() {
+        // Stream 10,000 short flows through one server, finishing each as
+        // it completes: resident state must track concurrency (1 here),
+        // not flow count, or a long run leaks one map entry per flow.
+        let mut rb = ReorderBuffer::new();
+        for f in 0..10_000u64 {
+            let flow = FlowId(f);
+            assert_eq!(rb.accept(flow, 1, 540).bytes, 0);
+            assert_eq!(rb.accept(flow, 0, 540).bytes, 1080);
+            rb.finish_flow(flow);
+            assert!(rb.resident_flows() <= 1, "flow state leaked at {f}");
+        }
+        assert_eq!(rb.resident_flows(), 0);
+        assert_eq!(rb.buffered_bytes(), 0);
+        assert_eq!(rb.duplicates(), 0);
     }
 
     #[test]

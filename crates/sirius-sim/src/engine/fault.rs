@@ -1,0 +1,383 @@
+//! FaultPlane: scripted ground truth, per-slot corruption scratch, and
+//! the epoch-boundary fault pipeline.
+//!
+//! The plane owns the [`FaultInjector`] script, the per-epoch
+//! [`ActiveFaults`] snapshot and the [`FaultReport`] ledger. Per slot it
+//! runs the mistune pre-pass (which RX ports does a detuned laser
+//! corrupt this slot?) and grey-erasure draws; per epoch,
+//! [`SiriusSim::fault_boundary`] turns detector silence into staged
+//! schedule repair.
+//!
+//! Runs with an empty script skip this plane entirely — including the
+//! boundary, whose only observable effects (detector ticks, staged
+//! updates, report entries) all require scripted faults to exist.
+
+use crate::engine::observer::SlotObserver;
+use crate::engine::tables::DestTable;
+use crate::faults::{ActiveFaults, FaultInjector};
+use crate::metrics::{FailureRecord, FaultReport};
+use crate::sirius_net::SiriusSim;
+use sirius_core::fault::FailurePlane;
+use sirius_core::schedule::SlotInEpoch;
+use sirius_core::topology::{NodeId, UplinkId};
+
+pub(crate) struct FaultPlane {
+    /// Scripted ground-truth faults; detection is emergent.
+    pub injector: FaultInjector,
+    /// Per-epoch snapshot of active grey/mistune/control-loss windows.
+    pub active: ActiveFaults,
+    pub report: FaultReport,
+    /// Per-slot scratch: RX ports hit by a stray (mistuned) signal,
+    /// indexed `node * uplinks + uplink`.
+    corrupt: Vec<Option<NodeId>>,
+    corrupt_touched: Vec<u32>,
+    uplinks: usize,
+}
+
+impl FaultPlane {
+    pub fn new(seed: u64, n: usize, uplinks: usize) -> FaultPlane {
+        FaultPlane {
+            injector: FaultInjector::new(seed),
+            active: ActiveFaults::default(),
+            report: FaultReport::default(),
+            corrupt: vec![None; n * uplinks],
+            corrupt_touched: Vec::new(),
+            uplinks,
+        }
+    }
+
+    /// Mistune pre-pass: a wavelength shifted by `offset` follows the
+    /// grating to the destination scheduled `offset` slots later, so the
+    /// stray signal corrupts whatever legitimately arrives on that RX
+    /// port this slot.
+    pub fn mistune_prepass<O: SlotObserver>(
+        &mut self,
+        abs_slot: u64,
+        t: SlotInEpoch,
+        failure_plane: &FailurePlane,
+        tables: &DestTable,
+        obs: &mut O,
+    ) {
+        let epoch_slots = tables.epoch_slots();
+        let uplinks = self.uplinks;
+        for k in 0..self.active.mistuned_nodes.len() {
+            let m = self.active.mistuned_nodes[k];
+            if failure_plane.is_failed(m) {
+                continue; // a dead laser emits nothing
+            }
+            let off = self.active.mistune_of(m).unwrap() as u64;
+            let shifted = SlotInEpoch(((t.0 as u64 + off) % epoch_slots) as u16);
+            for u in 0..uplinks as u16 {
+                let wrong = tables.dest(shifted, m, u);
+                let idx = wrong.0 as usize * uplinks + u as usize;
+                if self.corrupt[idx].is_none() {
+                    self.corrupt[idx] = Some(m);
+                    self.corrupt_touched.push(idx as u32);
+                }
+                obs.note_rx_mistuned(abs_slot, wrong, u);
+            }
+        }
+    }
+
+    /// Which mistuned sender (if any) corrupts RX port (`j`, `u`) this
+    /// slot.
+    #[inline]
+    pub fn corrupted_by(&self, j: NodeId, u: u16) -> Option<NodeId> {
+        self.corrupt[j.0 as usize * self.uplinks + u as usize]
+    }
+
+    /// Clear the per-slot corruption scratch (sparse: only touched ports).
+    #[inline]
+    pub fn end_slot(&mut self) {
+        for &idx in &self.corrupt_touched {
+            self.corrupt[idx as usize] = None;
+        }
+        self.corrupt_touched.clear();
+    }
+}
+
+impl SiriusSim {
+    /// Epoch-boundary fault pipeline: scripted ground truth lands, the
+    /// silence detectors tick, suspicions stage consistent updates one
+    /// epoch out, and both routing planes flip the same staged set at the
+    /// same boundary.
+    pub(crate) fn fault_boundary<O: SlotObserver>(&mut self, epoch: u64, obs: &mut O) {
+        // 1. Ground-truth transitions (routing is NOT told).
+        for (node, is_crash) in self.faults.injector.node_events_at(epoch) {
+            if is_crash {
+                self.failure_plane.fail(node, epoch);
+                self.faults.report.failures.push(FailureRecord {
+                    node,
+                    fail_epoch: epoch,
+                    first_suspected: None,
+                    excluded_at: None,
+                    recovered_epoch: None,
+                    readmitted_at: None,
+                });
+            } else {
+                self.failure_plane.recover(node);
+                // A rebooted node's counters predate the outage; reset so
+                // it re-earns suspicions instead of suspecting everyone.
+                self.detect.detectors[node.0 as usize].reset(epoch);
+                if let Some(rec) = self
+                    .faults
+                    .report
+                    .failures
+                    .iter_mut()
+                    .rev()
+                    .find(|r| r.node == node && r.recovered_epoch.is_none())
+                {
+                    rec.recovered_epoch = Some(epoch);
+                }
+            }
+        }
+
+        // 2. Refresh the flat per-epoch fault snapshot.
+        let n = self.nodes.len();
+        let uplinks = self.sched.base().uplinks();
+        let FaultPlane {
+            injector, active, ..
+        } = &mut self.faults;
+        injector.refresh(epoch, n, uplinks, active);
+
+        // 3. Link-granular silence detection (maintained only when the
+        //    script can produce partial-node faults): a newly silent TX
+        //    column is repaired by dropping just that (uplink, slot)
+        //    column from the schedule — costing `1/(N*U)` of capacity —
+        //    unless enough of the node's columns are suspect that the
+        //    §4.5 whole-node rule takes over (escalation, and the whole
+        //    mechanism in node-granular comparison mode).
+        let thresh = self.cfg.fault.escalation_threshold(uplinks);
+        let ticked = match &mut self.detect.link_det {
+            Some(ld) => ld.tick(epoch),
+            None => Vec::new(),
+        };
+        for (peer, col) in ticked {
+            let link = (peer, col as u16);
+            if !self.detect.links_suspected.contains(&link) {
+                self.detect.links_suspected.push(link);
+                self.faults.report.links.push(crate::metrics::LinkRecord {
+                    node: peer,
+                    uplink: col as u16,
+                    first_suspected: epoch,
+                    omitted_at: None,
+                    readmitted_at: None,
+                });
+            }
+            let escalated = self
+                .detect
+                .link_det
+                .as_ref()
+                .is_some_and(|ld| ld.suspected_count(peer) >= thresh);
+            if escalated {
+                if !self.failure_plane.is_excluded(peer)
+                    && self.failure_plane.pending(peer) != Some(true)
+                {
+                    self.sched.stage_omit(peer, epoch + 1);
+                    self.failure_plane.stage_exclude(peer, epoch + 1);
+                }
+            } else if !self.sched.is_column_omitted(peer, UplinkId(col as u16))
+                && self.sched.pending_column(peer, UplinkId(col as u16)) != Some(true)
+            {
+                self.sched
+                    .stage_omit_column(peer, UplinkId(col as u16), epoch + 1);
+            }
+        }
+
+        // 3b. Node-level silence detection: every live node's detector
+        //    ticks; a new suspicion stages exclusion at `epoch + 1` (one
+        //    epoch of dissemination riding the cyclic schedule). A
+        //    grey node below the escalation threshold keeps its healthy
+        //    columns — the column omission above already repaired the
+        //    schedule, so the node-level suspicion (receivers served
+        //    only by the dead column genuinely stop hearing the sender)
+        //    must not exclude the whole node.
+        for o in 0..n {
+            if self.failure_plane.is_failed(NodeId(o as u32)) {
+                continue;
+            }
+            for p in self.detect.detectors[o].tick(epoch) {
+                if p.0 as usize == o {
+                    continue; // a node never hears itself on the fabric
+                }
+                self.faults.report.suspicion_events += 1;
+                obs.note_suspicion(epoch, p);
+                if let Some(rec) = self
+                    .faults
+                    .report
+                    .failures
+                    .iter_mut()
+                    .rev()
+                    .find(|r| r.node == p && r.first_suspected.is_none())
+                {
+                    rec.first_suspected = Some(epoch);
+                }
+                // When the per-column detector runs, it owns repair
+                // staging: a receiver's node-level silence cannot
+                // distinguish a dead node from the death of the one
+                // column serving it, and its per-receiver counters lag
+                // the column view by up to an epoch — acting on them
+                // would exclude a whole node for a single grey column.
+                // Node-level suspicions then only feed the record books;
+                // exclusion comes from column escalation above.
+                if self.detect.link_det.is_none()
+                    && !self.failure_plane.is_excluded(p)
+                    && self.failure_plane.pending(p) != Some(true)
+                {
+                    self.sched.stage_omit(p, epoch + 1);
+                    self.failure_plane.stage_exclude(p, epoch + 1);
+                }
+            }
+        }
+
+        // 4. Emergent readmission: an excluded node heard again within the
+        //    last epoch (keepalives resume the moment it reboots) is
+        //    staged back in — unless the per-column view still holds
+        //    `thresh` or more suspect columns, in which case keepalives on
+        //    the surviving columns must not resurrect an escalated node.
+        for p in 0..n as u32 {
+            let p = NodeId(p);
+            let still_escalated = self
+                .detect
+                .link_det
+                .as_ref()
+                .is_some_and(|ld| ld.suspected_count(p) >= thresh);
+            if self.failure_plane.is_excluded(p)
+                && self.failure_plane.pending(p) != Some(false)
+                && !still_escalated
+                && self.detect.last_heard_any[p.0 as usize] + 1 >= epoch
+            {
+                self.sched.stage_readmit(p, epoch + 1);
+                self.failure_plane.stage_restore(p, epoch + 1);
+            }
+        }
+
+        // 4b. Column readmission: an omitted column still carries the
+        //    keepalive carrier on its dead slots, so the moment its
+        //    receivers hear it again (grey window healed) it is staged
+        //    back into the schedule.
+        if let Some(ld) = &self.detect.link_det {
+            for (p, c) in self.sched.omitted_columns() {
+                if self.sched.pending_column(p, c) != Some(false)
+                    && !self.failure_plane.is_failed(p)
+                    && ld.last_heard(p, c.0 as usize) + 1 >= epoch
+                {
+                    self.sched.stage_readmit_column(p, c, epoch + 1);
+                }
+            }
+        }
+
+        // 5. Update epoch: the data plane (dead slots) and the VLB view
+        //    must apply the identical staged set at the identical boundary.
+        let applied = self.sched.advance_to(epoch);
+        let routed = self.failure_plane.sync_to_vlb(&mut self.vlb, epoch);
+        debug_assert_eq!(
+            applied.nodes, routed,
+            "schedule and VLB routing views diverged at epoch {epoch}"
+        );
+        for &(node, excluded) in &applied.nodes {
+            if excluded {
+                self.faults.report.exclusions += 1;
+                // Granted cells queued for the now-dead-slot intermediate
+                // would strand until grant expiry; pull them back to LOCAL
+                // (front, order preserved) so they re-request live detours.
+                for o in 0..n {
+                    if o != node.0 as usize && !self.failure_plane.is_failed(NodeId(o as u32)) {
+                        self.nodes[o].reclaim_voq(node);
+                    }
+                }
+                if let Some(rec) = self
+                    .faults
+                    .report
+                    .failures
+                    .iter_mut()
+                    .rev()
+                    .find(|r| r.node == node && r.excluded_at.is_none())
+                {
+                    rec.excluded_at = Some(epoch);
+                }
+            } else {
+                self.faults.report.readmissions += 1;
+                if let Some(rec) = self
+                    .faults
+                    .report
+                    .failures
+                    .iter_mut()
+                    .rev()
+                    .find(|r| r.node == node && r.readmitted_at.is_none())
+                {
+                    rec.readmitted_at = Some(epoch);
+                }
+            }
+        }
+        for &(node, uplink, omitted) in &applied.columns {
+            if omitted {
+                self.faults.report.column_omissions += 1;
+                obs.note_column_omitted(node, uplink.0, true);
+                if let Some(rec) = self
+                    .faults
+                    .report
+                    .links
+                    .iter_mut()
+                    .rev()
+                    .find(|r| r.node == node && r.uplink == uplink.0)
+                {
+                    if rec.omitted_at.is_none() {
+                        rec.omitted_at = Some(epoch);
+                    }
+                }
+                // At uplink factor 1 each (src, dst) pair rides exactly
+                // one column, so the dropped column fully severs `node`
+                // from the destination group it alone served. Pull back
+                // every cell already committed to a now-dead path so it
+                // re-requests a live detour instead of stranding until
+                // grant expiry.
+                let stranded: Vec<bool> = (0..n as u32)
+                    .map(|d| !self.sched.pair_usable(node, NodeId(d)))
+                    .collect();
+                let p = node.0 as usize;
+                for o in 0..n {
+                    // Cells at other sources granted through `node` whose
+                    // second hop `node -> dst` died.
+                    if o != p && !self.failure_plane.is_failed(NodeId(o as u32)) {
+                        let pulled =
+                            self.nodes[o].reclaim_voq_where(node, |d| stranded[d.0 as usize]);
+                        self.faults.report.cells_rerouted += pulled as u64;
+                    }
+                }
+                for (m, &dead) in stranded.iter().enumerate() {
+                    // `node`'s own granted cells whose first hop
+                    // `node -> intermediate` died.
+                    if m != p && dead {
+                        let pulled = self.nodes[p].reclaim_voq(NodeId(m as u32));
+                        self.faults.report.cells_rerouted += pulled as u64;
+                    }
+                }
+                for (d, &dead) in stranded.iter().enumerate() {
+                    // Relay cells already queued at `node` whose second
+                    // hop died: rejoin LOCAL for a fresh detour (in
+                    // place — the cells never leave the node's arena).
+                    if d != p && dead {
+                        let moved = self.nodes[p].reroute_relay_to_local(NodeId(d as u32));
+                        self.faults.report.cells_rerouted += moved as u64;
+                    }
+                }
+            } else {
+                self.faults.report.column_readmissions += 1;
+                obs.note_column_omitted(node, uplink.0, false);
+                if let Some(rec) = self
+                    .faults
+                    .report
+                    .links
+                    .iter_mut()
+                    .rev()
+                    .find(|r| r.node == node && r.uplink == uplink.0)
+                {
+                    if rec.readmitted_at.is_none() {
+                        rec.readmitted_at = Some(epoch);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! The slot engine: [`SiriusSim::run`]'s hot loop, decomposed into
+//! per-slot planes.
+//!
+//! | Plane | Owns | Per-slot work |
+//! |-------|------|---------------|
+//! | [`FaultPlane`] | fault script, active windows, report | mistune pre-pass, grey draws |
+//! | [`DetectPlane`] | silence detectors (§4.5) | keepalive credit |
+//! | [`TxPlane`] | CC-mode dispatch, ideal shadow occupancy | per-(node, uplink) transmit |
+//! | [`DeliverPlane`] | propagation ring, reorder buffers, digest | arrival processing |
+//!
+//! Two structural decisions buy the engine its throughput without
+//! touching behavior (the golden digests pin this):
+//!
+//! * **Observer monomorphization** ([`observer`]): the invariant audit
+//!   reaches the loop through [`SlotObserver`]; the release path runs the
+//!   [`NullObserver`] instantiation where every probe compiles away.
+//! * **Fault-free fast path**: a run with an empty fault script skips
+//!   the fault boundary, the detector credit (1,536 `heard_from` calls
+//!   per slot at paper scale), the omission overlay checks and the
+//!   erasure/corruption lookups. This is sound because every one of
+//!   those mechanisms is observable only through scripted faults: with
+//!   nothing scripted, detectors are fed every slot and never ticked,
+//!   the schedule never stages an omission, and the protocol RNG stream
+//!   is untouched either way.
+//!
+//! Per-slot invariants are hoisted: destinations come from a
+//! precomputed [`DestTable`] row instead of div/mod chains, and the
+//! epoch-slot cursor and both ring indices advance incrementally.
+
+pub(crate) mod deliver;
+pub(crate) mod detect;
+pub(crate) mod fault;
+pub(crate) mod observer;
+pub(crate) mod tables;
+pub(crate) mod tx;
+
+pub(crate) use deliver::DeliverPlane;
+pub(crate) use detect::DetectPlane;
+pub(crate) use fault::FaultPlane;
+pub(crate) use observer::{AuditObserver, NullObserver, SlotObserver};
+pub(crate) use tables::DestTable;
+pub(crate) use tx::TxPlane;
+
+use crate::audit::LossCause;
+use crate::sirius_net::SiriusSim;
+use sirius_core::node::SlotTx;
+use sirius_core::schedule::SlotInEpoch;
+use sirius_core::topology::{NodeId, UplinkId};
+use sirius_core::units::Time;
+use sirius_workload::Flow;
+
+impl SiriusSim {
+    /// The slot loop. Returns the absolute slot count at exit.
+    ///
+    /// Monomorphized per observer: the audited instantiation feeds the
+    /// invariant audit, the [`NullObserver`] one is the release path.
+    pub(crate) fn run_loop<O: SlotObserver>(
+        &mut self,
+        workload: &[Flow],
+        deadline: Time,
+        obs: &mut O,
+    ) -> u64 {
+        let slot_ps = self.cfg.network.slot().as_ps();
+        let epoch_slots = self.cfg.network.epoch_slots();
+        let ring_len = self.delivery.ring.len();
+        let prop_slots = self.prop_slots as u64;
+        let has_faults = !self.faults.injector.is_empty();
+        let total_flows = self.flows.len() as u64;
+
+        let mut next_flow = 0usize;
+        let mut abs_slot: u64 = 0;
+        // Hoisted per-slot derivations: the epoch-slot cursor, the epoch
+        // counter and both ring cursors advance incrementally instead of
+        // re-deriving div/mod every slot.
+        let mut t: u64 = 0;
+        let mut cur_epoch: u64 = 0;
+        let mut ring_idx: usize = 0;
+        let mut arrive_idx: usize = (prop_slots % ring_len as u64) as usize;
+
+        while self.delivery.completed < total_flows && abs_slot < self.cfg.max_slots {
+            let now = Time::from_ps(abs_slot * slot_ps);
+            if now > deadline {
+                break;
+            }
+            if t == 0 {
+                if has_faults {
+                    self.fault_boundary(cur_epoch, obs);
+                }
+                self.epoch_boundary(cur_epoch, now, workload, &mut next_flow, obs);
+                if O::ENABLED {
+                    let in_flight = self.delivery.ring.iter().map(|v| v.len() as u64).sum();
+                    obs.epoch_check(cur_epoch, &self.nodes, in_flight);
+                }
+            }
+
+            // DeliverPlane: cells whose propagation completes this slot.
+            // Drain-and-put-back so each ring slot's buffer keeps its
+            // warmed-up capacity instead of reallocating every lap.
+            let mut due = std::mem::take(&mut self.delivery.ring[ring_idx]);
+            for (dst, cell) in due.drain(..) {
+                self.deliver_cell(dst, cell, now, cur_epoch, obs);
+            }
+            self.delivery.ring[ring_idx] = due;
+
+            let slot = SlotInEpoch(t as u16);
+            if has_faults {
+                // Receptions this slot reach the detectors when the light
+                // lands, one propagation later.
+                let arrival_epoch = (abs_slot + prop_slots) / epoch_slots;
+                self.slot_faulty(abs_slot, slot, arrive_idx, cur_epoch, arrival_epoch, obs);
+            } else {
+                self.slot_clean(abs_slot, slot, arrive_idx, obs);
+            }
+            obs.end_slot();
+
+            abs_slot += 1;
+            t += 1;
+            if t == epoch_slots {
+                t = 0;
+                cur_epoch += 1;
+            }
+            ring_idx += 1;
+            if ring_idx == ring_len {
+                ring_idx = 0;
+            }
+            arrive_idx += 1;
+            if arrive_idx == ring_len {
+                arrive_idx = 0;
+            }
+        }
+        abs_slot
+    }
+
+    /// Fault-free slot: no failed nodes, no omitted columns, no erasure
+    /// or corruption, and no detector feeding (the fault boundary that
+    /// would consume the credit never runs), so each (node, uplink)
+    /// opportunity collapses to table lookup + transmit + ring push.
+    fn slot_clean<O: SlotObserver>(
+        &mut self,
+        abs_slot: u64,
+        t: SlotInEpoch,
+        arrive_idx: usize,
+        obs: &mut O,
+    ) {
+        if !O::ENABLED && self.tx.mode == crate::sirius_net::CcMode::Protocol {
+            self.slot_clean_protocol(t, arrive_idx);
+            return;
+        }
+        let uplinks = self.tables.uplinks();
+        let dests = self.tables.slot(t);
+        let ring = &mut self.delivery.ring[arrive_idx];
+        let mut k = 0usize;
+        for i in 0..self.nodes.len() {
+            // A node with nothing sendable returns Idle on every uplink;
+            // skip the per-uplink probes. The audit still wants its
+            // per-slot reception feed, so only the unobserved path skips.
+            if !O::ENABLED && self.tx.node_idle(&self.nodes[i]) {
+                k += uplinks;
+                continue;
+            }
+            for u in 0..uplinks as u16 {
+                let j = dests[k];
+                k += 1;
+                obs.note_rx(abs_slot, j, u);
+                let tx = self.tx.transmit(&mut self.nodes, i, j);
+                if let SlotTx::Relay(c) | SlotTx::ToIntermediate(c) = tx {
+                    obs.note_data_tx(abs_slot, NodeId(i as u32), u);
+                    ring.push((j, c));
+                }
+            }
+        }
+    }
+
+    /// Protocol-mode unobserved slot: the protocol only ever sends fabric
+    /// (relay + VOQ) cells, so a node's per-peer occupancy bitmask ANDed
+    /// with the slot's scheduled-peer mask decides in a couple of word
+    /// ops whether any of its uplinks can fire — and per surviving
+    /// uplink, one bit test replaces the two deque probes. Skipped
+    /// `transmit` calls would have returned `Idle` without touching any
+    /// state, so the fast path is behavior-identical to the generic loop.
+    fn slot_clean_protocol(&mut self, t: SlotInEpoch, arrive_idx: usize) {
+        let uplinks = self.tables.uplinks();
+        let dests = self.tables.slot(t);
+        let ring = &mut self.delivery.ring[arrive_idx];
+        let mut k = 0usize;
+        for i in 0..self.nodes.len() {
+            let fm = self.nodes[i].fabric_mask();
+            let pm = self.tables.peer_mask(t, i);
+            let mut any = 0u64;
+            for (f, p) in fm.iter().zip(pm) {
+                any |= f & p;
+            }
+            if any == 0 {
+                k += uplinks;
+                continue;
+            }
+            for u in 0..uplinks {
+                let j = dests[k + u];
+                if !self.nodes[i].fabric_nonempty(j) {
+                    continue;
+                }
+                let tx = self.nodes[i].transmit(j);
+                if let SlotTx::Relay(c) | SlotTx::ToIntermediate(c) = tx {
+                    ring.push((j, c));
+                }
+            }
+            k += uplinks;
+        }
+    }
+
+    /// Fully-armed slot: mistune corruption, grey-erasure draws, detector
+    /// credit, dead-slot (omission) checks and loss attribution — the
+    /// original monolithic loop body, phrased against the planes.
+    fn slot_faulty<O: SlotObserver>(
+        &mut self,
+        abs_slot: u64,
+        t: SlotInEpoch,
+        arrive_idx: usize,
+        cur_epoch: u64,
+        arrival_epoch: u64,
+        obs: &mut O,
+    ) {
+        let n_nodes = self.tables.nodes();
+        let uplinks = self.tables.uplinks();
+        if self.faults.active.any_mistune() {
+            self.faults
+                .mistune_prepass(abs_slot, t, &self.failure_plane, &self.tables, obs);
+        }
+        let dests = self.tables.slot(t);
+        let mut k = 0usize;
+        for i in 0..n_nodes as u32 {
+            let ni = NodeId(i);
+            if self.failure_plane.is_failed(ni) {
+                k += uplinks;
+                continue; // fail-stop: no data, no keepalive carrier
+            }
+            let mistuned = self.faults.active.mistune_of(ni).is_some();
+            for u in 0..uplinks as u16 {
+                let j = dests[k];
+                k += 1;
+                // One erasure draw per scheduled slot on a grey link
+                // (never per cell), from the injector's own RNG stream —
+                // fault scripts leave the protocol RNG untouched.
+                let grey_p = self.faults.active.grey_prob(ni, u, uplinks);
+                let erased = self.faults.active.any_grey() && self.faults.injector.draw(grey_p);
+                let corrupted_by = self.faults.corrupted_by(j, u);
+                if !mistuned {
+                    obs.note_rx(abs_slot, j, u);
+                }
+                // §4.5 detection feeds on the carrier itself: any
+                // well-tuned, non-erased transmission — idle keepalives
+                // included — counts as "heard", which is why an alive
+                // sender can never be falsely suspected.
+                if !mistuned
+                    && !erased
+                    && corrupted_by.is_none()
+                    && !self.failure_plane.is_failed(j)
+                {
+                    self.detect.credit(ni, u, j, arrival_epoch);
+                }
+                if self.sched.is_omitted(ni)
+                    || self.sched.is_omitted(j)
+                    || self.sched.is_column_omitted(ni, UplinkId(u))
+                {
+                    continue; // dead slot: keepalive carrier only
+                }
+                let tx = self.tx.transmit(&mut self.nodes, i as usize, j);
+                let (cell, to_intermediate) = match tx {
+                    SlotTx::Relay(c) => (Some(c), false),
+                    SlotTx::ToIntermediate(c) => (Some(c), true),
+                    SlotTx::Idle => (None, false),
+                };
+                if let Some(c) = cell {
+                    // Safety net: the dead-slot check above must make
+                    // this unreachable for omitted columns.
+                    obs.note_data_tx(abs_slot, ni, u);
+                    let lost = if mistuned {
+                        Some((LossCause::Mistune, ni))
+                    } else if erased {
+                        Some((LossCause::Grey, ni))
+                    } else {
+                        corrupted_by.map(|m| (LossCause::Mistune, m))
+                    };
+                    match lost {
+                        None => self.delivery.ring[arrive_idx].push((j, c)),
+                        Some((cause, blame)) => {
+                            obs.note_lost(cause, blame, cur_epoch);
+                            match cause {
+                                LossCause::Grey => self.faults.report.cells_lost_grey += 1,
+                                LossCause::Mistune => self.faults.report.cells_lost_mistune += 1,
+                                LossCause::Crash => unreachable!(),
+                            }
+                            // The launch counted into the ideal-mode
+                            // shadow occupancy never arrives.
+                            self.tx.undo_lost_launch(j, &c, to_intermediate);
+                        }
+                    }
+                }
+            }
+        }
+        self.faults.end_slot();
+    }
+}

@@ -1,0 +1,134 @@
+//! Zero-cost audit observation for the slot engine.
+//!
+//! The invariant audit ([`crate::audit`]) probes the hot loop at every
+//! reception, transmission and delivery. Routing those probes through a
+//! trait with a const `ENABLED` flag lets the engine monomorphize two
+//! copies of the run loop: the audited copy delegates to the real
+//! [`Audit`], and the release copy ([`NullObserver`]) compiles every
+//! probe down to nothing — not even the disabled-audit branch the old
+//! monolithic loop paid per event.
+
+use crate::audit::{Audit, LossCause};
+use sirius_core::cell::Cell;
+use sirius_core::node::SiriusNode;
+use sirius_core::topology::NodeId;
+
+/// Per-slot observation points of the engine. Mirrors the [`Audit`]
+/// probe API; see the methods of the same names there for semantics.
+pub(crate) trait SlotObserver {
+    /// `true` only for observers that do work. The engine consults this
+    /// to skip *computing probe inputs* (e.g. the in-flight sum fed to
+    /// `epoch_check`); the probe calls themselves need no guard — the
+    /// null impls inline to nothing.
+    const ENABLED: bool;
+
+    fn note_rx(&mut self, slot: u64, dst: NodeId, uplink: u16);
+    fn note_rx_mistuned(&mut self, slot: u64, dst: NodeId, uplink: u16);
+    fn note_data_tx(&mut self, slot: u64, node: NodeId, uplink: u16);
+    fn end_slot(&mut self);
+    fn note_injected(&mut self);
+    fn note_delivery(&mut self, cell: &Cell, released_cells: u32);
+    fn note_lost(&mut self, cause: LossCause, node: NodeId, epoch: u64);
+    fn note_blackholed(&mut self, node: NodeId, epoch: u64);
+    fn note_suspicion(&mut self, epoch: u64, node: NodeId);
+    fn note_column_omitted(&mut self, node: NodeId, uplink: u16, omitted: bool);
+    fn epoch_check(&mut self, epoch: u64, nodes: &[SiriusNode], in_flight: u64);
+}
+
+/// The release path: every probe is a no-op the optimizer erases.
+pub(crate) struct NullObserver;
+
+impl SlotObserver for NullObserver {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn note_rx(&mut self, _: u64, _: NodeId, _: u16) {}
+    #[inline(always)]
+    fn note_rx_mistuned(&mut self, _: u64, _: NodeId, _: u16) {}
+    #[inline(always)]
+    fn note_data_tx(&mut self, _: u64, _: NodeId, _: u16) {}
+    #[inline(always)]
+    fn end_slot(&mut self) {}
+    #[inline(always)]
+    fn note_injected(&mut self) {}
+    #[inline(always)]
+    fn note_delivery(&mut self, _: &Cell, _: u32) {}
+    #[inline(always)]
+    fn note_lost(&mut self, _: LossCause, _: NodeId, _: u64) {}
+    #[inline(always)]
+    fn note_blackholed(&mut self, _: NodeId, _: u64) {}
+    #[inline(always)]
+    fn note_suspicion(&mut self, _: u64, _: NodeId) {}
+    #[inline(always)]
+    fn note_column_omitted(&mut self, _: NodeId, _: u16, _: bool) {}
+    #[inline(always)]
+    fn epoch_check(&mut self, _: u64, _: &[SiriusNode], _: u64) {}
+}
+
+/// The audited path: owns the run's [`Audit`] for the duration of the
+/// loop (the simulator takes it back via [`into_audit`] afterward) and
+/// forwards every probe.
+///
+/// [`into_audit`]: AuditObserver::into_audit
+pub(crate) struct AuditObserver {
+    audit: Audit,
+}
+
+impl AuditObserver {
+    pub fn new(audit: Audit) -> AuditObserver {
+        AuditObserver { audit }
+    }
+
+    pub fn into_audit(self) -> Audit {
+        self.audit
+    }
+}
+
+impl SlotObserver for AuditObserver {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn note_rx(&mut self, slot: u64, dst: NodeId, uplink: u16) {
+        self.audit.note_rx(slot, dst, uplink);
+    }
+    #[inline]
+    fn note_rx_mistuned(&mut self, slot: u64, dst: NodeId, uplink: u16) {
+        self.audit.note_rx_mistuned(slot, dst, uplink);
+    }
+    #[inline]
+    fn note_data_tx(&mut self, slot: u64, node: NodeId, uplink: u16) {
+        self.audit.note_data_tx(slot, node, uplink);
+    }
+    #[inline]
+    fn end_slot(&mut self) {
+        self.audit.end_slot();
+    }
+    #[inline]
+    fn note_injected(&mut self) {
+        self.audit.note_injected();
+    }
+    #[inline]
+    fn note_delivery(&mut self, cell: &Cell, released_cells: u32) {
+        self.audit.note_delivery(cell, released_cells);
+    }
+    #[inline]
+    fn note_lost(&mut self, cause: LossCause, node: NodeId, epoch: u64) {
+        self.audit.note_lost(cause, node, epoch);
+    }
+    #[inline]
+    fn note_blackholed(&mut self, node: NodeId, epoch: u64) {
+        self.audit.note_blackholed(node, epoch);
+    }
+    #[inline]
+    fn note_suspicion(&mut self, epoch: u64, node: NodeId) {
+        self.audit.note_suspicion(epoch, node);
+    }
+    #[inline]
+    fn note_column_omitted(&mut self, node: NodeId, uplink: u16, omitted: bool) {
+        self.audit.note_column_omitted(node, uplink, omitted);
+    }
+    #[inline]
+    fn epoch_check(&mut self, epoch: u64, nodes: &[SiriusNode], in_flight: u64) {
+        self.audit.epoch_check(epoch, nodes, in_flight);
+    }
+}

@@ -1,0 +1,137 @@
+//! Precomputed schedule tables for the slot engine.
+//!
+//! [`Schedule::dest`] derives its answer from a div/mod chain over the
+//! grating geometry. The schedule is static — the paper's whole design
+//! rests on that — so the engine flattens one epoch of destinations into
+//! a dense table at construction and the hot loop reads a contiguous
+//! `&[NodeId]` per slot instead of re-deriving 1,536 destinations every
+//! slot at paper scale. Fault repair never mutates the base schedule
+//! (omissions are overlay checks on [`sirius_core::repair::AdjustedSchedule`]),
+//! so the table stays valid for the whole run.
+//!
+//! Alongside the destinations, the table keeps one bitmask of scheduled
+//! peers per `(slot, node)`: ANDed against a node's fabric-occupancy mask
+//! ([`sirius_core::node::SiriusNode::fabric_mask`]) it answers "can this
+//! node send *anything* this slot?" in a couple of word ops, which is
+//! what lets the protocol-mode fast path skip whole uplink rows.
+
+use sirius_core::schedule::{Schedule, SlotInEpoch};
+use sirius_core::topology::{NodeId, UplinkId};
+
+/// Dense `[slot][node * uplinks + uplink] -> destination` table covering
+/// one epoch of the base schedule (epochs repeat).
+pub(crate) struct DestTable {
+    nodes: usize,
+    uplinks: usize,
+    epoch_slots: u64,
+    /// Entries per slot: `nodes * uplinks`.
+    stride: usize,
+    dests: Vec<NodeId>,
+    /// Bitmask words per `(slot, node)` entry: `nodes.div_ceil(64)`.
+    words: usize,
+    /// `[slot][node][word]`: bit `j` set iff some uplink of `node`
+    /// connects to `j` at that slot.
+    peer_mask: Vec<u64>,
+}
+
+impl DestTable {
+    pub fn new(sched: &Schedule) -> DestTable {
+        let nodes = sched.nodes();
+        let uplinks = sched.uplinks();
+        let epoch_slots = sched.epoch_slots();
+        let stride = nodes * uplinks;
+        let words = nodes.div_ceil(64);
+        let mut dests = Vec::with_capacity(stride * epoch_slots as usize);
+        let mut peer_mask = vec![0u64; epoch_slots as usize * nodes * words];
+        for t in 0..epoch_slots as u16 {
+            for i in 0..nodes as u32 {
+                let base = (t as usize * nodes + i as usize) * words;
+                for u in 0..uplinks as u16 {
+                    let j = sched.dest(NodeId(i), UplinkId(u), SlotInEpoch(t));
+                    dests.push(j);
+                    peer_mask[base + (j.0 as usize >> 6)] |= 1 << (j.0 & 63);
+                }
+            }
+        }
+        DestTable {
+            nodes,
+            uplinks,
+            epoch_slots,
+            stride,
+            dests,
+            words,
+            peer_mask,
+        }
+    }
+
+    /// All destinations for epoch slot `t`, laid out
+    /// `[node * uplinks + uplink]`.
+    #[inline]
+    pub fn slot(&self, t: SlotInEpoch) -> &[NodeId] {
+        let base = t.0 as usize * self.stride;
+        &self.dests[base..base + self.stride]
+    }
+
+    /// Single destination lookup (the mistune pre-pass needs scattered
+    /// shifted-slot reads, not a whole row).
+    #[inline]
+    pub fn dest(&self, t: SlotInEpoch, i: NodeId, u: u16) -> NodeId {
+        self.dests[t.0 as usize * self.stride + i.0 as usize * self.uplinks + u as usize]
+    }
+
+    /// Bitmask of the peers node `i`'s uplinks connect to at slot `t`.
+    #[inline]
+    pub fn peer_mask(&self, t: SlotInEpoch, i: usize) -> &[u64] {
+        let base = (t.0 as usize * self.nodes + i) * self.words;
+        &self.peer_mask[base..base + self.words]
+    }
+
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    pub fn uplinks(&self) -> usize {
+        self.uplinks
+    }
+
+    pub fn epoch_slots(&self) -> u64 {
+        self.epoch_slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirius_core::config::SiriusConfig;
+
+    #[test]
+    fn table_matches_schedule_exhaustively() {
+        let cfg = SiriusConfig::scaled(16, 4);
+        let sched = Schedule::new(&cfg);
+        let table = DestTable::new(&sched);
+        assert_eq!(table.nodes(), sched.nodes());
+        assert_eq!(table.uplinks(), sched.uplinks());
+        assert_eq!(table.epoch_slots(), sched.epoch_slots());
+        for t in 0..sched.epoch_slots() as u16 {
+            let row = table.slot(SlotInEpoch(t));
+            for i in 0..sched.nodes() as u32 {
+                let pm = table.peer_mask(SlotInEpoch(t), i as usize);
+                for u in 0..sched.uplinks() as u16 {
+                    let want = sched.dest(NodeId(i), UplinkId(u), SlotInEpoch(t));
+                    assert_eq!(table.dest(SlotInEpoch(t), NodeId(i), u), want);
+                    assert_eq!(row[i as usize * sched.uplinks() + u as usize], want);
+                    assert_ne!(pm[want.0 as usize >> 6] & (1 << (want.0 & 63)), 0);
+                }
+            }
+            // Peer masks hold exactly the scheduled destinations.
+            for i in 0..sched.nodes() {
+                let pm = table.peer_mask(SlotInEpoch(t), i);
+                let scheduled: std::collections::HashSet<u32> = (0..sched.uplinks() as u16)
+                    .map(|u| table.dest(SlotInEpoch(t), NodeId(i as u32), u).0)
+                    .collect();
+                let popcount: u32 = pm.iter().map(|w| w.count_ones()).sum();
+                assert_eq!(popcount as usize, scheduled.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! TxPlane: the per-(node, uplink) transmit decision.
+//!
+//! Owns the congestion-control mode dispatch and, in ideal mode, the
+//! back-pressure shadow occupancy (in-flight + queued cells per
+//! (intermediate, destination) pair) that stands in for the paper's
+//! zero-latency global-knowledge back-pressure bound.
+
+use crate::sirius_net::CcMode;
+use sirius_core::cell::Cell;
+use sirius_core::node::{SiriusNode, SlotTx};
+use sirius_core::topology::NodeId;
+
+pub(crate) struct TxPlane {
+    pub mode: CcMode,
+    /// Ideal-mode back-pressure shadow: in-flight + queued cells per
+    /// (intermediate, destination); empty in the other modes.
+    pub ideal_occ: Vec<u32>,
+    n: usize,
+    q: u32,
+}
+
+impl TxPlane {
+    pub fn new(mode: CcMode, n: usize, q: u32) -> TxPlane {
+        TxPlane {
+            mode,
+            ideal_occ: if mode == CcMode::Ideal {
+                vec![0; n * n]
+            } else {
+                Vec::new()
+            },
+            n,
+            q,
+        }
+    }
+
+    /// Whether `node` cannot possibly transmit a cell this slot, on any
+    /// uplink: the protocol sends only fabric (VOQ + relay) cells, the
+    /// ideal/greedy modes also launch straight from LOCAL. Skipping an
+    /// idle node is behavior-free — every per-uplink [`transmit`] call
+    /// would return [`SlotTx::Idle`] without touching any state.
+    #[inline]
+    pub fn node_idle(&self, node: &SiriusNode) -> bool {
+        match self.mode {
+            CcMode::Protocol => node.fabric_cells() == 0,
+            CcMode::Ideal | CcMode::Greedy => node.resident_cells() == 0,
+        }
+    }
+
+    /// One transmit opportunity from node `i` toward scheduled
+    /// destination `j`, dispatched on the run's CC mode. Ideal mode
+    /// updates its shadow occupancy for launches and relay departures.
+    #[inline]
+    pub fn transmit(&mut self, nodes: &mut [SiriusNode], i: usize, j: NodeId) -> SlotTx {
+        match self.mode {
+            CcMode::Protocol => nodes[i].transmit(j),
+            CcMode::Greedy => {
+                // No back-pressure: any cell may detour via j.
+                nodes[i].ideal_transmit(j, |_| true)
+            }
+            CcMode::Ideal => {
+                let occ = &self.ideal_occ;
+                let n = self.n;
+                let q = self.q;
+                let jn = j.0 as usize;
+                let tx = nodes[i].ideal_transmit(j, |d| occ[jn * n + d.0 as usize] < q);
+                match tx {
+                    // Launch toward intermediate j: occupancy
+                    // (in-flight + queued) rises.
+                    SlotTx::ToIntermediate(c) if c.dst != j => {
+                        self.ideal_occ[jn * n + c.dst.0 as usize] += 1;
+                    }
+                    // Second hop departs intermediate i: free it.
+                    SlotTx::Relay(c) => {
+                        self.ideal_occ[i * n + c.dst.0 as usize] -= 1;
+                    }
+                    _ => {}
+                }
+                tx
+            }
+        }
+    }
+
+    /// A launch that was counted into the ideal-mode shadow occupancy was
+    /// lost in flight and never arrives.
+    #[inline]
+    pub fn undo_lost_launch(&mut self, j: NodeId, c: &Cell, to_intermediate: bool) {
+        if self.mode == CcMode::Ideal && to_intermediate && c.dst != j {
+            self.ideal_occ[j.0 as usize * self.n + c.dst.0 as usize] -= 1;
+        }
+    }
+
+    /// A relay cell bounced back to LOCAL at intermediate `at` (column
+    /// omission severed its second hop) frees its occupancy reservation.
+    #[inline]
+    pub fn release_rerouted(&mut self, at: NodeId, dst: NodeId) {
+        if self.mode == CcMode::Ideal {
+            self.ideal_occ[at.0 as usize * self.n + dst.0 as usize] -= 1;
+        }
+    }
+}

@@ -110,6 +110,7 @@ impl EsnSim {
     /// simulator (queue/reorder peaks are zero — the idealized fluid
     /// model has no cell queues).
     pub fn run(&self, workload: &[Flow]) -> RunMetrics {
+        let wall_start = std::time::Instant::now();
         let mut active: Vec<ActiveFlow> = Vec::new();
         let mut records: Vec<FlowRecord> = workload
             .iter()
@@ -287,6 +288,10 @@ impl EsnSim {
                 None
             },
             fault: None,
+            wall_secs: wall_start.elapsed().as_secs_f64(),
+            // The fluid model has no cell stream or slot clock.
+            cells_delivered: 0,
+            epochs_simulated: 0,
         }
     }
 

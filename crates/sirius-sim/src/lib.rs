@@ -30,6 +30,7 @@
 //! ```
 
 pub mod audit;
+pub(crate) mod engine;
 pub mod esn;
 pub mod faults;
 pub mod metrics;

@@ -147,6 +147,16 @@ pub struct RunMetrics {
     /// Fault-plane measurements, present when a `FaultInjector` was
     /// attached to the run.
     pub fault: Option<FaultReport>,
+    /// Host wall-clock seconds spent inside the run loop (simulator
+    /// throughput, not simulated time).
+    pub wall_secs: f64,
+    /// Cells delivered to their final destination node (relay hops are
+    /// not double-counted) — the numerator of [`cells_per_sec`].
+    ///
+    /// [`cells_per_sec`]: RunMetrics::cells_per_sec
+    pub cells_delivered: u64,
+    /// Schedule epochs the run simulated (slot count / slots per epoch).
+    pub epochs_simulated: u64,
 }
 
 impl RunMetrics {
@@ -232,6 +242,25 @@ impl RunMetrics {
     pub fn completed_flows(&self) -> u64 {
         self.flows.iter().filter(|f| f.completion.is_some()).count() as u64
     }
+
+    /// Simulator throughput: final-destination cell deliveries per
+    /// wall-clock second (0 when the run was too short to time).
+    pub fn cells_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.cells_delivered as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Simulator throughput: schedule epochs per wall-clock second.
+    pub fn epochs_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.epochs_simulated as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Index of the p-th percentile in a sorted slice of `n` items
@@ -293,6 +322,9 @@ mod tests {
             digest: 0,
             audit: None,
             fault: None,
+            wall_secs: 0.0,
+            cells_delivered: 0,
+            epochs_simulated: 0,
         };
         let p99 = m.fct_percentile(99.0, 100_000).unwrap();
         assert_eq!(p99, Duration::from_ns(20));
@@ -315,12 +347,18 @@ mod tests {
             digest: 0,
             audit: None,
             fault: None,
+            wall_secs: 0.5,
+            cells_delivered: 1_000_000,
+            epochs_simulated: 40_000,
         };
         // 1 Gbit in 1 ms = 1 Tbps; with 100 servers at 10 Gbps = 1 Tbps
         // aggregate, normalized goodput = 1.0.
         let g = m.normalized_goodput(100, Rate::from_gbps(10));
         assert!((g - 1.0).abs() < 1e-9, "g = {g}");
         assert_eq!(m.peak_node_fabric_bytes(), 5620);
+        // Simulator throughput: counts divided by wall seconds.
+        assert!((m.cells_per_sec() - 2_000_000.0).abs() < 1e-6);
+        assert!((m.epochs_per_sec() - 80_000.0).abs() < 1e-6);
     }
 
     #[test]

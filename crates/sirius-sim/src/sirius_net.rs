@@ -23,20 +23,29 @@
 //! [`CcMode::Protocol`] is the request/grant protocol; [`CcMode::Ideal`]
 //! is the SIRIUS (IDEAL) upper bound with per-flow queues and idealized
 //! (zero-latency, global-knowledge) back-pressure.
+//!
+//! This module holds configuration, construction and the epoch-boundary
+//! congestion-control round; the per-slot hot loop lives in
+//! `crate::engine` (crate-private), decomposed into fault / detect /
+//! tx / deliver planes with the invariant audit behind a zero-cost
+//! observer.
 
-use crate::audit::{Audit, LossCause, RunDigest};
-use crate::faults::{ActiveFaults, FaultEvent, FaultInjector};
-use crate::metrics::{FailureRecord, FaultReport, FlowRecord, RunMetrics};
+use crate::audit::{Audit, LossCause};
+use crate::engine::{
+    AuditObserver, DeliverPlane, DestTable, DetectPlane, FaultPlane, NullObserver, SlotObserver,
+    TxPlane,
+};
+use crate::faults::{FaultEvent, FaultInjector};
+use crate::metrics::{FlowRecord, RunMetrics};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use sirius_core::cell::{Cell, FlowId};
 use sirius_core::config::SiriusConfig;
-use sirius_core::fault::{FailureDetector, FailurePlane, FaultConfig, LinkDetector};
-use sirius_core::node::{SiriusNode, SlotTx};
-use sirius_core::reorder::ReorderBuffer;
+use sirius_core::fault::{FailurePlane, FaultConfig, LinkDetector};
+use sirius_core::node::SiriusNode;
 use sirius_core::repair::AdjustedSchedule;
-use sirius_core::schedule::{Schedule, SlotInEpoch};
-use sirius_core::topology::{NodeId, ServerId, UplinkId};
+use sirius_core::schedule::Schedule;
+use sirius_core::topology::{NodeId, ServerId};
 use sirius_core::units::{Duration, Time};
 use sirius_core::vlb::Vlb;
 use sirius_workload::Flow;
@@ -126,24 +135,24 @@ impl SiriusSimConfig {
 
 /// Per-flow simulation state.
 #[derive(Debug, Clone)]
-struct FlowSt {
-    bytes: u64,
-    arrival: Time,
-    src_server: u32,
-    dst_server: u32,
-    cells_total: u64,
-    cells_injected: u64,
-    delivered: u64,
-    completion: Option<Time>,
+pub(crate) struct FlowSt {
+    pub(crate) bytes: u64,
+    pub(crate) arrival: Time,
+    pub(crate) src_server: u32,
+    pub(crate) dst_server: u32,
+    pub(crate) cells_total: u64,
+    pub(crate) cells_injected: u64,
+    pub(crate) delivered: u64,
+    pub(crate) completion: Option<Time>,
 }
 
 /// Per-server injection state.
 #[derive(Debug, Default)]
-struct ServerSt {
+pub(crate) struct ServerSt {
     /// Flows with cells still to inject, served round-robin.
-    active: VecDeque<u32>,
+    pub(crate) active: VecDeque<u32>,
     /// Byte credit accumulated from the server link.
-    credit: i64,
+    pub(crate) credit: i64,
 }
 
 /// A scheduled fail-stop crash: node `node` dies at `epoch`. Detection is
@@ -159,47 +168,29 @@ pub struct ScheduledFailure {
 
 /// The simulator itself. Build with [`SiriusSim::new`], then
 /// [`run`](SiriusSim::run) a workload.
+///
+/// State is grouped by engine plane (see `crate::engine`); the
+/// remaining fields are the cross-plane routing state (schedule, VLB,
+/// nodes) and the workload bookkeeping the epoch boundary drives.
 pub struct SiriusSim {
-    cfg: SiriusSimConfig,
+    pub(crate) cfg: SiriusSimConfig,
     /// Data-plane schedule with consistent-update dead-slot overlays; the
     /// base physical schedule is `sched.base()`.
-    sched: AdjustedSchedule,
-    vlb: Vlb,
-    nodes: Vec<SiriusNode>,
-    reorder: Vec<ReorderBuffer>,
-    flows: Vec<FlowSt>,
-    servers: Vec<ServerSt>,
-    rng: SmallRng,
-    /// Delivery pipeline: ring indexed by arrival slot.
-    ring: Vec<Vec<(NodeId, Cell)>>,
-    prop_slots: usize,
-    /// Ideal-mode back-pressure shadow: in-flight + queued cells per
-    /// (intermediate, destination).
-    ideal_occ: Vec<u32>,
-    /// Scripted ground-truth faults; detection is emergent.
-    injector: FaultInjector,
-    /// Per-epoch snapshot of active grey/mistune/control-loss windows.
-    active: ActiveFaults,
-    failure_plane: FailurePlane,
-    /// One silence detector per node, fed from actual slot receptions
-    /// (data or keepalive) — `FailurePlane` exclusions are staged only
-    /// from what these observe.
-    detectors: Vec<FailureDetector>,
-    /// Latest reception epoch of each *sender* across all receivers
-    /// (keepalives included) — drives emergent readmission.
-    last_heard_any: Vec<u64>,
-    /// Per-(sender, TX column) silence detector for grey-failure
-    /// localization; only maintained when the script has link faults.
-    link_det: Option<LinkDetector>,
-    /// (sender, column) pairs ever suspected by the link detector.
-    links_suspected: Vec<(NodeId, u16)>,
-    fault_report: FaultReport,
-    audit: Audit,
-    digest: RunDigest,
-    // Run accounting.
-    delivered_bytes: u64,
-    completed: u64,
-    last_delivery: Time,
+    pub(crate) sched: AdjustedSchedule,
+    pub(crate) vlb: Vlb,
+    pub(crate) nodes: Vec<SiriusNode>,
+    pub(crate) flows: Vec<FlowSt>,
+    pub(crate) servers: Vec<ServerSt>,
+    pub(crate) rng: SmallRng,
+    pub(crate) prop_slots: usize,
+    pub(crate) failure_plane: FailurePlane,
+    /// Precomputed base-schedule destinations (static for the whole run).
+    pub(crate) tables: DestTable,
+    pub(crate) faults: FaultPlane,
+    pub(crate) detect: DetectPlane,
+    pub(crate) tx: TxPlane,
+    pub(crate) delivery: DeliverPlane,
+    pub(crate) audit: Audit,
     payload: u32,
     epoch_credit_bytes: i64,
 }
@@ -210,6 +201,7 @@ impl SiriusSim {
         let net = &cfg.network;
         let sched = Schedule::new(net);
         let n = net.nodes;
+        let uplinks = sched.uplinks();
         let mut grant_timeout = net.grant_timeout_epochs;
         // A grant must survive the request->grant->send->arrive pipeline,
         // which includes the fiber flight time.
@@ -247,9 +239,6 @@ impl SiriusSim {
         let servers = (0..net.total_servers())
             .map(|_| ServerSt::default())
             .collect();
-        let reorder = (0..net.total_servers())
-            .map(|_| ReorderBuffer::new())
-            .collect();
         let ring_len = prop_slots as usize + 1;
         // i128: millisecond-scale epochs (the granularity sweep's MEMS
         // point) overflow i64 in `rate x epoch`.
@@ -264,35 +253,26 @@ impl SiriusSim {
             // The greedy ablation deliberately abandons the §4.3 bound.
             cfg.mode != CcMode::Greedy,
         );
+        let tables = DestTable::new(&sched);
+        let total_servers = net.total_servers();
+        let queue_threshold = net.queue_threshold as u32;
+        let payload = net.payload_bytes;
         SiriusSim {
             audit,
-            digest: RunDigest::new(),
+            tables,
             sched: AdjustedSchedule::new(sched),
             vlb: Vlb::new(n),
             nodes,
-            reorder,
             flows: Vec::new(),
             servers,
             rng: SmallRng::seed_from_u64(cfg.seed),
-            ring: vec![Vec::new(); ring_len],
             prop_slots: prop_slots as usize,
-            ideal_occ: if cfg.mode == CcMode::Ideal {
-                vec![0; n * n]
-            } else {
-                Vec::new()
-            },
-            injector: FaultInjector::new(cfg.seed),
-            active: ActiveFaults::default(),
             failure_plane: FailurePlane::new(n),
-            detectors: (0..n).map(|_| FailureDetector::new(n, cfg.fault)).collect(),
-            last_heard_any: vec![0; n],
-            link_det: None,
-            links_suspected: Vec::new(),
-            fault_report: FaultReport::default(),
-            delivered_bytes: 0,
-            completed: 0,
-            last_delivery: Time::ZERO,
-            payload: cfg.network.payload_bytes,
+            faults: FaultPlane::new(cfg.seed, n, uplinks),
+            detect: DetectPlane::new(n, cfg.fault),
+            tx: TxPlane::new(cfg.mode, n, queue_threshold),
+            delivery: DeliverPlane::new(ring_len, total_servers),
+            payload,
             epoch_credit_bytes,
             cfg,
         }
@@ -306,14 +286,14 @@ impl SiriusSim {
 
     /// Attach a scripted fault plane.
     pub fn set_faults(&mut self, injector: FaultInjector) {
-        self.injector = injector;
+        self.faults.injector = injector;
     }
 
     /// Schedule fail-stop node crashes (shorthand for a [`FaultInjector`]
     /// script of [`FaultEvent::Crash`] events).
     pub fn inject_failures(&mut self, failures: Vec<ScheduledFailure>) {
         for f in failures {
-            self.injector.push(FaultEvent::Crash {
+            self.faults.injector.push(FaultEvent::Crash {
                 node: f.node,
                 epoch: f.epoch,
             });
@@ -326,11 +306,10 @@ impl SiriusSim {
 
     /// Run the workload to completion (or drain timeout); consumes the sim.
     pub fn run(mut self, workload: &[Flow]) -> RunMetrics {
-        let net = self.cfg.network.clone();
-        let slot_ps = net.slot().as_ps();
-        let epoch_slots = net.epoch_slots();
-        let n_nodes = net.nodes;
-        let uplinks = self.sched.base().uplinks();
+        let wall_start = std::time::Instant::now();
+        let slot_ps = self.cfg.network.slot().as_ps();
+        let epoch_slots = self.cfg.network.epoch_slots();
+        let total_servers = self.cfg.network.total_servers();
         self.flows = workload
             .iter()
             .map(|f| FlowSt {
@@ -347,8 +326,8 @@ impl SiriusSim {
         assert!(
             workload
                 .iter()
-                .all(|f| (f.src_server as usize) < net.total_servers()
-                    && (f.dst_server as usize) < net.total_servers()),
+                .all(|f| (f.src_server as usize) < total_servers
+                    && (f.dst_server as usize) < total_servers),
             "workload references servers outside the deployment"
         );
         let last_arrival = workload.last().map(|f| f.arrival).unwrap_or(Time::ZERO);
@@ -358,14 +337,17 @@ impl SiriusSim {
         // its invariants *with attribution*: losses must fall inside a
         // declared window of the matching cause, and detector suspicions
         // outside any window are false positives.
-        let has_faults = !self.injector.is_empty();
-        if has_faults {
+        if !self.faults.injector.is_empty() {
             self.audit
                 .set_silence_threshold(self.cfg.fault.silence_threshold);
-            if self.injector.has_link_faults() {
-                self.link_det = Some(LinkDetector::new(n_nodes, uplinks, self.cfg.fault));
+            if self.faults.injector.has_link_faults() {
+                self.detect.link_det = Some(LinkDetector::new(
+                    self.cfg.network.nodes,
+                    self.sched.base().uplinks(),
+                    self.cfg.fault,
+                ));
             }
-            let events: Vec<FaultEvent> = self.injector.events().to_vec();
+            let events: Vec<FaultEvent> = self.faults.injector.events().to_vec();
             for e in &events {
                 match *e {
                     FaultEvent::Crash { node, epoch } => {
@@ -400,452 +382,39 @@ impl SiriusSim {
                 }
             }
         }
-        // Per-slot scratch: RX ports hit by a stray (mistuned) signal.
-        let mut corrupt: Vec<Option<NodeId>> = vec![None; n_nodes * uplinks];
-        let mut corrupt_touched: Vec<u32> = Vec::new();
 
-        let mut next_flow = 0usize;
-        let mut abs_slot: u64 = 0;
         let total_flows = self.flows.len() as u64;
+        // The slot loop is monomorphized per observer: when the audit is
+        // on, it temporarily owns the `Audit` and forwards every probe;
+        // when off, the NullObserver instantiation compiles the probes
+        // away entirely (see `crate::engine::observer`).
+        let abs_slot = if self.audit.enabled() {
+            let audit = std::mem::replace(&mut self.audit, Audit::new(false, 0, 0, 0, false));
+            let mut obs = AuditObserver::new(audit);
+            let s = self.run_loop(workload, deadline, &mut obs);
+            self.audit = obs.into_audit();
+            s
+        } else {
+            self.run_loop(workload, deadline, &mut NullObserver)
+        };
 
-        while self.completed < total_flows && abs_slot < self.cfg.max_slots {
-            let now = Time::from_ps(abs_slot * slot_ps);
-            if now > deadline {
-                break;
-            }
-            let cur_epoch = abs_slot / epoch_slots;
-            if abs_slot.is_multiple_of(epoch_slots) {
-                self.fault_boundary(cur_epoch);
-                self.epoch_boundary(cur_epoch, now, workload, &mut next_flow);
-                if self.audit.enabled() {
-                    let in_flight = self.ring.iter().map(|v| v.len() as u64).sum();
-                    self.audit.epoch_check(cur_epoch, &self.nodes, in_flight);
-                }
-            }
-
-            // Deliver cells whose propagation completes this slot.
-            let idx = (abs_slot % self.ring.len() as u64) as usize;
-            let due = std::mem::take(&mut self.ring[idx]);
-            for (dst, cell) in due {
-                self.deliver(dst, cell, now, cur_epoch);
-            }
-
-            // Transmissions.
-            let t = self.sched.base().slot_in_epoch(abs_slot);
-            let arrive_idx =
-                ((abs_slot + self.prop_slots as u64) % self.ring.len() as u64) as usize;
-            // Receptions this slot reach the detectors when the light
-            // lands, one propagation later.
-            let arrival_epoch = (abs_slot + self.prop_slots as u64) / epoch_slots;
-
-            // Mistune pre-pass: a wavelength shifted by `offset` follows
-            // the grating to the destination scheduled `offset` slots
-            // later, so the stray signal corrupts whatever legitimately
-            // arrives on that RX port this slot.
-            if self.active.any_mistune() {
-                for k in 0..self.active.mistuned_nodes.len() {
-                    let m = self.active.mistuned_nodes[k];
-                    if self.failure_plane.is_failed(m) {
-                        continue; // a dead laser emits nothing
-                    }
-                    let off = self.active.mistune_of(m).unwrap() as u64;
-                    let shifted = SlotInEpoch(((t.0 as u64 + off) % epoch_slots) as u16);
-                    for u in 0..uplinks as u16 {
-                        let wrong = self.sched.base().dest(m, UplinkId(u), shifted);
-                        let idx = wrong.0 as usize * uplinks + u as usize;
-                        if corrupt[idx].is_none() {
-                            corrupt[idx] = Some(m);
-                            corrupt_touched.push(idx as u32);
-                        }
-                        self.audit.note_rx_mistuned(abs_slot, wrong, u);
-                    }
-                }
-            }
-
-            for i in 0..n_nodes as u32 {
-                let ni = NodeId(i);
-                if self.failure_plane.is_failed(ni) {
-                    continue; // fail-stop: no data, no keepalive carrier
-                }
-                let mistuned = self.active.mistune_of(ni).is_some();
-                for u in 0..uplinks as u16 {
-                    let j = self.sched.base().dest(ni, UplinkId(u), t);
-                    // One erasure draw per scheduled slot on a grey link
-                    // (never per cell), from the injector's own RNG
-                    // stream — fault scripts leave the protocol RNG
-                    // untouched.
-                    let grey_p = self.active.grey_prob(ni, u, uplinks);
-                    let erased = self.active.any_grey() && self.injector.draw(grey_p);
-                    let corrupted_by = corrupt[j.0 as usize * uplinks + u as usize];
-                    if !mistuned {
-                        self.audit.note_rx(abs_slot, j, u);
-                    }
-                    // §4.5 detection feeds on the carrier itself: any
-                    // well-tuned, non-erased transmission — idle
-                    // keepalives included — counts as "heard", which is
-                    // why an alive sender can never be falsely suspected.
-                    if !mistuned
-                        && !erased
-                        && corrupted_by.is_none()
-                        && !self.failure_plane.is_failed(j)
-                    {
-                        self.detectors[j.0 as usize].heard_from(ni, arrival_epoch);
-                        if self.last_heard_any[i as usize] < arrival_epoch {
-                            self.last_heard_any[i as usize] = arrival_epoch;
-                        }
-                        if let Some(ld) = &mut self.link_det {
-                            ld.heard_from(ni, u as usize, arrival_epoch);
-                        }
-                    }
-                    if self.sched.is_omitted(ni)
-                        || self.sched.is_omitted(j)
-                        || self.sched.is_column_omitted(ni, UplinkId(u))
-                    {
-                        continue; // dead slot: keepalive carrier only
-                    }
-                    let tx = match self.cfg.mode {
-                        CcMode::Protocol => self.nodes[i as usize].transmit(j),
-                        CcMode::Greedy => {
-                            // No back-pressure: any cell may detour via j.
-                            self.nodes[i as usize].ideal_transmit(j, |_| true)
-                        }
-                        CcMode::Ideal => {
-                            let occ = &self.ideal_occ;
-                            let q = net.queue_threshold as u32;
-                            let jn = j.0 as usize;
-                            let tx = self.nodes[i as usize]
-                                .ideal_transmit(j, |d| occ[jn * n_nodes + d.0 as usize] < q);
-                            match tx {
-                                // Launch toward intermediate j: occupancy
-                                // (in-flight + queued) rises.
-                                SlotTx::ToIntermediate(c) if c.dst != j => {
-                                    self.ideal_occ[jn * n_nodes + c.dst.0 as usize] += 1;
-                                }
-                                // Second hop departs intermediate i: free it.
-                                SlotTx::Relay(c) => {
-                                    self.ideal_occ[i as usize * n_nodes + c.dst.0 as usize] -= 1;
-                                }
-                                _ => {}
-                            }
-                            tx
-                        }
-                    };
-                    let (cell, to_intermediate) = match tx {
-                        SlotTx::Relay(c) => (Some(c), false),
-                        SlotTx::ToIntermediate(c) => (Some(c), true),
-                        SlotTx::Idle => (None, false),
-                    };
-                    if let Some(c) = cell {
-                        // Safety net: the dead-slot check above must make
-                        // this unreachable for omitted columns.
-                        self.audit.note_data_tx(abs_slot, ni, u);
-                        let lost = if mistuned {
-                            Some((LossCause::Mistune, ni))
-                        } else if erased {
-                            Some((LossCause::Grey, ni))
-                        } else {
-                            corrupted_by.map(|m| (LossCause::Mistune, m))
-                        };
-                        match lost {
-                            None => self.ring[arrive_idx].push((j, c)),
-                            Some((cause, blame)) => {
-                                self.audit.note_lost(cause, blame, cur_epoch);
-                                match cause {
-                                    LossCause::Grey => self.fault_report.cells_lost_grey += 1,
-                                    LossCause::Mistune => self.fault_report.cells_lost_mistune += 1,
-                                    LossCause::Crash => unreachable!(),
-                                }
-                                // The launch counted into the ideal-mode
-                                // shadow occupancy never arrives.
-                                if self.cfg.mode == CcMode::Ideal && to_intermediate && c.dst != j {
-                                    self.ideal_occ[j.0 as usize * n_nodes + c.dst.0 as usize] -= 1;
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-            for &idx in &corrupt_touched {
-                corrupt[idx as usize] = None;
-            }
-            corrupt_touched.clear();
-            self.audit.end_slot();
-            abs_slot += 1;
-        }
-
-        self.finish(Time::from_ps(abs_slot * slot_ps), total_flows)
-    }
-
-    /// Epoch-boundary fault pipeline: scripted ground truth lands, the
-    /// silence detectors tick, suspicions stage consistent updates one
-    /// epoch out, and both routing planes flip the same staged set at the
-    /// same boundary.
-    fn fault_boundary(&mut self, epoch: u64) {
-        // 1. Ground-truth transitions (routing is NOT told).
-        for (node, is_crash) in self.injector.node_events_at(epoch) {
-            if is_crash {
-                self.failure_plane.fail(node, epoch);
-                self.fault_report.failures.push(FailureRecord {
-                    node,
-                    fail_epoch: epoch,
-                    first_suspected: None,
-                    excluded_at: None,
-                    recovered_epoch: None,
-                    readmitted_at: None,
-                });
-            } else {
-                self.failure_plane.recover(node);
-                // A rebooted node's counters predate the outage; reset so
-                // it re-earns suspicions instead of suspecting everyone.
-                self.detectors[node.0 as usize].reset(epoch);
-                if let Some(rec) = self
-                    .fault_report
-                    .failures
-                    .iter_mut()
-                    .rev()
-                    .find(|r| r.node == node && r.recovered_epoch.is_none())
-                {
-                    rec.recovered_epoch = Some(epoch);
-                }
-            }
-        }
-
-        // 2. Refresh the flat per-epoch fault snapshot.
-        let n = self.nodes.len();
-        let uplinks = self.sched.base().uplinks();
-        self.injector.refresh(epoch, n, uplinks, &mut self.active);
-
-        // 3. Link-granular silence detection (maintained only when the
-        //    script can produce partial-node faults): a newly silent TX
-        //    column is repaired by dropping just that (uplink, slot)
-        //    column from the schedule — costing `1/(N*U)` of capacity —
-        //    unless enough of the node's columns are suspect that the
-        //    §4.5 whole-node rule takes over (escalation, and the whole
-        //    mechanism in node-granular comparison mode).
-        let thresh = self.cfg.fault.escalation_threshold(uplinks);
-        if let Some(ld) = &mut self.link_det {
-            for (peer, col) in ld.tick(epoch) {
-                let link = (peer, col as u16);
-                if !self.links_suspected.contains(&link) {
-                    self.links_suspected.push(link);
-                    self.fault_report.links.push(crate::metrics::LinkRecord {
-                        node: peer,
-                        uplink: col as u16,
-                        first_suspected: epoch,
-                        omitted_at: None,
-                        readmitted_at: None,
-                    });
-                }
-                if ld.suspected_count(peer) >= thresh {
-                    if !self.failure_plane.is_excluded(peer)
-                        && self.failure_plane.pending(peer) != Some(true)
-                    {
-                        self.sched.stage_omit(peer, epoch + 1);
-                        self.failure_plane.stage_exclude(peer, epoch + 1);
-                    }
-                } else if !self.sched.is_column_omitted(peer, UplinkId(col as u16))
-                    && self.sched.pending_column(peer, UplinkId(col as u16)) != Some(true)
-                {
-                    self.sched
-                        .stage_omit_column(peer, UplinkId(col as u16), epoch + 1);
-                }
-            }
-        }
-
-        // 3b. Node-level silence detection: every live node's detector
-        //    ticks; a new suspicion stages exclusion at `epoch + 1` (one
-        //    epoch of dissemination riding the cyclic schedule). A
-        //    grey node below the escalation threshold keeps its healthy
-        //    columns — the column omission above already repaired the
-        //    schedule, so the node-level suspicion (receivers served
-        //    only by the dead column genuinely stop hearing the sender)
-        //    must not exclude the whole node.
-        for o in 0..n {
-            if self.failure_plane.is_failed(NodeId(o as u32)) {
-                continue;
-            }
-            for p in self.detectors[o].tick(epoch) {
-                if p.0 as usize == o {
-                    continue; // a node never hears itself on the fabric
-                }
-                self.fault_report.suspicion_events += 1;
-                self.audit.note_suspicion(epoch, p);
-                if let Some(rec) = self
-                    .fault_report
-                    .failures
-                    .iter_mut()
-                    .rev()
-                    .find(|r| r.node == p && r.first_suspected.is_none())
-                {
-                    rec.first_suspected = Some(epoch);
-                }
-                // When the per-column detector runs, it owns repair
-                // staging: a receiver's node-level silence cannot
-                // distinguish a dead node from the death of the one
-                // column serving it, and its per-receiver counters lag
-                // the column view by up to an epoch — acting on them
-                // would exclude a whole node for a single grey column.
-                // Node-level suspicions then only feed the record books;
-                // exclusion comes from column escalation above.
-                if self.link_det.is_none()
-                    && !self.failure_plane.is_excluded(p)
-                    && self.failure_plane.pending(p) != Some(true)
-                {
-                    self.sched.stage_omit(p, epoch + 1);
-                    self.failure_plane.stage_exclude(p, epoch + 1);
-                }
-            }
-        }
-
-        // 4. Emergent readmission: an excluded node heard again within the
-        //    last epoch (keepalives resume the moment it reboots) is
-        //    staged back in — unless the per-column view still holds
-        //    `thresh` or more suspect columns, in which case keepalives on
-        //    the surviving columns must not resurrect an escalated node.
-        for p in 0..n as u32 {
-            let p = NodeId(p);
-            let still_escalated = self
-                .link_det
-                .as_ref()
-                .is_some_and(|ld| ld.suspected_count(p) >= thresh);
-            if self.failure_plane.is_excluded(p)
-                && self.failure_plane.pending(p) != Some(false)
-                && !still_escalated
-                && self.last_heard_any[p.0 as usize] + 1 >= epoch
-            {
-                self.sched.stage_readmit(p, epoch + 1);
-                self.failure_plane.stage_restore(p, epoch + 1);
-            }
-        }
-
-        // 4b. Column readmission: an omitted column still carries the
-        //    keepalive carrier on its dead slots, so the moment its
-        //    receivers hear it again (grey window healed) it is staged
-        //    back into the schedule.
-        if let Some(ld) = &self.link_det {
-            for (p, c) in self.sched.omitted_columns() {
-                if self.sched.pending_column(p, c) != Some(false)
-                    && !self.failure_plane.is_failed(p)
-                    && ld.last_heard(p, c.0 as usize) + 1 >= epoch
-                {
-                    self.sched.stage_readmit_column(p, c, epoch + 1);
-                }
-            }
-        }
-
-        // 5. Update epoch: the data plane (dead slots) and the VLB view
-        //    must apply the identical staged set at the identical boundary.
-        let applied = self.sched.advance_to(epoch);
-        let routed = self.failure_plane.sync_to_vlb(&mut self.vlb, epoch);
-        debug_assert_eq!(
-            applied.nodes, routed,
-            "schedule and VLB routing views diverged at epoch {epoch}"
-        );
-        for &(node, excluded) in &applied.nodes {
-            if excluded {
-                self.fault_report.exclusions += 1;
-                // Granted cells queued for the now-dead-slot intermediate
-                // would strand until grant expiry; pull them back to LOCAL
-                // (front, order preserved) so they re-request live detours.
-                for o in 0..n {
-                    if o != node.0 as usize && !self.failure_plane.is_failed(NodeId(o as u32)) {
-                        self.nodes[o].reclaim_voq(node);
-                    }
-                }
-                if let Some(rec) = self
-                    .fault_report
-                    .failures
-                    .iter_mut()
-                    .rev()
-                    .find(|r| r.node == node && r.excluded_at.is_none())
-                {
-                    rec.excluded_at = Some(epoch);
-                }
-            } else {
-                self.fault_report.readmissions += 1;
-                if let Some(rec) = self
-                    .fault_report
-                    .failures
-                    .iter_mut()
-                    .rev()
-                    .find(|r| r.node == node && r.readmitted_at.is_none())
-                {
-                    rec.readmitted_at = Some(epoch);
-                }
-            }
-        }
-        for &(node, uplink, omitted) in &applied.columns {
-            if omitted {
-                self.fault_report.column_omissions += 1;
-                self.audit.note_column_omitted(node, uplink.0, true);
-                if let Some(rec) = self
-                    .fault_report
-                    .links
-                    .iter_mut()
-                    .rev()
-                    .find(|r| r.node == node && r.uplink == uplink.0)
-                {
-                    if rec.omitted_at.is_none() {
-                        rec.omitted_at = Some(epoch);
-                    }
-                }
-                // At uplink factor 1 each (src, dst) pair rides exactly
-                // one column, so the dropped column fully severs `node`
-                // from the destination group it alone served. Pull back
-                // every cell already committed to a now-dead path so it
-                // re-requests a live detour instead of stranding until
-                // grant expiry.
-                let stranded: Vec<bool> = (0..n as u32)
-                    .map(|d| !self.sched.pair_usable(node, NodeId(d)))
-                    .collect();
-                let p = node.0 as usize;
-                for o in 0..n {
-                    // Cells at other sources granted through `node` whose
-                    // second hop `node -> dst` died.
-                    if o != p && !self.failure_plane.is_failed(NodeId(o as u32)) {
-                        let pulled =
-                            self.nodes[o].reclaim_voq_where(node, |d| stranded[d.0 as usize]);
-                        self.fault_report.cells_rerouted += pulled as u64;
-                    }
-                }
-                for (m, &dead) in stranded.iter().enumerate() {
-                    // `node`'s own granted cells whose first hop
-                    // `node -> intermediate` died.
-                    if m != p && dead {
-                        let pulled = self.nodes[p].reclaim_voq(NodeId(m as u32));
-                        self.fault_report.cells_rerouted += pulled as u64;
-                    }
-                }
-                for (d, &dead) in stranded.iter().enumerate() {
-                    // Relay cells already queued at `node` whose second
-                    // hop died: rejoin LOCAL for a fresh detour.
-                    if d != p && dead {
-                        for cell in self.nodes[p].drain_relay(NodeId(d as u32)) {
-                            self.fault_report.cells_rerouted += 1;
-                            self.nodes[p].enqueue_local(cell);
-                        }
-                    }
-                }
-            } else {
-                self.fault_report.column_readmissions += 1;
-                self.audit.note_column_omitted(node, uplink.0, false);
-                if let Some(rec) = self
-                    .fault_report
-                    .links
-                    .iter_mut()
-                    .rev()
-                    .find(|r| r.node == node && r.uplink == uplink.0)
-                {
-                    if rec.readmitted_at.is_none() {
-                        rec.readmitted_at = Some(epoch);
-                    }
-                }
-            }
-        }
+        self.finish(
+            Time::from_ps(abs_slot * slot_ps),
+            total_flows,
+            abs_slot / epoch_slots,
+            wall_start.elapsed().as_secs_f64(),
+        )
     }
 
     /// Epoch boundary: flow admission + injection, then the CC round.
-    fn epoch_boundary(&mut self, epoch: u64, now: Time, workload: &[Flow], next_flow: &mut usize) {
+    pub(crate) fn epoch_boundary<O: SlotObserver>(
+        &mut self,
+        epoch: u64,
+        now: Time,
+        workload: &[Flow],
+        next_flow: &mut usize,
+        obs: &mut O,
+    ) {
         // 1. Admit flows that have arrived.
         while *next_flow < workload.len() && workload[*next_flow].arrival <= now {
             let fi = *next_flow as u32;
@@ -858,9 +427,9 @@ impl SiriusSim {
                 let done = now + self.cfg.network.server_rate.tx_time(f.bytes);
                 self.flows[fi as usize].completion = Some(done);
                 self.flows[fi as usize].delivered = f.bytes;
-                self.delivered_bytes += f.bytes;
-                self.completed += 1;
-                self.last_delivery = self.last_delivery.max(done);
+                self.delivery.delivered_bytes += f.bytes;
+                self.delivery.completed += 1;
+                self.delivery.last_delivery = self.delivery.last_delivery.max(done);
             } else {
                 self.servers[f.src_server as usize].active.push_back(fi);
             }
@@ -905,7 +474,7 @@ impl SiriusSim {
                 f.cells_injected += 1;
                 let finished = f.cells_injected == f.cells_total;
                 self.nodes[src_node.0 as usize].enqueue_local(cell);
-                self.audit.note_injected();
+                obs.note_injected();
                 // Round-robin: rotate the flow to the back (or drop it).
                 let fi = self.servers[s].active.pop_front().unwrap();
                 if !finished {
@@ -926,7 +495,7 @@ impl SiriusSim {
 
         // 4. Issue grants for requests received last epoch; deliver them to
         //    the sources, which move granted cells into VOQs.
-        let control_loss = self.active.control_loss;
+        let control_loss = self.faults.active.control_loss;
         for i in 0..self.nodes.len() {
             let ni = NodeId(i as u32);
             if self.failure_plane.is_failed(ni) || self.failure_plane.is_excluded(ni) {
@@ -952,8 +521,8 @@ impl SiriusSim {
                 }
                 // ControlLoss window: the grant is corrupted in flight.
                 // Grant expiry at the intermediate reclaims the slot.
-                if control_loss > 0.0 && self.injector.draw(control_loss) {
-                    self.fault_report.grants_lost += 1;
+                if control_loss > 0.0 && self.faults.injector.draw(control_loss) {
+                    self.faults.report.grants_lost += 1;
                     continue;
                 }
                 let used = self.nodes[src.0 as usize].receive_grant(ni, dst);
@@ -993,8 +562,8 @@ impl SiriusSim {
                     continue;
                 }
                 // ControlLoss window: the request is corrupted in flight.
-                if control_loss > 0.0 && self.injector.draw(control_loss) {
-                    self.fault_report.requests_lost += 1;
+                if control_loss > 0.0 && self.faults.injector.draw(control_loss) {
+                    self.faults.report.requests_lost += 1;
                     continue;
                 }
                 self.nodes[intermediate.0 as usize]
@@ -1004,68 +573,19 @@ impl SiriusSim {
         }
     }
 
-    /// Process a cell arriving at `dst` (relay or final delivery).
-    fn deliver(&mut self, dst: NodeId, cell: Cell, now: Time, epoch: u64) {
-        if self.failure_plane.is_failed(dst) {
-            self.audit.note_blackholed(dst, epoch);
-            self.fault_report.cells_lost_crash += 1;
-            return; // blackholed until routing learns of the failure
-        }
-        // A cell reaching its intermediate after a column omission severed
-        // the second hop would strand in the relay queue until the column
-        // heals; consume its reservation and bounce it back to LOCAL for a
-        // fresh request/grant round through a live detour.
-        if cell.dst != dst
-            && self.sched.has_omitted_columns()
-            && !self.sched.pair_usable(dst, cell.dst)
-        {
-            self.fault_report.cells_rerouted += 1;
-            if self.cfg.mode == CcMode::Ideal {
-                let n = self.nodes.len();
-                self.ideal_occ[dst.0 as usize * n + cell.dst.0 as usize] -= 1;
-            }
-            self.nodes[dst.0 as usize].reroute_arrival(cell);
-            return;
-        }
-        match self.nodes[dst.0 as usize].receive_cell(cell) {
-            None => {} // queued for relay (ideal occupancy already counted)
-            Some(cell) => {
-                self.digest
-                    .update_cell(&cell, now.since(Time::ZERO).as_ps());
-                let d = self.reorder[cell.dst_server.0 as usize].accept(
-                    cell.flow,
-                    cell.seq,
-                    cell.payload,
-                );
-                self.audit.note_delivery(&cell, d.cells);
-                if d.bytes > 0 {
-                    let f = &mut self.flows[cell.flow.0 as usize];
-                    f.delivered += d.bytes;
-                    self.delivered_bytes += d.bytes;
-                    self.last_delivery = now;
-                    if f.delivered >= f.bytes && f.completion.is_none() {
-                        f.completion = Some(now);
-                        self.completed += 1;
-                        self.reorder[cell.dst_server.0 as usize].finish_flow(cell.flow);
-                    }
-                }
-            }
-        }
-    }
-
-    fn finish(self, end: Time, total_flows: u64) -> RunMetrics {
-        let span = if self.last_delivery > Time::ZERO {
-            self.last_delivery.since(Time::ZERO)
+    fn finish(self, end: Time, total_flows: u64, epochs: u64, wall_secs: f64) -> RunMetrics {
+        let span = if self.delivery.last_delivery > Time::ZERO {
+            self.delivery.last_delivery.since(Time::ZERO)
         } else {
             end.since(Time::ZERO)
         };
         // Fold the summary into the delivered-cell digest: two runs agree
         // iff they delivered the same cells in the same order *and* ended
         // in the same aggregate state.
-        let mut digest = self.digest;
-        digest.update(self.delivered_bytes);
+        let mut digest = self.delivery.digest;
+        digest.update(self.delivery.delivered_bytes);
         digest.update(span.as_ps());
-        digest.update(total_flows - self.completed);
+        digest.update(total_flows - self.delivery.completed);
         for f in &self.flows {
             digest.update(f.delivered);
             digest.update(
@@ -1079,13 +599,13 @@ impl SiriusSim {
         } else {
             None
         };
-        let fault = if !self.injector.is_empty() {
-            let mut fr = self.fault_report;
+        let fault = if !self.faults.injector.is_empty() {
+            let mut fr = self.faults.report;
             fr.capacity_factor_end = self.sched.capacity_factor();
             // Grey-localization score: of the (node, uplink) TX columns the
             // script degraded, how many did the per-column detector flag?
             let mut declared: Vec<(NodeId, u16)> = Vec::new();
-            for e in self.injector.events() {
+            for e in self.faults.injector.events() {
                 if let FaultEvent::GreyLink { node, uplink, .. } = *e {
                     if !declared.contains(&(node, uplink)) {
                         declared.push((node, uplink));
@@ -1095,7 +615,7 @@ impl SiriusSim {
             fr.grey_links_declared = declared.len() as u32;
             fr.grey_links_localized = declared
                 .iter()
-                .filter(|l| self.links_suspected.contains(l))
+                .filter(|l| self.detect.links_suspected.contains(l))
                 .count() as u32;
             Some(fr)
         } else {
@@ -1112,7 +632,7 @@ impl SiriusSim {
                     delivered: f.delivered,
                 })
                 .collect(),
-            delivered_bytes: self.delivered_bytes,
+            delivered_bytes: self.delivery.delivered_bytes,
             span,
             peak_node_fabric_cells: self
                 .nodes
@@ -1127,13 +647,14 @@ impl SiriusSim {
                 .max()
                 .unwrap_or(0),
             peak_reorder_flow_bytes: self
+                .delivery
                 .reorder
                 .iter()
                 .map(|r| r.peak_flow_bytes())
                 .max()
                 .unwrap_or(0),
             cell_bytes: self.cfg.network.cell_bytes,
-            incomplete_flows: total_flows - self.completed,
+            incomplete_flows: total_flows - self.delivery.completed,
             cc: {
                 let mut total = sirius_core::congestion::CcStats::default();
                 for n in &self.nodes {
@@ -1144,6 +665,9 @@ impl SiriusSim {
             digest: digest.value(),
             audit,
             fault,
+            wall_secs,
+            cells_delivered: self.delivery.cells_delivered,
+            epochs_simulated: epochs,
         }
     }
 }
