@@ -64,13 +64,34 @@ stage_bench_smoke() {
   echo "==> bench smoke (fault_tolerance + repair_granularity + sim_throughput, reduced scale)"
   # Exercises the experiment harnesses end-to-end at reduced scale and
   # leaves results/*.csv and results/*.json behind for the workflow to
-  # upload as artifacts. sim_throughput runs at quick scale: CI machines
+  # upload as artifacts. Harnesses run with --jobs 2 to cover the
+  # parallel sweep path. sim_throughput runs at quick scale: CI machines
   # are too noisy for the paper-scale speedup gate (that number is
   # measured locally and recorded in EXPERIMENTS.md), but the harness
   # path — including the BENCH_sim_throughput.json emitter — is covered.
-  cargo run --release -p sirius-bench --bin fault_tolerance -- --smoke
-  cargo run --release -p sirius-bench --bin repair_granularity -- --smoke
-  cargo run --release -p sirius-bench --bin sim_throughput -- --quick
+  cargo run --release -p sirius-bench --bin fault_tolerance -- --smoke --jobs 2
+  cargo run --release -p sirius-bench --bin repair_granularity -- --smoke --jobs 2
+  cargo run --release -p sirius-bench --bin sim_throughput -- --quick --jobs 2
+
+  echo "==> parallel-equals-serial (fig9 CSVs, --jobs 1 vs --jobs 2)"
+  # The executor's determinism contract, checked on the real artifacts:
+  # the fig9 CSVs from a serial run and a 2-worker run must be
+  # byte-identical. (cargo test covers the same property in-process; this
+  # checks the full binary → results/ path.)
+  cargo run --release -p sirius-bench --bin fig9 -- --smoke --jobs 1
+  mkdir -p results/.serial
+  cp results/fig9a.csv results/fig9b.csv results/.serial/
+  cargo run --release -p sirius-bench --bin fig9 -- --smoke --jobs 2
+  cmp results/.serial/fig9a.csv results/fig9a.csv
+  cmp results/.serial/fig9b.csv results/fig9b.csv
+  rm -rf results/.serial
+  echo "fig9 CSVs byte-identical across --jobs 1 and --jobs 2"
+
+  echo "==> xp --timing (smoke scale): emit results/BENCH_xp_wall.json"
+  # Runs the full reproduction twice (serial, then --jobs 2) and records
+  # per-experiment wall-clock; the workflow uploads the JSON artifact.
+  cargo run --release -p sirius-bench --bin xp -- --smoke --timing --jobs 2
+  test -s results/BENCH_xp_wall.json
 }
 
 case "${1-all}" in

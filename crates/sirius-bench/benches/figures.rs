@@ -45,7 +45,7 @@ fn bench_figures(c: &mut Criterion) {
         })
     });
     c.bench_function("fig12_uplink_point_smoke", |b| {
-        b.iter(|| black_box(fig12::run(Scale::Smoke, &[0.5], 1)))
+        b.iter(|| black_box(fig12::run(Scale::Smoke, &[0.5], 1, 1)))
     });
     c.bench_function("fig13_point_64k_smoke", |b| {
         b.iter(|| black_box(fig13::run_point(Scale::Smoke, 65_536, 0.25, 1)))

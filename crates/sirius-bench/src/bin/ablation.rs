@@ -1,9 +1,12 @@
 //! Regenerates the congestion-control ablation table.
 use sirius_bench::experiments::{ablation, fig9};
-use sirius_bench::Scale;
+use sirius_bench::Cli;
 
 fn main() {
-    let scale = Scale::from_args();
-    eprintln!("running CC ablation at {scale:?} scale...");
-    ablation::table(&ablation::run(scale, &fig9::LOADS, 1)).emit("ablation");
+    let cli = Cli::parse();
+    eprintln!(
+        "running CC ablation at {:?} scale, --jobs {}...",
+        cli.scale, cli.jobs
+    );
+    ablation::table(&ablation::run(cli.scale, &fig9::LOADS, 1, cli.jobs)).emit("ablation");
 }

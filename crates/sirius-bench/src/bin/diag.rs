@@ -1,7 +1,7 @@
-use sirius_bench::Scale;
+use sirius_bench::Cli;
 use sirius_sim::{CcMode, SiriusSim};
 fn main() {
-    let scale = Scale::from_args();
+    let scale = Cli::parse().scale;
     let wl = scale.workload(0.5, 1).generate();
     let cfg = scale.sim_config(scale.network(), &wl, 1);
     let m = SiriusSim::new(cfg.clone()).run(&wl);

@@ -1,12 +1,15 @@
 //! Regenerates the §4.5 fault-tolerance evaluation: crash detection
 //! latency, goodput vs failed racks, grey-link localization.
 use sirius_bench::experiments::fault_tolerance;
-use sirius_bench::Scale;
+use sirius_bench::Cli;
 
 fn main() {
-    let scale = Scale::from_args();
-    eprintln!("running §4.5 fault tolerance at {scale:?} scale...");
-    let points = fault_tolerance::run(scale, 1);
+    let cli = Cli::parse();
+    eprintln!(
+        "running §4.5 fault tolerance at {:?} scale, --jobs {}...",
+        cli.scale, cli.jobs
+    );
+    let points = fault_tolerance::run(cli.scale, 1, cli.jobs);
     let (det, gp, grey) = fault_tolerance::tables(&points);
     det.emit("fault_detect");
     gp.emit("fault_goodput");

@@ -1,10 +1,13 @@
 //! Regenerates Fig. 10: the queue-threshold (Q) sweep.
 use sirius_bench::experiments::{fig10, fig9};
-use sirius_bench::Scale;
+use sirius_bench::Cli;
 
 fn main() {
-    let scale = Scale::from_args();
-    eprintln!("running Fig 10 at {scale:?} scale...");
-    let points = fig10::run(scale, &fig9::LOADS, 1);
+    let cli = Cli::parse();
+    eprintln!(
+        "running Fig 10 at {:?} scale, --jobs {}...",
+        cli.scale, cli.jobs
+    );
+    let points = fig10::run(cli.scale, &fig9::LOADS, 1, cli.jobs);
     fig10::table(&points).emit("fig10");
 }

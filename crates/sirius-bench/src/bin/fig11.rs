@@ -1,15 +1,18 @@
 //! Regenerates Fig. 11: FCT vs guardband at L = 100%.
 use sirius_bench::experiments::fig11;
-use sirius_bench::Scale;
+use sirius_bench::Cli;
 
 fn main() {
-    let scale = Scale::from_args();
-    eprintln!("running Fig 11 at {scale:?} scale...");
+    let cli = Cli::parse();
+    eprintln!(
+        "running Fig 11 at {:?} scale, --jobs {}...",
+        cli.scale, cli.jobs
+    );
     // The paper runs L = 100%; at saturation the protocol accumulates
     // backlog that flattens the tail, so we also emit a 75% sweep where
     // the epoch-length effect is visible in isolation.
-    let points = fig11::run(scale, 1.0, 1);
+    let points = fig11::run(cli.scale, 1.0, 1, cli.jobs);
     fig11::table(&points).emit("fig11");
-    let points75 = fig11::run(scale, 0.75, 1);
+    let points75 = fig11::run(cli.scale, 0.75, 1, cli.jobs);
     fig11::table(&points75).emit("fig11_l75");
 }

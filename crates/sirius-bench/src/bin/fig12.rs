@@ -1,10 +1,13 @@
 //! Regenerates Fig. 12: goodput vs load for 1x/1.5x/2x uplinks.
 use sirius_bench::experiments::{fig12, fig9};
-use sirius_bench::Scale;
+use sirius_bench::Cli;
 
 fn main() {
-    let scale = Scale::from_args();
-    eprintln!("running Fig 12 at {scale:?} scale...");
-    let points = fig12::run(scale, &fig9::LOADS, 1);
+    let cli = Cli::parse();
+    eprintln!(
+        "running Fig 12 at {:?} scale, --jobs {}...",
+        cli.scale, cli.jobs
+    );
+    let points = fig12::run(cli.scale, &fig9::LOADS, 1, cli.jobs);
     fig12::table(&points).emit("fig12");
 }

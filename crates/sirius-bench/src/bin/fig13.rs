@@ -1,10 +1,13 @@
 //! Regenerates Fig. 13: FCT and goodput vs mean flow size.
 use sirius_bench::experiments::fig13;
-use sirius_bench::Scale;
+use sirius_bench::Cli;
 
 fn main() {
-    let scale = Scale::from_args();
-    eprintln!("running Fig 13 at {scale:?} scale...");
-    let points = fig13::run(scale, 0.5, 1);
+    let cli = Cli::parse();
+    eprintln!(
+        "running Fig 13 at {:?} scale, --jobs {}...",
+        cli.scale, cli.jobs
+    );
+    let points = fig13::run(cli.scale, 0.5, 1, cli.jobs);
     fig13::table(&points).emit("fig13");
 }

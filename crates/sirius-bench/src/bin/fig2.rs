@@ -1,7 +1,11 @@
 //! Regenerates Fig. 2a (scale tax) and Fig. 2b (CMOS scaling).
 use sirius_bench::experiments::fig2;
+use sirius_bench::Cli;
 
 fn main() {
+    // Analytic tables — no sweep; parse the standard flags anyway so the
+    // CLI surface is uniform across every harness binary.
+    let _ = Cli::parse();
     fig2::fig2a_table().emit("fig2a");
     fig2::fig2b_table().emit("fig2b");
 }

@@ -1,7 +1,11 @@
 //! Regenerates Fig. 6a (power) and Fig. 6b (cost) plus the §5 variants.
 use sirius_bench::experiments::fig6;
+use sirius_bench::Cli;
 
 fn main() {
+    // Analytic tables — no sweep; parse the standard flags anyway so the
+    // CLI surface is uniform across every harness binary.
+    let _ = Cli::parse();
     fig6::fig6a_table().emit("fig6a");
     fig6::fig6b_table().emit("fig6b");
     fig6::variants_table().emit("s5_variants");

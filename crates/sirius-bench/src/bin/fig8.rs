@@ -1,7 +1,11 @@
 //! Regenerates Fig. 8a-8d (fast-switching demonstration).
 use sirius_bench::experiments::fig8;
+use sirius_bench::Cli;
 
 fn main() {
+    // Seeded single measurements — no sweep; parse the standard flags
+    // anyway so the CLI surface is uniform across every harness binary.
+    let _ = Cli::parse();
     fig8::fig8a_table(7).emit("fig8a");
     fig8::fig8b_table(7).emit("fig8b");
     fig8::fig8c_table(7).emit("fig8c");

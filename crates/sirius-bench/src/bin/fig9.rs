@@ -1,12 +1,16 @@
 //! Regenerates Fig. 9: FCT and goodput vs load for all four systems.
-//! `--full` runs the paper-scale deployment (minutes).
+//! `--full` runs the paper-scale deployment (minutes); `--jobs N` fans
+//! the (system, load) points across workers.
 use sirius_bench::experiments::fig9;
-use sirius_bench::Scale;
+use sirius_bench::Cli;
 
 fn main() {
-    let scale = Scale::from_args();
-    eprintln!("running Fig 9 at {scale:?} scale...");
-    let points = fig9::run(scale, 1);
+    let cli = Cli::parse();
+    eprintln!(
+        "running Fig 9 at {:?} scale, --jobs {}...",
+        cli.scale, cli.jobs
+    );
+    let points = fig9::run(cli.scale, 1, cli.jobs);
     let (fct, gp) = fig9::tables(&points);
     fct.emit("fig9a");
     gp.emit("fig9b");

@@ -4,12 +4,15 @@
 //!
 //! Usage: `fig9_point [--full] <load-percent>`
 use sirius_bench::experiments::fig9::SHORT_FLOW_BYTES;
-use sirius_bench::Scale;
+use sirius_bench::Cli;
 use sirius_sim::{CcMode, EsnSim, RunMetrics, SiriusSim};
 
 fn main() {
-    let scale = Scale::from_args();
-    let load = std::env::args()
+    let cli = Cli::parse();
+    let scale = cli.scale;
+    let load = cli
+        .rest
+        .iter()
         .filter_map(|a| a.parse::<f64>().ok())
         .next()
         .unwrap_or(50.0)

@@ -1,9 +1,12 @@
 //! Regenerates the §2.2/§8 switching-granularity comparison.
 use sirius_bench::experiments::granularity;
-use sirius_bench::Scale;
+use sirius_bench::Cli;
 
 fn main() {
-    let scale = Scale::from_args();
-    eprintln!("running switching-granularity sweep at {scale:?} scale...");
-    granularity::table(&granularity::run(scale, 0.75, 1)).emit("granularity");
+    let cli = Cli::parse();
+    eprintln!(
+        "running switching-granularity sweep at {:?} scale, --jobs {}...",
+        cli.scale, cli.jobs
+    );
+    granularity::table(&granularity::run(cli.scale, 0.75, 1, cli.jobs)).emit("granularity");
 }

@@ -2,19 +2,23 @@
 //! short-flow tail FCT against the fig. 11 guardband axis, plus
 //! saturation goodput and the §4.3 fabric-occupancy bound per burst.
 use sirius_bench::experiments::relay_burst;
-use sirius_bench::Scale;
+use sirius_bench::Cli;
 
 fn main() {
-    let scale = Scale::from_args();
-    eprintln!("running RELAY_BURST sweep at {scale:?} scale...");
+    let cli = Cli::parse();
+    eprintln!(
+        "running RELAY_BURST sweep at {:?} scale, --jobs {}...",
+        cli.scale, cli.jobs
+    );
     let fct = relay_burst::run_fct(
-        scale,
+        cli.scale,
         0.75,
         1,
         &relay_burst::BURSTS,
         &relay_burst::GUARDS_NS,
+        cli.jobs,
     );
     relay_burst::fct_table(&fct).emit("relay_burst_fct");
-    let sat = relay_burst::run_saturation(scale, 1, &relay_burst::BURSTS);
+    let sat = relay_burst::run_saturation(cli.scale, 1, &relay_burst::BURSTS, cli.jobs);
     relay_burst::sat_table(&sat).emit("relay_burst_sat");
 }

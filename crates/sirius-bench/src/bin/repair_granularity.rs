@@ -1,15 +1,19 @@
 //! Regenerates the repair-granularity comparison: k dead TX columns
 //! under link-granular column omission vs the §4.5 whole-node rule.
 use sirius_bench::experiments::repair_granularity;
-use sirius_bench::Scale;
+use sirius_bench::Cli;
 
 fn main() {
-    let scale = Scale::from_args();
-    eprintln!("running repair granularity at {scale:?} scale...");
+    let cli = Cli::parse();
+    eprintln!(
+        "running repair granularity at {:?} scale, --jobs {}...",
+        cli.scale, cli.jobs
+    );
     let n = repair_granularity::run(
-        scale,
+        cli.scale,
         1,
-        &repair_granularity::k_sweep(scale.network().nodes as u32),
+        &repair_granularity::k_sweep(cli.scale.network().nodes as u32),
+        cli.jobs,
     );
     repair_granularity::table(&n).emit("repair_granularity");
 }

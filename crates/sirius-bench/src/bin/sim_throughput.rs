@@ -4,15 +4,26 @@
 //! harness self-test size. Emits `results/sim_throughput.csv` and
 //! `results/BENCH_sim_throughput.json`.
 use sirius_bench::experiments::sim_throughput;
-use sirius_bench::Scale;
+use sirius_bench::{Cli, Scale};
 
 fn main() {
-    let scale = Scale::from_args();
-    eprintln!("=== simulator throughput, {scale:?} scale ===");
+    let cli = Cli::parse();
+    let scale = cli.scale;
     // Paper scale is the acceptance measurement: best-of-3 to shed
-    // one-sided OS noise. The smaller scales are smoke checks.
-    let repeats = if scale == Scale::Paper { 3 } else { 1 };
-    let pts = sim_throughput::run_best(scale, 1, repeats);
+    // one-sided OS noise, and always serial — concurrent modes contend
+    // for cores and would inflate each other's wall clock, corrupting
+    // the longitudinal series. The smaller scales are smoke checks of
+    // the harness path, where `--jobs` parallelism is exercised.
+    let (repeats, jobs) = if scale == Scale::Paper {
+        if cli.jobs > 1 {
+            eprintln!("note: paper-scale throughput is a wall-clock measurement; forcing --jobs 1");
+        }
+        (3, 1)
+    } else {
+        (1, cli.jobs)
+    };
+    eprintln!("=== simulator throughput, {scale:?} scale, --jobs {jobs} ===");
+    let pts = sim_throughput::run_best(scale, 1, repeats, jobs);
     sim_throughput::table(&pts).emit("sim_throughput");
     sim_throughput::emit_json(&pts, scale);
 }

@@ -1,9 +1,9 @@
 //! Regenerates the §6 time-synchronization measurement.
 use sirius_bench::experiments::sync;
-use sirius_bench::Scale;
+use sirius_bench::{Cli, Scale};
 
 fn main() {
-    let epochs = match Scale::from_args() {
+    let epochs = match Cli::parse().scale {
         Scale::Paper => 2_000_000,
         Scale::Quick => 200_000,
         Scale::Smoke => 30_000,

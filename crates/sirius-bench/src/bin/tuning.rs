@@ -1,7 +1,11 @@
 //! Regenerates the §3.2/§4.5 laser-tuning tables.
 use sirius_bench::experiments::tuning;
+use sirius_bench::Cli;
 
 fn main() {
+    // Analytic tables — no sweep; parse the standard flags anyway so the
+    // CLI surface is uniform across every harness binary.
+    let _ = Cli::parse();
     tuning::tuning_table(7).emit("tuning");
     tuning::dsdbr_cdf_table().emit("tuning_cdf");
     tuning::bank_sizing_table().emit("bank_sizing");

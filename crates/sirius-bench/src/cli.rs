@@ -1,0 +1,137 @@
+//! Shared argument parsing for every harness binary.
+//!
+//! Each bin used to hand-roll `Scale::from_args` plus ad-hoc flags; this
+//! module is the single parser for the common surface:
+//!
+//! * `--full` / `--quick` / `--smoke` — experiment scale (default quick);
+//! * `--jobs N` / `--jobs=N` — sweep workers (default `SIRIUS_JOBS`, then
+//!   [`std::thread::available_parallelism`]);
+//! * `--timing` — `xp` only: run the suite serially and in parallel and
+//!   emit `results/BENCH_xp_wall.json`.
+//!
+//! Unknown `--flags` are an error (a typo'd `--job 4` silently running a
+//! serial sweep would be worse); bare operands are collected into
+//! [`Cli::rest`] for bins with positional arguments (`fig9_point`'s load
+//! percent).
+
+use crate::pool;
+use crate::scale::Scale;
+
+/// Parsed common command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cli {
+    pub scale: Scale,
+    /// Sweep worker count (≥ 1).
+    pub jobs: usize,
+    /// `xp --timing`: measure serial vs parallel wall-clock.
+    pub timing: bool,
+    /// Positional (non-flag) arguments, in order.
+    pub rest: Vec<String>,
+}
+
+impl Cli {
+    /// Parse `std::env::args`, exiting with usage on error.
+    pub fn parse() -> Cli {
+        match Cli::parse_from(std::env::args().skip(1)) {
+            Ok(cli) => cli,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("usage: [--full|--quick|--smoke] [--jobs N] [--timing] [args...]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Pure parser (testable). `args` excludes the program name. `--jobs`
+    /// defaults to [`pool::default_jobs`] when absent.
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Result<Cli, String> {
+        let mut cli = Cli {
+            scale: Scale::Quick,
+            jobs: 0,
+            timing: false,
+            rest: Vec::new(),
+        };
+        let mut scale_flag: Option<&str> = None;
+        let mut args = args.into_iter();
+        while let Some(a) = args.next() {
+            let mut set_scale = |flag: &'static str, s: Scale| -> Result<(), String> {
+                if let Some(prev) = scale_flag.replace(flag) {
+                    if prev != flag {
+                        return Err(format!("conflicting scale flags {prev} and {flag}"));
+                    }
+                }
+                cli.scale = s;
+                Ok(())
+            };
+            match a.as_str() {
+                "--full" => set_scale("--full", Scale::Paper)?,
+                "--quick" => set_scale("--quick", Scale::Quick)?,
+                "--smoke" => set_scale("--smoke", Scale::Smoke)?,
+                "--timing" => cli.timing = true,
+                "--jobs" => {
+                    let v = args.next().ok_or("--jobs needs a worker count")?;
+                    cli.jobs = parse_jobs(&v)?;
+                }
+                _ => {
+                    if let Some(v) = a.strip_prefix("--jobs=") {
+                        cli.jobs = parse_jobs(v)?;
+                    } else if a.starts_with("--") {
+                        return Err(format!("unknown flag {a}"));
+                    } else {
+                        cli.rest.push(a);
+                    }
+                }
+            }
+        }
+        if cli.jobs == 0 {
+            cli.jobs = pool::default_jobs();
+        }
+        Ok(cli)
+    }
+}
+
+fn parse_jobs(v: &str) -> Result<usize, String> {
+    match v.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!("--jobs wants an integer >= 1, got {v:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Cli, String> {
+        Cli::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_quick_scale_and_machine_jobs() {
+        let cli = parse(&[]).unwrap();
+        assert_eq!(cli.scale, Scale::Quick);
+        assert!(cli.jobs >= 1);
+        assert!(!cli.timing);
+        assert!(cli.rest.is_empty());
+    }
+
+    #[test]
+    fn scale_jobs_and_positionals_parse() {
+        let cli = parse(&["--full", "--jobs", "4", "75"]).unwrap();
+        assert_eq!(cli.scale, Scale::Paper);
+        assert_eq!(cli.jobs, 4);
+        assert_eq!(cli.rest, vec!["75".to_string()]);
+        let cli = parse(&["--jobs=2", "--smoke", "--timing"]).unwrap();
+        assert_eq!((cli.scale, cli.jobs, cli.timing), (Scale::Smoke, 2, true));
+        // Repeating the same scale flag is harmless.
+        assert!(parse(&["--smoke", "--smoke"]).is_ok());
+    }
+
+    #[test]
+    fn bad_input_is_rejected() {
+        assert!(parse(&["--job", "4"]).is_err(), "typo'd flag must not pass");
+        assert!(parse(&["--jobs", "0"]).is_err());
+        assert!(parse(&["--jobs"]).is_err());
+        assert!(parse(&["--jobs=many"]).is_err());
+        assert!(parse(&["--full", "--smoke"]).is_err(), "conflicting scales");
+    }
+}

@@ -10,9 +10,17 @@
 //!   the sync/PLL ablation by the `sync_xp` harness.
 
 use crate::experiments::fig9::SHORT_FLOW_BYTES;
+use crate::pool::Sweep;
 use crate::scale::Scale;
 use crate::table::{f, fct_ms, Table};
 use sirius_sim::{CcMode, SiriusSim};
+
+/// The ablation arms, in table order.
+pub const MODES: [(&str, CcMode); 3] = [
+    ("Protocol (Q=4)", CcMode::Protocol),
+    ("Ideal back-pressure", CcMode::Ideal),
+    ("No control (greedy)", CcMode::Greedy),
+];
 
 #[derive(Debug, Clone)]
 pub struct Point {
@@ -24,34 +32,34 @@ pub struct Point {
     pub reorder_kb: f64,
 }
 
-pub fn run(scale: Scale, loads: &[f64], seed: u64) -> Vec<Point> {
-    let mut out = Vec::new();
+/// One (load, CC mode) arm; regenerates its own workload.
+pub fn run_point(scale: Scale, name: &'static str, mode: CcMode, load: f64, seed: u64) -> Point {
     let net = scale.network();
+    let wl = scale.workload(load, seed).generate();
+    let horizon = wl.last().unwrap().arrival;
+    let cfg = scale.sim_config(net.clone(), &wl, seed).with_mode(mode);
+    let m = SiriusSim::new(cfg).run(&wl);
+    Point {
+        mode: name,
+        load,
+        fct_p99_ms: fct_ms(m.fct_percentile(99.0, SHORT_FLOW_BYTES)),
+        goodput: m.goodput_within(horizon, net.total_servers() as u64, scale.server_share()),
+        peak_queue_kb: m.peak_node_fabric_bytes() as f64 / 1000.0,
+        reorder_kb: m.peak_reorder_flow_bytes as f64 / 1000.0,
+    }
+}
+
+pub fn run(scale: Scale, loads: &[f64], seed: u64, jobs: usize) -> Vec<Point> {
+    let mut sweep = Sweep::new();
     for &load in loads {
-        let wl = scale.workload(load, seed).generate();
-        let horizon = wl.last().unwrap().arrival;
-        for (name, mode) in [
-            ("Protocol (Q=4)", CcMode::Protocol),
-            ("Ideal back-pressure", CcMode::Ideal),
-            ("No control (greedy)", CcMode::Greedy),
-        ] {
-            let cfg = scale.sim_config(net.clone(), &wl, seed).with_mode(mode);
-            let m = SiriusSim::new(cfg).run(&wl);
-            out.push(Point {
-                mode: name,
-                load,
-                fct_p99_ms: fct_ms(m.fct_percentile(99.0, SHORT_FLOW_BYTES)),
-                goodput: m.goodput_within(
-                    horizon,
-                    net.total_servers() as u64,
-                    scale.server_share(),
-                ),
-                peak_queue_kb: m.peak_node_fabric_bytes() as f64 / 1000.0,
-                reorder_kb: m.peak_reorder_flow_bytes as f64 / 1000.0,
-            });
+        for (name, mode) in MODES {
+            sweep.push(
+                format!("ablation load={:.0}% mode={name}", load * 100.0),
+                move || run_point(scale, name, mode, load, seed),
+            );
         }
     }
-    out
+    sweep.run(jobs)
 }
 
 pub fn table(points: &[Point]) -> Table {
@@ -88,7 +96,7 @@ mod tests {
         // The protocol bounds relay queues at Q cells per destination;
         // greedy mode has no bound and hot intermediates accumulate far
         // more under bursty load.
-        let pts = run(Scale::Smoke, &[0.75], 3);
+        let pts = run(Scale::Smoke, &[0.75], 3, 2);
         let get = |mode: &str| pts.iter().find(|p| p.mode == mode).unwrap();
         let proto = get("Protocol (Q=4)");
         let greedy = get("No control (greedy)");

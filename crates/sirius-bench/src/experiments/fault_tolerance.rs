@@ -9,6 +9,7 @@
 //! fabric is the binding constraint does dead-slot capacity loss show up
 //! as goodput loss instead of vanishing into uplink headroom.
 
+use crate::pool::Sweep;
 use crate::scale::Scale;
 use crate::table::{f, Table};
 use sirius_core::config::SiriusConfig;
@@ -224,13 +225,44 @@ pub fn failed_sweep(nodes: u32) -> Vec<u32> {
     ks
 }
 
-pub fn run(scale: Scale, seed: u64) -> Points {
-    let n = fabric_limited_net(scale).nodes as u32;
-    Points {
-        detection: detection_points(scale, seed),
-        goodput: goodput_points(scale, seed, &failed_sweep(n)),
-        grey: grey_points(scale, seed, &GREY_RX_DBM),
+pub fn run(scale: Scale, seed: u64, jobs: usize) -> Points {
+    // The three sub-evaluations share one pool: the detection run, each
+    // failed-count pair, and each receive-power run are all independent
+    // jobs, so workers drain the whole §4.5 suite instead of hitting a
+    // barrier between sub-experiments.
+    enum Out {
+        Detection(Vec<DetectionPoint>),
+        Goodput(Vec<GoodputPoint>),
+        Grey(Vec<GreyPoint>),
     }
+    let n = fabric_limited_net(scale).nodes as u32;
+    let mut sweep: Sweep<Out> = Sweep::new();
+    sweep.push("fault_tolerance detection", move || {
+        Out::Detection(detection_points(scale, seed))
+    });
+    for k in failed_sweep(n) {
+        sweep.push(format!("fault_tolerance goodput failed={k}"), move || {
+            Out::Goodput(goodput_points(scale, seed, &[k]))
+        });
+    }
+    for &dbm in &GREY_RX_DBM {
+        sweep.push(format!("fault_tolerance grey rx={dbm}dBm"), move || {
+            Out::Grey(grey_points(scale, seed, &[dbm]))
+        });
+    }
+    let mut points = Points {
+        detection: Vec::new(),
+        goodput: Vec::new(),
+        grey: Vec::new(),
+    };
+    for out in sweep.run(jobs) {
+        match out {
+            Out::Detection(d) => points.detection.extend(d),
+            Out::Goodput(g) => points.goodput.extend(g),
+            Out::Grey(g) => points.grey.extend(g),
+        }
+    }
+    points
 }
 
 pub fn tables(points: &Points) -> (Table, Table, Table) {

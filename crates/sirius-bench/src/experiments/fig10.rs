@@ -3,6 +3,7 @@
 //! node, and the out-of-order (reorder) buffer.
 
 use crate::experiments::fig9::SHORT_FLOW_BYTES;
+use crate::pool::Sweep;
 use crate::scale::Scale;
 use crate::table::{f, fct_ms, Table};
 use sirius_core::units::Duration;
@@ -40,14 +41,16 @@ pub fn run_point(scale: Scale, q: usize, load: f64, seed: u64) -> Point {
     }
 }
 
-pub fn run(scale: Scale, loads: &[f64], seed: u64) -> Vec<Point> {
-    let mut out = Vec::new();
+pub fn run(scale: Scale, loads: &[f64], seed: u64, jobs: usize) -> Vec<Point> {
+    let mut sweep = Sweep::new();
     for &q in &QS {
         for &l in loads {
-            out.push(run_point(scale, q, l, seed));
+            sweep.push(format!("fig10 Q={q} load={:.0}%", l * 100.0), move || {
+                run_point(scale, q, l, seed)
+            });
         }
     }
-    out
+    sweep.run(jobs)
 }
 
 pub fn table(points: &[Point]) -> Table {
@@ -95,7 +98,7 @@ mod tests {
 
     #[test]
     fn table_shape() {
-        let pts = run(Scale::Smoke, &[0.5], 1);
+        let pts = run(Scale::Smoke, &[0.5], 1, 2);
         assert_eq!(pts.len(), 4);
         assert_eq!(table(&pts).len(), 4);
     }

@@ -4,6 +4,7 @@
 //! epochs, and more queuing latency at intermediates.
 
 use crate::experiments::fig9::SHORT_FLOW_BYTES;
+use crate::pool::Sweep;
 use crate::scale::Scale;
 use crate::table::{fct_ms, Table};
 use sirius_core::units::Duration;
@@ -33,35 +34,47 @@ pub struct Point {
     pub fct_p99: Option<Duration>,
 }
 
-pub fn run(scale: Scale, load: f64, seed: u64) -> Vec<Point> {
+/// One (guardband, CC mode) Sirius point; regenerates its own workload.
+pub fn sirius_point(scale: Scale, load: f64, seed: u64, guard_ns: u64, mode: CcMode) -> Point {
     let wl = scale.workload(load, seed).generate();
-    let mut out = Vec::new();
-    for &g in &GUARDBANDS_NS {
-        let net = network_for_guardband(scale, Duration::from_ns(g));
-        let cfg = scale.sim_config(net.clone(), &wl, seed);
-        let m = SiriusSim::new(cfg.clone()).run(&wl);
-        out.push(Point {
-            system: "Sirius",
-            guard_ns: g,
-            fct_p99: m.fct_percentile(99.0, SHORT_FLOW_BYTES),
-        });
-        let mi = SiriusSim::new(cfg.with_mode(CcMode::Ideal)).run(&wl);
-        out.push(Point {
-            system: "Sirius (Ideal)",
-            guard_ns: g,
-            fct_p99: mi.fct_percentile(99.0, SHORT_FLOW_BYTES),
-        });
+    let net = network_for_guardband(scale, Duration::from_ns(guard_ns));
+    let cfg = scale.sim_config(net, &wl, seed).with_mode(mode);
+    let m = SiriusSim::new(cfg).run(&wl);
+    Point {
+        system: match mode {
+            CcMode::Ideal => "Sirius (Ideal)",
+            _ => "Sirius",
+        },
+        guard_ns,
+        fct_p99: m.fct_percentile(99.0, SHORT_FLOW_BYTES),
     }
-    // ESN has no guardband: one horizontal reference line.
-    let esn = EsnSim::new(scale.esn(1.0)).run(&wl);
+}
+
+pub fn run(scale: Scale, load: f64, seed: u64, jobs: usize) -> Vec<Point> {
+    // Each job returns the row(s) it owns: one per Sirius (guard, mode)
+    // pair, and one job for the guardband-free ESN reference line that
+    // replicates itself across the x-axis.
+    let mut sweep: Sweep<Vec<Point>> = Sweep::new();
     for &g in &GUARDBANDS_NS {
-        out.push(Point {
-            system: "ESN (Ideal)",
-            guard_ns: g,
-            fct_p99: esn.fct_percentile(99.0, SHORT_FLOW_BYTES),
-        });
+        for mode in [CcMode::Protocol, CcMode::Ideal] {
+            sweep.push(format!("fig11 guard={g}ns mode={mode:?}"), move || {
+                vec![sirius_point(scale, load, seed, g, mode)]
+            });
+        }
     }
-    out
+    sweep.push("fig11 ESN reference", move || {
+        let wl = scale.workload(load, seed).generate();
+        let esn = EsnSim::new(scale.esn(1.0)).run(&wl);
+        GUARDBANDS_NS
+            .iter()
+            .map(|&g| Point {
+                system: "ESN (Ideal)",
+                guard_ns: g,
+                fct_p99: esn.fct_percentile(99.0, SHORT_FLOW_BYTES),
+            })
+            .collect()
+    });
+    sweep.run(jobs).into_iter().flatten().collect()
 }
 
 pub fn table(points: &[Point]) -> Table {
@@ -111,7 +124,7 @@ mod tests {
         // Below saturation, so the epoch-length queuing effect dominates
         // rather than overload backlog (the harness runs L=1.0 as in the
         // paper; at paper scale both show the same shape).
-        let pts = run(Scale::Smoke, 0.25, 5);
+        let pts = run(Scale::Smoke, 0.25, 5, 2);
         let fast = sirius_fct(&pts, 1).unwrap();
         let slow = sirius_fct(&pts, 40).unwrap();
         assert!(

@@ -5,6 +5,7 @@
 //! how much over-provisioning actually recovers it under a stochastic
 //! workload — the paper's conclusion is that 1.5x suffices.
 
+use crate::pool::Sweep;
 use crate::scale::Scale;
 use crate::table::{f, Table};
 use sirius_sim::{EsnSim, SiriusSim};
@@ -18,38 +19,51 @@ pub struct Point {
     pub goodput: f64,
 }
 
-pub fn run(scale: Scale, loads: &[f64], seed: u64) -> Vec<Point> {
-    let mut out = Vec::new();
+/// One Sirius point at an uplink over-provisioning factor.
+pub fn sirius_point(scale: Scale, load: f64, factor: f64, seed: u64) -> Point {
+    let wl = scale.workload(load, seed).generate();
+    let horizon = wl.last().unwrap().arrival;
+    let mut net = scale.network();
+    net.uplink_factor = factor;
+    let cfg = scale.sim_config(net.clone(), &wl, seed);
+    let m = SiriusSim::new(cfg).run(&wl);
+    Point {
+        system: format!("Sirius ({factor}x)"),
+        load,
+        goodput: m.goodput_within(horizon, net.total_servers() as u64, scale.server_share()),
+    }
+}
+
+/// The ESN (Ideal) reference point at a load.
+pub fn esn_point(scale: Scale, load: f64, seed: u64) -> Point {
+    let wl = scale.workload(load, seed).generate();
+    let horizon = wl.last().unwrap().arrival;
+    let esn = EsnSim::new(scale.esn(1.0)).run(&wl);
+    Point {
+        system: "ESN (Ideal)".to_string(),
+        load,
+        goodput: esn.goodput_within(
+            horizon,
+            scale.network().total_servers() as u64,
+            scale.server_share(),
+        ),
+    }
+}
+
+pub fn run(scale: Scale, loads: &[f64], seed: u64, jobs: usize) -> Vec<Point> {
+    let mut sweep = Sweep::new();
     for &load in loads {
-        let wl = scale.workload(load, seed).generate();
-        let horizon = wl.last().unwrap().arrival;
         for &factor in &FACTORS {
-            let mut net = scale.network();
-            net.uplink_factor = factor;
-            let cfg = scale.sim_config(net.clone(), &wl, seed);
-            let m = SiriusSim::new(cfg).run(&wl);
-            out.push(Point {
-                system: format!("Sirius ({factor}x)"),
-                load,
-                goodput: m.goodput_within(
-                    horizon,
-                    net.total_servers() as u64,
-                    scale.server_share(),
-                ),
-            });
+            sweep.push(
+                format!("fig12 load={:.0}% factor={factor}x", load * 100.0),
+                move || sirius_point(scale, load, factor, seed),
+            );
         }
-        let esn = EsnSim::new(scale.esn(1.0)).run(&wl);
-        out.push(Point {
-            system: "ESN (Ideal)".to_string(),
-            load,
-            goodput: esn.goodput_within(
-                horizon,
-                scale.network().total_servers() as u64,
-                scale.server_share(),
-            ),
+        sweep.push(format!("fig12 load={:.0}% ESN", load * 100.0), move || {
+            esn_point(scale, load, seed)
         });
     }
-    out
+    sweep.run(jobs)
 }
 
 pub fn table(points: &[Point]) -> Table {
@@ -83,7 +97,7 @@ mod tests {
     fn more_uplinks_more_goodput_at_high_load() {
         // Fig. 12's key shape: at saturating load, goodput ranks
         // 1x < 1.5x <= 2x, and 1x visibly trails ESN.
-        let pts = run(Scale::Smoke, &[1.0], 9);
+        let pts = run(Scale::Smoke, &[1.0], 9, 2);
         let g1 = goodput_of(&pts, "Sirius (1x)", 1.0);
         let g15 = goodput_of(&pts, "Sirius (1.5x)", 1.0);
         let g2 = goodput_of(&pts, "Sirius (2x)", 1.0);
@@ -97,7 +111,7 @@ mod tests {
     fn low_load_needs_no_extra_uplinks() {
         // "At low load no additional transceivers are needed to match
         // ESN (Ideal)'s goodput."
-        let pts = run(Scale::Smoke, &[0.1], 11);
+        let pts = run(Scale::Smoke, &[0.1], 11, 2);
         let g1 = goodput_of(&pts, "Sirius (1x)", 0.1);
         let esn = goodput_of(&pts, "ESN (Ideal)", 0.1);
         assert!(

@@ -3,6 +3,7 @@
 //! of a 540 B cell payload; ESN's variable-size packets do not.
 
 use crate::experiments::fig9::SHORT_FLOW_BYTES;
+use crate::pool::Sweep;
 use crate::scale::Scale;
 use crate::table::{f, fct_ms, Table};
 use sirius_core::units::Duration;
@@ -20,48 +21,57 @@ pub struct Point {
     pub goodput: f64,
 }
 
-/// One mean-size point (both systems).
-pub fn run_point(scale: Scale, mean: u64, load: f64, seed: u64) -> Vec<Point> {
-    run_means(scale, &[mean], load, seed)
+/// The workload at one mean flow size: Pareto resized around `mean`, and
+/// the population scaled so the offered window stays long enough to
+/// exercise the fabric (smaller flows arrive proportionally faster at
+/// equal load; cap 25x to bound runtime).
+fn mean_size_workload(scale: Scale, mean: u64, load: f64, seed: u64) -> Vec<sirius_workload::Flow> {
+    let mut spec = scale.workload(load, seed);
+    spec.sizes = Pareto::with_mean(1.05, mean as f64).truncated(1e7);
+    let factor = (100_000.0 / mean as f64).clamp(1.0, 25.0);
+    spec.flows = (spec.flows as f64 * factor) as u64;
+    spec.generate()
 }
 
-pub fn run(scale: Scale, load: f64, seed: u64) -> Vec<Point> {
-    run_means(scale, &MEAN_SIZES, load, seed)
-}
-
-fn run_means(scale: Scale, means: &[u64], load: f64, seed: u64) -> Vec<Point> {
-    let mut out = Vec::new();
+/// One (mean size, system) run; regenerates its own workload.
+fn system_point(scale: Scale, mean: u64, load: f64, seed: u64, esn: bool) -> Point {
     let net = scale.network();
     let servers = net.total_servers() as u64;
-    for &mean in means {
-        let mut spec = scale.workload(load, seed);
-        spec.sizes = Pareto::with_mean(1.05, mean as f64).truncated(1e7);
-        // Smaller flows arrive proportionally faster at equal load; scale
-        // the population so the offered window stays long enough to
-        // exercise the fabric (cap 25x to bound runtime).
-        let factor = (100_000.0 / mean as f64).clamp(1.0, 25.0);
-        spec.flows = (spec.flows as f64 * factor) as u64;
-        let wl = spec.generate();
-        let horizon = wl.last().unwrap().arrival;
-
-        let cfg = scale.sim_config(net.clone(), &wl, seed);
-        let m = SiriusSim::new(cfg).run(&wl);
-        out.push(Point {
-            system: "Sirius",
-            mean_bytes: mean,
-            fct_p99: m.fct_percentile(99.0, SHORT_FLOW_BYTES),
-            goodput: m.goodput_within(horizon, servers, scale.server_share()),
-        });
-
-        let e = EsnSim::new(scale.esn(1.0)).run(&wl);
-        out.push(Point {
-            system: "ESN (Ideal)",
-            mean_bytes: mean,
-            fct_p99: e.fct_percentile(99.0, SHORT_FLOW_BYTES),
-            goodput: e.goodput_within(horizon, servers, scale.server_share()),
-        });
+    let wl = mean_size_workload(scale, mean, load, seed);
+    let horizon = wl.last().unwrap().arrival;
+    let (system, m) = if esn {
+        ("ESN (Ideal)", EsnSim::new(scale.esn(1.0)).run(&wl))
+    } else {
+        let cfg = scale.sim_config(net, &wl, seed);
+        ("Sirius", SiriusSim::new(cfg).run(&wl))
+    };
+    Point {
+        system,
+        mean_bytes: mean,
+        fct_p99: m.fct_percentile(99.0, SHORT_FLOW_BYTES),
+        goodput: m.goodput_within(horizon, servers, scale.server_share()),
     }
-    out
+}
+
+/// One mean-size point (both systems), serially.
+pub fn run_point(scale: Scale, mean: u64, load: f64, seed: u64) -> Vec<Point> {
+    vec![
+        system_point(scale, mean, load, seed, false),
+        system_point(scale, mean, load, seed, true),
+    ]
+}
+
+pub fn run(scale: Scale, load: f64, seed: u64, jobs: usize) -> Vec<Point> {
+    let mut sweep = Sweep::new();
+    for &mean in &MEAN_SIZES {
+        for esn in [false, true] {
+            let label = if esn { "ESN" } else { "Sirius" };
+            sweep.push(format!("fig13 mean={mean}B system={label}"), move || {
+                system_point(scale, mean, load, seed, esn)
+            });
+        }
+    }
+    sweep.run(jobs)
 }
 
 pub fn table(points: &[Point]) -> Table {
@@ -104,7 +114,7 @@ mod tests {
     fn cell_padding_hurts_tiny_flows_only() {
         // Paper: at F = 512 B the goodput gap is ~1.7x (ratio ~0.6); at
         // larger means Sirius approaches ESN.
-        let mut pts = run(Scale::Smoke, 0.5, 13);
+        let mut pts = run(Scale::Smoke, 0.5, 13, 2);
         // Keep only the sizes this test reasons about.
         pts.retain(|p| p.mean_bytes == 512 || p.mean_bytes == 65_536);
         let small = goodput_gap(&pts, 512);

@@ -2,6 +2,7 @@
 //! network load, for ESN (Ideal), ESN-OSUB (Ideal), Sirius, and
 //! Sirius (Ideal).
 
+use crate::pool::Sweep;
 use crate::scale::Scale;
 use crate::table::{f, fct_ms, Table};
 use sirius_core::units::{Duration, Time};
@@ -12,6 +13,33 @@ pub const LOADS: [f64; 5] = [0.10, 0.25, 0.50, 0.75, 1.00];
 /// "Short flows" cutoff (flow size < 100 KB).
 pub const SHORT_FLOW_BYTES: u64 = 100_000;
 
+/// The four systems, in the paper's legend order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum System {
+    Sirius,
+    SiriusIdeal,
+    Esn,
+    EsnOsub,
+}
+
+impl System {
+    pub const ALL: [System; 4] = [
+        System::Sirius,
+        System::SiriusIdeal,
+        System::Esn,
+        System::EsnOsub,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            System::Sirius => "Sirius",
+            System::SiriusIdeal => "Sirius (Ideal)",
+            System::Esn => "ESN (Ideal)",
+            System::EsnOsub => "ESN-OSUB (Ideal)",
+        }
+    }
+}
+
 /// One measured point.
 #[derive(Debug, Clone)]
 pub struct Point {
@@ -19,6 +47,10 @@ pub struct Point {
     pub load: f64,
     pub fct_p99: Option<Duration>,
     pub goodput: f64,
+    /// The run's delivered-cell-sequence digest (0 for the fluid ESN
+    /// baselines) — lets determinism checks compare the simulated run
+    /// itself, not just the rounded table cells.
+    pub digest: u64,
 }
 
 fn point(system: &'static str, load: f64, m: &RunMetrics, scale: Scale, horizon: Time) -> Point {
@@ -28,57 +60,55 @@ fn point(system: &'static str, load: f64, m: &RunMetrics, scale: Scale, horizon:
         load,
         fct_p99: m.fct_percentile(99.0, SHORT_FLOW_BYTES),
         goodput: m.goodput_within(horizon, net.total_servers() as u64, scale.server_share()),
+        digest: m.digest,
     }
 }
 
-/// Run one load point for all four systems. Goodput is measured over the
-/// offered-load window (last arrival), the same horizon for every system.
-pub fn run_load(scale: Scale, load: f64, seed: u64) -> Vec<Point> {
+/// Run one (system, load) point. The workload is regenerated inside the
+/// point (deterministic for a given `(scale, load, seed)`), so a sweep's
+/// peak memory scales with the worker count, not the sweep size.
+pub fn run_point(scale: Scale, system: System, load: f64, seed: u64) -> Point {
     let wl = scale.workload(load, seed).generate();
     let horizon = wl.last().unwrap().arrival;
-    let mut out = Vec::new();
-
-    let cfg = scale.sim_config(scale.network(), &wl, seed);
-    out.push(point(
-        "Sirius",
-        load,
-        &SiriusSim::new(cfg.clone()).run(&wl),
-        scale,
-        horizon,
-    ));
-
-    let cfg_ideal = cfg.with_mode(CcMode::Ideal);
-    out.push(point(
-        "Sirius (Ideal)",
-        load,
-        &SiriusSim::new(cfg_ideal).run(&wl),
-        scale,
-        horizon,
-    ));
-
-    out.push(point(
-        "ESN (Ideal)",
-        load,
-        &EsnSim::new(scale.esn(1.0)).run(&wl),
-        scale,
-        horizon,
-    ));
-    out.push(point(
-        "ESN-OSUB (Ideal)",
-        load,
-        &EsnSim::new(scale.esn(3.0)).run(&wl),
-        scale,
-        horizon,
-    ));
-    out
+    let m = match system {
+        System::Sirius => SiriusSim::new(scale.sim_config(scale.network(), &wl, seed)).run(&wl),
+        System::SiriusIdeal => {
+            let cfg = scale.sim_config(scale.network(), &wl, seed);
+            SiriusSim::new(cfg.with_mode(CcMode::Ideal)).run(&wl)
+        }
+        System::Esn => EsnSim::new(scale.esn(1.0)).run(&wl),
+        System::EsnOsub => EsnSim::new(scale.esn(3.0)).run(&wl),
+    };
+    point(system.label(), load, &m, scale, horizon)
 }
 
-/// The full Fig. 9 sweep.
-pub fn run(scale: Scale, seed: u64) -> Vec<Point> {
-    LOADS
+/// Run one load point for all four systems, serially. Goodput is measured
+/// over the offered-load window (last arrival), the same horizon for
+/// every system.
+pub fn run_load(scale: Scale, load: f64, seed: u64) -> Vec<Point> {
+    System::ALL
         .iter()
-        .flat_map(|&l| run_load(scale, l, seed))
+        .map(|&s| run_point(scale, s, load, seed))
         .collect()
+}
+
+/// The full Fig. 9 sweep as (system, load) jobs for the pool.
+pub fn sweep(scale: Scale, seed: u64) -> Sweep<Point> {
+    let mut sweep = Sweep::new();
+    for &load in &LOADS {
+        for &system in &System::ALL {
+            sweep.push(
+                format!("fig9 load={:.0}% system={}", load * 100.0, system.label()),
+                move || run_point(scale, system, load, seed),
+            );
+        }
+    }
+    sweep
+}
+
+/// The full Fig. 9 sweep on `jobs` workers.
+pub fn run(scale: Scale, seed: u64, jobs: usize) -> Vec<Point> {
+    sweep(scale, seed).run(jobs)
 }
 
 /// Render the two panels as tables.

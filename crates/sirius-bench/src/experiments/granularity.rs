@@ -11,6 +11,7 @@
 
 use crate::experiments::fig11::network_for_guardband;
 use crate::experiments::fig9::SHORT_FLOW_BYTES;
+use crate::pool::Sweep;
 use crate::scale::Scale;
 use crate::table::{fct_ms, Table};
 use sirius_core::units::Duration;
@@ -33,21 +34,34 @@ pub struct Point {
     pub completed_fraction: f64,
 }
 
-pub fn run(scale: Scale, load: f64, seed: u64) -> Vec<Point> {
+/// One technology point; regenerates its own workload.
+pub fn run_point(
+    scale: Scale,
+    name: &'static str,
+    reconfig_ns: u64,
+    load: f64,
+    seed: u64,
+) -> Point {
     let wl = scale.workload(load, seed).generate();
-    let mut out = Vec::new();
+    let net = network_for_guardband(scale, Duration::from_ns(reconfig_ns));
+    let cfg = scale.sim_config(net, &wl, seed);
+    let m = SiriusSim::new(cfg).run(&wl);
+    Point {
+        technology: name,
+        reconfig_ns,
+        fct_p99_ms: fct_ms(m.fct_percentile(99.0, SHORT_FLOW_BYTES)),
+        completed_fraction: m.completed_flows() as f64 / wl.len() as f64,
+    }
+}
+
+pub fn run(scale: Scale, load: f64, seed: u64, jobs: usize) -> Vec<Point> {
+    let mut sweep = Sweep::new();
     for (name, ns) in TECHNOLOGIES {
-        let net = network_for_guardband(scale, Duration::from_ns(ns));
-        let cfg = scale.sim_config(net, &wl, seed);
-        let m = SiriusSim::new(cfg).run(&wl);
-        out.push(Point {
-            technology: name,
-            reconfig_ns: ns,
-            fct_p99_ms: fct_ms(m.fct_percentile(99.0, SHORT_FLOW_BYTES)),
-            completed_fraction: m.completed_flows() as f64 / wl.len() as f64,
+        sweep.push(format!("granularity reconfig={ns}ns ({name})"), move || {
+            run_point(scale, name, ns, load, seed)
         });
     }
-    out
+    sweep.run(jobs)
 }
 
 pub fn table(points: &[Point]) -> Table {
@@ -75,7 +89,7 @@ mod tests {
         // The §2.2/§8 claim in one table: at micro/millisecond
         // reconfiguration the short-flow tail is orders of magnitude worse
         // (or flows stop completing inside the run) than at nanoseconds.
-        let pts = run(Scale::Smoke, 0.3, 5);
+        let pts = run(Scale::Smoke, 0.3, 5, 2);
         assert_eq!(pts.len(), TECHNOLOGIES.len());
         let ns_frac = pts[0].completed_fraction;
         let mems_frac = pts.last().unwrap().completed_fraction;

@@ -11,6 +11,7 @@
 
 use crate::experiments::fig11::network_for_guardband;
 use crate::experiments::fig9::SHORT_FLOW_BYTES;
+use crate::pool::Sweep;
 use crate::scale::Scale;
 use crate::table::{f, fct_ms, Table};
 use sirius_core::units::Duration;
@@ -28,6 +29,19 @@ pub struct FctPoint {
     pub fct_p99: Option<Duration>,
 }
 
+/// One (guardband, burst) FCT point; regenerates its own workload.
+pub fn fct_point(scale: Scale, load: f64, seed: u64, guard_ns: u64, burst: u8) -> FctPoint {
+    let wl = scale.workload(load, seed).generate();
+    let net = network_for_guardband(scale, Duration::from_ns(guard_ns));
+    let cfg = scale.sim_config(net, &wl, seed).with_relay_burst(burst);
+    let m = SiriusSim::new(cfg).run(&wl);
+    FctPoint {
+        burst,
+        guard_ns,
+        fct_p99: m.fct_percentile(99.0, SHORT_FLOW_BYTES),
+    }
+}
+
 /// Short-flow p99 FCT across (burst, guardband), fig. 11 style: the slot
 /// is rescaled so the guardband stays 10% of it.
 pub fn run_fct(
@@ -36,22 +50,18 @@ pub fn run_fct(
     seed: u64,
     bursts: &[u8],
     guards_ns: &[u64],
+    jobs: usize,
 ) -> Vec<FctPoint> {
-    let wl = scale.workload(load, seed).generate();
-    let mut out = Vec::new();
+    let mut sweep = Sweep::new();
     for &g in guards_ns {
-        let net = network_for_guardband(scale, Duration::from_ns(g));
-        let cfg = scale.sim_config(net, &wl, seed);
         for &b in bursts {
-            let m = SiriusSim::new(cfg.clone().with_relay_burst(b)).run(&wl);
-            out.push(FctPoint {
-                burst: b,
-                guard_ns: g,
-                fct_p99: m.fct_percentile(99.0, SHORT_FLOW_BYTES),
-            });
+            sweep.push(
+                format!("relay_burst fct guard={g}ns burst={b}"),
+                move || fct_point(scale, load, seed, g, b),
+            );
         }
     }
-    out
+    sweep.run(jobs)
 }
 
 #[derive(Debug, Clone)]
@@ -65,29 +75,33 @@ pub struct SatPoint {
     pub bound_cells: u64,
 }
 
-/// Saturation goodput and fabric occupancy per burst, on the scale's
-/// standard network.
-pub fn run_saturation(scale: Scale, seed: u64, bursts: &[u8]) -> Vec<SatPoint> {
+/// One saturation point at a burst length; regenerates its own workload.
+pub fn sat_point(scale: Scale, seed: u64, burst: u8) -> SatPoint {
     let net = scale.network();
     let wl = scale.workload(1.0, seed).generate();
     let horizon = wl.last().unwrap().arrival;
-    let cfg = scale.sim_config(net.clone(), &wl, seed);
-    bursts
-        .iter()
-        .map(|&b| {
-            let m = SiriusSim::new(cfg.clone().with_relay_burst(b)).run(&wl);
-            SatPoint {
-                burst: b,
-                goodput: m.goodput_within(
-                    horizon,
-                    net.total_servers() as u64,
-                    scale.server_share(),
-                ),
-                peak_fabric_cells: m.peak_node_fabric_cells,
-                bound_cells: (b as u64 + 1) * net.queue_threshold as u64 * net.nodes as u64,
-            }
-        })
-        .collect()
+    let cfg = scale
+        .sim_config(net.clone(), &wl, seed)
+        .with_relay_burst(burst);
+    let m = SiriusSim::new(cfg).run(&wl);
+    SatPoint {
+        burst,
+        goodput: m.goodput_within(horizon, net.total_servers() as u64, scale.server_share()),
+        peak_fabric_cells: m.peak_node_fabric_cells,
+        bound_cells: (burst as u64 + 1) * net.queue_threshold as u64 * net.nodes as u64,
+    }
+}
+
+/// Saturation goodput and fabric occupancy per burst, on the scale's
+/// standard network.
+pub fn run_saturation(scale: Scale, seed: u64, bursts: &[u8], jobs: usize) -> Vec<SatPoint> {
+    let mut sweep = Sweep::new();
+    for &b in bursts {
+        sweep.push(format!("relay_burst sat burst={b}"), move || {
+            sat_point(scale, seed, b)
+        });
+    }
+    sweep.run(jobs)
 }
 
 pub fn fct_table(points: &[FctPoint]) -> Table {
@@ -127,7 +141,7 @@ mod tests {
 
     #[test]
     fn fabric_occupancy_respects_the_bound_for_every_burst() {
-        let pts = run_saturation(Scale::Smoke, 9, &[1, 3, 12]);
+        let pts = run_saturation(Scale::Smoke, 9, &[1, 3, 12], 2);
         assert_eq!(pts.len(), 3);
         for p in &pts {
             assert!(p.goodput > 0.0, "burst {}: no goodput", p.burst);
@@ -147,7 +161,7 @@ mod tests {
 
     #[test]
     fn fct_sweep_covers_the_grid() {
-        let pts = run_fct(Scale::Smoke, 0.25, 9, &[1, 3], &[1, 40]);
+        let pts = run_fct(Scale::Smoke, 0.25, 9, &[1, 3], &[1, 40], 2);
         assert_eq!(pts.len(), 4);
         for p in &pts {
             assert!(p.fct_p99.is_some(), "burst {} produced no FCT", p.burst);

@@ -10,6 +10,7 @@
 //! escalates the very first suspected column to a whole-node exclusion.
 
 use crate::experiments::fault_tolerance::{fabric_limited_net, survivor_workload};
+use crate::pool::Sweep;
 use crate::scale::Scale;
 use crate::table::{f, Table};
 use sirius_core::topology::NodeId;
@@ -50,51 +51,88 @@ pub fn k_sweep(nodes: u32) -> Vec<u32> {
     ks
 }
 
+/// The three arms every `k` is measured under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Arm {
+    /// No faults: the ratio denominator.
+    Healthy,
+    /// k dead columns, link-granular repair (default escalation).
+    Link,
+    /// Same faults, whole-node rule (escalation fraction 0).
+    Node,
+}
+
+/// One (k, arm) run: goodput over the saturated horizon plus the
+/// end-of-run capacity factor (1.0 for the healthy arm). Regenerates its
+/// own workload, so each pool job carries only its own flows.
+fn arm_point(scale: Scale, seed: u64, k: u32, arm: Arm) -> (f64, f64) {
+    let net = fabric_limited_net(scale);
+    let n = net.nodes as u32;
+    let start = Time::ZERO + net.epoch() * 12; // routing settles first
+    let servers = (n - k) * net.servers_per_node as u32;
+    let wl = survivor_workload(&net, servers, servers as u64 * 40, seed, start);
+    let last = wl.last().unwrap().arrival.since(Time::ZERO).as_ps();
+    let horizon = Time::from_ps(last * 4 / 5);
+    let mut cfg = SiriusSimConfig::new(net.clone()).with_seed(seed);
+    cfg.drain_timeout = Duration::from_ms(2);
+    if arm == Arm::Node {
+        cfg = cfg.with_column_escalation_fraction(0.0);
+    }
+
+    let mut sim = SiriusSim::new(cfg);
+    if arm != Arm::Healthy {
+        let mut inj = FaultInjector::new(seed);
+        for i in 0..k {
+            inj = inj.grey_link(NodeId(n - 1 - i), 1, 1.0, 0, u64::MAX);
+        }
+        sim = sim.with_faults(inj);
+    }
+    let m = sim.run(&wl);
+    let cf = m
+        .fault
+        .as_ref()
+        .map(|f| f.capacity_factor_end)
+        .unwrap_or(1.0);
+    (
+        m.goodput_within(horizon, servers as u64, net.server_rate),
+        cf,
+    )
+}
+
 /// One healthy run plus one degraded run per repair policy, all over the
 /// survivor population only and measured strictly inside the arrival
-/// span (mirrors the §4.5 goodput methodology).
-pub fn run(scale: Scale, seed: u64, ks: &[u32]) -> Vec<GranularityPoint> {
+/// span (mirrors the §4.5 goodput methodology). The three arms of each
+/// `k` are independent pool jobs.
+pub fn run(scale: Scale, seed: u64, ks: &[u32], jobs: usize) -> Vec<GranularityPoint> {
     let net = fabric_limited_net(scale);
     let n = net.nodes as u32;
     let uplinks = net.total_uplinks() as u32;
-    let start = Time::ZERO + net.epoch() * 12; // routing settles first
-    let mut out = Vec::new();
+    let mut sweep = Sweep::new();
     for &k in ks {
-        let servers = (n - k) * net.servers_per_node as u32;
-        let wl = survivor_workload(&net, servers, servers as u64 * 40, seed, start);
-        let last = wl.last().unwrap().arrival.since(Time::ZERO).as_ps();
-        let horizon = Time::from_ps(last * 4 / 5);
-        let mut cfg = SiriusSimConfig::new(net.clone()).with_seed(seed);
-        cfg.drain_timeout = Duration::from_ms(2);
-
-        let inj = || {
-            let mut inj = FaultInjector::new(seed);
-            for i in 0..k {
-                inj = inj.grey_link(NodeId(n - 1 - i), 1, 1.0, 0, u64::MAX);
-            }
-            inj
-        };
-
-        let healthy = SiriusSim::new(cfg.clone()).run(&wl);
-        let link = SiriusSim::new(cfg.clone()).with_faults(inj()).run(&wl);
-        let node = SiriusSim::new(cfg.with_column_escalation_fraction(0.0))
-            .with_faults(inj())
-            .run(&wl);
-
-        let g =
-            |m: &sirius_sim::RunMetrics| m.goodput_within(horizon, servers as u64, net.server_rate);
-        let gh = g(&healthy);
-        out.push(GranularityPoint {
-            k,
-            nodes: n,
-            uplinks,
-            cf_link: link.fault.as_ref().unwrap().capacity_factor_end,
-            ratio_link: g(&link) / gh,
-            cf_node: node.fault.as_ref().unwrap().capacity_factor_end,
-            ratio_node: g(&node) / gh,
-        });
+        for arm in [Arm::Healthy, Arm::Link, Arm::Node] {
+            sweep.push(format!("repair_granularity k={k} arm={arm:?}"), move || {
+                arm_point(scale, seed, k, arm)
+            });
+        }
     }
-    out
+    let results = sweep.run(jobs);
+    ks.iter()
+        .zip(results.chunks_exact(3))
+        .map(|(&k, arms)| {
+            let [(gh, _), (gl, cf_link), (gn, cf_node)] = arms else {
+                unreachable!("three arms per k");
+            };
+            GranularityPoint {
+                k,
+                nodes: n,
+                uplinks,
+                cf_link: *cf_link,
+                ratio_link: gl / gh,
+                cf_node: *cf_node,
+                ratio_node: gn / gh,
+            }
+        })
+        .collect()
 }
 
 pub fn table(points: &[GranularityPoint]) -> Table {
@@ -132,7 +170,7 @@ mod tests {
 
     #[test]
     fn link_granular_repair_keeps_more_capacity_at_smoke_scale() {
-        let pts = run(Scale::Smoke, 11, &[2]);
+        let pts = run(Scale::Smoke, 11, &[2], 2);
         let p = &pts[0];
         let nu = (p.nodes * p.uplinks) as f64;
         assert!((p.cf_link - (1.0 - 2.0 / nu)).abs() < 1e-9);

@@ -12,8 +12,9 @@
 //! recorded pre-refactor baseline, so CI artifacts carry the speedup
 //! ratio itself.
 
+use crate::pool::Sweep;
 use crate::scale::Scale;
-use crate::table::{f, Table};
+use crate::table::{f, write_results_atomic, Table};
 use sirius_sim::{CcMode, SiriusSim};
 
 /// The three congestion-control modes, with their CSV/JSON names.
@@ -69,35 +70,47 @@ pub fn flow_count(scale: Scale) -> u64 {
     }
 }
 
-/// One audited-off release-path run per mode over the same workload.
+/// One mode's audited-off release-path run; regenerates its workload.
 /// Load 0.5: moderate occupancy, the run drains, and the cell mix
 /// exercises both the relay and direct paths.
-pub fn run(scale: Scale, seed: u64) -> Vec<ThroughputPoint> {
+pub fn run_mode(scale: Scale, seed: u64, mode: CcMode, name: &'static str) -> ThroughputPoint {
     let net = scale.network();
     let mut spec = scale.workload(0.5, seed);
     spec.flows = flow_count(scale);
     let wl = spec.generate();
-    MODES
-        .iter()
-        .map(|&(mode, name)| {
-            let cfg = scale
-                .sim_config(net.clone(), &wl, seed)
-                .with_mode(mode)
-                // Throughput measures the release path: audit off
-                // explicitly so debug-build smoke tests measure the same
-                // configuration CI release runs do.
-                .with_audit(false);
-            let m = SiriusSim::new(cfg).run(&wl);
-            ThroughputPoint {
-                mode: name,
-                nodes: net.nodes as u32,
-                flows: wl.len() as u64,
-                cells: m.cells_delivered,
-                epochs: m.epochs_simulated,
-                wall_secs: m.wall_secs,
-            }
-        })
-        .collect()
+    let cfg = scale
+        .sim_config(net.clone(), &wl, seed)
+        .with_mode(mode)
+        // Throughput measures the release path: audit off explicitly so
+        // debug-build smoke tests measure the same configuration CI
+        // release runs do.
+        .with_audit(false);
+    let m = SiriusSim::new(cfg).run(&wl);
+    ThroughputPoint {
+        mode: name,
+        nodes: net.nodes as u32,
+        flows: wl.len() as u64,
+        cells: m.cells_delivered,
+        epochs: m.epochs_simulated,
+        wall_secs: m.wall_secs,
+    }
+}
+
+/// One run per mode over the same (regenerated) workload.
+///
+/// `jobs` parallelizes *across* the three modes — fine for smoke coverage
+/// of the harness path, but concurrent modes contend for cores and
+/// inflate each other's wall clock, so the longitudinal series (the
+/// paper-scale best-of-3 in `BENCH_sim_throughput.json`) is always
+/// measured at `jobs = 1`; the `sim_throughput` bin enforces that.
+pub fn run(scale: Scale, seed: u64, jobs: usize) -> Vec<ThroughputPoint> {
+    let mut sweep = Sweep::new();
+    for &(mode, name) in &MODES {
+        sweep.push(format!("sim_throughput mode={name}"), move || {
+            run_mode(scale, seed, mode, name)
+        });
+    }
+    sweep.run(jobs)
 }
 
 /// Best-of-`repeats` measurement per mode. Wall-clock noise is one-sided
@@ -105,10 +118,10 @@ pub fn run(scale: Scale, seed: u64) -> Vec<ThroughputPoint> {
 /// is), so the minimum wall time per mode is the closest observation of
 /// the engine's true cost. The simulated run is identical every repeat
 /// (same seed), so only the clock varies.
-pub fn run_best(scale: Scale, seed: u64, repeats: u32) -> Vec<ThroughputPoint> {
-    let mut best = run(scale, seed);
+pub fn run_best(scale: Scale, seed: u64, repeats: u32, jobs: usize) -> Vec<ThroughputPoint> {
+    let mut best = run(scale, seed, jobs);
     for _ in 1..repeats {
-        for (b, p) in best.iter_mut().zip(run(scale, seed)) {
+        for (b, p) in best.iter_mut().zip(run(scale, seed, jobs)) {
             if p.wall_secs < b.wall_secs {
                 *b = p;
             }
@@ -187,16 +200,12 @@ pub fn to_json(points: &[ThroughputPoint], scale: Scale) -> String {
     out
 }
 
-/// Write `results/BENCH_sim_throughput.json` (same convention as
-/// `Table::emit` for CSVs).
+/// Write `results/BENCH_sim_throughput.json` atomically (same convention
+/// as `Table::emit` for CSVs).
 pub fn emit_json(points: &[ThroughputPoint], scale: Scale) {
-    let dir = std::path::PathBuf::from("results");
-    if std::fs::create_dir_all(&dir).is_ok() {
-        let path = dir.join("BENCH_sim_throughput.json");
-        match std::fs::write(&path, to_json(points, scale)) {
-            Ok(()) => println!("[json] {}\n", path.display()),
-            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
-        }
+    match write_results_atomic("BENCH_sim_throughput.json", &to_json(points, scale)) {
+        Ok(path) => println!("[json] {}\n", path.display()),
+        Err(e) => eprintln!("warning: could not write results/BENCH_sim_throughput.json: {e}"),
     }
 }
 
@@ -206,7 +215,7 @@ mod tests {
 
     #[test]
     fn smoke_runs_all_modes_and_counts_work() {
-        let pts = run(Scale::Smoke, 3);
+        let pts = run(Scale::Smoke, 3, 1);
         assert_eq!(pts.len(), 3);
         for p in &pts {
             assert!(p.cells > 0, "{}: no cells delivered", p.mode);

@@ -4,8 +4,12 @@
 //! paper's evaluation. Each figure has a binary (`cargo run --release -p
 //! sirius-bench --bin fig9`) that prints the paper's rows/series and
 //! writes a CSV under `results/`; pass `--full` for the paper-scale
-//! configuration. Criterion benches under `benches/` time scaled-down
-//! versions of the same code paths plus the simulator hot loops.
+//! configuration. Every sweep fans out across `--jobs N` workers (env
+//! `SIRIUS_JOBS`, default: all cores) through [`pool::Sweep`], with
+//! results collected in submission order so parallel runs emit
+//! byte-identical tables, CSVs, and digests to `--jobs 1`. Criterion
+//! benches under `benches/` time scaled-down versions of the same code
+//! paths plus the simulator hot loops.
 //!
 //! | Paper artifact | Binary | Module |
 //! |---|---|---|
@@ -25,9 +29,14 @@
 //! | simulator throughput | `sim_throughput` | [`experiments::sim_throughput`] |
 //! | everything | `xp` | all of the above |
 
+pub mod cli;
 pub mod experiments;
+pub mod pool;
 pub mod scale;
 pub mod table;
+pub mod wall;
 
+pub use cli::Cli;
+pub use pool::Sweep;
 pub use scale::Scale;
 pub use table::Table;

@@ -1,0 +1,293 @@
+//! Deterministic parallel sweep executor.
+//!
+//! Every figure sweep in this harness is a list of independent,
+//! single-threaded, seeded simulation runs — embarrassingly parallel
+//! work that the harness used to execute strictly serially. [`Sweep`]
+//! turns each fan-out loop into a list of labelled job closures and runs
+//! them on `--jobs N` workers (env `SIRIUS_JOBS`, default
+//! [`std::thread::available_parallelism`]), returning results **in
+//! submission order** so every table, CSV, and run digest is
+//! byte-identical to the serial run.
+//!
+//! Design constraints, in order:
+//!
+//! * **Determinism.** Results are written into per-job slots indexed by
+//!   submission position; worker scheduling can reorder *execution* but
+//!   never *collection*. `jobs = 1` takes a same-thread fast path that
+//!   spawns nothing at all, so the serial harness is a true no-op
+//!   conversion, not "a thread pool of one".
+//! * **No dependencies.** The container is hermetic (vendored crates
+//!   only), so the pool is `std` only: [`std::thread::scope`] plus an
+//!   atomic work index. No channels, no rayon.
+//! * **Panic containment.** A panicking job must fail the sweep with its
+//!   point label, after the surviving workers drain the remaining jobs —
+//!   never a deadlock, never silently abandoned siblings. Workers catch
+//!   unwinds per job; the caller re-panics with every failed label once
+//!   the scope has joined.
+//! * **Bounded memory.** Jobs are closures: point *descriptions* are
+//!   enumerated up front, but each closure generates its own workload
+//!   when it runs, so peak memory scales with `jobs`, not sweep size.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Worker count for a sweep: `SIRIUS_JOBS` if set (≥ 1), else the
+/// machine's available parallelism, else 1.
+pub fn default_jobs() -> usize {
+    if let Ok(v) = std::env::var("SIRIUS_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+        eprintln!("warning: ignoring SIRIUS_JOBS={v:?} (want an integer >= 1)");
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Wall-clock for one executed job, by label, in submission order.
+#[derive(Debug, Clone)]
+pub struct JobTiming {
+    pub label: String,
+    pub wall: Duration,
+}
+
+type JobFn<R> = Box<dyn FnOnce() -> R + Send + 'static>;
+/// What one executed job leaves behind: its result (or panic text) and
+/// its wall-clock.
+type Outcome<R> = (Result<R, String>, Duration);
+
+/// An ordered list of labelled jobs. Experiments `push` one closure per
+/// sweep point and `run` the lot; results come back in `push` order.
+pub struct Sweep<R> {
+    labels: Vec<String>,
+    jobs: Vec<JobFn<R>>,
+}
+
+impl<R: Send + 'static> Default for Sweep<R> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<R: Send + 'static> Sweep<R> {
+    pub fn new() -> Sweep<R> {
+        Sweep {
+            labels: Vec::new(),
+            jobs: Vec::new(),
+        }
+    }
+
+    /// Queue one job. The label names the sweep point in panic reports
+    /// and timing artifacts (e.g. `fig9 load=50% system=Sirius`).
+    pub fn push(&mut self, label: impl Into<String>, job: impl FnOnce() -> R + Send + 'static) {
+        self.labels.push(label.into());
+        self.jobs.push(Box::new(job));
+    }
+
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Execute on `jobs` workers; results in submission order.
+    ///
+    /// # Panics
+    /// If any job panicked, panics with the labels and payloads of every
+    /// failed job — after all surviving jobs have completed.
+    pub fn run(self, jobs: usize) -> Vec<R> {
+        self.run_timed(jobs).0
+    }
+
+    /// [`Sweep::run`] plus per-job wall-clock, in submission order.
+    pub fn run_timed(self, jobs: usize) -> (Vec<R>, Vec<JobTiming>) {
+        let n = self.jobs.len();
+        // Never spawn more workers than jobs: `jobs > points` must not
+        // leave idle-forever threads (each extra worker would only spin
+        // the work index once and exit, but why spawn it at all).
+        let workers = jobs.max(1).min(n);
+        let outcomes = if workers <= 1 {
+            self.jobs
+                .into_iter()
+                .map(|job| {
+                    let t0 = Instant::now();
+                    let r = catch_unwind(AssertUnwindSafe(job));
+                    (r.map_err(panic_message), t0.elapsed())
+                })
+                .collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let tasks: Vec<Mutex<Option<JobFn<R>>>> =
+                self.jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+            let slots: Vec<Mutex<Option<Outcome<R>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let job = tasks[i].lock().unwrap().take().unwrap();
+                        let t0 = Instant::now();
+                        // Contain the unwind inside the worker: the loop
+                        // keeps draining jobs, siblings never notice, and
+                        // scope join cannot abort on a worker panic.
+                        let r = catch_unwind(AssertUnwindSafe(job));
+                        *slots[i].lock().unwrap() = Some((r.map_err(panic_message), t0.elapsed()));
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.into_inner().unwrap().expect("worker skipped a job"))
+                .collect::<Vec<_>>()
+        };
+
+        let mut results = Vec::with_capacity(n);
+        let mut timings = Vec::with_capacity(n);
+        let mut failures = Vec::new();
+        for (label, (outcome, wall)) in self.labels.into_iter().zip(outcomes) {
+            match outcome {
+                Ok(r) => {
+                    results.push(r);
+                    timings.push(JobTiming { label, wall });
+                }
+                Err(msg) => failures.push(format!("  job '{label}': {msg}")),
+            }
+        }
+        if !failures.is_empty() {
+            panic!(
+                "sweep failed: {} of {} job(s) panicked\n{}",
+                failures.len(),
+                n,
+                failures.join("\n")
+            );
+        }
+        (results, timings)
+    }
+}
+
+/// Render a panic payload (what `catch_unwind` hands back) as text.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Run a homogeneous sweep built from an iterator of points: one job per
+/// point, labelled by `label(point)`, executed by `job(point)`.
+pub fn sweep_map<P, R, L, F>(points: impl IntoIterator<Item = P>, label: L, job: F) -> Sweep<R>
+where
+    P: Clone + Send + 'static,
+    R: Send + 'static,
+    L: Fn(&P) -> String,
+    F: Fn(P) -> R + Clone + Send + 'static,
+{
+    let mut sweep = Sweep::new();
+    for p in points {
+        let f = job.clone();
+        let lbl = label(&p);
+        sweep.push(lbl, move || f(p));
+    }
+    sweep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    /// 40 jobs that each sleep a scheduling-dependent amount must still
+    /// come back in submission order, for every worker count including
+    /// the serial fast path.
+    #[test]
+    fn results_preserve_submission_order_for_all_worker_counts() {
+        for jobs in [1usize, 2, 8] {
+            let mut sweep = Sweep::new();
+            for i in 0..40u64 {
+                sweep.push(format!("point {i}"), move || {
+                    // Earlier jobs sleep longer: with >1 worker the
+                    // *completion* order inverts, so only slot indexing
+                    // can produce submission order.
+                    std::thread::sleep(Duration::from_micros((40 - i) * 50));
+                    i * 3
+                });
+            }
+            let (got, timings) = sweep.run_timed(jobs);
+            let want: Vec<u64> = (0..40).map(|i| i * 3).collect();
+            assert_eq!(got, want, "order broken at jobs={jobs}");
+            assert_eq!(timings.len(), 40);
+            assert_eq!(timings[7].label, "point 7");
+            assert!(timings.iter().all(|t| t.wall > Duration::ZERO));
+        }
+    }
+
+    #[test]
+    fn panicking_job_reports_its_label_and_siblings_still_run() {
+        for jobs in [1usize, 4] {
+            let ran: Arc<[AtomicBool; 6]> =
+                Arc::new(std::array::from_fn(|_| AtomicBool::new(false)));
+            let mut sweep = Sweep::new();
+            for i in 0..6usize {
+                let ran = Arc::clone(&ran);
+                sweep.push(format!("point {i}"), move || {
+                    ran[i].store(true, Ordering::SeqCst);
+                    if i == 3 {
+                        panic!("simulated failure at point 3");
+                    }
+                    i
+                });
+            }
+            let err =
+                catch_unwind(AssertUnwindSafe(|| sweep.run(jobs))).expect_err("sweep should fail");
+            let msg = panic_message(err);
+            assert!(msg.contains("point 3"), "label missing: {msg}");
+            assert!(msg.contains("simulated failure"), "payload missing: {msg}");
+            // Panic containment: the failure must not have abandoned the
+            // jobs queued after it.
+            for (i, r) in ran.iter().enumerate() {
+                assert!(r.load(Ordering::SeqCst), "job {i} abandoned (jobs={jobs})");
+            }
+        }
+    }
+
+    /// More workers than points: the pool caps at one worker per point
+    /// and the sweep still terminates promptly with correct results.
+    #[test]
+    fn more_workers_than_points_terminates() {
+        let mut sweep = Sweep::new();
+        for i in 0..3u32 {
+            sweep.push(format!("p{i}"), move || i + 100);
+        }
+        assert_eq!(sweep.run(64), vec![100, 101, 102]);
+        // Degenerate cases: empty sweep, single point.
+        assert!(Sweep::<u32>::new().run(8).is_empty());
+        let mut one = Sweep::new();
+        one.push("only", || 7u8);
+        assert_eq!(one.run(16), vec![7]);
+    }
+
+    #[test]
+    fn sweep_map_labels_and_maps_in_order() {
+        let sweep = sweep_map([2u64, 5, 9], |p| format!("load={p}"), |p| p * p);
+        assert_eq!(sweep.len(), 3);
+        assert_eq!(sweep.run(2), vec![4, 25, 81]);
+    }
+
+    #[test]
+    fn default_jobs_is_at_least_one() {
+        assert!(default_jobs() >= 1);
+    }
+}

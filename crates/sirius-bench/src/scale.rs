@@ -24,16 +24,6 @@ pub enum Scale {
 }
 
 impl Scale {
-    pub fn from_args() -> Scale {
-        if std::env::args().any(|a| a == "--full") {
-            Scale::Paper
-        } else if std::env::args().any(|a| a == "--smoke") {
-            Scale::Smoke
-        } else {
-            Scale::Quick
-        }
-    }
-
     /// The Sirius network for this scale.
     pub fn network(self) -> SiriusConfig {
         match self {

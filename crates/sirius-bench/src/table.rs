@@ -5,7 +5,22 @@
 
 use std::fmt::Write as _;
 use std::fs;
+use std::io;
 use std::path::PathBuf;
+
+/// Write `results/<name>` atomically: the contents land in
+/// `results/.<name>.tmp` first and are renamed into place, so an
+/// interrupted or concurrent run can never leave a truncated artifact
+/// (rename within a directory is atomic on every platform we target).
+pub fn write_results_atomic(name: &str, contents: &str) -> io::Result<PathBuf> {
+    let dir = PathBuf::from("results");
+    fs::create_dir_all(&dir)?;
+    let tmp = dir.join(format!(".{name}.tmp"));
+    fs::write(&tmp, contents)?;
+    let path = dir.join(name);
+    fs::rename(&tmp, &path)?;
+    Ok(path)
+}
 
 /// A simple column-aligned table that can also serialize itself as CSV.
 #[derive(Debug, Clone)]
@@ -72,17 +87,14 @@ impl Table {
         out
     }
 
-    /// Print to stdout and write `results/<name>.csv`.
+    /// Print to stdout and write `results/<name>.csv` (atomically, via
+    /// [`write_results_atomic`]).
     pub fn emit(&self, name: &str) {
         println!("{}", self.render());
-        let dir = PathBuf::from("results");
-        if fs::create_dir_all(&dir).is_ok() {
-            let path = dir.join(format!("{name}.csv"));
-            if let Err(e) = fs::write(&path, self.to_csv()) {
-                eprintln!("warning: could not write {}: {e}", path.display());
-            } else {
-                println!("[csv] {}\n", path.display());
-            }
+        let file = format!("{name}.csv");
+        match write_results_atomic(&file, &self.to_csv()) {
+            Ok(path) => println!("[csv] {}\n", path.display()),
+            Err(e) => eprintln!("warning: could not write results/{file}: {e}"),
         }
     }
 }
@@ -123,6 +135,22 @@ mod tests {
     fn ragged_rows_rejected() {
         let mut t = Table::new("demo", &["a", "b"]);
         t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn atomic_write_lands_content_and_leaves_no_tmp() {
+        let name = "table_atomic_write_selftest.csv";
+        let path = write_results_atomic(name, "a,b\n1,2\n").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "a,b\n1,2\n");
+        assert!(
+            !path.with_file_name(format!(".{name}.tmp")).exists(),
+            "tmp file must be renamed away"
+        );
+        // Overwrite is atomic too: a second write replaces, never truncates.
+        let path2 = write_results_atomic(name, "a,b\n3,4\n").unwrap();
+        assert_eq!(fs::read_to_string(&path2).unwrap(), "a,b\n3,4\n");
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_dir(path.parent().unwrap());
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! Harness wall-clock accounting: the `results/BENCH_xp_wall.json`
+//! longitudinal series.
+//!
+//! `xp --timing` runs the full reproduction twice — once with `--jobs 1`
+//! (the serial baseline) and once with the requested worker count — and
+//! records per-experiment wall-clock for both legs plus the end-to-end
+//! speedup. Like `BENCH_sim_throughput.json` (the *simulator* series),
+//! the artifact carries the measurement context so CI uploads are
+//! self-describing: scale, worker count, and the host's available
+//! parallelism (a `jobs = 4` run on a 1-core container is honest about
+//! why it shows no speedup).
+
+use crate::scale::Scale;
+use crate::table::write_results_atomic;
+
+/// Wall-clock for one experiment, serial vs parallel leg.
+#[derive(Debug, Clone)]
+pub struct ExperimentWall {
+    pub name: &'static str,
+    pub serial_secs: f64,
+    pub parallel_secs: f64,
+}
+
+impl ExperimentWall {
+    pub fn speedup(&self) -> Option<f64> {
+        (self.parallel_secs > 0.0).then(|| self.serial_secs / self.parallel_secs)
+    }
+}
+
+/// The whole `xp --timing` measurement.
+#[derive(Debug, Clone)]
+pub struct WallReport {
+    pub scale: Scale,
+    /// Workers used by the parallel leg.
+    pub jobs: usize,
+    /// What the host could actually run concurrently.
+    pub host_parallelism: usize,
+    pub experiments: Vec<ExperimentWall>,
+}
+
+impl WallReport {
+    pub fn serial_total_secs(&self) -> f64 {
+        self.experiments.iter().map(|e| e.serial_secs).sum()
+    }
+
+    pub fn parallel_total_secs(&self) -> f64 {
+        self.experiments.iter().map(|e| e.parallel_secs).sum()
+    }
+
+    pub fn total_speedup(&self) -> Option<f64> {
+        let p = self.parallel_total_secs();
+        (p > 0.0).then(|| self.serial_total_secs() / p)
+    }
+
+    /// Hand-rolled JSON (the workspace is offline — no serde), same
+    /// convention as `sim_throughput::to_json`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"bench\": \"xp_wall\",\n");
+        out.push_str(&format!("  \"scale\": \"{:?}\",\n", self.scale));
+        out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        out.push_str(&format!(
+            "  \"host_parallelism\": {},\n",
+            self.host_parallelism
+        ));
+        out.push_str(&format!(
+            "  \"serial_total_secs\": {:.4},\n",
+            self.serial_total_secs()
+        ));
+        out.push_str(&format!(
+            "  \"parallel_total_secs\": {:.4},\n",
+            self.parallel_total_secs()
+        ));
+        match self.total_speedup() {
+            Some(s) => out.push_str(&format!("  \"total_speedup\": {s:.3},\n")),
+            None => out.push_str("  \"total_speedup\": null,\n"),
+        }
+        out.push_str("  \"experiments\": [\n");
+        for (i, e) in self.experiments.iter().enumerate() {
+            let speedup = match e.speedup() {
+                Some(s) => format!("{s:.3}"),
+                None => "null".to_string(),
+            };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"serial_secs\": {:.4}, \
+                 \"parallel_secs\": {:.4}, \"speedup\": {}}}{}\n",
+                e.name,
+                e.serial_secs,
+                e.parallel_secs,
+                speedup,
+                if i + 1 == self.experiments.len() {
+                    ""
+                } else {
+                    ","
+                }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Write `results/BENCH_xp_wall.json` atomically.
+    pub fn emit(&self) {
+        match write_results_atomic("BENCH_xp_wall.json", &self.to_json()) {
+            Ok(path) => println!("[json] {}\n", path.display()),
+            Err(e) => eprintln!("warning: could not write results/BENCH_xp_wall.json: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_totals_and_speedups_are_consistent() {
+        let r = WallReport {
+            scale: Scale::Smoke,
+            jobs: 4,
+            host_parallelism: 8,
+            experiments: vec![
+                ExperimentWall {
+                    name: "fig9",
+                    serial_secs: 4.0,
+                    parallel_secs: 1.0,
+                },
+                ExperimentWall {
+                    name: "fig10",
+                    serial_secs: 2.0,
+                    parallel_secs: 1.0,
+                },
+            ],
+        };
+        assert_eq!(r.serial_total_secs(), 6.0);
+        assert_eq!(r.parallel_total_secs(), 2.0);
+        assert_eq!(r.total_speedup(), Some(3.0));
+        let j = r.to_json();
+        assert!(j.contains("\"bench\": \"xp_wall\""));
+        assert!(j.contains("\"jobs\": 4"));
+        assert!(j.contains("\"host_parallelism\": 8"));
+        assert!(j.contains("\"total_speedup\": 3.000"));
+        assert!(j.contains("\"name\": \"fig9\""));
+        assert!(j.contains("\"speedup\": 4.000"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn zero_wall_reports_null_speedup() {
+        let r = WallReport {
+            scale: Scale::Quick,
+            jobs: 1,
+            host_parallelism: 1,
+            experiments: vec![ExperimentWall {
+                name: "sync",
+                serial_secs: 0.0,
+                parallel_secs: 0.0,
+            }],
+        };
+        assert_eq!(r.total_speedup(), None);
+        assert!(r.to_json().contains("\"total_speedup\": null"));
+        assert!(r.to_json().contains("\"speedup\": null"));
+    }
+}
