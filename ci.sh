@@ -71,7 +71,26 @@ stage_bench_smoke() {
   # path — including the BENCH_sim_throughput.json emitter — is covered.
   cargo run --release -p sirius-bench --bin fault_tolerance -- --smoke --jobs 2
   cargo run --release -p sirius-bench --bin repair_granularity -- --smoke --jobs 2
-  cargo run --release -p sirius-bench --bin sim_throughput -- --quick --jobs 2
+
+  echo "==> sharded-equals-serial (sim_throughput digests, --shards 1 vs --shards 2)"
+  # The slot-engine sharding contract, checked on the real artifacts: a
+  # quick-scale run with --shards 2 must report the same per-mode run
+  # digests as --shards 1. (The bin also asserts this in-process when
+  # --shards > 1; the cross-invocation compare below additionally pins
+  # that the serial engine itself didn't drift between the two runs.)
+  cargo run --release -p sirius-bench --bin sim_throughput -- --quick --jobs 2 --shards 1
+  grep -o '"digest": "[0-9a-f]*"' results/BENCH_sim_throughput.json > results/.digests_serial
+  cargo run --release -p sirius-bench --bin sim_throughput -- --quick --jobs 2 --shards 2
+  grep -o '"digest": "[0-9a-f]*"' results/BENCH_sim_throughput.json | head -n 3 > results/.digests_sharded_serialleg
+  cmp results/.digests_serial results/.digests_sharded_serialleg
+  rm -f results/.digests_serial results/.digests_sharded_serialleg
+  echo "sim_throughput digests byte-identical across --shards 1 and --shards 2"
+
+  echo "==> test suite under SIRIUS_SHARDS=2 (release)"
+  # Every simulation in the suite that reaches the release NullObserver
+  # path runs sharded; digest-pinned tests (golden, determinism,
+  # conformance) must be unaffected.
+  SIRIUS_SHARDS=2 cargo test --release -q --workspace
 
   echo "==> parallel-equals-serial (fig9 CSVs, --jobs 1 vs --jobs 2)"
   # The executor's determinism contract, checked on the real artifacts:
@@ -92,6 +111,13 @@ stage_bench_smoke() {
   # per-experiment wall-clock; the workflow uploads the JSON artifact.
   cargo run --release -p sirius-bench --bin xp -- --smoke --timing --jobs 2
   test -s results/BENCH_xp_wall.json
+  # Wall-report validation: every ratio and duration must be a JSON
+  # number or null — a 0-duration leg must never leak the invalid-JSON
+  # tokens NaN/inf into the artifact.
+  if grep -nEi '\b(nan|inf|infinity)\b' results/BENCH_xp_wall.json; then
+    echo "error: non-finite number leaked into BENCH_xp_wall.json" >&2
+    exit 1
+  fi
 }
 
 case "${1-all}" in

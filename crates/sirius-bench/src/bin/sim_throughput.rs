@@ -1,8 +1,10 @@
 //! Simulator throughput harness: wall-clock cells/sec and epochs/sec for
 //! Protocol/Ideal/Greedy. Pass `--full` for paper_sim scale (the
 //! configuration the ≥2× refactor bar is measured at), `--smoke` for the
-//! harness self-test size. Emits `results/sim_throughput.csv` and
-//! `results/BENCH_sim_throughput.json`.
+//! harness self-test size, `--shards N` to measure the sharded slot
+//! engine — which records a serial (`shards = 1`) baseline *and* the
+//! sharded leg in the same artifact, digest-compared. Emits
+//! `results/sim_throughput.csv` and `results/BENCH_sim_throughput.json`.
 use sirius_bench::experiments::sim_throughput;
 use sirius_bench::{Cli, Scale};
 
@@ -10,10 +12,12 @@ fn main() {
     let cli = Cli::parse();
     let scale = cli.scale;
     // Paper scale is the acceptance measurement: best-of-3 to shed
-    // one-sided OS noise, and always serial — concurrent modes contend
-    // for cores and would inflate each other's wall clock, corrupting
-    // the longitudinal series. The smaller scales are smoke checks of
-    // the harness path, where `--jobs` parallelism is exercised.
+    // one-sided OS noise, and always a single sweep job — concurrent
+    // modes contend for cores and would inflate each other's wall clock,
+    // corrupting the longitudinal series. (`--shards` is intra-run
+    // parallelism and is exactly what this measurement is for.) The
+    // smaller scales are smoke checks of the harness path, where
+    // `--jobs` parallelism is exercised.
     let (repeats, jobs) = if scale == Scale::Paper {
         if cli.jobs > 1 {
             eprintln!("note: paper-scale throughput is a wall-clock measurement; forcing --jobs 1");
@@ -22,8 +26,25 @@ fn main() {
     } else {
         (1, cli.jobs)
     };
-    eprintln!("=== simulator throughput, {scale:?} scale, --jobs {jobs} ===");
-    let pts = sim_throughput::run_best(scale, 1, repeats, jobs);
+    let shards = cli.shards.unwrap_or(1);
+    eprintln!("=== simulator throughput, {scale:?} scale, --jobs {jobs}, --shards {shards} ===");
+    // Serial baseline first; with --shards N > 1 the sharded leg rides in
+    // the same artifact so the serial-vs-sharded ratio (and the digest
+    // equality CI checks) need no cross-file correlation.
+    let mut pts = sim_throughput::run_best(scale, 1, repeats, jobs, 1);
+    if shards > 1 {
+        pts.extend(sim_throughput::run_best(scale, 1, repeats, jobs, shards));
+        for mode in ["protocol", "greedy"] {
+            let serial = pts.iter().find(|p| p.mode == mode && p.shards == 1);
+            let sharded = pts.iter().find(|p| p.mode == mode && p.shards > 1);
+            if let (Some(a), Some(b)) = (serial, sharded) {
+                assert_eq!(
+                    a.digest, b.digest,
+                    "{mode}: sharded digest diverged from serial"
+                );
+            }
+        }
+    }
     sim_throughput::table(&pts).emit("sim_throughput");
     sim_throughput::emit_json(&pts, scale);
 }

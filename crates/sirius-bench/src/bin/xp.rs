@@ -120,7 +120,7 @@ fn suite(scale: Scale) -> Vec<Experiment> {
     xs.push((
         "sim_throughput",
         Box::new(move |jobs| {
-            let tp = sim_throughput::run(scale, 1, jobs);
+            let tp = sim_throughput::run(scale, 1, jobs, 1);
             sim_throughput::table(&tp).emit("sim_throughput");
             sim_throughput::emit_json(&tp, scale);
         }),

@@ -30,15 +30,20 @@ pub const MODES: [(CcMode, &str); 3] = [
 /// See EXPERIMENTS.md, "Simulator throughput".
 pub const BASELINE_PAPER_PROTOCOL_CELLS_PER_SEC: f64 = 625_101.0;
 
-/// One (mode, scale) throughput measurement.
+/// One (mode, shards, scale) throughput measurement.
 #[derive(Debug, Clone)]
 pub struct ThroughputPoint {
     pub mode: &'static str,
+    /// Slot-engine worker shards the run used (1 = serial engine).
+    pub shards: usize,
     pub nodes: u32,
     pub flows: u64,
     pub cells: u64,
     pub epochs: u64,
     pub wall_secs: f64,
+    /// Delivered-cell run digest: sharded points must match their serial
+    /// sibling bit-for-bit (`ci.sh bench-smoke` compares them).
+    pub digest: u64,
 }
 
 impl ThroughputPoint {
@@ -72,8 +77,16 @@ pub fn flow_count(scale: Scale) -> u64 {
 
 /// One mode's audited-off release-path run; regenerates its workload.
 /// Load 0.5: moderate occupancy, the run drains, and the cell mix
-/// exercises both the relay and direct paths.
-pub fn run_mode(scale: Scale, seed: u64, mode: CcMode, name: &'static str) -> ThroughputPoint {
+/// exercises both the relay and direct paths. `shards` is the
+/// slot-engine worker count (1 = serial; Ideal mode runs serial
+/// regardless, so its sharded point measures the fallback).
+pub fn run_mode(
+    scale: Scale,
+    seed: u64,
+    mode: CcMode,
+    name: &'static str,
+    shards: usize,
+) -> ThroughputPoint {
     let net = scale.network();
     let mut spec = scale.workload(0.5, seed);
     spec.flows = flow_count(scale);
@@ -81,6 +94,7 @@ pub fn run_mode(scale: Scale, seed: u64, mode: CcMode, name: &'static str) -> Th
     let cfg = scale
         .sim_config(net.clone(), &wl, seed)
         .with_mode(mode)
+        .with_shards(shards)
         // Throughput measures the release path: audit off explicitly so
         // debug-build smoke tests measure the same configuration CI
         // release runs do.
@@ -88,11 +102,13 @@ pub fn run_mode(scale: Scale, seed: u64, mode: CcMode, name: &'static str) -> Th
     let m = SiriusSim::new(cfg).run(&wl);
     ThroughputPoint {
         mode: name,
+        shards,
         nodes: net.nodes as u32,
         flows: wl.len() as u64,
         cells: m.cells_delivered,
         epochs: m.epochs_simulated,
         wall_secs: m.wall_secs,
+        digest: m.digest,
     }
 }
 
@@ -103,12 +119,13 @@ pub fn run_mode(scale: Scale, seed: u64, mode: CcMode, name: &'static str) -> Th
 /// inflate each other's wall clock, so the longitudinal series (the
 /// paper-scale best-of-3 in `BENCH_sim_throughput.json`) is always
 /// measured at `jobs = 1`; the `sim_throughput` bin enforces that.
-pub fn run(scale: Scale, seed: u64, jobs: usize) -> Vec<ThroughputPoint> {
+pub fn run(scale: Scale, seed: u64, jobs: usize, shards: usize) -> Vec<ThroughputPoint> {
     let mut sweep = Sweep::new();
     for &(mode, name) in &MODES {
-        sweep.push(format!("sim_throughput mode={name}"), move || {
-            run_mode(scale, seed, mode, name)
-        });
+        sweep.push(
+            format!("sim_throughput mode={name} shards={shards}"),
+            move || run_mode(scale, seed, mode, name, shards),
+        );
     }
     sweep.run(jobs)
 }
@@ -118,10 +135,16 @@ pub fn run(scale: Scale, seed: u64, jobs: usize) -> Vec<ThroughputPoint> {
 /// is), so the minimum wall time per mode is the closest observation of
 /// the engine's true cost. The simulated run is identical every repeat
 /// (same seed), so only the clock varies.
-pub fn run_best(scale: Scale, seed: u64, repeats: u32, jobs: usize) -> Vec<ThroughputPoint> {
-    let mut best = run(scale, seed, jobs);
+pub fn run_best(
+    scale: Scale,
+    seed: u64,
+    repeats: u32,
+    jobs: usize,
+    shards: usize,
+) -> Vec<ThroughputPoint> {
+    let mut best = run(scale, seed, jobs, shards);
     for _ in 1..repeats {
-        for (b, p) in best.iter_mut().zip(run(scale, seed, jobs)) {
+        for (b, p) in best.iter_mut().zip(run(scale, seed, jobs, shards)) {
             if p.wall_secs < b.wall_secs {
                 *b = p;
             }
@@ -135,6 +158,7 @@ pub fn table(points: &[ThroughputPoint]) -> Table {
         "simulator throughput (wall-clock)",
         &[
             "mode",
+            "shards",
             "nodes",
             "flows",
             "cells",
@@ -142,11 +166,13 @@ pub fn table(points: &[ThroughputPoint]) -> Table {
             "wall_s",
             "cells_per_s",
             "epochs_per_s",
+            "digest",
         ],
     );
     for p in points {
         t.row(vec![
             p.mode.to_string(),
+            p.shards.to_string(),
             p.nodes.to_string(),
             p.flows.to_string(),
             p.cells.to_string(),
@@ -154,38 +180,65 @@ pub fn table(points: &[ThroughputPoint]) -> Table {
             f(p.wall_secs, 3),
             f(p.cells_per_sec(), 0),
             f(p.epochs_per_sec(), 0),
+            format!("{:016x}", p.digest),
         ]);
     }
     t
 }
 
 /// Hand-rolled JSON (the workspace is offline — no serde): the measured
-/// points, the recorded pre-refactor baseline, and the Protocol speedup
-/// against it when the run is at paper scale.
+/// points, the recorded pre-refactor baseline, the Protocol speedup
+/// against it when the run is at paper scale (always taken from the
+/// serial point so the longitudinal series stays comparable), and the
+/// sharded-vs-serial Protocol ratio when both shard counts were
+/// measured. `host_parallelism` makes the artifact self-describing: a
+/// sharded run on a 1-core container is honest about why it shows no
+/// speedup.
 pub fn to_json(points: &[ThroughputPoint], scale: Scale) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"sim_throughput\",\n");
     out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
     out.push_str(&format!(
+        "  \"host_parallelism\": {},\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    ));
+    out.push_str(&format!(
         "  \"baseline_paper_protocol_cells_per_sec\": {:.0},\n",
         BASELINE_PAPER_PROTOCOL_CELLS_PER_SEC
     ));
-    let speedup = points
+    let serial_protocol = points
         .iter()
-        .find(|p| p.mode == "protocol")
+        .find(|p| p.mode == "protocol" && p.shards == 1);
+    let speedup = serial_protocol
         .filter(|_| scale == Scale::Paper && BASELINE_PAPER_PROTOCOL_CELLS_PER_SEC > 0.0)
         .map(|p| p.cells_per_sec() / BASELINE_PAPER_PROTOCOL_CELLS_PER_SEC);
     match speedup {
         Some(s) => out.push_str(&format!("  \"protocol_speedup_vs_baseline\": {s:.3},\n")),
         None => out.push_str("  \"protocol_speedup_vs_baseline\": null,\n"),
     }
+    let sharded_protocol = points.iter().find(|p| p.mode == "protocol" && p.shards > 1);
+    let sharded_speedup = match (serial_protocol, sharded_protocol) {
+        (Some(serial), Some(sharded)) if serial.cells_per_sec() > 0.0 => {
+            Some(sharded.cells_per_sec() / serial.cells_per_sec())
+        }
+        _ => None,
+    };
+    match sharded_speedup {
+        Some(s) => out.push_str(&format!(
+            "  \"protocol_sharded_speedup_vs_serial\": {s:.3},\n"
+        )),
+        None => out.push_str("  \"protocol_sharded_speedup_vs_serial\": null,\n"),
+    }
     out.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"mode\": \"{}\", \"nodes\": {}, \"flows\": {}, \"cells\": {}, \
-             \"epochs\": {}, \"wall_secs\": {:.4}, \"cells_per_sec\": {:.0}, \
-             \"epochs_per_sec\": {:.0}}}{}\n",
+            "    {{\"mode\": \"{}\", \"shards\": {}, \"nodes\": {}, \"flows\": {}, \
+             \"cells\": {}, \"epochs\": {}, \"wall_secs\": {:.4}, \"cells_per_sec\": {:.0}, \
+             \"epochs_per_sec\": {:.0}, \"digest\": \"{:016x}\"}}{}\n",
             p.mode,
+            p.shards,
             p.nodes,
             p.flows,
             p.cells,
@@ -193,6 +246,7 @@ pub fn to_json(points: &[ThroughputPoint], scale: Scale) -> String {
             p.wall_secs,
             p.cells_per_sec(),
             p.epochs_per_sec(),
+            p.digest,
             if i + 1 == points.len() { "" } else { "," }
         ));
     }
@@ -215,9 +269,10 @@ mod tests {
 
     #[test]
     fn smoke_runs_all_modes_and_counts_work() {
-        let pts = run(Scale::Smoke, 3, 1);
+        let pts = run(Scale::Smoke, 3, 1, 1);
         assert_eq!(pts.len(), 3);
         for p in &pts {
+            assert_eq!(p.shards, 1);
             assert!(p.cells > 0, "{}: no cells delivered", p.mode);
             assert!(p.epochs > 0, "{}: no epochs simulated", p.mode);
             assert!(p.wall_secs > 0.0, "{}: wall clock did not advance", p.mode);
@@ -227,22 +282,43 @@ mod tests {
         assert_eq!(table(&pts).len(), 3);
     }
 
+    /// The shards axis: a sharded run retires the same work with the same
+    /// digest as its serial sibling (the full matrix lives in
+    /// `tests/determinism.rs`; this pins the harness plumbing).
+    #[test]
+    fn sharded_point_matches_serial_digest() {
+        let serial = run_mode(Scale::Smoke, 3, CcMode::Protocol, "protocol", 1);
+        let sharded = run_mode(Scale::Smoke, 3, CcMode::Protocol, "protocol", 2);
+        assert_eq!(sharded.shards, 2);
+        assert_eq!(serial.digest, sharded.digest, "sharded digest diverged");
+        assert_eq!(serial.cells, sharded.cells);
+        assert_eq!(serial.epochs, sharded.epochs);
+    }
+
     #[test]
     fn json_is_well_formed_enough() {
-        let pts = vec![ThroughputPoint {
+        let mk = |shards: usize, wall: f64| ThroughputPoint {
             mode: "protocol",
+            shards,
             nodes: 16,
             flows: 10,
             cells: 1000,
             epochs: 50,
-            wall_secs: 0.5,
-        }];
+            wall_secs: wall,
+            digest: 0xabcd,
+        };
+        let pts = vec![mk(1, 0.5), mk(2, 0.25)];
         let j = to_json(&pts, Scale::Smoke);
         assert!(j.contains("\"bench\": \"sim_throughput\""));
         assert!(j.contains("\"cells_per_sec\": 2000"));
         assert!(j.contains("\"scale\": \"Smoke\""));
-        // Smoke scale never claims a paper-scale speedup.
+        assert!(j.contains("\"host_parallelism\":"));
+        assert!(j.contains("\"shards\": 2"));
+        assert!(j.contains("\"digest\": \"000000000000abcd\""));
+        // Smoke scale never claims a paper-scale speedup...
         assert!(j.contains("\"protocol_speedup_vs_baseline\": null"));
+        // ...but the sharded-vs-serial ratio is scale-independent.
+        assert!(j.contains("\"protocol_sharded_speedup_vs_serial\": 2.000"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 }

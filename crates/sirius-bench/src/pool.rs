@@ -27,26 +27,53 @@
 //! * **Bounded memory.** Jobs are closures: point *descriptions* are
 //!   enumerated up front, but each closure generates its own workload
 //!   when it runs, so peak memory scales with `jobs`, not sweep size.
+//!
+//! # Worker-count precedence
+//!
+//! `--jobs N` on the command line beats the `SIRIUS_JOBS` environment
+//! variable, which beats [`std::thread::available_parallelism`] (the
+//! fallback when neither is set, or 1 if even that is unavailable).
+//! [`Cli::parse`](crate::cli::Cli) implements the first hop (it only
+//! consults [`default_jobs`] when `--jobs` is absent); this module
+//! implements the rest. A malformed `SIRIUS_JOBS` is ignored with a
+//! warning printed **once per process** — the parse is cached, so a
+//! harness building one sweep per experiment (`xp` builds dozens) does
+//! not spam the warning per sweep.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-/// Worker count for a sweep: `SIRIUS_JOBS` if set (≥ 1), else the
-/// machine's available parallelism, else 1.
+/// Worker count for a sweep when `--jobs` is absent: `SIRIUS_JOBS` if
+/// set to an integer ≥ 1, else the machine's available parallelism, else
+/// 1 (see the module docs for the full precedence). Cached on first
+/// call; a malformed `SIRIUS_JOBS` warns exactly once per process.
 pub fn default_jobs() -> usize {
-    if let Ok(v) = std::env::var("SIRIUS_JOBS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        if let Ok(v) = std::env::var("SIRIUS_JOBS") {
+            match parse_env_jobs(&v) {
+                Ok(n) => return n,
+                Err(warning) => eprintln!("{warning}"),
             }
         }
-        eprintln!("warning: ignoring SIRIUS_JOBS={v:?} (want an integer >= 1)");
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Parse a `SIRIUS_JOBS` value; `Err` carries the (once-per-process)
+/// warning text. Pure, so the rejection surface is testable without
+/// touching the process environment or the [`default_jobs`] cache.
+fn parse_env_jobs(v: &str) -> Result<usize, String> {
+    match v.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!(
+            "warning: ignoring SIRIUS_JOBS={v:?} (want an integer >= 1)"
+        )),
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
 }
 
 /// Wall-clock for one executed job, by label, in submission order.
@@ -287,7 +314,26 @@ mod tests {
     }
 
     #[test]
-    fn default_jobs_is_at_least_one() {
-        assert!(default_jobs() >= 1);
+    fn default_jobs_is_at_least_one_and_stable() {
+        let first = default_jobs();
+        assert!(first >= 1);
+        // The OnceLock cache means repeated sweep construction re-reads
+        // nothing (and a malformed env var would have warned only once).
+        assert_eq!(default_jobs(), first);
+    }
+
+    /// Regression test for the repeated-warning bug: the env parse is a
+    /// pure function, so the accept/reject surface is pinned here without
+    /// mutating the process environment, and [`default_jobs`] caches its
+    /// verdict (exercised above) so the warning cannot repeat.
+    #[test]
+    fn env_jobs_parse_accepts_counts_and_rejects_garbage_with_one_warning_text() {
+        assert_eq!(parse_env_jobs("4"), Ok(4));
+        assert_eq!(parse_env_jobs(" 2 "), Ok(2));
+        for bad in ["0", "-1", "many", "", "1.5"] {
+            let err = parse_env_jobs(bad).expect_err(bad);
+            assert!(err.contains("ignoring SIRIUS_JOBS"), "bad warning: {err}");
+            assert!(err.contains("integer >= 1"), "bad warning: {err}");
+        }
     }
 }

@@ -7,19 +7,40 @@ use std::fmt::Write as _;
 use std::fs;
 use std::io;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Write `results/<name>` atomically: the contents land in
-/// `results/.<name>.tmp` first and are renamed into place, so an
-/// interrupted or concurrent run can never leave a truncated artifact
+/// `results/.<name>.<pid>.<seq>.tmp` first and are renamed into place, so
+/// an interrupted or concurrent run can never leave a truncated artifact
 /// (rename within a directory is atomic on every platform we target).
+///
+/// The tmp suffix is unique per process *and* per call (pid + monotonic
+/// counter): with a fixed tmp name, two concurrent writers of the same
+/// artifact — exactly what `ci.sh bench-smoke` does with its
+/// serial-vs-parallel binary comparison — could interleave
+/// `write(tmp)` / `rename(tmp)` and rename each other's half-written
+/// file into place. With unique tmps the final rename is always of a
+/// fully-written file; last writer wins whole.
 pub fn write_results_atomic(name: &str, contents: &str) -> io::Result<PathBuf> {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
     let dir = PathBuf::from("results");
     fs::create_dir_all(&dir)?;
-    let tmp = dir.join(format!(".{name}.tmp"));
+    let tmp = dir.join(format!(
+        ".{name}.{}.{}.tmp",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
     fs::write(&tmp, contents)?;
     let path = dir.join(name);
-    fs::rename(&tmp, &path)?;
-    Ok(path)
+    match fs::rename(&tmp, &path) {
+        Ok(()) => Ok(path),
+        Err(e) => {
+            // Don't strand the tmp on a failed rename (e.g. target dir
+            // vanished between create_dir_all and here).
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
 }
 
 /// A simple column-aligned table that can also serialize itself as CSV.
@@ -137,20 +158,61 @@ mod tests {
         t.row(vec!["1".into()]);
     }
 
+    /// No tmp file for `name` left behind in `results/`.
+    fn assert_no_tmps(name: &str) {
+        let prefix = format!(".{name}.");
+        for e in fs::read_dir("results").unwrap() {
+            let f = e.unwrap().file_name().into_string().unwrap();
+            assert!(
+                !(f.starts_with(&prefix) && f.ends_with(".tmp")),
+                "tmp file {f} must be renamed away"
+            );
+        }
+    }
+
     #[test]
     fn atomic_write_lands_content_and_leaves_no_tmp() {
         let name = "table_atomic_write_selftest.csv";
         let path = write_results_atomic(name, "a,b\n1,2\n").unwrap();
         assert_eq!(fs::read_to_string(&path).unwrap(), "a,b\n1,2\n");
-        assert!(
-            !path.with_file_name(format!(".{name}.tmp")).exists(),
-            "tmp file must be renamed away"
-        );
+        assert_no_tmps(name);
         // Overwrite is atomic too: a second write replaces, never truncates.
         let path2 = write_results_atomic(name, "a,b\n3,4\n").unwrap();
         assert_eq!(fs::read_to_string(&path2).unwrap(), "a,b\n3,4\n");
         let _ = fs::remove_file(&path);
         let _ = fs::remove_dir(path.parent().unwrap());
+    }
+
+    /// Regression test for the fixed-tmp-name race: two writers hammering
+    /// the same artifact must always leave one writer's *complete*
+    /// content — with the old shared `.<name>.tmp`, writer A could rename
+    /// writer B's half-written tmp into place (or the rename could fail
+    /// outright on platforms where the tmp vanishes under it).
+    #[test]
+    fn concurrent_writers_always_leave_one_complete_artifact() {
+        let name = "table_two_writer_selftest.csv";
+        // Large enough that a write() is unlikely to be a single atomic
+        // syscall-visible unit if tmps were shared.
+        let a = format!("a\n{}", "A,1\n".repeat(20_000));
+        let b = format!("b\n{}", "B,2\n".repeat(20_000));
+        std::thread::scope(|s| {
+            for content in [&a, &b] {
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        write_results_atomic(name, content).unwrap();
+                    }
+                });
+            }
+        });
+        let path = PathBuf::from("results").join(name);
+        let last = fs::read_to_string(&path).unwrap();
+        assert!(
+            last == a || last == b,
+            "artifact must be exactly one writer's content, got {} bytes",
+            last.len()
+        );
+        assert_no_tmps(name);
+        let _ = fs::remove_file(&path);
     }
 
     #[test]

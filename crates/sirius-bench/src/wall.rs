@@ -22,8 +22,24 @@ pub struct ExperimentWall {
 }
 
 impl ExperimentWall {
+    /// Serial/parallel ratio, `None` when unmeasurable: a 0-duration
+    /// parallel leg (smoke scale on a fast host rounds below the clock
+    /// tick) has no meaningful ratio, and a non-finite one (0/0, inf
+    /// inputs) must never reach the JSON artifact.
     pub fn speedup(&self) -> Option<f64> {
-        (self.parallel_secs > 0.0).then(|| self.serial_secs / self.parallel_secs)
+        (self.parallel_secs > 0.0)
+            .then(|| self.serial_secs / self.parallel_secs)
+            .filter(|s| s.is_finite())
+    }
+}
+
+/// JSON-safe seconds: `NaN`/`inf` are not valid JSON tokens, so an
+/// unmeasurable duration serializes as `null`.
+fn json_secs(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".to_string()
     }
 }
 
@@ -49,7 +65,9 @@ impl WallReport {
 
     pub fn total_speedup(&self) -> Option<f64> {
         let p = self.parallel_total_secs();
-        (p > 0.0).then(|| self.serial_total_secs() / p)
+        (p > 0.0)
+            .then(|| self.serial_total_secs() / p)
+            .filter(|s| s.is_finite())
     }
 
     /// Hand-rolled JSON (the workspace is offline — no serde), same
@@ -64,12 +82,12 @@ impl WallReport {
             self.host_parallelism
         ));
         out.push_str(&format!(
-            "  \"serial_total_secs\": {:.4},\n",
-            self.serial_total_secs()
+            "  \"serial_total_secs\": {},\n",
+            json_secs(self.serial_total_secs())
         ));
         out.push_str(&format!(
-            "  \"parallel_total_secs\": {:.4},\n",
-            self.parallel_total_secs()
+            "  \"parallel_total_secs\": {},\n",
+            json_secs(self.parallel_total_secs())
         ));
         match self.total_speedup() {
             Some(s) => out.push_str(&format!("  \"total_speedup\": {s:.3},\n")),
@@ -82,11 +100,11 @@ impl WallReport {
                 None => "null".to_string(),
             };
             out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"serial_secs\": {:.4}, \
-                 \"parallel_secs\": {:.4}, \"speedup\": {}}}{}\n",
+                "    {{\"name\": \"{}\", \"serial_secs\": {}, \
+                 \"parallel_secs\": {}, \"speedup\": {}}}{}\n",
                 e.name,
-                e.serial_secs,
-                e.parallel_secs,
+                json_secs(e.serial_secs),
+                json_secs(e.parallel_secs),
                 speedup,
                 if i + 1 == self.experiments.len() {
                     ""
@@ -159,5 +177,42 @@ mod tests {
         assert_eq!(r.total_speedup(), None);
         assert!(r.to_json().contains("\"total_speedup\": null"));
         assert!(r.to_json().contains("\"speedup\": null"));
+    }
+
+    /// Regression test: non-finite inputs (0/0 legs, inf from a broken
+    /// clock) must serialize as `null`, never as the invalid-JSON tokens
+    /// `NaN`/`inf`.
+    #[test]
+    fn non_finite_values_serialize_as_null() {
+        let r = WallReport {
+            scale: Scale::Smoke,
+            jobs: 2,
+            host_parallelism: 1,
+            experiments: vec![
+                ExperimentWall {
+                    name: "bad_clock",
+                    serial_secs: f64::NAN,
+                    parallel_secs: f64::NAN,
+                },
+                ExperimentWall {
+                    name: "huge_ratio",
+                    serial_secs: f64::INFINITY,
+                    parallel_secs: 1.0,
+                },
+            ],
+        };
+        assert_eq!(r.experiments[0].speedup(), None);
+        assert_eq!(
+            r.experiments[1].speedup(),
+            None,
+            "inf ratio is unmeasurable"
+        );
+        assert_eq!(r.total_speedup(), None);
+        let j = r.to_json();
+        for tok in ["NaN", "nan", "inf"] {
+            assert!(!j.contains(tok), "invalid JSON token {tok:?} in {j}");
+        }
+        assert!(j.contains("\"serial_secs\": null"));
+        assert!(j.contains("\"speedup\": null"));
     }
 }

@@ -1,7 +1,15 @@
-//! Parallel-equals-serial determinism: the acceptance check for the
-//! sweep executor. A representative full sweep (Fig. 9: 4 systems × 5
-//! loads, the paper's headline figure) must produce byte-identical CSVs
-//! and identical per-run digests whether it runs on 1 worker or 4.
+//! Parallel-equals-serial determinism, at both parallelism layers:
+//!
+//! * **Across runs** (the sweep executor): a representative full sweep
+//!   (Fig. 9: 4 systems × 5 loads, the paper's headline figure) must
+//!   produce byte-identical CSVs and identical per-run digests whether
+//!   it runs on 1 worker or 4.
+//! * **Within a run** (the sharded slot engine): one simulation split
+//!   across shard workers must retire the exact serial delivered-cell
+//!   sequence — byte-identical digest and equal `RunMetrics` counters
+//!   for shards ∈ {1, 2, 4} × {Protocol, Ideal} × {fault-free, fault
+//!   script}. (Golden digests pin serial behavior separately, unblessed,
+//!   in `tests/golden_digests.rs`.)
 //!
 //! The CSV comparison catches ordering or formatting drift; the digest
 //! comparison is stronger — it compares the delivered-cell *sequence* of
@@ -10,6 +18,7 @@
 
 use sirius_bench::experiments::fig9;
 use sirius_bench::Scale;
+use sirius_sim::{CcMode, FaultEvent, FaultInjector, RunMetrics, SiriusSim};
 
 #[test]
 fn fig9_sweep_is_byte_identical_serial_vs_parallel() {
@@ -43,4 +52,128 @@ fn fig9_sweep_is_byte_identical_serial_vs_parallel() {
     let (fct_p, gp_p) = fig9::tables(&parallel);
     assert_eq!(fct_s.to_csv(), fct_p.to_csv(), "fig9a CSV diverged");
     assert_eq!(gp_s.to_csv(), gp_p.to_csv(), "fig9b CSV diverged");
+}
+
+/// A fault script covering every draw path the sharded engine must keep
+/// deterministic: grey erasure (per-node RNG streams), mistune
+/// corruption (pre-pass scratch), a crash + recovery (failure plane,
+/// detector credit), and control loss (epoch-boundary serial stream).
+fn fault_script(seed: u64) -> FaultInjector {
+    use sirius_core::topology::NodeId;
+    let mut inj = FaultInjector::new(seed);
+    inj.push(FaultEvent::GreyLink {
+        node: NodeId(3),
+        uplink: 1,
+        drop_prob: 0.3,
+        from: 2,
+        until: 40,
+    });
+    inj.push(FaultEvent::GreyLink {
+        node: NodeId(9),
+        uplink: 0,
+        drop_prob: 0.08,
+        from: 4,
+        until: 60,
+    });
+    inj.push(FaultEvent::Mistune {
+        node: NodeId(5),
+        offset: 2,
+        from: 6,
+        until: 30,
+    });
+    inj.push(FaultEvent::Crash {
+        node: NodeId(12),
+        epoch: 8,
+    });
+    inj.push(FaultEvent::Recover {
+        node: NodeId(12),
+        epoch: 45,
+    });
+    inj.push(FaultEvent::ControlLoss {
+        drop_prob: 0.2,
+        from: 3,
+        until: 25,
+    });
+    inj
+}
+
+fn run_with_shards(mode: CcMode, shards: usize, faults: bool) -> RunMetrics {
+    let scale = Scale::Smoke;
+    let net = scale.network();
+    let wl = scale.workload(0.6, 11).generate();
+    let cfg = scale
+        .sim_config(net, &wl, 11)
+        .with_mode(mode)
+        .with_shards(shards)
+        // Audit-enabled runs take the serial observer path by design; the
+        // matrix tests the sharded engine, so audit off explicitly.
+        .with_audit(false);
+    let mut sim = SiriusSim::new(cfg);
+    if faults {
+        sim.set_faults(fault_script(11));
+    }
+    sim.run(&wl)
+}
+
+/// Everything in `RunMetrics` that describes simulated behavior (i.e.
+/// not host wall-clock) as a comparable value.
+fn behavior_of(m: &RunMetrics) -> impl std::fmt::Debug + PartialEq {
+    (
+        m.digest,
+        m.delivered_bytes,
+        m.cells_delivered,
+        m.epochs_simulated,
+        m.incomplete_flows,
+        m.span,
+        m.peak_node_fabric_cells,
+        m.peak_node_local_cells,
+        m.peak_reorder_flow_bytes,
+        m.flows
+            .iter()
+            .map(|f| (f.completion, f.delivered))
+            .collect::<Vec<_>>(),
+        m.fault.as_ref().map(|f| {
+            (
+                f.cells_lost_crash,
+                f.cells_lost_grey,
+                f.cells_lost_mistune,
+                f.cells_rerouted,
+                f.requests_lost,
+                f.grants_lost,
+                f.suspicion_events,
+                f.exclusions,
+                f.readmissions,
+                f.column_omissions,
+            )
+        }),
+    )
+}
+
+/// The tentpole acceptance matrix: sharded runs are byte-identical to
+/// serial across shard counts, CC modes, and fault scripts. Ideal mode
+/// falls back to the serial loop (shared back-pressure state), so its
+/// rows additionally pin that `with_shards` is behavior-inert there.
+#[test]
+fn sharded_runs_are_byte_identical_to_serial() {
+    for mode in [CcMode::Protocol, CcMode::Ideal] {
+        for faults in [false, true] {
+            let serial = run_with_shards(mode, 1, faults);
+            assert_ne!(serial.digest, 0, "serial digest vacuous");
+            if faults {
+                let f = serial.fault.as_ref().expect("fault report missing");
+                assert!(
+                    f.cells_lost_grey + f.cells_lost_mistune + f.cells_lost_crash > 0,
+                    "{mode:?}: fault script drew no losses; the matrix is vacuous"
+                );
+            }
+            for shards in [2usize, 4] {
+                let sharded = run_with_shards(mode, shards, faults);
+                assert_eq!(
+                    behavior_of(&serial),
+                    behavior_of(&sharded),
+                    "behavior diverged: mode={mode:?} shards={shards} faults={faults}"
+                );
+            }
+        }
+    }
 }

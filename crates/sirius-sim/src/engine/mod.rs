@@ -31,6 +31,7 @@ pub(crate) mod deliver;
 pub(crate) mod detect;
 pub(crate) mod fault;
 pub(crate) mod observer;
+pub(crate) mod shard;
 pub(crate) mod tables;
 pub(crate) mod tx;
 
@@ -42,7 +43,8 @@ pub(crate) use tables::DestTable;
 pub(crate) use tx::TxPlane;
 
 use crate::audit::LossCause;
-use crate::sirius_net::SiriusSim;
+use crate::sirius_net::{CcMode, SiriusSim};
+use rand::Rng;
 use sirius_core::node::SlotTx;
 use sirius_core::schedule::SlotInEpoch;
 use sirius_core::topology::{NodeId, UplinkId};
@@ -142,8 +144,17 @@ impl SiriusSim {
         arrive_idx: usize,
         obs: &mut O,
     ) {
-        if !O::ENABLED && self.tx.mode == crate::sirius_net::CcMode::Protocol {
-            self.slot_clean_protocol(t, arrive_idx);
+        if !O::ENABLED && self.tx.mode != CcMode::Ideal {
+            // Same range function the shard workers run — per-node
+            // decisions cannot diverge between serial and sharded.
+            shard::tx_clean_range(
+                self.tx.mode,
+                &mut self.nodes,
+                0,
+                &self.tables,
+                t,
+                &mut self.delivery.ring[arrive_idx],
+            );
             return;
         }
         let uplinks = self.tables.uplinks();
@@ -171,43 +182,6 @@ impl SiriusSim {
         }
     }
 
-    /// Protocol-mode unobserved slot: the protocol only ever sends fabric
-    /// (relay + VOQ) cells, so a node's per-peer occupancy bitmask ANDed
-    /// with the slot's scheduled-peer mask decides in a couple of word
-    /// ops whether any of its uplinks can fire — and per surviving
-    /// uplink, one bit test replaces the two deque probes. Skipped
-    /// `transmit` calls would have returned `Idle` without touching any
-    /// state, so the fast path is behavior-identical to the generic loop.
-    fn slot_clean_protocol(&mut self, t: SlotInEpoch, arrive_idx: usize) {
-        let uplinks = self.tables.uplinks();
-        let dests = self.tables.slot(t);
-        let ring = &mut self.delivery.ring[arrive_idx];
-        let mut k = 0usize;
-        for i in 0..self.nodes.len() {
-            let fm = self.nodes[i].fabric_mask();
-            let pm = self.tables.peer_mask(t, i);
-            let mut any = 0u64;
-            for (f, p) in fm.iter().zip(pm) {
-                any |= f & p;
-            }
-            if any == 0 {
-                k += uplinks;
-                continue;
-            }
-            for u in 0..uplinks {
-                let j = dests[k + u];
-                if !self.nodes[i].fabric_nonempty(j) {
-                    continue;
-                }
-                let tx = self.nodes[i].transmit(j);
-                if let SlotTx::Relay(c) | SlotTx::ToIntermediate(c) = tx {
-                    ring.push((j, c));
-                }
-            }
-            k += uplinks;
-        }
-    }
-
     /// Fully-armed slot: mistune corruption, grey-erasure draws, detector
     /// credit, dead-slot (omission) checks and loss attribution — the
     /// original monolithic loop body, phrased against the planes.
@@ -226,6 +200,37 @@ impl SiriusSim {
             self.faults
                 .mistune_prepass(abs_slot, t, &self.failure_plane, &self.tables, obs);
         }
+        if !O::ENABLED && self.tx.mode != CcMode::Ideal {
+            // Same range function the shard workers run, over the full
+            // node range, with the effects applied in the same order the
+            // sharded merge uses — serial and sharded runs are identical
+            // by construction.
+            let mut out = std::mem::take(&mut self.fault_scratch);
+            shard::tx_faulty_range(
+                self.tx.mode,
+                &mut self.nodes,
+                &mut self.fault_rngs,
+                0,
+                &self.tables,
+                &self.sched,
+                &self.failure_plane,
+                &self.faults,
+                t,
+                &mut out,
+            );
+            self.delivery.ring[arrive_idx].append(&mut out.ring);
+            for &(ni, u, j) in &out.credits {
+                self.detect.credit(ni, u, j, arrival_epoch);
+            }
+            out.credits.clear();
+            self.faults.report.cells_lost_grey += out.lost_grey;
+            self.faults.report.cells_lost_mistune += out.lost_mistune;
+            out.lost_grey = 0;
+            out.lost_mistune = 0;
+            self.fault_scratch = out;
+            self.faults.end_slot();
+            return;
+        }
         let dests = self.tables.slot(t);
         let mut k = 0usize;
         for i in 0..n_nodes as u32 {
@@ -239,10 +244,13 @@ impl SiriusSim {
                 let j = dests[k];
                 k += 1;
                 // One erasure draw per scheduled slot on a grey link
-                // (never per cell), from the injector's own RNG stream —
-                // fault scripts leave the protocol RNG untouched.
+                // (never per cell), from the sender's own RNG stream —
+                // fault scripts leave the protocol RNG untouched, and the
+                // draw sequence is independent of the shard partition.
                 let grey_p = self.faults.active.grey_prob(ni, u, uplinks);
-                let erased = self.faults.active.any_grey() && self.faults.injector.draw(grey_p);
+                let erased = self.faults.active.any_grey()
+                    && grey_p > 0.0
+                    && self.fault_rngs[i as usize].gen_bool(grey_p);
                 let corrupted_by = self.faults.corrupted_by(j, u);
                 if !mistuned {
                     obs.note_rx(abs_slot, j, u);

@@ -1,0 +1,567 @@
+//! Sharded slot engine: the TX phase of every slot fanned across worker
+//! threads, with the merge order pinned so the run is byte-identical to
+//! serial.
+//!
+//! Nodes are partitioned into `shards` contiguous ranges. Each slot, the
+//! main thread runs the serial prologue (epoch/fault boundaries, the
+//! DeliverPlane drain, the mistune pre-pass), publishes the slot to the
+//! workers, runs shard 0 itself, waits on the barrier, and then merges
+//! the per-shard outputs **in shard order** — so the DeliverPlane ring,
+//! the reorder buffers, the FNV digest and the fault ledger all see
+//! exactly the sequence a serial run produces. Golden digests pass
+//! unblessed by construction:
+//!
+//! * The per-(node, uplink) transmit work is node-local: `transmit`
+//!   touches only the sending node's queues/arena/CC counters, and the
+//!   inputs it reads concurrently ([`DestTable`], the repair overlays,
+//!   the failure plane, the per-epoch fault snapshot) are frozen for the
+//!   duration of the slot.
+//! * Both the serial engine and the shard workers call the *same*
+//!   range-parameterized TX functions ([`tx_clean_range`],
+//!   [`tx_faulty_range`]), so per-node decisions cannot diverge between
+//!   `--shards 1` and `--shards N`.
+//! * Grey-erasure draws come from per-node RNG streams
+//!   ([`crate::faults::FaultInjector::node_streams`]): a node's draw
+//!   sequence depends only on its own scheduled slots, never on which
+//!   shard it landed in.
+//! * Cross-shard effects (detector credit is receiver-indexed, loss
+//!   counters are global) are buffered per shard in [`ShardOut`] and
+//!   applied on the main thread at merge, in shard order — equivalent to
+//!   the serial interleaving because detector state is only *read* at
+//!   epoch boundaries, which never overlap the TX phase.
+//!
+//! The barrier is a per-slot generation gate: per-*epoch* batching is
+//! not an option for exactness, because a cell launched at slot `s` is
+//! delivered at `s + prop_slots`, which lands inside the same epoch
+//! whenever propagation is shorter than an epoch (it always is at paper
+//! scale) — the TX of one slot feeds the serial deliver phase of a later
+//! slot in the same epoch. DESIGN.md decision #10 records the measured
+//! per-slot cost.
+//!
+//! Ideal mode cannot shard (its zero-latency back-pressure reads and
+//! writes one shared occupancy array sequentially *within* a slot by
+//! design) and audit-enabled runs stay serial (the audit is a debug
+//! facility whose observation order is the serial one); both fall back
+//! to [`SiriusSim::run_loop`], where sharded-vs-serial digest equality
+//! is trivial.
+
+use crate::engine::observer::NullObserver;
+use crate::engine::{DestTable, FaultPlane};
+use crate::sirius_net::{CcMode, SiriusSim};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use sirius_core::cell::Cell;
+use sirius_core::fault::FailurePlane;
+use sirius_core::node::{SiriusNode, SlotTx};
+use sirius_core::repair::AdjustedSchedule;
+use sirius_core::schedule::SlotInEpoch;
+use sirius_core::topology::{NodeId, UplinkId};
+use sirius_core::units::Time;
+use sirius_workload::Flow;
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Default shard count when [`crate::SiriusSimConfig::with_shards`] is
+/// not called: `SIRIUS_SHARDS` if set to an integer ≥ 1, else 1 (serial).
+/// The parse is cached and a malformed value warns exactly once per
+/// process (same contract as `SIRIUS_JOBS` in the bench harness).
+pub(crate) fn env_default_shards() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| match std::env::var("SIRIUS_SHARDS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("warning: ignoring SIRIUS_SHARDS={v:?} (want an integer >= 1)");
+                1
+            }
+        },
+        Err(_) => 1,
+    })
+}
+
+/// One shard's buffered slot output: ring pushes in node order, plus the
+/// cross-shard effects (receiver-indexed detector credit, global loss
+/// counters) that the main thread applies at merge. Buffers keep their
+/// capacity across slots.
+#[derive(Debug, Default)]
+pub(crate) struct ShardOut {
+    /// Cells launched this slot, in (node, uplink) order.
+    pub ring: Vec<(NodeId, Cell)>,
+    /// Detector credit: (sender, uplink, receiver), in (node, uplink)
+    /// order. `arrival_epoch` is slot-wide, so it is not stored per entry.
+    pub credits: Vec<(NodeId, u16, NodeId)>,
+    pub lost_grey: u64,
+    pub lost_mistune: u64,
+}
+
+impl ShardOut {
+    fn clear(&mut self) {
+        self.ring.clear();
+        self.credits.clear();
+        self.lost_grey = 0;
+        self.lost_mistune = 0;
+    }
+}
+
+/// Fault-free TX for `nodes` = the global range `[first, first + len)`,
+/// shared by the serial engine (full range) and every shard worker
+/// (its range). Protocol keeps its occupancy-mask fast path; Greedy is
+/// the generic idle-skip loop. Ideal is not rangeable (shared
+/// back-pressure state) and never reaches here.
+pub(crate) fn tx_clean_range(
+    mode: CcMode,
+    nodes: &mut [SiriusNode],
+    first: usize,
+    tables: &DestTable,
+    t: SlotInEpoch,
+    out: &mut Vec<(NodeId, Cell)>,
+) {
+    debug_assert_ne!(mode, CcMode::Ideal, "ideal mode is not shardable");
+    let uplinks = tables.uplinks();
+    let dests = tables.slot(t);
+    let mut k = first * uplinks;
+    match mode {
+        CcMode::Protocol => {
+            // The protocol only ever sends fabric (relay + VOQ) cells, so
+            // a node's per-peer occupancy bitmask ANDed with the slot's
+            // scheduled-peer mask decides in a couple of word ops whether
+            // any of its uplinks can fire — and per surviving uplink, one
+            // bit test replaces the two deque probes. Skipped `transmit`
+            // calls would have returned `Idle` without touching state.
+            for (li, node) in nodes.iter_mut().enumerate() {
+                let fm = node.fabric_mask();
+                let pm = tables.peer_mask(t, first + li);
+                let mut any = 0u64;
+                for (f, p) in fm.iter().zip(pm) {
+                    any |= f & p;
+                }
+                if any == 0 {
+                    k += uplinks;
+                    continue;
+                }
+                for u in 0..uplinks {
+                    let j = dests[k + u];
+                    if !node.fabric_nonempty(j) {
+                        continue;
+                    }
+                    let tx = node.transmit(j);
+                    if let SlotTx::Relay(c) | SlotTx::ToIntermediate(c) = tx {
+                        out.push((j, c));
+                    }
+                }
+                k += uplinks;
+            }
+        }
+        CcMode::Greedy | CcMode::Ideal => {
+            for node in nodes.iter_mut() {
+                // A node with nothing resident returns Idle on every
+                // uplink; skip the per-uplink probes.
+                if node.resident_cells() == 0 {
+                    k += uplinks;
+                    continue;
+                }
+                for u in 0..uplinks {
+                    let j = dests[k + u];
+                    // No back-pressure: any cell may detour via j.
+                    let tx = node.ideal_transmit(j, |_| true);
+                    if let SlotTx::Relay(c) | SlotTx::ToIntermediate(c) = tx {
+                        out.push((j, c));
+                    }
+                }
+                k += uplinks;
+            }
+        }
+    }
+}
+
+/// Fully-armed (fault-script) TX for the global range
+/// `[first, first + len)`: mistune corruption, grey-erasure draws from
+/// the per-node RNG streams, buffered detector credit, dead-slot
+/// (omission) checks and buffered loss attribution. Shared by the serial
+/// engine and every shard worker; non-Ideal modes only (the ideal-mode
+/// shadow occupancy, including its lost-launch undo, is shared state).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn tx_faulty_range(
+    mode: CcMode,
+    nodes: &mut [SiriusNode],
+    rngs: &mut [SmallRng],
+    first: usize,
+    tables: &DestTable,
+    sched: &AdjustedSchedule,
+    failures: &FailurePlane,
+    faults: &FaultPlane,
+    t: SlotInEpoch,
+    out: &mut ShardOut,
+) {
+    debug_assert_ne!(mode, CcMode::Ideal, "ideal mode is not shardable");
+    debug_assert_eq!(nodes.len(), rngs.len());
+    let uplinks = tables.uplinks();
+    let dests = tables.slot(t);
+    let any_grey = faults.active.any_grey();
+    let mut k = first * uplinks;
+    for (li, node) in nodes.iter_mut().enumerate() {
+        let ni = NodeId((first + li) as u32);
+        if failures.is_failed(ni) {
+            k += uplinks;
+            continue; // fail-stop: no data, no keepalive carrier
+        }
+        let mistuned = faults.active.mistune_of(ni).is_some();
+        for u in 0..uplinks as u16 {
+            let j = dests[k];
+            k += 1;
+            // One erasure draw per scheduled slot on a grey link (never
+            // per cell), from the sender's own stream — fault scripts
+            // leave the protocol RNG untouched, and the draw sequence is
+            // independent of the shard partition.
+            let grey_p = faults.active.grey_prob(ni, u, uplinks);
+            let erased = any_grey && grey_p > 0.0 && rngs[li].gen_bool(grey_p);
+            let corrupted_by = faults.corrupted_by(j, u);
+            // §4.5 detection feeds on the carrier itself: any well-tuned,
+            // non-erased transmission — idle keepalives included — counts
+            // as "heard". Receiver-indexed, so buffered for the merge.
+            if !mistuned && !erased && corrupted_by.is_none() && !failures.is_failed(j) {
+                out.credits.push((ni, u, j));
+            }
+            if sched.is_omitted(ni)
+                || sched.is_omitted(j)
+                || sched.is_column_omitted(ni, UplinkId(u))
+            {
+                continue; // dead slot: keepalive carrier only
+            }
+            let tx = match mode {
+                CcMode::Protocol => node.transmit(j),
+                CcMode::Greedy | CcMode::Ideal => node.ideal_transmit(j, |_| true),
+            };
+            if let SlotTx::Relay(c) | SlotTx::ToIntermediate(c) = tx {
+                if mistuned {
+                    out.lost_mistune += 1;
+                } else if erased {
+                    out.lost_grey += 1;
+                } else if corrupted_by.is_some() {
+                    out.lost_mistune += 1;
+                } else {
+                    out.ring.push((j, c));
+                }
+            }
+        }
+    }
+}
+
+/// The slot parameters the main thread publishes to the workers each
+/// generation. Pointers are re-derived fresh from the simulator's own
+/// `&mut` borrows every slot (never cached across the barrier), so the
+/// workers' raw accesses are always rooted in a live borrow.
+struct SlotParams {
+    nodes: *mut SiriusNode,
+    rngs: *mut SmallRng,
+    tables: *const DestTable,
+    sched: *const AdjustedSchedule,
+    failures: *const FailurePlane,
+    faults: *const FaultPlane,
+    t: u16,
+    faulty: bool,
+    stop: bool,
+}
+
+impl SlotParams {
+    const fn idle() -> SlotParams {
+        SlotParams {
+            nodes: std::ptr::null_mut(),
+            rngs: std::ptr::null_mut(),
+            tables: std::ptr::null(),
+            sched: std::ptr::null(),
+            failures: std::ptr::null(),
+            faults: std::ptr::null(),
+            t: 0,
+            faulty: false,
+            stop: false,
+        }
+    }
+}
+
+/// Shared coordination state for one sharded run: a sense-free
+/// generation barrier (`go` counts released slots, `done` counts
+/// completed shard-slots) plus the published [`SlotParams`] and the
+/// per-shard output buffers.
+///
+/// # Safety argument
+///
+/// All unsynchronized data (`params`, `outs`) is written by exactly one
+/// side of the barrier at a time:
+///
+/// * Main writes `params` and then `go.store(g, Release)`; a worker
+///   reads `params` only after `go.load(Acquire) >= g` — the release
+///   store happens-before the acquire load, so the params (and
+///   everything the pointers target) are visible.
+/// * Worker `s` writes `outs[s]` and its node/RNG range, then
+///   `done.fetch_add(1, Release)`; main reads them only after
+///   `done.load(Acquire)` reaches the generation's target — again
+///   happens-before. Between those two fences, main touches only shard
+///   0's range (through the same published base pointers) and state no
+///   worker reads mutably.
+/// * Node ranges are disjoint by construction, and every shared
+///   `*const` target (`tables`, `sched`, `failures`, `faults`) is
+///   mutated by main strictly outside the `go`..`done` window.
+struct ShardCtx {
+    params: UnsafeCell<SlotParams>,
+    outs: Vec<UnsafeCell<ShardOut>>,
+    /// Generation gate: number of slots released to the workers.
+    go: AtomicU64,
+    /// Cumulative worker slot-completions across the whole run.
+    done: AtomicU64,
+    panicked: AtomicBool,
+}
+
+// SAFETY: see the struct-level safety argument — every access to the
+// UnsafeCell contents is ordered by the go/done barrier protocol.
+unsafe impl Sync for ShardCtx {}
+
+impl ShardCtx {
+    fn new(shards: usize) -> ShardCtx {
+        ShardCtx {
+            params: UnsafeCell::new(SlotParams::idle()),
+            outs: (0..shards)
+                .map(|_| UnsafeCell::new(ShardOut::default()))
+                .collect(),
+            go: AtomicU64::new(0),
+            done: AtomicU64::new(0),
+            panicked: AtomicBool::new(false),
+        }
+    }
+}
+
+/// Spin briefly, then yield: the barrier must stay live on hosts with
+/// fewer cores than shards (CI containers), where a pure spin-wait would
+/// burn the only core the sibling needs.
+fn wait_until(cond: impl Fn() -> bool) {
+    let mut spins = 0u32;
+    while !cond() {
+        if spins < 64 {
+            spins += 1;
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Run one shard's TX phase for the published slot.
+///
+/// # Safety
+/// Caller must hold the current generation's claim to global node range
+/// `[lo, hi)`: between the `go` release for this generation and this
+/// shard's `done` increment, no other thread touches
+/// `nodes[lo..hi]`/`rngs[lo..hi]`, and `p`'s pointers are live (see
+/// [`ShardCtx`]).
+unsafe fn run_shard(p: &SlotParams, mode: CcMode, lo: usize, hi: usize, out: &mut ShardOut) {
+    out.clear();
+    let nodes = std::slice::from_raw_parts_mut(p.nodes.add(lo), hi - lo);
+    let tables = &*p.tables;
+    let t = SlotInEpoch(p.t);
+    if p.faulty {
+        let rngs = std::slice::from_raw_parts_mut(p.rngs.add(lo), hi - lo);
+        tx_faulty_range(
+            mode,
+            nodes,
+            rngs,
+            lo,
+            tables,
+            &*p.sched,
+            &*p.failures,
+            &*p.faults,
+            t,
+            out,
+        );
+    } else {
+        tx_clean_range(mode, nodes, lo, tables, t, &mut out.ring);
+    }
+}
+
+fn worker_loop(ctx: &ShardCtx, s: usize, mode: CcMode, lo: usize, hi: usize) {
+    let mut generation: u64 = 1;
+    loop {
+        wait_until(|| ctx.go.load(Ordering::Acquire) >= generation);
+        // SAFETY: the acquire above pairs with main's release store of
+        // `go`; params for this generation are fully published and stay
+        // frozen until every shard reports done.
+        let p = unsafe { &*ctx.params.get() };
+        if p.stop {
+            ctx.done.fetch_add(1, Ordering::Release);
+            return;
+        }
+        // Contain an unwind: a worker that dies before its `done`
+        // increment would deadlock the whole run. Main re-raises.
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            // SAFETY: this worker holds generation `generation`'s claim
+            // to [lo, hi) and to outs[s] (see ShardCtx).
+            unsafe { run_shard(p, mode, lo, hi, &mut *ctx.outs[s].get()) }
+        }));
+        if r.is_err() {
+            ctx.panicked.store(true, Ordering::Release);
+        }
+        ctx.done.fetch_add(1, Ordering::Release);
+        generation += 1;
+    }
+}
+
+impl SiriusSim {
+    /// The sharded slot loop: serial prologue and merge on this thread,
+    /// the TX phase fanned across `shards` contiguous node ranges (this
+    /// thread runs shard 0; `shards - 1` scoped workers run the rest).
+    /// Digest-identical to [`SiriusSim::run_loop`] with a
+    /// [`NullObserver`] — see the module docs for why.
+    pub(crate) fn run_loop_sharded(
+        &mut self,
+        workload: &[Flow],
+        deadline: Time,
+        shards: usize,
+    ) -> u64 {
+        let n = self.nodes.len();
+        let shards = shards.clamp(1, n.max(1));
+        let mode = self.tx.mode;
+        debug_assert_ne!(mode, CcMode::Ideal);
+        debug_assert!(!self.audit.enabled());
+        let slot_ps = self.cfg.network.slot().as_ps();
+        let epoch_slots = self.cfg.network.epoch_slots();
+        let ring_len = self.delivery.ring.len();
+        let prop_slots = self.prop_slots as u64;
+        let has_faults = !self.faults.injector.is_empty();
+        let total_flows = self.flows.len() as u64;
+        let obs = &mut NullObserver;
+
+        // Contiguous node ranges; the merge appends shard outputs in
+        // shard order, reproducing the serial node-order push sequence.
+        let ranges: Vec<(usize, usize)> = (0..shards)
+            .map(|s| (s * n / shards, (s + 1) * n / shards))
+            .collect();
+        let workers = (shards - 1) as u64;
+        let ctx = ShardCtx::new(shards);
+
+        let mut next_flow = 0usize;
+        let mut abs_slot: u64 = 0;
+        let mut t: u64 = 0;
+        let mut cur_epoch: u64 = 0;
+        let mut ring_idx: usize = 0;
+        let mut arrive_idx: usize = (prop_slots % ring_len as u64) as usize;
+        let mut generation: u64 = 0;
+
+        std::thread::scope(|scope| {
+            for (s, &(lo, hi)) in ranges.iter().enumerate().skip(1) {
+                let ctx = &ctx;
+                scope.spawn(move || worker_loop(ctx, s, mode, lo, hi));
+            }
+
+            while self.delivery.completed < total_flows && abs_slot < self.cfg.max_slots {
+                let now = Time::from_ps(abs_slot * slot_ps);
+                if now > deadline {
+                    break;
+                }
+                if t == 0 {
+                    if has_faults {
+                        self.fault_boundary(cur_epoch, obs);
+                    }
+                    self.epoch_boundary(cur_epoch, now, workload, &mut next_flow, obs);
+                }
+
+                // DeliverPlane: serial, before TX, exactly as in run_loop.
+                let mut due = std::mem::take(&mut self.delivery.ring[ring_idx]);
+                for (dst, cell) in due.drain(..) {
+                    self.deliver_cell(dst, cell, now, cur_epoch, obs);
+                }
+                self.delivery.ring[ring_idx] = due;
+
+                let slot = SlotInEpoch(t as u16);
+                let arrival_epoch = (abs_slot + prop_slots) / epoch_slots;
+                if has_faults && self.faults.active.any_mistune() {
+                    // Serial pre-pass: writes the corruption scratch the
+                    // TX phase then only reads.
+                    self.faults.mistune_prepass(
+                        abs_slot,
+                        slot,
+                        &self.failure_plane,
+                        &self.tables,
+                        obs,
+                    );
+                }
+
+                // Publish the slot and release the workers.
+                generation += 1;
+                // SAFETY: all workers are barrier-parked (done has
+                // reached the previous generation's target), so main is
+                // the only thread touching params.
+                unsafe {
+                    *ctx.params.get() = SlotParams {
+                        nodes: self.nodes.as_mut_ptr(),
+                        rngs: self.fault_rngs.as_mut_ptr(),
+                        tables: &self.tables,
+                        sched: &self.sched,
+                        failures: &self.failure_plane,
+                        faults: &self.faults,
+                        t: t as u16,
+                        faulty: has_faults,
+                        stop: false,
+                    };
+                }
+                ctx.go.store(generation, Ordering::Release);
+
+                // Main is shard 0, through the same published pointers.
+                // SAFETY: shard 0's range is claimed by this thread for
+                // this generation; outs[0] is main-only.
+                unsafe {
+                    let p = &*ctx.params.get();
+                    run_shard(p, mode, ranges[0].0, ranges[0].1, &mut *ctx.outs[0].get());
+                }
+                wait_until(|| ctx.done.load(Ordering::Acquire) >= workers * generation);
+                if ctx.panicked.load(Ordering::Acquire) {
+                    panic!("sharded slot engine: a shard worker panicked");
+                }
+
+                // Merge in shard order: ring pushes, detector credit,
+                // loss counters — the exact serial sequence.
+                for s in 0..shards {
+                    // SAFETY: every shard reported done for this
+                    // generation; the workers are parked until the next
+                    // `go`, so main owns all outs.
+                    let out = unsafe { &mut *ctx.outs[s].get() };
+                    self.delivery.ring[arrive_idx].append(&mut out.ring);
+                    for &(ni, u, j) in &out.credits {
+                        self.detect.credit(ni, u, j, arrival_epoch);
+                    }
+                    out.credits.clear();
+                    self.faults.report.cells_lost_grey += out.lost_grey;
+                    self.faults.report.cells_lost_mistune += out.lost_mistune;
+                }
+                if has_faults {
+                    self.faults.end_slot();
+                }
+
+                abs_slot += 1;
+                t += 1;
+                if t == epoch_slots {
+                    t = 0;
+                    cur_epoch += 1;
+                }
+                ring_idx += 1;
+                if ring_idx == ring_len {
+                    ring_idx = 0;
+                }
+                arrive_idx += 1;
+                if arrive_idx == ring_len {
+                    arrive_idx = 0;
+                }
+            }
+
+            // Park the workers out: one final generation with `stop` set.
+            generation += 1;
+            // SAFETY: workers are barrier-parked; main owns params.
+            unsafe {
+                (*ctx.params.get()).stop = true;
+            }
+            ctx.go.store(generation, Ordering::Release);
+            wait_until(|| ctx.done.load(Ordering::Acquire) >= workers * generation);
+        });
+        abs_slot
+    }
+}

@@ -24,11 +24,17 @@
 //!   protocol's sticky-request re-issue and grant-expiry backstops must
 //!   absorb this without losing data.
 //!
-//! Erasure draws come from the injector's own RNG stream (`seed ^ salt`),
-//! decoupled from the simulator's protocol RNG, and are made once per
-//! *scheduled slot* in a fault window — never per data cell — so a fault
-//! script perturbs the protocol's random choices not at all and double
-//! runs stay bit-identical.
+//! Fault randomness is decoupled from the simulator's protocol RNG
+//! (`seed ^ salt`), and erasure draws are made once per *scheduled slot*
+//! in a fault window — never per data cell — so a fault script perturbs
+//! the protocol's random choices not at all and double runs stay
+//! bit-identical. Per-slot grey-erasure draws additionally come from
+//! **per-node streams** ([`FaultInjector::node_streams`]): each sender
+//! consumes only its own stream, so the draw sequence a node sees is a
+//! function of the script and seed alone — independent of how the slot
+//! engine partitions nodes across shards ([`crate::SiriusSimConfig`]'s
+//! `shards`). Epoch-boundary draws (control loss) stay on the injector's
+//! own serial stream ([`FaultInjector::draw`]).
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -114,6 +120,7 @@ impl ActiveFaults {
 #[derive(Debug)]
 pub struct FaultInjector {
     events: Vec<FaultEvent>,
+    seed: u64,
     rng: SmallRng,
 }
 
@@ -125,8 +132,26 @@ impl FaultInjector {
     pub fn new(seed: u64) -> FaultInjector {
         FaultInjector {
             events: Vec::new(),
+            seed,
             rng: SmallRng::seed_from_u64(seed ^ FAULT_RNG_SALT),
         }
+    }
+
+    /// One independent RNG stream per node for the per-slot grey-erasure
+    /// draws. A sender's stream advances only when *it* draws, so the
+    /// sequence each node consumes does not depend on the node partition
+    /// the slot engine runs with — sharded and serial runs make the
+    /// identical draws.
+    pub fn node_streams(&self, n: usize) -> Vec<SmallRng> {
+        (0..n as u64)
+            .map(|i| {
+                // Distinct, seed-dependent stream per node; golden-ratio
+                // stride keeps nearby node ids from colliding before
+                // `seed_from_u64`'s SplitMix64 expansion.
+                let s = self.seed ^ FAULT_RNG_SALT ^ (i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                SmallRng::seed_from_u64(s)
+            })
+            .collect()
     }
 
     pub fn push(&mut self, ev: FaultEvent) -> &mut Self {
@@ -368,6 +393,33 @@ mod tests {
         assert!(healthy < 1e-9, "healthy link drops cells: {healthy}");
         assert!(dead > 0.99, "dead link still delivers: {dead}");
         assert!(healthy <= marginal && marginal <= dead);
+    }
+
+    #[test]
+    fn node_streams_are_deterministic_distinct_and_seed_dependent() {
+        let seq = |mut r: SmallRng| (0..64).map(|_| r.gen_bool(0.5)).collect::<Vec<_>>();
+        let a: Vec<_> = FaultInjector::new(7)
+            .node_streams(4)
+            .into_iter()
+            .map(seq)
+            .collect();
+        let b: Vec<_> = FaultInjector::new(7)
+            .node_streams(4)
+            .into_iter()
+            .map(seq)
+            .collect();
+        assert_eq!(a, b, "same seed must yield the same per-node streams");
+        for i in 0..4 {
+            for j in i + 1..4 {
+                assert_ne!(a[i], a[j], "nodes {i} and {j} share a stream");
+            }
+        }
+        let c: Vec<_> = FaultInjector::new(8)
+            .node_streams(4)
+            .into_iter()
+            .map(seq)
+            .collect();
+        assert_ne!(a, c, "streams must depend on the seed");
     }
 
     #[test]

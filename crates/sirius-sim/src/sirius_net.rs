@@ -86,6 +86,12 @@ pub struct SiriusSimConfig {
     /// Relay-vs-VOQ arbitration burst (see
     /// [`sirius_core::node::SiriusNode::set_relay_burst`]).
     pub relay_burst: u8,
+    /// Worker shards for the slot engine (`1` = serial, the default).
+    /// Sharded runs are digest-identical to serial (see
+    /// `crate::engine::shard`); Ideal mode and audit-enabled runs fall
+    /// back to the serial loop regardless. Defaults to `SIRIUS_SHARDS`
+    /// when that is set to an integer ≥ 1.
+    pub shards: usize,
 }
 
 impl SiriusSimConfig {
@@ -99,6 +105,7 @@ impl SiriusSimConfig {
             audit: cfg!(debug_assertions),
             fault: FaultConfig::default(),
             relay_burst: sirius_core::node::RELAY_BURST,
+            shards: crate::engine::shard::env_default_shards(),
         }
     }
 
@@ -129,6 +136,14 @@ impl SiriusSimConfig {
     }
     pub fn with_relay_burst(mut self, burst: u8) -> SiriusSimConfig {
         self.relay_burst = burst;
+        self
+    }
+    /// Shard the slot engine's TX phase across `shards` worker threads
+    /// (see [`SiriusSimConfig::shards`]). `1` is a true no-spawn serial
+    /// path.
+    pub fn with_shards(mut self, shards: usize) -> SiriusSimConfig {
+        assert!(shards >= 1, "shards must be >= 1");
+        self.shards = shards;
         self
     }
 }
@@ -191,6 +206,13 @@ pub struct SiriusSim {
     pub(crate) tx: TxPlane,
     pub(crate) delivery: DeliverPlane,
     pub(crate) audit: Audit,
+    /// Per-node grey-erasure RNG streams (empty until a fault script is
+    /// armed in [`SiriusSim::run`]); node `i`'s draw sequence depends
+    /// only on the seed and `i`, never on the shard partition.
+    pub(crate) fault_rngs: Vec<SmallRng>,
+    /// Serial-path reuse buffer for the shared faulty-slot range
+    /// function's output (the sharded path keeps one per shard).
+    pub(crate) fault_scratch: crate::engine::shard::ShardOut,
     payload: u32,
     epoch_credit_bytes: i64,
 }
@@ -272,6 +294,8 @@ impl SiriusSim {
             detect: DetectPlane::new(n, cfg.fault),
             tx: TxPlane::new(cfg.mode, n, queue_threshold),
             delivery: DeliverPlane::new(ring_len, total_servers),
+            fault_rngs: Vec::new(),
+            fault_scratch: Default::default(),
             payload,
             epoch_credit_bytes,
             cfg,
@@ -338,6 +362,7 @@ impl SiriusSim {
         // declared window of the matching cause, and detector suspicions
         // outside any window are false positives.
         if !self.faults.injector.is_empty() {
+            self.fault_rngs = self.faults.injector.node_streams(self.nodes.len());
             self.audit
                 .set_silence_threshold(self.cfg.fault.silence_threshold);
             if self.faults.injector.has_link_faults() {
@@ -394,6 +419,12 @@ impl SiriusSim {
             let s = self.run_loop(workload, deadline, &mut obs);
             self.audit = obs.into_audit();
             s
+        } else if self.cfg.shards > 1 && self.cfg.mode != CcMode::Ideal && self.nodes.len() > 1 {
+            // Sharded TX phase, digest-identical to serial (Ideal mode's
+            // shared back-pressure state is inherently sequential, so it
+            // stays on the serial loop).
+            let shards = self.cfg.shards;
+            self.run_loop_sharded(workload, deadline, shards)
         } else {
             self.run_loop(workload, deadline, &mut NullObserver)
         };
