@@ -61,7 +61,7 @@ stage_docs() {
 }
 
 stage_bench_smoke() {
-  echo "==> bench smoke (fault_tolerance + repair_granularity + sim_throughput, reduced scale)"
+  echo "==> bench smoke (fault_tolerance + repair_granularity + correlated_faults + sim_throughput, reduced scale)"
   # Exercises the experiment harnesses end-to-end at reduced scale and
   # leaves results/*.csv and results/*.json behind for the workflow to
   # upload as artifacts. Harnesses run with --jobs 2 to cover the
@@ -71,6 +71,27 @@ stage_bench_smoke() {
   # path — including the BENCH_sim_throughput.json emitter — is covered.
   cargo run --release -p sirius-bench --bin fault_tolerance -- --smoke --jobs 2
   cargo run --release -p sirius-bench --bin repair_granularity -- --smoke --jobs 2
+
+  echo "==> correlated_faults --smoke under SIRIUS_SHARDS=2"
+  # The correlated-domain + Byzantine evaluation end to end, with every
+  # run's slot engine sharded (the digest contract makes this free), then
+  # schema/sanity validation of the JSON artifact: the keys a downstream
+  # gate reads must exist, and no non-finite number may leak in.
+  SIRIUS_SHARDS=2 cargo run --release -p sirius-bench --bin correlated_faults -- --smoke --jobs 2
+  test -s results/BENCH_correlated_faults.json
+  for key in '"bench": "correlated_faults"' '"silence_bound_epochs"' '"bank": \[' \
+             '"byzantine": \[' '"drop_rate"' '"max_forged_per_epoch"' '"domains"' \
+             '"cf_link"' '"cf_node"' '"advantage"'; do
+    if ! grep -qE "$key" results/BENCH_correlated_faults.json; then
+      echo "error: BENCH_correlated_faults.json is missing $key" >&2
+      exit 1
+    fi
+  done
+  if grep -nEi '\b(nan|inf|infinity)\b' results/BENCH_correlated_faults.json; then
+    echo "error: non-finite number leaked into BENCH_correlated_faults.json" >&2
+    exit 1
+  fi
+  echo "BENCH_correlated_faults.json schema and finiteness OK"
 
   echo "==> sharded-equals-serial (sim_throughput digests, --shards 1 vs --shards 2)"
   # The slot-engine sharding contract, checked on the real artifacts: a

@@ -1,0 +1,15 @@
+//! Regenerates the correlated-failure-domain and Byzantine-data-plane
+//! evaluation: laser-bank/AWGR blast radius under column-granular vs
+//! whole-node repair, and forgery damage bounds under the RX filter.
+use sirius_bench::experiments::correlated_faults;
+use sirius_bench::Cli;
+
+fn main() {
+    let cli = Cli::parse();
+    eprintln!(
+        "running correlated_faults at {:?} scale, --jobs {}...",
+        cli.scale, cli.jobs
+    );
+    let points = correlated_faults::run(cli.scale, 1, cli.jobs);
+    correlated_faults::emit(&points, cli.scale);
+}

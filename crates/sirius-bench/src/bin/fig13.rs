@@ -5,9 +5,9 @@ use sirius_bench::Cli;
 fn main() {
     let cli = Cli::parse();
     eprintln!(
-        "running Fig 13 at {:?} scale, --jobs {}...",
-        cli.scale, cli.jobs
+        "running Fig 13 at {:?} scale, --jobs {}, shards {:?}...",
+        cli.scale, cli.jobs, cli.shards
     );
-    let points = fig13::run(cli.scale, 0.5, 1, cli.jobs);
+    let points = fig13::run(cli.scale, 0.5, 1, cli.jobs, cli.shards);
     fig13::table(&points).emit("fig13");
 }

@@ -18,8 +18,10 @@ type Experiment = (&'static str, Box<dyn Fn(usize)>);
 /// The suite as named closures so the driver can time each experiment.
 /// Analytic tables (fig2/fig6/fig8/tuning) and the single-run sync
 /// measurement have no sweep to fan out, but are timed all the same so
-/// the wall report covers the entire reproduction.
-fn suite(scale: Scale) -> Vec<Experiment> {
+/// the wall report covers the entire reproduction. `shards` (from
+/// `--shards`) reaches the experiments whose wall clock is dominated by
+/// a few long runs rather than sweep width — today that is fig13.
+fn suite(scale: Scale, shards: Option<usize>) -> Vec<Experiment> {
     let mut xs: Vec<Experiment> = Vec::new();
     xs.push((
         "analytic",
@@ -75,7 +77,7 @@ fn suite(scale: Scale) -> Vec<Experiment> {
     ));
     xs.push((
         "fig13",
-        Box::new(move |jobs| fig13::table(&fig13::run(scale, 0.5, 1, jobs)).emit("fig13")),
+        Box::new(move |jobs| fig13::table(&fig13::run(scale, 0.5, 1, jobs, shards)).emit("fig13")),
     ));
     xs.push((
         "ablation",
@@ -99,6 +101,13 @@ fn suite(scale: Scale) -> Vec<Experiment> {
             let n = scale.network().nodes as u32;
             let rg = repair_granularity::run(scale, 1, &repair_granularity::k_sweep(n), jobs);
             repair_granularity::table(&rg).emit("repair_granularity");
+        }),
+    ));
+    xs.push((
+        "correlated_faults",
+        Box::new(move |jobs| {
+            let pts = correlated_faults::run(scale, 1, jobs);
+            correlated_faults::emit(&pts, scale);
         }),
     ));
     xs.push((
@@ -130,8 +139,8 @@ fn suite(scale: Scale) -> Vec<Experiment> {
 
 /// Run the whole suite once at a worker count, returning per-experiment
 /// wall-clock seconds in suite order.
-fn run_suite(scale: Scale, jobs: usize) -> Vec<(&'static str, f64)> {
-    suite(scale)
+fn run_suite(scale: Scale, jobs: usize, shards: Option<usize>) -> Vec<(&'static str, f64)> {
+    suite(scale, shards)
         .into_iter()
         .map(|(name, exp)| {
             let t0 = Instant::now();
@@ -149,8 +158,8 @@ fn main() {
             "=== Sirius paper reproduction, {scale:?} scale: timing serial vs --jobs {} ===",
             cli.jobs
         );
-        let serial = run_suite(scale, 1);
-        let parallel = run_suite(scale, cli.jobs);
+        let serial = run_suite(scale, 1, cli.shards);
+        let parallel = run_suite(scale, cli.jobs, cli.shards);
         let report = WallReport {
             scale,
             jobs: cli.jobs,
@@ -183,7 +192,7 @@ fn main() {
             "=== Sirius paper reproduction, {scale:?} scale, --jobs {} ===",
             cli.jobs
         );
-        run_suite(scale, cli.jobs);
+        run_suite(scale, cli.jobs, cli.shards);
         eprintln!("=== done; CSVs under results/ ===");
     }
 }

@@ -33,8 +33,18 @@ fn mean_size_workload(scale: Scale, mean: u64, load: f64, seed: u64) -> Vec<siri
     spec.generate()
 }
 
-/// One (mean size, system) run; regenerates its own workload.
-fn system_point(scale: Scale, mean: u64, load: f64, seed: u64, esn: bool) -> Point {
+/// One (mean size, system) run; regenerates its own workload. `shards`
+/// is the slot-engine worker count for the Sirius runs (`None`: the
+/// simulator's `SIRIUS_SHARDS`-or-serial default); sharded points are
+/// digest-identical to serial, so it only moves wall-clock.
+fn system_point(
+    scale: Scale,
+    mean: u64,
+    load: f64,
+    seed: u64,
+    esn: bool,
+    shards: Option<usize>,
+) -> Point {
     let net = scale.network();
     let servers = net.total_servers() as u64;
     let wl = mean_size_workload(scale, mean, load, seed);
@@ -42,7 +52,10 @@ fn system_point(scale: Scale, mean: u64, load: f64, seed: u64, esn: bool) -> Poi
     let (system, m) = if esn {
         ("ESN (Ideal)", EsnSim::new(scale.esn(1.0)).run(&wl))
     } else {
-        let cfg = scale.sim_config(net, &wl, seed);
+        let mut cfg = scale.sim_config(net, &wl, seed);
+        if let Some(s) = shards {
+            cfg = cfg.with_shards(s);
+        }
         ("Sirius", SiriusSim::new(cfg).run(&wl))
     };
     Point {
@@ -56,18 +69,23 @@ fn system_point(scale: Scale, mean: u64, load: f64, seed: u64, esn: bool) -> Poi
 /// One mean-size point (both systems), serially.
 pub fn run_point(scale: Scale, mean: u64, load: f64, seed: u64) -> Vec<Point> {
     vec![
-        system_point(scale, mean, load, seed, false),
-        system_point(scale, mean, load, seed, true),
+        system_point(scale, mean, load, seed, false, None),
+        system_point(scale, mean, load, seed, true, None),
     ]
 }
 
-pub fn run(scale: Scale, load: f64, seed: u64, jobs: usize) -> Vec<Point> {
+/// The full mean-size sweep. `jobs` fans runs across the pool; `shards`
+/// additionally splits each Sirius run across slot-engine workers —
+/// fig13 is the suite's wall-clock bottleneck (its 100 KB points are the
+/// longest single runs), so intra-run sharding helps even when the sweep
+/// is already saturating the pool with 16 jobs.
+pub fn run(scale: Scale, load: f64, seed: u64, jobs: usize, shards: Option<usize>) -> Vec<Point> {
     let mut sweep = Sweep::new();
     for &mean in &MEAN_SIZES {
         for esn in [false, true] {
             let label = if esn { "ESN" } else { "Sirius" };
             sweep.push(format!("fig13 mean={mean}B system={label}"), move || {
-                system_point(scale, mean, load, seed, esn)
+                system_point(scale, mean, load, seed, esn, shards)
             });
         }
     }
@@ -114,7 +132,7 @@ mod tests {
     fn cell_padding_hurts_tiny_flows_only() {
         // Paper: at F = 512 B the goodput gap is ~1.7x (ratio ~0.6); at
         // larger means Sirius approaches ESN.
-        let mut pts = run(Scale::Smoke, 0.5, 13, 2);
+        let mut pts = run(Scale::Smoke, 0.5, 13, 2, Some(2));
         // Keep only the sizes this test reasons about.
         pts.retain(|p| p.mean_bytes == 512 || p.mean_bytes == 65_536);
         let small = goodput_gap(&pts, 512);

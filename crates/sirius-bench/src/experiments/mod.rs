@@ -2,6 +2,7 @@
 //! functions used by both the harness binaries and the criterion benches.
 
 pub mod ablation;
+pub mod correlated_faults;
 pub mod fault_tolerance;
 pub mod fig10;
 pub mod fig11;

@@ -97,7 +97,25 @@ fn fault_script(seed: u64) -> FaultInjector {
     inj
 }
 
-fn run_with_shards(mode: CcMode, shards: usize, faults: bool) -> RunMetrics {
+/// The correlated + Byzantine arm: a laser-bank chip failure and an AWGR
+/// grating band (both expand to fleet-wide column sets through the AWGR
+/// route relation) plus a Byzantine node whose forge draws ride its own
+/// per-node stream and whose request inflation rides the boundary. At
+/// Smoke scale (16 nodes, groups of 4): chip 0 of the bank feeding
+/// group 2's uplink-1 AWGR kills nodes {9, 10}; the grating band [0, 2)
+/// of group 1's uplink-0 AWGR kills nodes {4, 5}.
+fn correlated_byz_script(seed: u64) -> FaultInjector {
+    use sirius_core::topology::NodeId;
+    FaultInjector::new(seed)
+        .bank_failure(2, 1, 0, 2, 3, 50)
+        .grating_fault(1, 0, 0, 2, 5, 60)
+        .byzantine(NodeId(14), 0.5, 4, 2, u64::MAX)
+}
+
+/// A seeded fault-script constructor, or `None` for a fault-free run.
+type Script = Option<fn(u64) -> FaultInjector>;
+
+fn run_with_shards(mode: CcMode, shards: usize, script: Script) -> RunMetrics {
     let scale = Scale::Smoke;
     let net = scale.network();
     let wl = scale.workload(0.6, 11).generate();
@@ -109,8 +127,8 @@ fn run_with_shards(mode: CcMode, shards: usize, faults: bool) -> RunMetrics {
         // matrix tests the sharded engine, so audit off explicitly.
         .with_audit(false);
     let mut sim = SiriusSim::new(cfg);
-    if faults {
-        sim.set_faults(fault_script(11));
+    if let Some(script) = script {
+        sim.set_faults(script(11));
     }
     sim.run(&wl)
 }
@@ -144,6 +162,14 @@ fn behavior_of(m: &RunMetrics) -> impl std::fmt::Debug + PartialEq {
                 f.exclusions,
                 f.readmissions,
                 f.column_omissions,
+                (
+                    f.cells_forged,
+                    f.cells_forged_dropped,
+                    f.requests_forged,
+                    f.max_forged_per_epoch,
+                    f.byz_quarantined.clone(),
+                    f.correlated_domains.clone(),
+                ),
             )
         }),
     )
@@ -155,23 +181,35 @@ fn behavior_of(m: &RunMetrics) -> impl std::fmt::Debug + PartialEq {
 /// rows additionally pin that `with_shards` is behavior-inert there.
 #[test]
 fn sharded_runs_are_byte_identical_to_serial() {
+    let scripts: [(&str, Script); 3] = [
+        ("none", None),
+        ("classic", Some(fault_script)),
+        ("correlated+byz", Some(correlated_byz_script)),
+    ];
     for mode in [CcMode::Protocol, CcMode::Ideal] {
-        for faults in [false, true] {
-            let serial = run_with_shards(mode, 1, faults);
+        for (name, script) in scripts {
+            let serial = run_with_shards(mode, 1, script);
             assert_ne!(serial.digest, 0, "serial digest vacuous");
-            if faults {
+            if name == "classic" {
                 let f = serial.fault.as_ref().expect("fault report missing");
                 assert!(
                     f.cells_lost_grey + f.cells_lost_mistune + f.cells_lost_crash > 0,
                     "{mode:?}: fault script drew no losses; the matrix is vacuous"
                 );
             }
+            if name == "correlated+byz" {
+                let f = serial.fault.as_ref().expect("fault report missing");
+                assert!(
+                    f.cells_forged > 0 && f.column_omissions > 0,
+                    "{mode:?}: correlated+byz arm fired nothing; the matrix is vacuous"
+                );
+            }
             for shards in [2usize, 4] {
-                let sharded = run_with_shards(mode, shards, faults);
+                let sharded = run_with_shards(mode, shards, script);
                 assert_eq!(
                     behavior_of(&serial),
                     behavior_of(&sharded),
-                    "behavior diverged: mode={mode:?} shards={shards} faults={faults}"
+                    "behavior diverged: mode={mode:?} shards={shards} script={name}"
                 );
             }
         }

@@ -29,6 +29,17 @@ pub struct FaultConfig {
     /// any suspected column evicts the node, reproducing the paper's
     /// node-granular behavior for comparison.
     pub column_escalation_fraction: f64,
+    /// Number of *distinct nodes* that must be simultaneously suspect on
+    /// the same uplink column before the diagnosis flips from independent
+    /// transceiver failures to a correlated shared-component fault (a dead
+    /// laser-bank chip or AWGR grating band): the repair then stays
+    /// column-granular fleet-wide instead of escalating node by node.
+    pub correlation_threshold: usize,
+    /// Per-epoch forged-cell suspicion count at which a node's data plane
+    /// is declared Byzantine and the node is quarantined (whole-node
+    /// exclusion). Mirrors the §4.4 slew clamp: damage per epoch is
+    /// bounded by the threshold, then the liar is evicted.
+    pub byz_quarantine_threshold: u64,
 }
 
 impl Default for FaultConfig {
@@ -41,9 +52,17 @@ impl Default for FaultConfig {
         // omitted individually at 1/(N·U) capacity cost; at or above it,
         // the transceiver bank is likely sick as a whole and §4.5
         // whole-node exclusion applies.
+        // Correlation at 3 nodes: two independent transceivers sharing a
+        // column is plausible bad luck; three is a shared component.
+        //
+        // Byzantine quarantine at 6 forged cells per epoch: low enough
+        // that a liar steals at most a handful of slots per epoch, high
+        // enough that a single corrupted header never evicts a node.
         FaultConfig {
             silence_threshold: 3,
             column_escalation_fraction: 0.5,
+            correlation_threshold: 3,
+            byz_quarantine_threshold: 6,
         }
     }
 }
@@ -317,6 +336,21 @@ impl LinkDetector {
             .count()
     }
 
+    /// How many distinct peers are currently suspect on uplink `column` —
+    /// the cross-node correlation signal: independent transceiver
+    /// failures scatter across columns, while a shared laser-bank chip or
+    /// AWGR grating band silences the *same* column on many nodes at
+    /// once. Compared against [`FaultConfig::correlation_threshold`] at
+    /// the fault boundary (O(N), boundary-only).
+    pub fn column_suspected_nodes(&self, column: usize) -> usize {
+        debug_assert!(column < self.uplinks);
+        self.suspected[column..]
+            .iter()
+            .step_by(self.uplinks)
+            .filter(|&&b| b)
+            .count()
+    }
+
     /// A peer is *grey*-failed if some, but not all, of its links are
     /// suspected — alive enough to answer on other columns, dead on these.
     pub fn is_grey(&self, peer: NodeId) -> bool {
@@ -519,6 +553,38 @@ mod tests {
         assert!(ld.is_suspected(NodeId(0), 0));
         ld.heard_from(NodeId(0), 0, 5);
         assert!(!ld.is_suspected(NodeId(0), 0));
+    }
+
+    #[test]
+    fn column_correlation_counts_distinct_nodes() {
+        // Nodes 0, 2 and 3 all go silent on column 1 (a shared bank chip);
+        // node 1 additionally loses column 0 (an unrelated transceiver).
+        let mut ld = LinkDetector::new(
+            4,
+            3,
+            FaultConfig {
+                silence_threshold: 1,
+                ..FaultConfig::default()
+            },
+        );
+        for e in 0..4u64 {
+            for p in 0..4u32 {
+                for c in 0..3usize {
+                    let bank_dead = c == 1 && p != 1 && e >= 2;
+                    let lone_dead = p == 1 && c == 0 && e >= 2;
+                    if !(bank_dead || lone_dead) {
+                        ld.heard_from(NodeId(p), c, e);
+                    }
+                }
+            }
+            ld.tick(e);
+        }
+        assert_eq!(ld.column_suspected_nodes(1), 3);
+        assert_eq!(ld.column_suspected_nodes(0), 1);
+        assert_eq!(ld.column_suspected_nodes(2), 0);
+        let cfg = FaultConfig::default();
+        assert!(ld.column_suspected_nodes(1) >= cfg.correlation_threshold);
+        assert!(ld.column_suspected_nodes(0) < cfg.correlation_threshold);
     }
 
     #[test]

@@ -45,6 +45,26 @@ impl Awgr {
     pub fn insertion_loss_db(&self) -> f64 {
         3.0 * (self.ports as f64).log10()
     }
+
+    /// Output ports silenced when chip `chip` of a disaggregated fixed
+    /// laser bank feeding input `input` dies (§3.3 + Fig. 3a).
+    ///
+    /// The bank carries one always-on laser per wavelength index
+    /// `0..ports`, ganged from chips of `chip_capacity` channels each in
+    /// the contiguous layout of `FixedLaserBank::new` (chip `c` covers
+    /// channels `[c*cap, min((c+1)*cap, ports))`, the last chip possibly
+    /// short). Each dead channel `w` silences exactly one output via the
+    /// cyclic route relation `(input + w) mod ports` — a whole-chip
+    /// failure is therefore a *correlated* blast: a contiguous wavelength
+    /// band maps onto a set of distinct output ports, one column each.
+    /// Returns the dead outputs in channel order; empty when `chip` is
+    /// off the end of the bank.
+    pub fn dead_outputs_for_chip(&self, input: u16, chip: u16, chip_capacity: u16) -> Vec<u16> {
+        assert!(chip_capacity > 0, "a chip holds at least one channel");
+        let lo = (chip as u32).saturating_mul(chip_capacity as u32);
+        let hi = (lo + chip_capacity as u32).min(self.ports as u32);
+        (lo..hi).map(|w| self.route(input, w as u16)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -89,6 +109,26 @@ mod tests {
                 seen[q] = true;
             }
         }
+    }
+
+    #[test]
+    fn chip_death_maps_to_distinct_output_band() {
+        let g = Awgr::new(8);
+        // Chips of 3 channels over an 8-wavelength bank: 3 + 3 + 2.
+        assert_eq!(g.dead_outputs_for_chip(0, 0, 3), vec![0, 1, 2]);
+        assert_eq!(g.dead_outputs_for_chip(0, 1, 3), vec![3, 4, 5]);
+        assert_eq!(g.dead_outputs_for_chip(0, 2, 3), vec![6, 7]);
+        assert!(g.dead_outputs_for_chip(0, 3, 3).is_empty());
+        // A nonzero input rotates the band (cyclic route relation), and
+        // the dead outputs stay distinct.
+        assert_eq!(g.dead_outputs_for_chip(6, 0, 3), vec![6, 7, 0]);
+        let all: Vec<u16> = (0..3)
+            .flat_map(|c| g.dead_outputs_for_chip(5, c, 3))
+            .collect();
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8, "chips must partition the outputs: {all:?}");
     }
 
     #[test]

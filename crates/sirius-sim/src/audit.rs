@@ -62,6 +62,12 @@ pub enum LossCause {
     Grey,
     /// Sent by — or corrupted by a collision with — a mistuned laser.
     Mistune,
+    /// Forged by a compromised data plane and dropped by the RX filter.
+    /// Used for window declaration/attribution: forged cells were never
+    /// injected, so they ride their own conservation ledger
+    /// ([`Audit::note_forged_tx`] / [`Audit::note_forged_dropped`])
+    /// rather than `note_lost`.
+    Byzantine,
 }
 
 /// A declared fault window `[from, until)` on `node`; losses and detector
@@ -96,6 +102,12 @@ pub struct AuditReport {
     /// Cells the receiver saw twice (must stay 0: the core is lossless and
     /// never retransmits).
     pub duplicate_cells: u64,
+    /// Counterfeit cells launched by declared-Byzantine nodes (tracked on
+    /// their own ledger; they were never injected, so conservation
+    /// subtracts the outstanding ones from the in-flight count).
+    pub cells_forged: u64,
+    /// Counterfeits the RX-side filter caught and dropped.
+    pub cells_forged_dropped: u64,
     /// Total invariant violations observed.
     pub total_violations: u64,
     /// First [`MAX_RECORDED_VIOLATIONS`] violation messages, verbatim.
@@ -137,6 +149,8 @@ pub struct Audit {
     lost_link: u64,
     false_suspicions: u64,
     duplicates: u64,
+    forged_tx: u64,
+    forged_dropped: u64,
     epochs_checked: u64,
     total_violations: u64,
     violations: Vec<String>,
@@ -182,6 +196,8 @@ impl Audit {
             lost_link: 0,
             false_suspicions: 0,
             duplicates: 0,
+            forged_tx: 0,
+            forged_dropped: 0,
             epochs_checked: 0,
             total_violations: 0,
             violations: Vec::new(),
@@ -275,6 +291,29 @@ impl Audit {
                 "epoch {epoch}: unattributed {cause:?} loss at node {id} (no declared window)"
             ));
         }
+    }
+
+    /// `node` launched a counterfeit cell during `epoch`. Legitimate only
+    /// inside a declared Byzantine window — a forged cell outside one
+    /// means the data plane fabricated traffic without a scripted cause.
+    /// Forged cells were never injected, so they go on their own ledger:
+    /// conservation subtracts the outstanding (launched, not yet dropped)
+    /// count from the in-flight total.
+    pub fn note_forged_tx(&mut self, node: NodeId, epoch: u64) {
+        self.forged_tx += 1;
+        if self.enabled && !self.covered(LossCause::Byzantine, node, epoch) {
+            let id = node.0;
+            self.violation(format!(
+                "epoch {epoch}: unattributed forged cell from node {id} (no declared \
+                 Byzantine window)"
+            ));
+        }
+    }
+
+    /// The RX-side Byzantine filter caught and dropped a counterfeit.
+    #[inline]
+    pub fn note_forged_dropped(&mut self) {
+        self.forged_dropped += 1;
     }
 
     /// The silence detector suspected `node` at `epoch`. Justified only if
@@ -454,9 +493,14 @@ impl Audit {
         self.epochs_checked += 1;
 
         // Cell conservation: every injected cell is in exactly one place.
+        // Counterfeits from a Byzantine data plane ride the propagation
+        // ring too but were never injected; their outstanding count
+        // (launched minus RX-dropped) is subtracted from the in-flight
+        // total so the liar cannot mask a genuinely vanished cell.
+        let forged_outstanding = self.forged_tx - self.forged_dropped;
         let resident: u64 = nodes.iter().map(|n| n.resident_cells()).sum();
         let accounted = resident
-            + in_flight
+            + (in_flight - forged_outstanding)
             + self.buffered
             + self.released
             + self.blackholed
@@ -504,6 +548,8 @@ impl Audit {
             cells_lost_link: self.lost_link,
             false_suspicions: self.false_suspicions,
             duplicate_cells: self.duplicates,
+            cells_forged: self.forged_tx,
+            cells_forged_dropped: self.forged_dropped,
             total_violations: self.total_violations,
             violations: self.violations,
         }
@@ -690,6 +736,41 @@ mod tests {
         a.end_slot();
         let r = a.finish();
         assert_eq!(r.total_violations, 2, "{:?}", r.violations);
+    }
+
+    #[test]
+    fn forged_cells_ride_their_own_ledger() {
+        let mut a = Audit::new(true, 4, 2, 4, false);
+        a.declare_window(LossCause::Byzantine, NodeId(3), 5, 50);
+        a.note_injected();
+        // A declared liar launches two counterfeits; one legitimate cell
+        // and both forgeries are on the fiber. Conservation must hold by
+        // subtracting the outstanding forged count from in-flight.
+        a.note_forged_tx(NodeId(3), 10);
+        a.note_forged_tx(NodeId(3), 10);
+        a.epoch_check(10, &[], 3);
+        // The filter catches one; the other is still in flight.
+        a.note_forged_dropped();
+        a.epoch_check(11, &[], 2);
+        let r = a.finish();
+        assert!(r.is_clean(), "{:?}", r.violations);
+        assert_eq!(r.cells_forged, 2);
+        assert_eq!(r.cells_forged_dropped, 1);
+    }
+
+    #[test]
+    fn unattributed_forgery_is_a_violation() {
+        let mut a = Audit::new(true, 4, 2, 4, false);
+        a.declare_window(LossCause::Byzantine, NodeId(3), 5, 50);
+        a.note_forged_tx(NodeId(2), 10); // wrong node
+        a.note_forged_tx(NodeId(3), 60); // after the window closed
+        let r = a.finish();
+        assert_eq!(r.total_violations, 2);
+        assert!(
+            r.violations[0].contains("unattributed forged cell"),
+            "{:?}",
+            r.violations
+        );
     }
 
     #[test]

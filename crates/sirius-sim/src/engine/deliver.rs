@@ -6,15 +6,17 @@
 //! repair), or delivered into the destination server's reorder buffer.
 
 use crate::engine::observer::SlotObserver;
-use crate::sirius_net::SiriusSim;
+use crate::sirius_net::{CcMode, SiriusSim};
 use sirius_core::cell::Cell;
 use sirius_core::reorder::ReorderBuffer;
 use sirius_core::topology::NodeId;
 use sirius_core::units::Time;
 
 pub(crate) struct DeliverPlane {
-    /// Delivery pipeline: ring indexed by arrival slot.
-    pub ring: Vec<Vec<(NodeId, Cell)>>,
+    /// Delivery pipeline: ring indexed by arrival slot. Each entry is
+    /// (receiver, RX uplink, cell); the uplink plus the launch slot name
+    /// the scheduled transmitter, which Byzantine attribution needs.
+    pub ring: Vec<Vec<(NodeId, u16, Cell)>>,
     pub reorder: Vec<ReorderBuffer>,
     pub digest: crate::audit::RunDigest,
     pub delivered_bytes: u64,
@@ -39,14 +41,66 @@ impl DeliverPlane {
 
 impl SiriusSim {
     /// Process a cell arriving at `dst` (relay or final delivery).
+    ///
+    /// `uplink` is the RX port the cell landed on and `launch_t` the
+    /// slot-in-epoch it was launched at — together, with the schedule
+    /// inverse, they name the one node allowed to transmit into this
+    /// (receiver, port, slot), which is how counterfeits are attributed.
+    #[allow(clippy::too_many_arguments)] // one hot call site per ring slot
     pub(crate) fn deliver_cell<O: SlotObserver>(
         &mut self,
         dst: NodeId,
+        uplink: u16,
         cell: Cell,
+        launch_t: u16,
         now: Time,
         epoch: u64,
         obs: &mut O,
     ) {
+        // Data-plane Byzantine filter (mirrors the §4.4 slew-clamp idea:
+        // validate locally, bound the liar's damage per epoch). Armed
+        // only when the script declares Byzantine nodes; runs before the
+        // crash blackhole so forged cells aimed at dead nodes are still
+        // dropped as forgeries, keeping conservation exact.
+        if let Some(bz) = self.faults.byz.as_ref() {
+            let forged =
+                // A counterfeit cannot name a real flow: receivers check
+                // the header against their flow table.
+                cell.flow.0 as usize >= self.flows.len()
+                    || if cell.dst == dst {
+                        // Delivered-type: endpoints must match the flow
+                        // table's record for that flow.
+                        let f = &self.flows[cell.flow.0 as usize];
+                        let spn = self.cfg.network.servers_per_node as u32;
+                        NodeId(f.src_server / spn) != cell.src
+                            || NodeId(f.dst_server / spn) != cell.dst
+                            || cell.dst_server.0 != f.dst_server
+                    } else {
+                        // Relay-type: the claimed origin must be the
+                        // slot's scheduled transmitter — sound only while
+                        // no link faults can reparent cells (column
+                        // repair bounces relays back to LOCAL at other
+                        // nodes, which relaunches them off-origin) — and
+                        // in Protocol mode a relay arrival must match a
+                        // live reservation (stale-grant replay check;
+                        // grant_timeout's VOQ-wait floor guarantees
+                        // legitimate relays always find one).
+                        (!self.faults.injector.has_link_faults()
+                            && cell.src != bz.expected_src(dst, uplink, launch_t))
+                            || (self.tx.mode == CcMode::Protocol
+                                && self.nodes[dst.0 as usize].cc.outstanding(cell.dst) == 0)
+                    };
+            if forged {
+                // Blame the scheduled transmitter for the slot, not the
+                // forged header: physics pins which laser lit this port.
+                let liar = bz.expected_src(dst, uplink, launch_t);
+                let bz = self.faults.byz.as_mut().unwrap();
+                bz.suspicion[liar.0 as usize] += 1;
+                self.faults.report.cells_forged_dropped += 1;
+                obs.note_forged_dropped();
+                return;
+            }
+        }
         if self.failure_plane.is_failed(dst) {
             obs.note_blackholed(dst, epoch);
             self.faults.report.cells_lost_crash += 1;

@@ -15,11 +15,64 @@
 use crate::engine::observer::SlotObserver;
 use crate::engine::tables::DestTable;
 use crate::faults::{ActiveFaults, FaultInjector};
-use crate::metrics::{FailureRecord, FaultReport};
+use crate::metrics::{ByzantineRecord, CorrelatedDomainRecord, FailureRecord, FaultReport};
 use crate::sirius_net::SiriusSim;
 use sirius_core::fault::FailurePlane;
-use sirius_core::schedule::SlotInEpoch;
+use sirius_core::schedule::{Schedule, SlotInEpoch};
 use sirius_core::topology::{NodeId, UplinkId};
+
+/// RX-side Byzantine bookkeeping, armed only when the script contains a
+/// [`crate::faults::FaultEvent::Byzantine`] window.
+///
+/// The schedule names exactly one legitimate transmitter for every
+/// (receiver, RX column, epoch slot), so a receiver that catches a
+/// counterfeit can attribute it to the *true* transmitter of the slot it
+/// arrived on — not to the node named in the forged header. Suspicion
+/// accumulates per epoch and is reset at every fault boundary: the
+/// quarantine threshold therefore bounds the liar's damage *per epoch*
+/// (mirroring the §4.4 slew clamp), after which whole-node exclusion is
+/// staged and held sticky.
+pub(crate) struct ByzPlane {
+    /// `src_table[(t * nodes + j) * uplinks + u]` = the unique scheduled
+    /// transmitter into RX column `u` of node `j` at epoch slot `t`.
+    src_table: Vec<NodeId>,
+    nodes: usize,
+    uplinks: usize,
+    /// Forged cells attributed to each node during the current epoch.
+    pub suspicion: Vec<u64>,
+    /// Sticky quarantine flags: a quarantined node is never readmitted by
+    /// resumed keepalives (its laser works fine — its *software* lies).
+    pub quarantined: Vec<bool>,
+}
+
+impl ByzPlane {
+    pub fn new(sched: &Schedule) -> ByzPlane {
+        let nodes = sched.nodes();
+        let uplinks = sched.uplinks();
+        let slots = sched.epoch_slots() as usize;
+        let mut src_table = Vec::with_capacity(slots * nodes * uplinks);
+        for t in 0..slots as u16 {
+            for j in 0..nodes as u32 {
+                for u in 0..uplinks as u16 {
+                    src_table.push(sched.source(NodeId(j), UplinkId(u), SlotInEpoch(t)));
+                }
+            }
+        }
+        ByzPlane {
+            src_table,
+            nodes,
+            uplinks,
+            suspicion: vec![0; nodes],
+            quarantined: vec![false; nodes],
+        }
+    }
+
+    /// The schedule's unique transmitter into `(j, u)` at epoch slot `t`.
+    #[inline]
+    pub fn expected_src(&self, j: NodeId, u: u16, t: u16) -> NodeId {
+        self.src_table[(t as usize * self.nodes + j.0 as usize) * self.uplinks + u as usize]
+    }
+}
 
 pub(crate) struct FaultPlane {
     /// Scripted ground-truth faults; detection is emergent.
@@ -27,23 +80,42 @@ pub(crate) struct FaultPlane {
     /// Per-epoch snapshot of active grey/mistune/control-loss windows.
     pub active: ActiveFaults,
     pub report: FaultReport,
+    /// RX-side Byzantine filter state (None unless the script has a
+    /// Byzantine window — the fault-free and fault-only paths skip it).
+    pub byz: Option<ByzPlane>,
     /// Per-slot scratch: RX ports hit by a stray (mistuned) signal,
     /// indexed `node * uplinks + uplink`.
     corrupt: Vec<Option<NodeId>>,
     corrupt_touched: Vec<u32>,
     uplinks: usize,
+    /// Nodes per group (= AWGR ports); drives correlated-domain expansion.
+    group_size: usize,
+    /// Uplink columns already logged as a correlated domain this run.
+    domain_logged: Vec<bool>,
+    /// Reused scratch for `FaultInjector::node_events_at`.
+    node_scratch: Vec<(NodeId, bool)>,
 }
 
 impl FaultPlane {
-    pub fn new(seed: u64, n: usize, uplinks: usize) -> FaultPlane {
+    pub fn new(seed: u64, n: usize, uplinks: usize, group_size: usize) -> FaultPlane {
         FaultPlane {
             injector: FaultInjector::new(seed),
             active: ActiveFaults::default(),
             report: FaultReport::default(),
+            byz: None,
             corrupt: vec![None; n * uplinks],
             corrupt_touched: Vec::new(),
             uplinks,
+            group_size,
+            domain_logged: vec![false; uplinks],
+            node_scratch: Vec::new(),
         }
+    }
+
+    /// Arm the RX-side Byzantine filter (called once per run when the
+    /// script contains a Byzantine window).
+    pub fn arm_byzantine(&mut self, sched: &Schedule) {
+        self.byz = Some(ByzPlane::new(sched));
     }
 
     /// Mistune pre-pass: a wavelength shifted by `offset` follows the
@@ -102,8 +174,12 @@ impl SiriusSim {
     /// epoch out, and both routing planes flip the same staged set at the
     /// same boundary.
     pub(crate) fn fault_boundary<O: SlotObserver>(&mut self, epoch: u64, obs: &mut O) {
-        // 1. Ground-truth transitions (routing is NOT told).
-        for (node, is_crash) in self.faults.injector.node_events_at(epoch) {
+        // 1. Ground-truth transitions (routing is NOT told). The event
+        //    list is collected into a reused scratch buffer — the engine
+        //    loop calls this every epoch and must not allocate for it.
+        let mut ev = std::mem::take(&mut self.faults.node_scratch);
+        self.faults.injector.node_events_at(epoch, &mut ev);
+        for (node, is_crash) in ev.drain(..) {
             if is_crash {
                 self.failure_plane.fail(node, epoch);
                 self.faults.report.failures.push(FailureRecord {
@@ -131,14 +207,18 @@ impl SiriusSim {
                 }
             }
         }
+        self.faults.node_scratch = ev;
 
         // 2. Refresh the flat per-epoch fault snapshot.
         let n = self.nodes.len();
         let uplinks = self.sched.base().uplinks();
         let FaultPlane {
-            injector, active, ..
+            injector,
+            active,
+            group_size,
+            ..
         } = &mut self.faults;
-        injector.refresh(epoch, n, uplinks, active);
+        injector.refresh(epoch, n, uplinks, *group_size, active);
 
         // 3. Link-granular silence detection (maintained only when the
         //    script can produce partial-node faults): a newly silent TX
@@ -164,11 +244,44 @@ impl SiriusSim {
                     readmitted_at: None,
                 });
             }
-            let escalated = self
-                .detect
-                .link_det
-                .as_ref()
-                .is_some_and(|ld| ld.suspected_count(peer) >= thresh);
+            // Cross-node correlation (§4.5 extended to shared components):
+            // independent transceiver failures scatter across columns, but
+            // a dead laser-bank chip or AWGR grating band silences the
+            // *same* uplink column on several distinct nodes at once. When
+            // enough peers are simultaneously suspect on this column, the
+            // diagnosis flips to ONE fleet-wide correlated domain: repair
+            // stays column-granular (k columns at `1/(N*U)` each) and the
+            // per-node escalation rule is suppressed — a bank failure must
+            // never cost k whole-node exclusions (`k/N`). Only meaningful
+            // when column-granular repair is on: the node-granular
+            // comparison mode (escalation fraction 0, the paper's pure
+            // §4.5 rule) must keep excluding whole nodes regardless.
+            let corr_nodes = if self.cfg.fault.column_escalation_fraction > 0.0 {
+                self.detect
+                    .link_det
+                    .as_ref()
+                    .map_or(0, |ld| ld.column_suspected_nodes(col))
+            } else {
+                0
+            };
+            let correlated = corr_nodes >= self.cfg.fault.correlation_threshold;
+            if correlated && !self.faults.domain_logged[col] {
+                self.faults.domain_logged[col] = true;
+                self.faults
+                    .report
+                    .correlated_domains
+                    .push(CorrelatedDomainRecord {
+                        uplink: col as u16,
+                        nodes: corr_nodes as u32,
+                        detected_at: epoch,
+                    });
+            }
+            let escalated = !correlated
+                && self
+                    .detect
+                    .link_det
+                    .as_ref()
+                    .is_some_and(|ld| ld.suspected_count(peer) >= thresh);
             if escalated {
                 if !self.failure_plane.is_excluded(peer)
                     && self.failure_plane.pending(peer) != Some(true)
@@ -230,13 +343,60 @@ impl SiriusSim {
             }
         }
 
+        // 3c. Byzantine quarantine: suspicion accumulated by the RX-side
+        //    filter since the last boundary is the node's forged-cell
+        //    count *for this epoch*. Crossing the threshold stages sticky
+        //    whole-node exclusion; resetting the counters every boundary
+        //    is what makes the threshold a per-epoch damage bound (the
+        //    §4.4 slew-clamp shape: lie a little, tolerated; lie past the
+        //    clamp, evicted).
+        let byz_thresh = self.cfg.fault.byz_quarantine_threshold;
+        let mut quarantine_now: Vec<NodeId> = Vec::new();
+        {
+            let FaultPlane { byz, report, .. } = &mut self.faults;
+            if let Some(bz) = byz {
+                for p in 0..n {
+                    let s = bz.suspicion[p];
+                    if s > report.max_forged_per_epoch {
+                        report.max_forged_per_epoch = s;
+                    }
+                    if s >= byz_thresh && !bz.quarantined[p] {
+                        bz.quarantined[p] = true;
+                        report.byz_quarantined.push(ByzantineRecord {
+                            node: NodeId(p as u32),
+                            quarantined_at: epoch,
+                        });
+                        quarantine_now.push(NodeId(p as u32));
+                    }
+                    bz.suspicion[p] = 0;
+                }
+            }
+        }
+        for p in quarantine_now {
+            if !self.failure_plane.is_excluded(p) && self.failure_plane.pending(p) != Some(true) {
+                self.sched.stage_omit(p, epoch + 1);
+                self.failure_plane.stage_exclude(p, epoch + 1);
+            }
+        }
+
         // 4. Emergent readmission: an excluded node heard again within the
         //    last epoch (keepalives resume the moment it reboots) is
         //    staged back in — unless the per-column view still holds
         //    `thresh` or more suspect columns, in which case keepalives on
         //    the surviving columns must not resurrect an escalated node.
+        //    Quarantined liars never come back: their carrier is healthy
+        //    (keepalives arrive every epoch), so silence-based readmission
+        //    would instantly resurrect them.
         for p in 0..n as u32 {
             let p = NodeId(p);
+            if self
+                .faults
+                .byz
+                .as_ref()
+                .is_some_and(|b| b.quarantined[p.0 as usize])
+            {
+                continue;
+            }
             let still_escalated = self
                 .detect
                 .link_det

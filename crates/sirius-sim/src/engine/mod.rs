@@ -98,9 +98,14 @@ impl SiriusSim {
             // DeliverPlane: cells whose propagation completes this slot.
             // Drain-and-put-back so each ring slot's buffer keeps its
             // warmed-up capacity instead of reallocating every lap.
+            // Cells draining now were launched `prop_slots` ago; their
+            // slot-in-epoch names the scheduled transmitter for the
+            // Byzantine RX filter. (Wrapping is harmless: warmup ring
+            // slots are empty.)
+            let launch_t = (abs_slot.wrapping_sub(prop_slots) % epoch_slots) as u16;
             let mut due = std::mem::take(&mut self.delivery.ring[ring_idx]);
-            for (dst, cell) in due.drain(..) {
-                self.deliver_cell(dst, cell, now, cur_epoch, obs);
+            for (dst, u, cell) in due.drain(..) {
+                self.deliver_cell(dst, u, cell, launch_t, now, cur_epoch, obs);
             }
             self.delivery.ring[ring_idx] = due;
 
@@ -176,7 +181,7 @@ impl SiriusSim {
                 let tx = self.tx.transmit(&mut self.nodes, i, j);
                 if let SlotTx::Relay(c) | SlotTx::ToIntermediate(c) = tx {
                     obs.note_data_tx(abs_slot, NodeId(i as u32), u);
-                    ring.push((j, c));
+                    ring.push((j, u, c));
                 }
             }
         }
@@ -225,8 +230,10 @@ impl SiriusSim {
             out.credits.clear();
             self.faults.report.cells_lost_grey += out.lost_grey;
             self.faults.report.cells_lost_mistune += out.lost_mistune;
+            self.faults.report.cells_forged += out.forged_tx;
             out.lost_grey = 0;
             out.lost_mistune = 0;
+            out.forged_tx = 0;
             self.fault_scratch = out;
             self.faults.end_slot();
             return;
@@ -276,7 +283,25 @@ impl SiriusSim {
                 let (cell, to_intermediate) = match tx {
                     SlotTx::Relay(c) => (Some(c), false),
                     SlotTx::ToIntermediate(c) => (Some(c), true),
-                    SlotTx::Idle => (None, false),
+                    SlotTx::Idle => {
+                        // A Byzantine node fills its own idle slots with
+                        // counterfeits — same draw discipline as the
+                        // unobserved path in `shard::tx_faulty_range`.
+                        let byz_p = self.faults.active.byz_prob(ni);
+                        if byz_p > 0.0
+                            && !mistuned
+                            && !erased
+                            && corrupted_by.is_none()
+                            && self.fault_rngs[i as usize].gen_bool(byz_p)
+                        {
+                            let c =
+                                shard::forge_cell(&mut self.fault_rngs[i as usize], ni, j, n_nodes);
+                            obs.note_forged_tx(ni, cur_epoch);
+                            self.faults.report.cells_forged += 1;
+                            self.delivery.ring[arrive_idx].push((j, u, c));
+                        }
+                        (None, false)
+                    }
                 };
                 if let Some(c) = cell {
                     // Safety net: the dead-slot check above must make
@@ -290,13 +315,13 @@ impl SiriusSim {
                         corrupted_by.map(|m| (LossCause::Mistune, m))
                     };
                     match lost {
-                        None => self.delivery.ring[arrive_idx].push((j, c)),
+                        None => self.delivery.ring[arrive_idx].push((j, u, c)),
                         Some((cause, blame)) => {
                             obs.note_lost(cause, blame, cur_epoch);
                             match cause {
                                 LossCause::Grey => self.faults.report.cells_lost_grey += 1,
                                 LossCause::Mistune => self.faults.report.cells_lost_mistune += 1,
-                                LossCause::Crash => unreachable!(),
+                                LossCause::Crash | LossCause::Byzantine => unreachable!(),
                             }
                             // The launch counted into the ideal-mode
                             // shadow occupancy never arrives.

@@ -32,6 +32,8 @@ pub(crate) trait SlotObserver {
     fn note_blackholed(&mut self, node: NodeId, epoch: u64);
     fn note_suspicion(&mut self, epoch: u64, node: NodeId);
     fn note_column_omitted(&mut self, node: NodeId, uplink: u16, omitted: bool);
+    fn note_forged_tx(&mut self, node: NodeId, epoch: u64);
+    fn note_forged_dropped(&mut self);
     fn epoch_check(&mut self, epoch: u64, nodes: &[SiriusNode], in_flight: u64);
 }
 
@@ -61,6 +63,10 @@ impl SlotObserver for NullObserver {
     fn note_suspicion(&mut self, _: u64, _: NodeId) {}
     #[inline(always)]
     fn note_column_omitted(&mut self, _: NodeId, _: u16, _: bool) {}
+    #[inline(always)]
+    fn note_forged_tx(&mut self, _: NodeId, _: u64) {}
+    #[inline(always)]
+    fn note_forged_dropped(&mut self) {}
     #[inline(always)]
     fn epoch_check(&mut self, _: u64, _: &[SiriusNode], _: u64) {}
 }
@@ -126,6 +132,14 @@ impl SlotObserver for AuditObserver {
     #[inline]
     fn note_column_omitted(&mut self, node: NodeId, uplink: u16, omitted: bool) {
         self.audit.note_column_omitted(node, uplink, omitted);
+    }
+    #[inline]
+    fn note_forged_tx(&mut self, node: NodeId, epoch: u64) {
+        self.audit.note_forged_tx(node, epoch);
+    }
+    #[inline]
+    fn note_forged_dropped(&mut self) {
+        self.audit.note_forged_dropped();
     }
     #[inline]
     fn epoch_check(&mut self, epoch: u64, nodes: &[SiriusNode], in_flight: u64) {

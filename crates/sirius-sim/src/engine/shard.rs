@@ -87,13 +87,17 @@ pub(crate) fn env_default_shards() -> usize {
 /// capacity across slots.
 #[derive(Debug, Default)]
 pub(crate) struct ShardOut {
-    /// Cells launched this slot, in (node, uplink) order.
-    pub ring: Vec<(NodeId, Cell)>,
+    /// Cells launched this slot, in (node, uplink) order. The RX uplink
+    /// rides along so the delivery side can name the slot's scheduled
+    /// transmitter (Byzantine attribution).
+    pub ring: Vec<(NodeId, u16, Cell)>,
     /// Detector credit: (sender, uplink, receiver), in (node, uplink)
     /// order. `arrival_epoch` is slot-wide, so it is not stored per entry.
     pub credits: Vec<(NodeId, u16, NodeId)>,
     pub lost_grey: u64,
     pub lost_mistune: u64,
+    /// Counterfeit cells launched by Byzantine nodes this slot.
+    pub forged_tx: u64,
 }
 
 impl ShardOut {
@@ -102,6 +106,37 @@ impl ShardOut {
         self.credits.clear();
         self.lost_grey = 0;
         self.lost_mistune = 0;
+        self.forged_tx = 0;
+    }
+}
+
+/// Fabricate one counterfeit cell from a Byzantine node `ni` whose slot
+/// (RX port of `j`) would otherwise idle. Two lies, chosen per forgery
+/// from the node's own stream:
+///
+/// * **Header forgery** — a fabricated origin, addressed to the slot's
+///   scheduled destination (framing another node as the sender).
+/// * **Stale-grant replay** — the node's own origin but a stale
+///   destination, replaying a long-consumed reservation.
+///
+/// Every counterfeit carries an out-of-range `FlowId`: the liar does not
+/// know the receivers' flow tables, which is exactly why the RX-side
+/// header validation is sound.
+pub(crate) fn forge_cell(rng: &mut SmallRng, ni: NodeId, j: NodeId, n: usize) -> Cell {
+    let kind = rng.gen_range(0..2u8);
+    let (src, dst) = if kind == 0 {
+        (NodeId(rng.gen_range(0..n as u32)), j)
+    } else {
+        (ni, NodeId(rng.gen_range(0..n as u32)))
+    };
+    Cell {
+        flow: sirius_core::cell::FlowId(u64::MAX),
+        seq: 0,
+        payload: 0,
+        src,
+        dst,
+        dst_server: sirius_core::topology::ServerId(0),
+        last: false,
     }
 }
 
@@ -116,7 +151,7 @@ pub(crate) fn tx_clean_range(
     first: usize,
     tables: &DestTable,
     t: SlotInEpoch,
-    out: &mut Vec<(NodeId, Cell)>,
+    out: &mut Vec<(NodeId, u16, Cell)>,
 ) {
     debug_assert_ne!(mode, CcMode::Ideal, "ideal mode is not shardable");
     let uplinks = tables.uplinks();
@@ -148,7 +183,7 @@ pub(crate) fn tx_clean_range(
                     }
                     let tx = node.transmit(j);
                     if let SlotTx::Relay(c) | SlotTx::ToIntermediate(c) = tx {
-                        out.push((j, c));
+                        out.push((j, u as u16, c));
                     }
                 }
                 k += uplinks;
@@ -167,7 +202,7 @@ pub(crate) fn tx_clean_range(
                     // No back-pressure: any cell may detour via j.
                     let tx = node.ideal_transmit(j, |_| true);
                     if let SlotTx::Relay(c) | SlotTx::ToIntermediate(c) = tx {
-                        out.push((j, c));
+                        out.push((j, u as u16, c));
                     }
                 }
                 k += uplinks;
@@ -234,15 +269,37 @@ pub(crate) fn tx_faulty_range(
                 CcMode::Protocol => node.transmit(j),
                 CcMode::Greedy | CcMode::Ideal => node.ideal_transmit(j, |_| true),
             };
-            if let SlotTx::Relay(c) | SlotTx::ToIntermediate(c) = tx {
-                if mistuned {
-                    out.lost_mistune += 1;
-                } else if erased {
-                    out.lost_grey += 1;
-                } else if corrupted_by.is_some() {
-                    out.lost_mistune += 1;
-                } else {
-                    out.ring.push((j, c));
+            match tx {
+                SlotTx::Relay(c) | SlotTx::ToIntermediate(c) => {
+                    if mistuned {
+                        out.lost_mistune += 1;
+                    } else if erased {
+                        out.lost_grey += 1;
+                    } else if corrupted_by.is_some() {
+                        out.lost_mistune += 1;
+                    } else {
+                        out.ring.push((j, u, c));
+                    }
+                }
+                SlotTx::Idle => {
+                    // A Byzantine node fills its own idle slots with
+                    // counterfeits. The draw rides the same per-node
+                    // stream as grey erasure (grey draw first, then the
+                    // forge draws), so the sequence is independent of the
+                    // shard partition. A mistuned/erased/corrupted slot
+                    // would destroy the counterfeit anyway — skip the
+                    // draw entirely to keep streams cheap and aligned.
+                    let byz_p = faults.active.byz_prob(ni);
+                    if byz_p > 0.0
+                        && !mistuned
+                        && !erased
+                        && corrupted_by.is_none()
+                        && rngs[li].gen_bool(byz_p)
+                    {
+                        let c = forge_cell(&mut rngs[li], ni, j, tables.nodes());
+                        out.forged_tx += 1;
+                        out.ring.push((j, u, c));
+                    }
                 }
             }
         }
@@ -466,9 +523,14 @@ impl SiriusSim {
                 }
 
                 // DeliverPlane: serial, before TX, exactly as in run_loop.
+                // Cells draining now were launched `prop_slots` ago; their
+                // slot-in-epoch names the scheduled transmitter for the
+                // Byzantine RX filter. (Wrapping is harmless: warmup ring
+                // slots are empty.)
+                let launch_t = (abs_slot.wrapping_sub(prop_slots) % epoch_slots) as u16;
                 let mut due = std::mem::take(&mut self.delivery.ring[ring_idx]);
-                for (dst, cell) in due.drain(..) {
-                    self.deliver_cell(dst, cell, now, cur_epoch, obs);
+                for (dst, u, cell) in due.drain(..) {
+                    self.deliver_cell(dst, u, cell, launch_t, now, cur_epoch, obs);
                 }
                 self.delivery.ring[ring_idx] = due;
 
@@ -532,6 +594,7 @@ impl SiriusSim {
                     out.credits.clear();
                     self.faults.report.cells_lost_grey += out.lost_grey;
                     self.faults.report.cells_lost_mistune += out.lost_mistune;
+                    self.faults.report.cells_forged += out.forged_tx;
                 }
                 if has_faults {
                     self.faults.end_slot();

@@ -23,6 +23,23 @@
 //!   messages in `CcMode::Protocol` are dropped with a probability; the
 //!   protocol's sticky-request re-issue and grant-expiry backstops must
 //!   absorb this without losing data.
+//! * **Laser-bank failure** ([`FaultEvent::BankFailure`]) — one
+//!   `sirius-optics::laser::fixed_bank` SOA chip in a disaggregated
+//!   per-(group, uplink) bank dies, silencing a contiguous wavelength
+//!   band. The AWGR's cyclic route relation maps each dead channel to
+//!   exactly one output port ([`sirius_optics::awgr::Awgr::
+//!   dead_outputs_for_chip`]), so the blast radius is a *correlated set
+//!   of TX columns*: one column each on several distinct nodes of the
+//!   group, all on the same uplink.
+//! * **AWGR grating fault** ([`FaultEvent::GratingFault`]) — a damaged
+//!   grating band kills an input-port range of the (group, uplink) AWGR
+//!   outright: those nodes' TX columns on that uplink go dark.
+//! * **Byzantine data plane** ([`FaultEvent::Byzantine`]) — a compromised
+//!   node forges cell headers (wrong src/dst/flow), replays stale grants
+//!   and inflates its request counts. Forgery draws come from the node's
+//!   own per-node RNG stream so scripts stay shard-partition-independent;
+//!   the RX-side filter (see `engine::deliver`) bounds the damage per
+//!   epoch, then quarantines the liar.
 //!
 //! Fault randomness is decoupled from the simulator's protocol RNG
 //! (`seed ^ salt`), and erasure draws are made once per *scheduled slot*
@@ -39,6 +56,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sirius_core::topology::NodeId;
+use sirius_optics::awgr::Awgr;
 use sirius_optics::ber::{Modulation, Receiver};
 use sirius_optics::fec::KP4;
 
@@ -75,14 +93,171 @@ pub enum FaultEvent {
         from: u64,
         until: u64,
     },
+    /// Correlated domain: SOA chip `chip` (of `chip_capacity` channels,
+    /// the `FixedLaserBank::new` layout) of the disaggregated laser bank
+    /// feeding `(group, uplink)` dies during `[from, until)`. Every
+    /// wavelength on the chip goes dark, and the AWGR route relation
+    /// turns the contiguous channel band into a set of dead TX columns —
+    /// one column each on distinct nodes of the group, all on `uplink`.
+    BankFailure {
+        group: u16,
+        uplink: u16,
+        chip: u16,
+        chip_capacity: u16,
+        from: u64,
+        until: u64,
+    },
+    /// Correlated domain: the input-port band `[port_lo, port_hi)` of the
+    /// `(group, uplink)` AWGR is destroyed during `[from, until)` — the
+    /// TX columns of those nodes on `uplink` go dark fleet-visible.
+    GratingFault {
+        group: u16,
+        uplink: u16,
+        port_lo: u16,
+        port_hi: u16,
+        from: u64,
+        until: u64,
+    },
+    /// `node`'s data plane is compromised during `[from, until)`: on each
+    /// otherwise-idle scheduled slot it forges a cell with probability
+    /// `forge_prob` (fabricated src or replayed stale grant), and at each
+    /// epoch boundary it injects `extra_requests` counterfeit bandwidth
+    /// requests at random intermediates.
+    Byzantine {
+        node: NodeId,
+        forge_prob: f64,
+        extra_requests: u32,
+        from: u64,
+        until: u64,
+    },
 }
+
+impl FaultEvent {
+    fn name(&self) -> &'static str {
+        match self {
+            FaultEvent::Crash { .. } => "Crash",
+            FaultEvent::Recover { .. } => "Recover",
+            FaultEvent::GreyLink { .. } => "GreyLink",
+            FaultEvent::Mistune { .. } => "Mistune",
+            FaultEvent::ControlLoss { .. } => "ControlLoss",
+            FaultEvent::BankFailure { .. } => "BankFailure",
+            FaultEvent::GratingFault { .. } => "GratingFault",
+            FaultEvent::Byzantine { .. } => "Byzantine",
+        }
+    }
+}
+
+/// A malformed fault script, rejected at build time by
+/// [`FaultInjector::validate`] instead of silently never firing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultScriptError {
+    /// `from > until`: the window can never contain an epoch.
+    InvertedWindow {
+        event: &'static str,
+        from: u64,
+        until: u64,
+    },
+    /// The event names a node outside the deployment.
+    NodeOutOfRange {
+        event: &'static str,
+        node: u32,
+        nodes: usize,
+    },
+    /// The event names an uplink column the schedule does not have.
+    UplinkOutOfRange {
+        event: &'static str,
+        uplink: u16,
+        uplinks: usize,
+    },
+    /// The event names a group outside the topology.
+    GroupOutOfRange {
+        event: &'static str,
+        group: u16,
+        groups: usize,
+    },
+    /// The chip index starts past the end of the wavelength bank.
+    ChipOutOfRange { chip: u16, chips: u16 },
+    /// The grating band is empty or exceeds the AWGR port count.
+    PortBandOutOfRange {
+        port_lo: u16,
+        port_hi: u16,
+        ports: usize,
+    },
+    /// A probability outside `[0, 1]`.
+    InvalidProbability { event: &'static str, prob: f64 },
+    /// A Byzantine window with nothing to do (no forgery, no inflation).
+    IdleByzantine { node: u32 },
+    /// Two events that cannot both hold (crash+recover of one node at one
+    /// epoch, or overlapping mistunes pinning one laser to two offsets).
+    Contradiction { detail: String },
+}
+
+impl std::fmt::Display for FaultScriptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultScriptError::InvertedWindow { event, from, until } => write!(
+                f,
+                "{event} window [{from}, {until}) is inverted and can never fire"
+            ),
+            FaultScriptError::NodeOutOfRange { event, node, nodes } => write!(
+                f,
+                "{event} names node {node} but the deployment has nodes 0..{nodes}"
+            ),
+            FaultScriptError::UplinkOutOfRange {
+                event,
+                uplink,
+                uplinks,
+            } => write!(
+                f,
+                "{event} names uplink {uplink} but the schedule has uplinks 0..{uplinks}"
+            ),
+            FaultScriptError::GroupOutOfRange {
+                event,
+                group,
+                groups,
+            } => write!(
+                f,
+                "{event} names group {group} but the topology has groups 0..{groups}"
+            ),
+            FaultScriptError::ChipOutOfRange { chip, chips } => write!(
+                f,
+                "BankFailure names chip {chip} but the bank has chips 0..{chips}"
+            ),
+            FaultScriptError::PortBandOutOfRange {
+                port_lo,
+                port_hi,
+                ports,
+            } => write!(
+                f,
+                "GratingFault band [{port_lo}, {port_hi}) is empty or exceeds \
+                 the group's {ports} AWGR ports"
+            ),
+            FaultScriptError::InvalidProbability { event, prob } => {
+                write!(f, "{event} probability {prob} is outside [0, 1]")
+            }
+            FaultScriptError::IdleByzantine { node } => write!(
+                f,
+                "Byzantine window on node {node} has forge_prob 0 and \
+                 extra_requests 0: it would never do anything"
+            ),
+            FaultScriptError::Contradiction { detail } => {
+                write!(f, "contradictory events: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultScriptError {}
 
 /// Per-epoch snapshot of the active fault plane, rebuilt at boundaries so
 /// the per-slot hot path only reads flat arrays.
 #[derive(Debug, Default)]
 pub struct ActiveFaults {
     /// Erasure probability per `(node, uplink)` (empty when no grey link
-    /// is active this epoch).
+    /// is active this epoch). Correlated domains (bank chips, grating
+    /// bands) expand into probability-1.0 entries here: a dead wavelength
+    /// *is* a TX column that erases every slot, so detection, loss
+    /// attribution and repair all ride the tested grey-link paths.
     pub grey: Vec<f64>,
     /// Mistune offset per node (empty when none active this epoch).
     pub mistuned: Vec<Option<u16>>,
@@ -90,6 +265,13 @@ pub struct ActiveFaults {
     pub control_loss: f64,
     /// Nodes with a mistune active this epoch (for the per-slot pre-pass).
     pub mistuned_nodes: Vec<NodeId>,
+    /// Per-node forge probability (empty when no Byzantine window is
+    /// active this epoch).
+    pub byz: Vec<f64>,
+    /// Per-node counterfeit requests injected at each epoch boundary.
+    pub byz_extra: Vec<u32>,
+    /// Nodes with a Byzantine window active this epoch.
+    pub byz_nodes: Vec<NodeId>,
 }
 
 impl ActiveFaults {
@@ -98,6 +280,9 @@ impl ActiveFaults {
     }
     pub fn any_mistune(&self) -> bool {
         !self.mistuned_nodes.is_empty()
+    }
+    pub fn any_byz(&self) -> bool {
+        !self.byz_nodes.is_empty()
     }
     pub fn grey_prob(&self, node: NodeId, uplink: u16, uplinks: usize) -> f64 {
         if self.grey.is_empty() {
@@ -111,6 +296,22 @@ impl ActiveFaults {
             None
         } else {
             self.mistuned[node.0 as usize]
+        }
+    }
+    /// Probability that `node` forges a cell on an otherwise-idle slot.
+    pub fn byz_prob(&self, node: NodeId) -> f64 {
+        if self.byz.is_empty() {
+            0.0
+        } else {
+            self.byz[node.0 as usize]
+        }
+    }
+    /// Counterfeit requests `node` injects at this epoch's boundary.
+    pub fn byz_extra_of(&self, node: NodeId) -> u32 {
+        if self.byz_extra.is_empty() {
+            0
+        } else {
+            self.byz_extra[node.0 as usize]
         }
     }
 }
@@ -138,10 +339,10 @@ impl FaultInjector {
     }
 
     /// One independent RNG stream per node for the per-slot grey-erasure
-    /// draws. A sender's stream advances only when *it* draws, so the
-    /// sequence each node consumes does not depend on the node partition
-    /// the slot engine runs with — sharded and serial runs make the
-    /// identical draws.
+    /// and Byzantine-forgery draws. A sender's stream advances only when
+    /// *it* draws, so the sequence each node consumes does not depend on
+    /// the node partition the slot engine runs with — sharded and serial
+    /// runs make the identical draws.
     pub fn node_streams(&self, n: usize) -> Vec<SmallRng> {
         (0..n as u64)
             .map(|i| {
@@ -229,6 +430,76 @@ impl FaultInjector {
         self
     }
 
+    /// Kill SOA chip `chip` (of `chip_capacity`-channel chips) of the
+    /// laser bank feeding `(group, uplink)` for `[from, until)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn bank_failure(
+        mut self,
+        group: u16,
+        uplink: u16,
+        chip: u16,
+        chip_capacity: u16,
+        from: u64,
+        until: u64,
+    ) -> Self {
+        assert!(chip_capacity > 0, "a chip holds at least one channel");
+        self.events.push(FaultEvent::BankFailure {
+            group,
+            uplink,
+            chip,
+            chip_capacity,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Destroy the input-port band `[port_lo, port_hi)` of the
+    /// `(group, uplink)` AWGR for `[from, until)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn grating_fault(
+        mut self,
+        group: u16,
+        uplink: u16,
+        port_lo: u16,
+        port_hi: u16,
+        from: u64,
+        until: u64,
+    ) -> Self {
+        assert!(port_lo < port_hi, "empty grating band");
+        self.events.push(FaultEvent::GratingFault {
+            group,
+            uplink,
+            port_lo,
+            port_hi,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Compromise `node`'s data plane for `[from, until)`: forge a cell on
+    /// each otherwise-idle scheduled slot with probability `forge_prob`,
+    /// and inject `extra_requests` counterfeit requests per epoch.
+    pub fn byzantine(
+        mut self,
+        node: NodeId,
+        forge_prob: f64,
+        extra_requests: u32,
+        from: u64,
+        until: u64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&forge_prob));
+        self.events.push(FaultEvent::Byzantine {
+            node,
+            forge_prob,
+            extra_requests,
+            from,
+            until,
+        });
+        self
+    }
+
     pub fn events(&self) -> &[FaultEvent] {
         &self.events
     }
@@ -237,33 +508,279 @@ impl FaultInjector {
         self.events.is_empty()
     }
 
-    /// Does any event ever perturb individual links (grey or mistune)?
+    /// Does any event ever perturb individual links (grey, mistune, or a
+    /// correlated bank/grating domain — which *is* a set of grey columns)?
     /// Gates the per-link detector bookkeeping in the simulator.
     pub fn has_link_faults(&self) -> bool {
-        self.events
-            .iter()
-            .any(|e| matches!(e, FaultEvent::GreyLink { .. } | FaultEvent::Mistune { .. }))
+        self.events.iter().any(|e| {
+            matches!(
+                e,
+                FaultEvent::GreyLink { .. }
+                    | FaultEvent::Mistune { .. }
+                    | FaultEvent::BankFailure { .. }
+                    | FaultEvent::GratingFault { .. }
+            )
+        })
     }
 
-    /// Crash/recover transitions due at exactly `epoch`, in script order.
-    /// `true` = crash, `false` = recover.
-    pub fn node_events_at(&self, epoch: u64) -> Vec<(NodeId, bool)> {
+    /// Does any event ever compromise a data plane? Gates the RX-side
+    /// Byzantine filter (which must stay off the fault-free fast path).
+    pub fn has_byzantine(&self) -> bool {
         self.events
             .iter()
-            .filter_map(|e| match *e {
-                FaultEvent::Crash { node, epoch: at } if at == epoch => Some((node, true)),
-                FaultEvent::Recover { node, epoch: at } if at == epoch => Some((node, false)),
-                _ => None,
-            })
-            .collect()
+            .any(|e| matches!(e, FaultEvent::Byzantine { .. }))
     }
 
-    /// Rebuild the flat per-epoch fault snapshot.
-    pub fn refresh(&self, epoch: u64, n: usize, uplinks: usize, out: &mut ActiveFaults) {
+    /// Validate the script against a deployment of `nodes` nodes with
+    /// `uplinks` columns per node and `group_size` nodes (= AWGR ports =
+    /// bank wavelengths) per group. Rejects scripts that are inverted,
+    /// out of range or self-contradictory with a descriptive error
+    /// instead of silently never firing.
+    pub fn validate(
+        &self,
+        nodes: usize,
+        uplinks: usize,
+        group_size: usize,
+    ) -> Result<(), FaultScriptError> {
+        let groups = nodes / group_size.max(1);
+        let check_window = |ev: &FaultEvent, from: u64, until: u64| {
+            if from > until {
+                Err(FaultScriptError::InvertedWindow {
+                    event: ev.name(),
+                    from,
+                    until,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        let check_node = |ev: &FaultEvent, node: NodeId| {
+            if node.0 as usize >= nodes {
+                Err(FaultScriptError::NodeOutOfRange {
+                    event: ev.name(),
+                    node: node.0,
+                    nodes,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        let check_uplink = |ev: &FaultEvent, uplink: u16| {
+            if uplink as usize >= uplinks {
+                Err(FaultScriptError::UplinkOutOfRange {
+                    event: ev.name(),
+                    uplink,
+                    uplinks,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        let check_group = |ev: &FaultEvent, group: u16| {
+            if group as usize >= groups {
+                Err(FaultScriptError::GroupOutOfRange {
+                    event: ev.name(),
+                    group,
+                    groups,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        let check_prob = |ev: &FaultEvent, p: f64| {
+            if !(0.0..=1.0).contains(&p) {
+                Err(FaultScriptError::InvalidProbability {
+                    event: ev.name(),
+                    prob: p,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        for ev in &self.events {
+            match *ev {
+                FaultEvent::Crash { node, .. } | FaultEvent::Recover { node, .. } => {
+                    check_node(ev, node)?;
+                }
+                FaultEvent::GreyLink {
+                    node,
+                    uplink,
+                    drop_prob,
+                    from,
+                    until,
+                } => {
+                    check_window(ev, from, until)?;
+                    check_node(ev, node)?;
+                    check_uplink(ev, uplink)?;
+                    check_prob(ev, drop_prob)?;
+                }
+                FaultEvent::Mistune {
+                    node, from, until, ..
+                } => {
+                    check_window(ev, from, until)?;
+                    check_node(ev, node)?;
+                }
+                FaultEvent::ControlLoss {
+                    drop_prob,
+                    from,
+                    until,
+                } => {
+                    check_window(ev, from, until)?;
+                    check_prob(ev, drop_prob)?;
+                }
+                FaultEvent::BankFailure {
+                    group,
+                    uplink,
+                    chip,
+                    chip_capacity,
+                    from,
+                    until,
+                } => {
+                    check_window(ev, from, until)?;
+                    check_group(ev, group)?;
+                    check_uplink(ev, uplink)?;
+                    let chips = (group_size as u16).div_ceil(chip_capacity.max(1));
+                    if chip_capacity == 0 || chip >= chips {
+                        return Err(FaultScriptError::ChipOutOfRange { chip, chips });
+                    }
+                }
+                FaultEvent::GratingFault {
+                    group,
+                    uplink,
+                    port_lo,
+                    port_hi,
+                    from,
+                    until,
+                } => {
+                    check_window(ev, from, until)?;
+                    check_group(ev, group)?;
+                    check_uplink(ev, uplink)?;
+                    if port_lo >= port_hi || port_hi as usize > group_size {
+                        return Err(FaultScriptError::PortBandOutOfRange {
+                            port_lo,
+                            port_hi,
+                            ports: group_size,
+                        });
+                    }
+                }
+                FaultEvent::Byzantine {
+                    node,
+                    forge_prob,
+                    extra_requests,
+                    from,
+                    until,
+                } => {
+                    check_window(ev, from, until)?;
+                    check_node(ev, node)?;
+                    check_prob(ev, forge_prob)?;
+                    if forge_prob == 0.0 && extra_requests == 0 {
+                        return Err(FaultScriptError::IdleByzantine { node: node.0 });
+                    }
+                }
+            }
+        }
+        // Contradictions across events.
+        for (a, ea) in self.events.iter().enumerate() {
+            for eb in &self.events[a + 1..] {
+                match (*ea, *eb) {
+                    (
+                        FaultEvent::Crash {
+                            node: n1,
+                            epoch: e1,
+                        },
+                        FaultEvent::Recover {
+                            node: n2,
+                            epoch: e2,
+                        },
+                    )
+                    | (
+                        FaultEvent::Recover {
+                            node: n1,
+                            epoch: e1,
+                        },
+                        FaultEvent::Crash {
+                            node: n2,
+                            epoch: e2,
+                        },
+                    ) if n1 == n2 && e1 == e2 => {
+                        return Err(FaultScriptError::Contradiction {
+                            detail: format!(
+                                "node {} both crashes and recovers at epoch {e1}",
+                                n1.0
+                            ),
+                        });
+                    }
+                    (
+                        FaultEvent::Mistune {
+                            node: n1,
+                            offset: o1,
+                            from: f1,
+                            until: u1,
+                        },
+                        FaultEvent::Mistune {
+                            node: n2,
+                            offset: o2,
+                            from: f2,
+                            until: u2,
+                        },
+                    ) if n1 == n2 && o1 != o2 && f1 < u2 && f2 < u1 => {
+                        return Err(FaultScriptError::Contradiction {
+                            detail: format!(
+                                "node {}'s laser pinned to offsets {o1} and {o2} \
+                                 in overlapping windows",
+                                n1.0
+                            ),
+                        });
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Crash/recover transitions due at exactly `epoch`, in script order,
+    /// appended into `out` (cleared first — a scratch buffer the engine
+    /// loop reuses every epoch instead of allocating). `true` = crash,
+    /// `false` = recover.
+    pub fn node_events_at(&self, epoch: u64, out: &mut Vec<(NodeId, bool)>) {
+        out.clear();
+        for e in &self.events {
+            match *e {
+                FaultEvent::Crash { node, epoch: at } if at == epoch => out.push((node, true)),
+                FaultEvent::Recover { node, epoch: at } if at == epoch => out.push((node, false)),
+                _ => {}
+            }
+        }
+    }
+
+    /// Rebuild the flat per-epoch fault snapshot. `group_size` (= AWGR
+    /// ports = bank wavelengths per group) drives the expansion of
+    /// correlated bank/grating domains into their dead TX columns.
+    pub fn refresh(
+        &self,
+        epoch: u64,
+        n: usize,
+        uplinks: usize,
+        group_size: usize,
+        out: &mut ActiveFaults,
+    ) {
         out.grey.clear();
         out.mistuned.clear();
         out.mistuned_nodes.clear();
         out.control_loss = 0.0;
+        out.byz.clear();
+        out.byz_extra.clear();
+        out.byz_nodes.clear();
+        let kill_column = |out: &mut ActiveFaults, node: usize, uplink: u16| {
+            if node >= n {
+                return;
+            }
+            if out.grey.is_empty() {
+                out.grey.resize(n * uplinks, 0.0);
+            }
+            out.grey[node * uplinks + uplink as usize] = 1.0;
+        };
         for e in &self.events {
             match *e {
                 FaultEvent::GreyLink {
@@ -302,6 +819,56 @@ impl FaultInjector {
                 } if (from..until).contains(&epoch) => {
                     out.control_loss += drop_prob - out.control_loss * drop_prob;
                 }
+                FaultEvent::BankFailure {
+                    group,
+                    uplink,
+                    chip,
+                    chip_capacity,
+                    from,
+                    until,
+                } if (from..until).contains(&epoch) => {
+                    // Each dead channel silences one AWGR output port =
+                    // one node's TX column on this uplink (a p=1.0 grey
+                    // column, so the whole detection/repair stack sees
+                    // it through the tested grey paths).
+                    let awgr = Awgr::new(group_size as u16);
+                    let input = uplink % group_size as u16;
+                    for port in awgr.dead_outputs_for_chip(input, chip, chip_capacity) {
+                        let node = group as usize * group_size + port as usize;
+                        kill_column(out, node, uplink);
+                    }
+                }
+                FaultEvent::GratingFault {
+                    group,
+                    uplink,
+                    port_lo,
+                    port_hi,
+                    from,
+                    until,
+                } if (from..until).contains(&epoch) => {
+                    for port in port_lo..port_hi.min(group_size as u16) {
+                        let node = group as usize * group_size + port as usize;
+                        kill_column(out, node, uplink);
+                    }
+                }
+                FaultEvent::Byzantine {
+                    node,
+                    forge_prob,
+                    extra_requests,
+                    from,
+                    until,
+                } if (from..until).contains(&epoch) => {
+                    if out.byz.is_empty() {
+                        out.byz.resize(n, 0.0);
+                        out.byz_extra.resize(n, 0);
+                    }
+                    let i = node.0 as usize;
+                    if out.byz[i] == 0.0 && out.byz_extra[i] == 0 {
+                        out.byz_nodes.push(node);
+                    }
+                    out.byz[i] += forge_prob - out.byz[i] * forge_prob;
+                    out.byz_extra[i] += extra_requests;
+                }
                 _ => {}
             }
         }
@@ -322,7 +889,10 @@ impl FaultInjector {
                 FaultEvent::Crash { epoch, .. } | FaultEvent::Recover { epoch, .. } => epoch,
                 FaultEvent::GreyLink { until, .. }
                 | FaultEvent::Mistune { until, .. }
-                | FaultEvent::ControlLoss { until, .. } => until,
+                | FaultEvent::ControlLoss { until, .. }
+                | FaultEvent::BankFailure { until, .. }
+                | FaultEvent::GratingFault { until, .. }
+                | FaultEvent::Byzantine { until, .. } => until,
             })
             .max()
             .unwrap_or(0)
@@ -351,16 +921,16 @@ mod tests {
             .mistune(NodeId(3), 2, 15, 25)
             .control_loss(0.1, 5, 30);
         let mut af = ActiveFaults::default();
-        inj.refresh(9, 8, 4, &mut af);
+        inj.refresh(9, 8, 4, 4, &mut af);
         assert!(!af.any_grey());
         assert!(!af.any_mistune());
         assert_eq!(af.control_loss, 0.1);
-        inj.refresh(15, 8, 4, &mut af);
+        inj.refresh(15, 8, 4, 4, &mut af);
         assert_eq!(af.grey_prob(NodeId(2), 1, 4), 0.5);
         assert_eq!(af.grey_prob(NodeId(2), 0, 4), 0.0);
         assert_eq!(af.mistune_of(NodeId(3)), Some(2));
         assert_eq!(af.mistuned_nodes, vec![NodeId(3)]);
-        inj.refresh(25, 8, 4, &mut af);
+        inj.refresh(25, 8, 4, 4, &mut af);
         assert!(!af.any_mistune());
         assert_eq!(af.mistune_of(NodeId(3)), None);
         assert!(inj.has_link_faults());
@@ -373,13 +943,164 @@ mod tests {
             .crash(NodeId(1), 5)
             .recover(NodeId(1), 9)
             .crash(NodeId(2), 5);
-        assert_eq!(
-            inj.node_events_at(5),
-            vec![(NodeId(1), true), (NodeId(2), true)]
-        );
-        assert_eq!(inj.node_events_at(9), vec![(NodeId(1), false)]);
-        assert!(inj.node_events_at(6).is_empty());
+        let mut out = Vec::new();
+        inj.node_events_at(5, &mut out);
+        assert_eq!(out, vec![(NodeId(1), true), (NodeId(2), true)]);
+        inj.node_events_at(9, &mut out);
+        assert_eq!(out, vec![(NodeId(1), false)]);
+        inj.node_events_at(6, &mut out);
+        assert!(out.is_empty(), "scratch must be cleared between epochs");
         assert!(!inj.has_link_faults());
+    }
+
+    #[test]
+    fn bank_failure_expands_to_its_column_set() {
+        // 16 nodes, group size 4, 2 uplinks. Chip 0 (capacity 2) of the
+        // bank feeding (group 1, uplink 1) kills channels {0, 1}; AWGR
+        // input 1 % 4 = 1 routes them to ports {1, 2} — nodes 5 and 6,
+        // column 1 only.
+        let inj = FaultInjector::new(1).bank_failure(1, 1, 0, 2, 10, 20);
+        assert!(inj.has_link_faults());
+        assert!(!inj.has_byzantine());
+        assert_eq!(inj.horizon(), 20);
+        let mut af = ActiveFaults::default();
+        inj.refresh(10, 16, 2, 4, &mut af);
+        assert!(af.any_grey());
+        for n in 0..16u32 {
+            for u in 0..2u16 {
+                let expect = if (n == 5 || n == 6) && u == 1 {
+                    1.0
+                } else {
+                    0.0
+                };
+                assert_eq!(af.grey_prob(NodeId(n), u, 2), expect, "node {n} col {u}");
+            }
+        }
+        inj.refresh(20, 16, 2, 4, &mut af);
+        assert!(!af.any_grey(), "window closed");
+    }
+
+    #[test]
+    fn grating_fault_kills_the_port_band() {
+        let inj = FaultInjector::new(1).grating_fault(0, 0, 1, 3, 0, 5);
+        let mut af = ActiveFaults::default();
+        inj.refresh(2, 8, 2, 4, &mut af);
+        for n in 0..8u32 {
+            let expect = if n == 1 || n == 2 { 1.0 } else { 0.0 };
+            assert_eq!(af.grey_prob(NodeId(n), 0, 2), expect);
+            assert_eq!(af.grey_prob(NodeId(n), 1, 2), 0.0);
+        }
+    }
+
+    #[test]
+    fn byzantine_window_arms_the_snapshot() {
+        let inj = FaultInjector::new(1).byzantine(NodeId(3), 0.25, 4, 10, 30);
+        assert!(inj.has_byzantine());
+        assert!(!inj.has_link_faults());
+        let mut af = ActiveFaults::default();
+        inj.refresh(5, 8, 2, 4, &mut af);
+        assert!(!af.any_byz());
+        assert_eq!(af.byz_prob(NodeId(3)), 0.0);
+        inj.refresh(10, 8, 2, 4, &mut af);
+        assert!(af.any_byz());
+        assert_eq!(af.byz_nodes, vec![NodeId(3)]);
+        assert_eq!(af.byz_prob(NodeId(3)), 0.25);
+        assert_eq!(af.byz_extra_of(NodeId(3)), 4);
+        assert_eq!(af.byz_prob(NodeId(2)), 0.0);
+        inj.refresh(30, 8, 2, 4, &mut af);
+        assert!(!af.any_byz());
+    }
+
+    #[test]
+    fn validation_accepts_a_well_formed_script() {
+        let inj = FaultInjector::new(1)
+            .crash(NodeId(1), 5)
+            .recover(NodeId(1), 9)
+            .grey_link(NodeId(2), 1, 0.5, 10, 20)
+            .bank_failure(1, 1, 0, 2, 10, 20)
+            .grating_fault(0, 0, 1, 3, 0, 5)
+            .byzantine(NodeId(3), 0.25, 4, 10, 30);
+        assert_eq!(inj.validate(16, 2, 4), Ok(()));
+    }
+
+    #[test]
+    fn validation_rejects_inverted_windows() {
+        let inj = FaultInjector::new(1).grey_link(NodeId(0), 0, 0.5, 20, 10);
+        let err = inj.validate(16, 2, 4).unwrap_err();
+        assert!(matches!(err, FaultScriptError::InvertedWindow { .. }));
+        assert!(err.to_string().contains("inverted"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_nodes_and_uplinks() {
+        let inj = FaultInjector::new(1).crash(NodeId(16), 5);
+        assert!(matches!(
+            inj.validate(16, 2, 4).unwrap_err(),
+            FaultScriptError::NodeOutOfRange { node: 16, .. }
+        ));
+        let inj = FaultInjector::new(1).grey_link(NodeId(0), 2, 0.5, 0, 10);
+        assert!(matches!(
+            inj.validate(16, 2, 4).unwrap_err(),
+            FaultScriptError::UplinkOutOfRange { uplink: 2, .. }
+        ));
+        let inj = FaultInjector::new(1).byzantine(NodeId(99), 0.5, 0, 0, 10);
+        assert!(matches!(
+            inj.validate(16, 2, 4).unwrap_err(),
+            FaultScriptError::NodeOutOfRange { node: 99, .. }
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_domains() {
+        let inj = FaultInjector::new(1).bank_failure(4, 0, 0, 2, 0, 10);
+        assert!(matches!(
+            inj.validate(16, 2, 4).unwrap_err(),
+            FaultScriptError::GroupOutOfRange { group: 4, .. }
+        ));
+        // Group size 4, chips of 2 channels -> chips 0..2; chip 2 is off
+        // the end of the bank.
+        let inj = FaultInjector::new(1).bank_failure(0, 0, 2, 2, 0, 10);
+        assert!(matches!(
+            inj.validate(16, 2, 4).unwrap_err(),
+            FaultScriptError::ChipOutOfRange { chip: 2, chips: 2 }
+        ));
+        let inj = FaultInjector::new(1).grating_fault(0, 0, 2, 7, 0, 10);
+        assert!(matches!(
+            inj.validate(16, 2, 4).unwrap_err(),
+            FaultScriptError::PortBandOutOfRange { port_hi: 7, .. }
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_contradictions() {
+        let inj = FaultInjector::new(1)
+            .crash(NodeId(3), 7)
+            .recover(NodeId(3), 7);
+        let err = inj.validate(16, 2, 4).unwrap_err();
+        assert!(matches!(err, FaultScriptError::Contradiction { .. }));
+        assert!(err.to_string().contains("crashes and recovers"), "{err}");
+        let inj = FaultInjector::new(1)
+            .mistune(NodeId(2), 1, 0, 20)
+            .mistune(NodeId(2), 3, 10, 30);
+        assert!(matches!(
+            inj.validate(16, 2, 4).unwrap_err(),
+            FaultScriptError::Contradiction { .. }
+        ));
+        // Same offset overlapping, or different offsets disjoint: fine.
+        let inj = FaultInjector::new(1)
+            .mistune(NodeId(2), 1, 0, 20)
+            .mistune(NodeId(2), 1, 10, 30)
+            .mistune(NodeId(2), 3, 40, 50);
+        assert_eq!(inj.validate(16, 2, 4), Ok(()));
+    }
+
+    #[test]
+    fn validation_rejects_an_idle_byzantine_window() {
+        let inj = FaultInjector::new(1).byzantine(NodeId(0), 0.0, 0, 0, 10);
+        assert!(matches!(
+            inj.validate(16, 2, 4).unwrap_err(),
+            FaultScriptError::IdleByzantine { node: 0 }
+        ));
     }
 
     #[test]

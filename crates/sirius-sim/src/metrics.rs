@@ -70,6 +70,29 @@ pub struct LinkRecord {
     pub readmitted_at: Option<u64>,
 }
 
+/// A correlated failure domain diagnosed by cross-node column
+/// correlation: at `detected_at`, `nodes` distinct peers were suspect on
+/// the same `uplink` column — a shared laser-bank chip or AWGR grating
+/// band, not independent transceivers — so repair stayed column-granular
+/// fleet-wide instead of escalating node by node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorrelatedDomainRecord {
+    pub uplink: u16,
+    /// Distinct nodes suspect on the column when the diagnosis fired.
+    pub nodes: u32,
+    /// Epoch the correlation threshold was crossed.
+    pub detected_at: u64,
+}
+
+/// One node quarantined by the RX-side Byzantine filter: its per-epoch
+/// forged-cell count crossed `FaultConfig::byz_quarantine_threshold` at
+/// `quarantined_at` and whole-node exclusion was staged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ByzantineRecord {
+    pub node: sirius_core::topology::NodeId,
+    pub quarantined_at: u64,
+}
+
 /// Fault-plane accounting for a run with a `FaultInjector` attached.
 /// Everything here is measured from emergent behavior — nothing is an
 /// echo of the script.
@@ -104,6 +127,19 @@ pub struct FaultReport {
     pub grey_links_localized: u32,
     /// `AdjustedSchedule::capacity_factor` at the end of the run.
     pub capacity_factor_end: f64,
+    /// Counterfeit cells a Byzantine node launched onto the fabric.
+    pub cells_forged: u64,
+    /// Counterfeits the RX-side filter caught and dropped.
+    pub cells_forged_dropped: u64,
+    /// Worst per-epoch forged-cell count attributed to any single node —
+    /// the measured damage bound the quarantine threshold enforces.
+    pub max_forged_per_epoch: u64,
+    /// Counterfeit bandwidth requests injected at epoch boundaries.
+    pub requests_forged: u64,
+    /// Nodes quarantined by the Byzantine filter, in quarantine order.
+    pub byz_quarantined: Vec<ByzantineRecord>,
+    /// Correlated domains diagnosed by cross-node column correlation.
+    pub correlated_domains: Vec<CorrelatedDomainRecord>,
 }
 
 impl FaultReport {

@@ -38,7 +38,7 @@ use crate::engine::{
 use crate::faults::{FaultEvent, FaultInjector};
 use crate::metrics::{FlowRecord, RunMetrics};
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use sirius_core::cell::{Cell, FlowId};
 use sirius_core::config::SiriusConfig;
 use sirius_core::fault::{FailurePlane, FaultConfig, LinkDetector};
@@ -48,6 +48,7 @@ use sirius_core::schedule::Schedule;
 use sirius_core::topology::{NodeId, ServerId};
 use sirius_core::units::{Duration, Time};
 use sirius_core::vlb::Vlb;
+use sirius_optics::awgr::Awgr;
 use sirius_workload::Flow;
 use std::collections::VecDeque;
 
@@ -290,7 +291,7 @@ impl SiriusSim {
             rng: SmallRng::seed_from_u64(cfg.seed),
             prop_slots: prop_slots as usize,
             failure_plane: FailurePlane::new(n),
-            faults: FaultPlane::new(cfg.seed, n, uplinks),
+            faults: FaultPlane::new(cfg.seed, n, uplinks, net.grating_ports),
             detect: DetectPlane::new(n, cfg.fault),
             tx: TxPlane::new(cfg.mode, n, queue_threshold),
             delivery: DeliverPlane::new(ring_len, total_servers),
@@ -309,7 +310,20 @@ impl SiriusSim {
     }
 
     /// Attach a scripted fault plane.
+    ///
+    /// # Panics
+    /// On a malformed script ([`FaultInjector::validate`]): inverted
+    /// windows, out-of-range nodes/uplinks/groups/chips/port bands, or
+    /// contradictory events. A script that silently never fires is worse
+    /// than a loud constructor.
     pub fn set_faults(&mut self, injector: FaultInjector) {
+        if let Err(e) = injector.validate(
+            self.cfg.network.nodes,
+            self.sched.base().uplinks(),
+            self.cfg.network.grating_ports,
+        ) {
+            panic!("invalid fault script: {e}");
+        }
         self.faults.injector = injector;
     }
 
@@ -372,6 +386,12 @@ impl SiriusSim {
                     self.cfg.fault,
                 ));
             }
+            if self.faults.injector.has_byzantine() {
+                // Precompute the schedule inverse the RX filter attributes
+                // counterfeits with (who was scheduled into this port at
+                // that slot).
+                self.faults.arm_byzantine(self.sched.base());
+            }
             let events: Vec<FaultEvent> = self.faults.injector.events().to_vec();
             for e in &events {
                 match *e {
@@ -402,6 +422,63 @@ impl SiriusSim {
                     } => {
                         self.audit
                             .declare_window(LossCause::Mistune, node, from, until);
+                    }
+                    // Correlated domains expand to per-node grey columns
+                    // (p = 1.0), so the audit windows are Grey windows on
+                    // every node in the blast radius — same mapping as
+                    // `FaultInjector::refresh`.
+                    FaultEvent::BankFailure {
+                        group,
+                        uplink,
+                        chip,
+                        chip_capacity,
+                        from,
+                        until,
+                    } => {
+                        let g = self.cfg.network.grating_ports;
+                        let awgr = Awgr::new(g as u16);
+                        let input = uplink % g as u16;
+                        for port in awgr.dead_outputs_for_chip(input, chip, chip_capacity) {
+                            let node = group as usize * g + port as usize;
+                            if node < self.cfg.network.nodes {
+                                self.audit.declare_window(
+                                    LossCause::Grey,
+                                    NodeId(node as u32),
+                                    from,
+                                    until,
+                                );
+                            }
+                        }
+                    }
+                    FaultEvent::GratingFault {
+                        group,
+                        port_lo,
+                        port_hi,
+                        from,
+                        until,
+                        ..
+                    } => {
+                        let g = self.cfg.network.grating_ports;
+                        for port in port_lo..port_hi.min(g as u16) {
+                            let node = group as usize * g + port as usize;
+                            if node < self.cfg.network.nodes {
+                                self.audit.declare_window(
+                                    LossCause::Grey,
+                                    NodeId(node as u32),
+                                    from,
+                                    until,
+                                );
+                            }
+                        }
+                    }
+                    FaultEvent::Byzantine {
+                        node, from, until, ..
+                    } => {
+                        // Forgeries (and their RX-side drops) must fall
+                        // inside a declared Byzantine window or the audit
+                        // flags them.
+                        self.audit
+                            .declare_window(LossCause::Byzantine, node, from, until);
                     }
                     _ => {}
                 }
@@ -600,6 +677,40 @@ impl SiriusSim {
                 self.nodes[intermediate.0 as usize]
                     .cc
                     .receive_request(ni, dst);
+            }
+        }
+
+        // 6. Byzantine request inflation: a compromised node floods random
+        //    intermediates with counterfeit requests for cells that do not
+        //    exist. The damage shows up as declined grants (the liar has
+        //    no waiting cell when granted) — capacity stolen from honest
+        //    requesters — and is bounded per epoch by `extra_requests`.
+        //    Draws come from the liar's own fault stream, after any TX
+        //    forge draws of the preceding epoch, so the sequence stays
+        //    shard-partition-independent.
+        if self.faults.active.any_byz() {
+            let n = self.nodes.len() as u32;
+            for bi in 0..self.faults.active.byz_nodes.len() {
+                let b = self.faults.active.byz_nodes[bi];
+                let extra = self.faults.active.byz_extra_of(b);
+                if extra == 0
+                    || self.failure_plane.is_failed(b)
+                    || self.failure_plane.is_excluded(b)
+                {
+                    continue;
+                }
+                for _ in 0..extra {
+                    let rng = &mut self.fault_rngs[b.0 as usize];
+                    let dst = NodeId(rng.gen_range(0..n));
+                    let intermediate = NodeId(rng.gen_range(0..n));
+                    if self.failure_plane.is_failed(intermediate) {
+                        continue;
+                    }
+                    self.nodes[intermediate.0 as usize]
+                        .cc
+                        .receive_request(b, dst);
+                    self.faults.report.requests_forged += 1;
+                }
             }
         }
     }

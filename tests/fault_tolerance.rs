@@ -410,6 +410,196 @@ fn link_granular_repair_beats_node_granular_floor() {
 }
 
 #[test]
+fn correlated_bank_failure_is_one_domain_not_k_exclusions() {
+    // The correlated-domain claim: a dead laser-bank chip (uplink 1) plus
+    // a destroyed AWGR grating band (uplink 2) silence TWO columns on each
+    // of four nodes of group 3 — exactly the per-node escalation threshold
+    // (fraction 0.5 of 4 uplinks). Cross-node correlation must recognize
+    // the fleet-wide column pattern and keep the repair column-granular:
+    // 8 columns at 1/(N*U) each, ZERO whole-node exclusions — while the
+    // node-granular comparison mode pays 4 whole nodes on the same script.
+    let net = fabric_limited_net();
+    let n = net.nodes as u32; // 32, groups of 8
+    let uplinks = 4u32;
+    let start = net.epoch() * 12;
+    // Blast radius: chip 0 (channels 0..4) of the bank feeding input 1 of
+    // group 3's uplink-1 AWGR dies -> outputs (1+w)%8 = ports 1..5 ->
+    // nodes 25..29 on uplink 1; the grating band [1, 5) of the uplink-2
+    // AWGR -> the same nodes 25..29 on uplink 2.
+    let blast = 4u32;
+    let servers = 48u32; // nodes 0..24 carry the traffic
+    let wl = survivor_workload(&net, servers, servers as u64 * 40, 71, Time::ZERO + start);
+    let last = wl.last().unwrap().arrival.since(Time::ZERO).as_ps();
+    let horizon = Time::from_ps(last * 4 / 5);
+    let script = || {
+        FaultInjector::new(71)
+            .bank_failure(3, 1, 0, 4, 0, u64::MAX)
+            .grating_fault(3, 2, 1, 5, 0, u64::MAX)
+    };
+    let mut cfg = SiriusSimConfig::new(net.clone()).with_seed(71);
+    cfg.drain_timeout = Duration::from_ms(2);
+
+    let healthy = SiriusSim::new(cfg.clone()).run(&wl);
+    let link = SiriusSim::new(cfg.clone()).with_faults(script()).run(&wl);
+    let node = SiriusSim::new(cfg.clone().with_column_escalation_fraction(0.0))
+        .with_faults(script())
+        .run(&wl);
+
+    // Correlated diagnosis: one domain per uplink column, each spanning
+    // the four blast nodes, detected within the silence bound.
+    let fl = link.fault.as_ref().unwrap();
+    let thr = FaultConfig::default().silence_threshold;
+    assert_eq!(
+        fl.correlated_domains.len(),
+        2,
+        "expected one correlated domain per damaged uplink: {:?}",
+        fl.correlated_domains
+    );
+    for d in &fl.correlated_domains {
+        assert!(
+            d.uplink == 1 || d.uplink == 2,
+            "domain on uplink {}",
+            d.uplink
+        );
+        assert_eq!(d.nodes, blast, "domain width {} != blast radius", d.nodes);
+        assert!(
+            d.detected_at <= thr + 1,
+            "domain detected at {} epochs",
+            d.detected_at
+        );
+    }
+    // Repair stayed column-granular: 2 columns per blast node, no
+    // whole-node exclusions despite each node sitting AT the escalation
+    // threshold — that suppression is exactly the blast-radius bound.
+    assert_eq!(fl.exclusions, 0, "correlated domain cost whole nodes");
+    assert_eq!(fl.column_omissions as u32, 2 * blast);
+    assert_eq!(fl.column_readmissions, 0, "dead domain healed?");
+    for rec in &fl.links {
+        assert!(
+            rec.first_suspected <= thr + 1,
+            "column ({:?},{}) suspected at {}",
+            rec.node,
+            rec.uplink,
+            rec.first_suspected
+        );
+        assert_eq!(
+            rec.omitted_at.expect("suspected column never omitted"),
+            rec.first_suspected + 1
+        );
+    }
+    let cf_link = 1.0 - (2 * blast) as f64 / (n * uplinks) as f64;
+    assert!(
+        (fl.capacity_factor_end - cf_link).abs() < 1e-9,
+        "correlated capacity {} != {cf_link}",
+        fl.capacity_factor_end
+    );
+
+    // Node-granular comparison mode: the same physics costs 4 whole nodes.
+    let fn_ = node.fault.as_ref().unwrap();
+    assert_eq!(
+        fn_.exclusions as u32, blast,
+        "node mode must pay the k/N floor"
+    );
+    assert_eq!(fn_.column_omissions, 0);
+    let cf_node = 1.0 - blast as f64 / n as f64;
+    assert!(
+        (fn_.capacity_factor_end - cf_node).abs() < 1e-9,
+        "node-granular capacity {} != {cf_node}",
+        fn_.capacity_factor_end
+    );
+    assert!(cf_link > cf_node, "column repair must beat the node floor");
+
+    // Goodput follows the capacity factors: the correlated repair holds
+    // its k/(N*U) bound and beats the node-granular run on the same
+    // script.
+    let rate = net.server_rate;
+    let g_healthy = goodput(&healthy, horizon, servers as u64, rate);
+    assert!(g_healthy > 0.5, "healthy run not saturated: {g_healthy}");
+    let ratio_link = goodput(&link, horizon, servers as u64, rate) / g_healthy;
+    let ratio_node = goodput(&node, horizon, servers as u64, rate) / g_healthy;
+    assert!(
+        ratio_link >= cf_link - 0.05,
+        "correlated goodput ratio {ratio_link:.4} below {cf_link:.4} - 5%"
+    );
+    assert!(
+        ratio_link > ratio_node,
+        "column-granular domain repair did not beat node granularity \
+         ({ratio_link:.4} vs {ratio_node:.4})"
+    );
+
+    // Determinism: the correlated-repair run replays bit-identically.
+    let link2 = SiriusSim::new(cfg).with_faults(script()).run(&wl);
+    assert_eq!(link.digest, link2.digest, "correlated run digest diverged");
+}
+
+#[test]
+fn byzantine_node_is_filtered_and_quarantined() {
+    // A compromised node forges cells on its idle slots and floods
+    // intermediates with counterfeit requests. The RX-side filter must
+    // drop EVERY counterfeit (header validation against the flow table
+    // and the epoch schedule), attribute them to the true transmitter,
+    // and quarantine the liar after one epoch over the threshold — with
+    // honest traffic completing untouched and conservation exact.
+    let mut net = SiriusConfig::scaled(16, 4);
+    net.servers_per_node = 2;
+    net.server_rate = Rate::from_gbps(50);
+    let liar = NodeId(15);
+    // Traffic among nodes 0..15 only; the liar's own slots stay idle, so
+    // its forge probability applies to every scheduled opportunity.
+    let wl = survivor_workload(&net, 30, 600, 73, Time::ZERO);
+    let script = || FaultInjector::new(73).byzantine(liar, 0.9, 8, 0, u64::MAX);
+    let mut cfg = SiriusSimConfig::new(net.clone())
+        .with_seed(73)
+        .with_audit(true);
+    cfg.drain_timeout = Duration::from_ms(4);
+    let m = SiriusSim::new(cfg.clone()).with_faults(script()).run(&wl);
+    let fr = m.fault.as_ref().unwrap();
+
+    // The attack ran: cells were forged and requests inflated.
+    assert!(fr.cells_forged > 0, "no cells forged");
+    assert!(fr.requests_forged > 0, "no requests forged");
+    // Damage bound: every forged cell that landed was caught by the RX
+    // filter — none was ever delivered (conservation would break and the
+    // audit below would flag it).
+    assert_eq!(
+        fr.cells_forged_dropped, fr.cells_forged,
+        "a counterfeit escaped the RX filter"
+    );
+    assert!(fr.max_forged_per_epoch > 0);
+    // Quarantine: attributed to the right node, within a few epochs,
+    // sticky (healthy keepalives must not readmit a liar).
+    assert_eq!(
+        fr.byz_quarantined.len(),
+        1,
+        "liar not quarantined exactly once"
+    );
+    let q = &fr.byz_quarantined[0];
+    assert_eq!(q.node, liar, "quarantined the wrong node");
+    assert!(
+        q.quarantined_at <= 4,
+        "quarantine at epoch {}",
+        q.quarantined_at
+    );
+    assert_eq!(fr.exclusions, 1, "quarantine must exclude the liar");
+    assert_eq!(fr.readmissions, 0, "quarantined liar flapped back in");
+    // Honest traffic is unharmed and the ledger balances with forgery
+    // accounted (forged cells live outside flow conservation).
+    assert_eq!(
+        m.incomplete_flows, 0,
+        "Byzantine node stranded honest flows"
+    );
+    let audit = m.audit.as_ref().unwrap();
+    assert!(audit.is_clean(), "{:?}", audit.violations.first());
+
+    // Determinism: forge draws ride the per-node fault streams.
+    let m2 = SiriusSim::new(cfg).with_faults(script()).run(&wl);
+    assert_eq!(m.digest, m2.digest, "Byzantine run digest diverged");
+    let fr2 = m2.fault.as_ref().unwrap();
+    assert_eq!(fr.cells_forged, fr2.cells_forged);
+    assert_eq!(fr.requests_forged, fr2.requests_forged);
+}
+
+#[test]
 fn fault_scripts_keep_double_runs_bit_identical() {
     // The injector draws from its own RNG stream, once per scheduled
     // slot — never per cell — so an identical (config, seed, script)
