@@ -5,7 +5,7 @@
 #
 #   ./ci.sh              run the core gate (fmt clippy build test audit)
 #   ./ci.sh <stage>      run one stage: fmt | clippy | build | test |
-#                        audit | docs | bench-smoke
+#                        audit | docs | bench-smoke | scale-smoke
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -25,6 +25,54 @@ check_toolchain() {
       exit 1
       ;;
   esac
+}
+
+# --- per-stage wall clock -----------------------------------------------
+# Every stage runs through run_stage, which stamps its wall-clock at the
+# end; the EXIT trap prints the same line when a stage dies mid-way (set
+# -e), so a hung-then-killed CI job still reports where the time went.
+CI_STAGE=""
+STAGE_T0=0
+
+stage_elapsed() {
+  if [[ -n "$CI_STAGE" ]]; then
+    echo "[ci] stage ${CI_STAGE}: $((SECONDS - STAGE_T0))s elapsed"
+  fi
+}
+trap stage_elapsed EXIT
+
+run_stage() {
+  CI_STAGE="$1"
+  STAGE_T0=$SECONDS
+  "stage_${1//-/_}"
+  stage_elapsed
+  CI_STAGE=""
+}
+
+# --- shared JSON artifact validation ------------------------------------
+# validate_bench_json <file> <key-pattern>...: the artifact must exist and
+# be non-empty, every key pattern (grep -E) must appear, and no non-finite
+# number (NaN/inf — invalid JSON) may leak in. Every BENCH_*.json a
+# downstream gate reads goes through this instead of hand-rolled loops.
+validate_bench_json() {
+  local file="$1"
+  shift
+  if ! test -s "$file"; then
+    echo "error: $file is missing or empty" >&2
+    exit 1
+  fi
+  local key
+  for key in "$@"; do
+    if ! grep -qE "$key" "$file"; then
+      echo "error: $file is missing $key" >&2
+      exit 1
+    fi
+  done
+  if grep -nEi '\b(nan|inf|infinity)\b' "$file"; then
+    echo "error: non-finite number leaked into $file" >&2
+    exit 1
+  fi
+  echo "$(basename "$file") schema and finiteness OK"
 }
 
 stage_fmt() {
@@ -75,23 +123,12 @@ stage_bench_smoke() {
   echo "==> correlated_faults --smoke under SIRIUS_SHARDS=2"
   # The correlated-domain + Byzantine evaluation end to end, with every
   # run's slot engine sharded (the digest contract makes this free), then
-  # schema/sanity validation of the JSON artifact: the keys a downstream
-  # gate reads must exist, and no non-finite number may leak in.
+  # schema/sanity validation of the JSON artifact.
   SIRIUS_SHARDS=2 cargo run --release -p sirius-bench --bin correlated_faults -- --smoke --jobs 2
-  test -s results/BENCH_correlated_faults.json
-  for key in '"bench": "correlated_faults"' '"silence_bound_epochs"' '"bank": \[' \
-             '"byzantine": \[' '"drop_rate"' '"max_forged_per_epoch"' '"domains"' \
-             '"cf_link"' '"cf_node"' '"advantage"'; do
-    if ! grep -qE "$key" results/BENCH_correlated_faults.json; then
-      echo "error: BENCH_correlated_faults.json is missing $key" >&2
-      exit 1
-    fi
-  done
-  if grep -nEi '\b(nan|inf|infinity)\b' results/BENCH_correlated_faults.json; then
-    echo "error: non-finite number leaked into BENCH_correlated_faults.json" >&2
-    exit 1
-  fi
-  echo "BENCH_correlated_faults.json schema and finiteness OK"
+  validate_bench_json results/BENCH_correlated_faults.json \
+    '"bench": "correlated_faults"' '"silence_bound_epochs"' '"bank": \[' \
+    '"byzantine": \[' '"drop_rate"' '"max_forged_per_epoch"' '"domains"' \
+    '"cf_link"' '"cf_node"' '"advantage"'
 
   echo "==> sharded-equals-serial (sim_throughput digests, --shards 1 vs --shards 2)"
   # The slot-engine sharding contract, checked on the real artifacts: a
@@ -130,36 +167,72 @@ stage_bench_smoke() {
   echo "==> xp --timing (smoke scale): emit results/BENCH_xp_wall.json"
   # Runs the full reproduction twice (serial, then --jobs 2) and records
   # per-experiment wall-clock; the workflow uploads the JSON artifact.
+  # (Keys only — a 0-duration leg reports null ratios, which the
+  # finiteness check inside the validator also covers.)
   cargo run --release -p sirius-bench --bin xp -- --smoke --timing --jobs 2
-  test -s results/BENCH_xp_wall.json
-  # Wall-report validation: every ratio and duration must be a JSON
-  # number or null — a 0-duration leg must never leak the invalid-JSON
-  # tokens NaN/inf into the artifact.
-  if grep -nEi '\b(nan|inf|infinity)\b' results/BENCH_xp_wall.json; then
-    echo "error: non-finite number leaked into BENCH_xp_wall.json" >&2
+  validate_bench_json results/BENCH_xp_wall.json \
+    '"bench": "xp_wall"' '"experiments": \[' '"serial_total_secs"' \
+    '"parallel_total_secs"' '"total_speedup"'
+}
+
+stage_scale_smoke() {
+  echo "==> scale-out series smoke (streaming engine, memory gates)"
+  # The smoke series (128 → 512 nodes, ending in a same-geometry pair
+  # with 8× the flows) on the streaming engine. The binary exits
+  # non-zero itself if the in-flight flow bound is violated; the JSON
+  # carries both gate verdicts so this stage greps booleans instead of
+  # re-deriving thresholds in shell. --jobs 1 on this leg: points must
+  # complete in order for the process-monotonic VmHWM readings behind
+  # the RSS gate to be attributable to their points.
+  cargo run --release -p sirius-bench --bin scale_series -- --smoke --jobs 1 --shards 1
+  validate_bench_json results/BENCH_scale_series.json \
+    '"bench": "scale_series"' '"resident_ok"' '"rss_sublinear"' '"points": \[' \
+    '"nodes"' '"grating"' '"flows"' '"cells_per_sec"' '"cells_per_sec_per_core"' \
+    '"peak_rss_bytes"' '"resident_flows_max"' '"resident_bound"' '"digest"'
+  # Residency must hold outright; RSS sub-linearity must hold or be
+  # honestly unmeasurable (null — e.g. no /proc), never false.
+  if ! grep -q '"resident_ok": true' results/BENCH_scale_series.json; then
+    echo "error: resident flow state exceeded its bound (see scale_series.csv)" >&2
     exit 1
   fi
+  if ! grep -qE '"rss_sublinear": (true|null)' results/BENCH_scale_series.json; then
+    echo "error: peak RSS grew super-linearly in total flows" >&2
+    exit 1
+  fi
+  grep -o '"digest": "[0-9a-f]*"' results/BENCH_scale_series.json > results/.scale_digests_serial
+
+  echo "==> scale series sharded-equals-serial (--shards 2, --jobs 2)"
+  # The streaming engine honors the same sharding contract as the slice
+  # path: per-point digests from a sharded, parallel-sweep run must
+  # match the serial single-worker leg above (this doubles as the
+  # jobs-determinism check on the real artifact).
+  cargo run --release -p sirius-bench --bin scale_series -- --smoke --jobs 2 --shards 2
+  grep -o '"digest": "[0-9a-f]*"' results/BENCH_scale_series.json > results/.scale_digests_sharded
+  cmp results/.scale_digests_serial results/.scale_digests_sharded
+  rm -f results/.scale_digests_serial results/.scale_digests_sharded
+  echo "scale_series digests byte-identical across --shards 1 and --shards 2"
 }
 
 case "${1-all}" in
-  fmt) check_toolchain; stage_fmt ;;
-  clippy) check_toolchain; stage_clippy ;;
-  build) check_toolchain; stage_build ;;
-  test) check_toolchain; stage_test ;;
-  audit) check_toolchain; stage_audit ;;
-  docs) check_toolchain; stage_docs ;;
-  bench-smoke) check_toolchain; stage_bench_smoke ;;
+  fmt) check_toolchain; run_stage fmt ;;
+  clippy) check_toolchain; run_stage clippy ;;
+  build) check_toolchain; run_stage build ;;
+  test) check_toolchain; run_stage test ;;
+  audit) check_toolchain; run_stage audit ;;
+  docs) check_toolchain; run_stage docs ;;
+  bench-smoke) check_toolchain; run_stage bench-smoke ;;
+  scale-smoke) check_toolchain; run_stage scale-smoke ;;
   all)
     check_toolchain
-    stage_fmt
-    stage_clippy
-    stage_build
-    stage_test
-    stage_audit
+    run_stage fmt
+    run_stage clippy
+    run_stage build
+    run_stage test
+    run_stage audit
     echo "CI green."
     ;;
   *)
-    echo "usage: $0 [fmt|clippy|build|test|audit|docs|bench-smoke]" >&2
+    echo "usage: $0 [fmt|clippy|build|test|audit|docs|bench-smoke|scale-smoke]" >&2
     exit 2
     ;;
 esac

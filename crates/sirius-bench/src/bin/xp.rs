@@ -134,6 +134,19 @@ fn suite(scale: Scale, shards: Option<usize>) -> Vec<Experiment> {
             sim_throughput::emit_json(&tp, scale);
         }),
     ));
+    xs.push((
+        "scale_series",
+        Box::new(move |jobs| {
+            // High-memory sweep: each concurrent point holds a full
+            // deployment's node state, so the suite-wide --jobs is
+            // capped here rather than letting the largest points
+            // multiply.
+            let jobs = jobs.min(scale_series::jobs_cap(scale));
+            let pts = scale_series::run(scale, 1, jobs, shards.unwrap_or(1));
+            scale_series::table(&pts).emit("scale_series");
+            scale_series::emit_json(&pts, scale, jobs);
+        }),
+    ));
     xs
 }
 

@@ -15,6 +15,7 @@ pub mod fig9;
 pub mod granularity;
 pub mod relay_burst;
 pub mod repair_granularity;
+pub mod scale_series;
 pub mod sim_throughput;
 pub mod sync;
 pub mod tuning;

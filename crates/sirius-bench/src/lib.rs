@@ -27,6 +27,7 @@
 //! | §4.5 fault tolerance | `fault_tolerance` | [`experiments::fault_tolerance`] |
 //! | RELAY_BURST sensitivity | `relay_burst` | [`experiments::relay_burst`] |
 //! | simulator throughput | `sim_throughput` | [`experiments::sim_throughput`] |
+//! | scale-out series (streaming) | `scale_series` | [`experiments::scale_series`] |
 //! | everything | `xp` | all of the above |
 
 pub mod cli;
@@ -36,7 +37,7 @@ pub mod scale;
 pub mod table;
 pub mod wall;
 
-pub use cli::Cli;
+pub use cli::{Cli, MemoryClass};
 pub use pool::Sweep;
 pub use scale::Scale;
 pub use table::Table;

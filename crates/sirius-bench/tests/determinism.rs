@@ -17,6 +17,7 @@
 //! round to the same table cells would still fail here.
 
 use sirius_bench::experiments::fig9;
+use sirius_bench::experiments::scale_series::{self, ScaleGeom};
 use sirius_bench::Scale;
 use sirius_sim::{CcMode, FaultEvent, FaultInjector, RunMetrics, SiriusSim};
 
@@ -214,4 +215,116 @@ fn sharded_runs_are_byte_identical_to_serial() {
             }
         }
     }
+}
+
+/// The scale-series arm: small geometries so the matrix stays fast in
+/// debug builds (the real smoke points run in `ci.sh scale-smoke` on
+/// the release binary; the engine paths exercised are identical).
+fn scale_geoms() -> Vec<ScaleGeom> {
+    vec![
+        ScaleGeom {
+            nodes: 64,
+            grating: 16,
+            flows: 1_000,
+        },
+        // The issue's N=512 smoke geometry, flow count cut for debug
+        // speed.
+        ScaleGeom {
+            nodes: 512,
+            grating: 32,
+            flows: 4_000,
+        },
+    ]
+}
+
+/// Streaming admission is a pure refactor of workload handling: feeding
+/// the engine a lazy [`sirius_workload::FlowStream`] versus a
+/// materialized, test-only `generate()` vector of the same spec must
+/// retire the identical delivered-cell sequence.
+#[test]
+fn streaming_digest_matches_materialized_workload() {
+    for geom in scale_geoms() {
+        let net = scale_series::point_network(geom);
+        let spec = scale_series::point_workload(geom, &net, 5);
+        let span = spec.mean_interarrival() * spec.flows;
+        let mut cfg = sirius_sim::SiriusSimConfig::new(net)
+            .with_seed(5)
+            .with_audit(false);
+        cfg.drain_timeout = sirius_core::units::Duration::from_us(200).max(span / 2);
+        let streamed = SiriusSim::new(cfg.clone()).run_streaming(spec.stream());
+        let materialized = SiriusSim::new(cfg).run_streaming(spec.generate().into_iter());
+        assert_ne!(streamed.digest, 0, "n={}: digest vacuous", geom.nodes);
+        assert_eq!(
+            behavior_of(&streamed),
+            behavior_of(&materialized),
+            "n={}: streaming diverged from materialized workload",
+            geom.nodes
+        );
+    }
+}
+
+/// The scale series over the {shards} × {jobs} grid: every combination
+/// must produce the same per-point digests and simulated behavior as
+/// the serial, single-worker reference.
+#[test]
+fn scale_series_is_identical_across_shards_and_jobs() {
+    let geoms = scale_geoms();
+    let reference = scale_series::run_points(&geoms, 5, 1, 1);
+    assert_eq!(reference.len(), geoms.len());
+    for p in &reference {
+        assert_ne!(p.digest, 0, "n={}: digest vacuous", p.nodes);
+        assert!(p.completed > 0, "n={}: nothing completed", p.nodes);
+    }
+    for shards in [1usize, 2] {
+        for jobs in [1usize, 2] {
+            if (shards, jobs) == (1, 1) {
+                continue;
+            }
+            let pts = scale_series::run_points(&geoms, 5, jobs, shards);
+            for (r, p) in reference.iter().zip(&pts) {
+                assert_eq!(
+                    (r.nodes, r.flows, r.cells, r.epochs, r.completed, r.digest),
+                    (p.nodes, p.flows, p.cells, p.epochs, p.completed, p.digest),
+                    "scale point diverged at shards={shards} jobs={jobs}"
+                );
+                assert_eq!(
+                    r.resident_flows_max, p.resident_flows_max,
+                    "resident peak diverged at shards={shards} jobs={jobs}"
+                );
+            }
+        }
+    }
+}
+
+/// Memory-boundedness: grow the flow population 10× at a fixed geometry
+/// and the in-flight peak must stay put (it is a function of arrival
+/// rate × flow service time, not of how many flows stream through).
+#[test]
+fn resident_flow_state_stays_bounded_as_flows_grow() {
+    let base = ScaleGeom {
+        nodes: 64,
+        grating: 16,
+        flows: 500,
+    };
+    let long = ScaleGeom {
+        flows: 5_000,
+        ..base
+    };
+    let pts = scale_series::run_points(&[base, long], 5, 1, 1);
+    let (p1, p2) = (&pts[0], &pts[1]);
+    assert!(p2.completed > 0);
+    assert!(
+        p2.resident_flows_max < p2.flows / 4,
+        "10x flows: resident peak {} is not far below {} total",
+        p2.resident_flows_max,
+        p2.flows
+    );
+    // Steady-state concurrency, not population, sets the peak: 10× the
+    // flows may not even double it.
+    assert!(
+        p2.resident_flows_max < p1.resident_flows_max * 2 + 64,
+        "resident peak grew with population: {} -> {}",
+        p1.resident_flows_max,
+        p2.resident_flows_max
+    );
 }

@@ -75,6 +75,11 @@ pub struct ReorderBuffer {
     /// Cells that arrived more than once (should stay 0: the core is
     /// lossless and we do not retransmit).
     duplicates: u64,
+    /// Peak number of flows simultaneously holding reorder state — the
+    /// memory-boundedness invariant the scale-out series gates on:
+    /// completed flows are evicted eagerly, so this tracks concurrency,
+    /// not total flows ever seen.
+    peak_resident: usize,
 }
 
 impl ReorderBuffer {
@@ -85,7 +90,17 @@ impl ReorderBuffer {
     /// Accept cell `seq` of `flow` carrying `payload` bytes; returns how
     /// much data became deliverable in order.
     pub fn accept(&mut self, flow: FlowId, seq: u32, payload: u32) -> Delivered {
-        let st = self.flows.entry(flow).or_default();
+        let len = self.flows.len();
+        let st = match self.flows.entry(flow) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(v) => {
+                // Sample the peak on insert only, so it counts exactly
+                // the flows resident at once (completed ones are already
+                // evicted by `finish_flow`).
+                self.peak_resident = self.peak_resident.max(len + 1);
+                v.insert(FlowReorder::default())
+            }
+        };
         if seq < st.next || st.pending.contains_key(&seq) {
             self.duplicates += 1;
             return Delivered { bytes: 0, cells: 0 };
@@ -147,6 +162,11 @@ impl ReorderBuffer {
     /// total flows ever seen.
     pub fn resident_flows(&self) -> usize {
         self.flows.len()
+    }
+    /// Peak of [`resident_flows`](ReorderBuffer::resident_flows) over the
+    /// buffer's lifetime.
+    pub fn peak_resident_flows(&self) -> usize {
+        self.peak_resident
     }
 }
 
@@ -240,6 +260,23 @@ mod tests {
         assert_eq!(rb.resident_flows(), 0);
         assert_eq!(rb.buffered_bytes(), 0);
         assert_eq!(rb.duplicates(), 0);
+        // The lifetime peak saw the concurrency bound, not the flow count.
+        assert_eq!(rb.peak_resident_flows(), 1);
+    }
+
+    #[test]
+    fn peak_resident_counts_concurrent_flows_exactly() {
+        let mut rb = ReorderBuffer::new();
+        rb.accept(FlowId(1), 0, 100);
+        rb.accept(FlowId(2), 0, 100);
+        // Re-touching a resident flow must not inflate the peak.
+        rb.accept(FlowId(1), 1, 100);
+        assert_eq!(rb.peak_resident_flows(), 2);
+        rb.finish_flow(FlowId(1));
+        rb.finish_flow(FlowId(2));
+        // The peak is a lifetime high-water mark.
+        assert_eq!(rb.peak_resident_flows(), 2);
+        assert_eq!(rb.resident_flows(), 0);
     }
 
     #[test]

@@ -133,14 +133,21 @@ impl SiriusSim {
                 );
                 obs.note_delivery(&cell, d.cells);
                 if d.bytes > 0 {
-                    let f = &mut self.flows[cell.flow.0 as usize];
-                    f.delivered += d.bytes;
+                    let fi = cell.flow.0 as usize;
+                    self.flows[fi].delivered += d.bytes;
                     self.delivery.delivered_bytes += d.bytes;
                     self.delivery.last_delivery = now;
+                    let f = &self.flows[fi];
                     if f.delivered >= f.bytes && f.completion.is_none() {
-                        f.completion = Some(now);
+                        self.flows[fi].completion = Some(now);
                         self.delivery.completed += 1;
                         self.delivery.reorder[cell.dst_server.0 as usize].finish_flow(cell.flow);
+                        // Streaming mode: the flow's every cell has been
+                        // delivered and its reorder entry retired, so its
+                        // slab slot can be recycled immediately.
+                        if self.evict_completed {
+                            self.fold_and_evict(fi as u32);
+                        }
                     }
                 }
             }

@@ -43,23 +43,23 @@ pub(crate) use tables::DestTable;
 pub(crate) use tx::TxPlane;
 
 use crate::audit::LossCause;
-use crate::sirius_net::{CcMode, SiriusSim};
+use crate::sirius_net::{CcMode, FlowSource, SiriusSim};
 use rand::Rng;
 use sirius_core::node::SlotTx;
 use sirius_core::schedule::SlotInEpoch;
 use sirius_core::topology::{NodeId, UplinkId};
 use sirius_core::units::Time;
-use sirius_workload::Flow;
 
 impl SiriusSim {
     /// The slot loop. Returns the absolute slot count at exit.
     ///
     /// Monomorphized per observer: the audited instantiation feeds the
     /// invariant audit, the [`NullObserver`] one is the release path.
-    pub(crate) fn run_loop<O: SlotObserver>(
+    /// Generic over the flow source so the streaming path shares every
+    /// instruction of the slice path's loop body.
+    pub(crate) fn run_loop<S: FlowSource, O: SlotObserver>(
         &mut self,
-        workload: &[Flow],
-        deadline: Time,
+        src: &mut S,
         obs: &mut O,
     ) -> u64 {
         let slot_ps = self.cfg.network.slot().as_ps();
@@ -67,9 +67,7 @@ impl SiriusSim {
         let ring_len = self.delivery.ring.len();
         let prop_slots = self.prop_slots as u64;
         let has_faults = !self.faults.injector.is_empty();
-        let total_flows = self.flows.len() as u64;
 
-        let mut next_flow = 0usize;
         let mut abs_slot: u64 = 0;
         // Hoisted per-slot derivations: the epoch-slot cursor, the epoch
         // counter and both ring cursors advance incrementally instead of
@@ -79,16 +77,16 @@ impl SiriusSim {
         let mut ring_idx: usize = 0;
         let mut arrive_idx: usize = (prop_slots % ring_len as u64) as usize;
 
-        while self.delivery.completed < total_flows && abs_slot < self.cfg.max_slots {
+        while !src.finished(&self.flows, self.delivery.completed) && abs_slot < self.cfg.max_slots {
             let now = Time::from_ps(abs_slot * slot_ps);
-            if now > deadline {
+            if now > src.deadline() {
                 break;
             }
             if t == 0 {
                 if has_faults {
                     self.fault_boundary(cur_epoch, obs);
                 }
-                self.epoch_boundary(cur_epoch, now, workload, &mut next_flow, obs);
+                self.epoch_boundary(cur_epoch, now, src, obs);
                 if O::ENABLED {
                     let in_flight = self.delivery.ring.iter().map(|v| v.len() as u64).sum();
                     obs.epoch_check(cur_epoch, &self.nodes, in_flight);
@@ -163,20 +161,18 @@ impl SiriusSim {
             return;
         }
         let uplinks = self.tables.uplinks();
-        let dests = self.tables.slot(t);
+        let view = self.tables.slot_view(t);
         let ring = &mut self.delivery.ring[arrive_idx];
-        let mut k = 0usize;
         for i in 0..self.nodes.len() {
             // A node with nothing sendable returns Idle on every uplink;
             // skip the per-uplink probes. The audit still wants its
             // per-slot reception feed, so only the unobserved path skips.
             if !O::ENABLED && self.tx.node_idle(&self.nodes[i]) {
-                k += uplinks;
                 continue;
             }
+            let row = view.node(i);
             for u in 0..uplinks as u16 {
-                let j = dests[k];
-                k += 1;
+                let j = row.at(u as usize);
                 obs.note_rx(abs_slot, j, u);
                 let tx = self.tx.transmit(&mut self.nodes, i, j);
                 if let SlotTx::Relay(c) | SlotTx::ToIntermediate(c) = tx {
@@ -238,18 +234,16 @@ impl SiriusSim {
             self.faults.end_slot();
             return;
         }
-        let dests = self.tables.slot(t);
-        let mut k = 0usize;
+        let view = self.tables.slot_view(t);
         for i in 0..n_nodes as u32 {
             let ni = NodeId(i);
             if self.failure_plane.is_failed(ni) {
-                k += uplinks;
                 continue; // fail-stop: no data, no keepalive carrier
             }
             let mistuned = self.faults.active.mistune_of(ni).is_some();
+            let row = view.node(i as usize);
             for u in 0..uplinks as u16 {
-                let j = dests[k];
-                k += 1;
+                let j = row.at(u as usize);
                 // One erasure draw per scheduled slot on a grey link
                 // (never per cell), from the sender's own RNG stream —
                 // fault scripts leave the protocol RNG untouched, and the

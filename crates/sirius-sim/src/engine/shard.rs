@@ -47,7 +47,7 @@
 
 use crate::engine::observer::NullObserver;
 use crate::engine::{DestTable, FaultPlane};
-use crate::sirius_net::{CcMode, SiriusSim};
+use crate::sirius_net::{CcMode, FlowSource, SiriusSim};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use sirius_core::cell::Cell;
@@ -57,7 +57,6 @@ use sirius_core::repair::AdjustedSchedule;
 use sirius_core::schedule::SlotInEpoch;
 use sirius_core::topology::{NodeId, UplinkId};
 use sirius_core::units::Time;
-use sirius_workload::Flow;
 use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -155,29 +154,38 @@ pub(crate) fn tx_clean_range(
 ) {
     debug_assert_ne!(mode, CcMode::Ideal, "ideal mode is not shardable");
     let uplinks = tables.uplinks();
-    let dests = tables.slot(t);
-    let mut k = first * uplinks;
+    let view = tables.slot_view(t);
     match mode {
         CcMode::Protocol => {
             // The protocol only ever sends fabric (relay + VOQ) cells, so
             // a node's per-peer occupancy bitmask ANDed with the slot's
-            // scheduled-peer mask decides in a couple of word ops whether
-            // any of its uplinks can fire — and per surviving uplink, one
-            // bit test replaces the two deque probes. Skipped `transmit`
-            // calls would have returned `Idle` without touching state.
+            // scheduled-peer mask (dense table form) decides in a couple
+            // of word ops whether any of its uplinks can fire — and per
+            // surviving uplink, one bit test replaces the two deque
+            // probes. The compressed (cyclic) form has no per-slot mask;
+            // there the skip is occupancy-only (an entirely-empty fabric
+            // idles every uplink) and the per-uplink bit test filters the
+            // rest. Either way, skipped `transmit` calls would have
+            // returned `Idle` without touching state, so the decision
+            // sequence — and the digest — is representation-independent.
             for (li, node) in nodes.iter_mut().enumerate() {
                 let fm = node.fabric_mask();
-                let pm = tables.peer_mask(t, first + li);
-                let mut any = 0u64;
-                for (f, p) in fm.iter().zip(pm) {
-                    any |= f & p;
-                }
-                if any == 0 {
-                    k += uplinks;
+                let idle = match tables.peer_mask(t, first + li) {
+                    Some(pm) => {
+                        let mut any = 0u64;
+                        for (f, p) in fm.iter().zip(pm) {
+                            any |= f & p;
+                        }
+                        any == 0
+                    }
+                    None => fm.iter().all(|&w| w == 0),
+                };
+                if idle {
                     continue;
                 }
+                let row = view.node(first + li);
                 for u in 0..uplinks {
-                    let j = dests[k + u];
+                    let j = row.at(u);
                     if !node.fabric_nonempty(j) {
                         continue;
                     }
@@ -186,26 +194,24 @@ pub(crate) fn tx_clean_range(
                         out.push((j, u as u16, c));
                     }
                 }
-                k += uplinks;
             }
         }
         CcMode::Greedy | CcMode::Ideal => {
-            for node in nodes.iter_mut() {
+            for (li, node) in nodes.iter_mut().enumerate() {
                 // A node with nothing resident returns Idle on every
                 // uplink; skip the per-uplink probes.
                 if node.resident_cells() == 0 {
-                    k += uplinks;
                     continue;
                 }
+                let row = view.node(first + li);
                 for u in 0..uplinks {
-                    let j = dests[k + u];
+                    let j = row.at(u);
                     // No back-pressure: any cell may detour via j.
                     let tx = node.ideal_transmit(j, |_| true);
                     if let SlotTx::Relay(c) | SlotTx::ToIntermediate(c) = tx {
                         out.push((j, u as u16, c));
                     }
                 }
-                k += uplinks;
             }
         }
     }
@@ -233,19 +239,17 @@ pub(crate) fn tx_faulty_range(
     debug_assert_ne!(mode, CcMode::Ideal, "ideal mode is not shardable");
     debug_assert_eq!(nodes.len(), rngs.len());
     let uplinks = tables.uplinks();
-    let dests = tables.slot(t);
+    let view = tables.slot_view(t);
     let any_grey = faults.active.any_grey();
-    let mut k = first * uplinks;
     for (li, node) in nodes.iter_mut().enumerate() {
         let ni = NodeId((first + li) as u32);
         if failures.is_failed(ni) {
-            k += uplinks;
             continue; // fail-stop: no data, no keepalive carrier
         }
         let mistuned = faults.active.mistune_of(ni).is_some();
+        let row = view.node(first + li);
         for u in 0..uplinks as u16 {
-            let j = dests[k];
-            k += 1;
+            let j = row.at(u as usize);
             // One erasure draw per scheduled slot on a grey link (never
             // per cell), from the sender's own stream — fault scripts
             // leave the protocol RNG untouched, and the draw sequence is
@@ -469,12 +473,7 @@ impl SiriusSim {
     /// thread runs shard 0; `shards - 1` scoped workers run the rest).
     /// Digest-identical to [`SiriusSim::run_loop`] with a
     /// [`NullObserver`] — see the module docs for why.
-    pub(crate) fn run_loop_sharded(
-        &mut self,
-        workload: &[Flow],
-        deadline: Time,
-        shards: usize,
-    ) -> u64 {
+    pub(crate) fn run_loop_sharded<S: FlowSource>(&mut self, src: &mut S, shards: usize) -> u64 {
         let n = self.nodes.len();
         let shards = shards.clamp(1, n.max(1));
         let mode = self.tx.mode;
@@ -485,7 +484,6 @@ impl SiriusSim {
         let ring_len = self.delivery.ring.len();
         let prop_slots = self.prop_slots as u64;
         let has_faults = !self.faults.injector.is_empty();
-        let total_flows = self.flows.len() as u64;
         let obs = &mut NullObserver;
 
         // Contiguous node ranges; the merge appends shard outputs in
@@ -496,7 +494,6 @@ impl SiriusSim {
         let workers = (shards - 1) as u64;
         let ctx = ShardCtx::new(shards);
 
-        let mut next_flow = 0usize;
         let mut abs_slot: u64 = 0;
         let mut t: u64 = 0;
         let mut cur_epoch: u64 = 0;
@@ -510,16 +507,18 @@ impl SiriusSim {
                 scope.spawn(move || worker_loop(ctx, s, mode, lo, hi));
             }
 
-            while self.delivery.completed < total_flows && abs_slot < self.cfg.max_slots {
+            while !src.finished(&self.flows, self.delivery.completed)
+                && abs_slot < self.cfg.max_slots
+            {
                 let now = Time::from_ps(abs_slot * slot_ps);
-                if now > deadline {
+                if now > src.deadline() {
                     break;
                 }
                 if t == 0 {
                     if has_faults {
                         self.fault_boundary(cur_epoch, obs);
                     }
-                    self.epoch_boundary(cur_epoch, now, workload, &mut next_flow, obs);
+                    self.epoch_boundary(cur_epoch, now, src, obs);
                 }
 
                 // DeliverPlane: serial, before TX, exactly as in run_loop.

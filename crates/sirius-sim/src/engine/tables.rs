@@ -2,45 +2,110 @@
 //!
 //! [`Schedule::dest`] derives its answer from a div/mod chain over the
 //! grating geometry. The schedule is static — the paper's whole design
-//! rests on that — so the engine flattens one epoch of destinations into
-//! a dense table at construction and the hot loop reads a contiguous
-//! `&[NodeId]` per slot instead of re-deriving 1,536 destinations every
-//! slot at paper scale. Fault repair never mutates the base schedule
-//! (omissions are overlay checks on [`sirius_core::repair::AdjustedSchedule`]),
-//! so the table stays valid for the whole run.
+//! rests on that — so the engine flattens it at construction and the hot
+//! loop reads destinations without re-deriving the chain per lookup.
+//! Fault repair never mutates the base schedule (omissions are overlay
+//! checks on [`sirius_core::repair::AdjustedSchedule`]), so the table
+//! stays valid for the whole run.
 //!
-//! Alongside the destinations, the table keeps one bitmask of scheduled
-//! peers per `(slot, node)`: ANDed against a node's fabric-occupancy mask
-//! ([`sirius_core::node::SiriusNode::fabric_mask`]) it answers "can this
-//! node send *anything* this slot?" in a couple of word ops, which is
-//! what lets the protocol-mode fast path skip whole uplink rows.
+//! Two representations, selected by footprint:
+//!
+//! * **Dense** — one epoch of destinations flattened to a contiguous
+//!   `[slot][node * uplinks + uplink]` array, plus one bitmask of
+//!   scheduled peers per `(slot, node)`: ANDed against a node's
+//!   fabric-occupancy mask ([`sirius_core::node::SiriusNode::fabric_mask`])
+//!   it answers "can this node send *anything* this slot?" in a couple
+//!   of word ops. Fastest, but O(N² · slots): ~25 MB at N = 2048 and
+//!   ~100 MB at N = 4096, which stops being cache-resident long before
+//!   that.
+//! * **Cyclic** — the compressed permutation form. The AWGR schedule is
+//!   a rotation: `dest(i, u, t) = col_base(i, u) + (port(i) + t) mod g`,
+//!   so per node we store one `port` and per `(node, uplink)` one column
+//!   base — O(N · uplinks) total, cache-resident at any N the series
+//!   sweeps. Construction *verifies* the rotation property against the
+//!   schedule and panics if a future schedule change breaks it, so the
+//!   compressed form can never silently diverge.
 
 use sirius_core::schedule::{Schedule, SlotInEpoch};
 use sirius_core::topology::{NodeId, UplinkId};
 
-/// Dense `[slot][node * uplinks + uplink] -> destination` table covering
-/// one epoch of the base schedule (epochs repeat).
+/// Footprint threshold for the dense form: below this the flattened
+/// epoch (destinations + peer masks) comfortably fits in L2/L3 and wins
+/// on raw speed; above it the cyclic form wins by staying cache-resident.
+/// N = 512 paper-geometry tables are ~2.5 MB (dense); N = 1024 crosses.
+const DENSE_LIMIT_BYTES: usize = 8 << 20;
+
+enum Repr {
+    Dense {
+        /// `[slot][node * uplinks + uplink] -> destination`.
+        dests: Vec<NodeId>,
+        /// `[slot][node][word]`: bit `j` set iff some uplink of `node`
+        /// connects to `j` at that slot.
+        peer_mask: Vec<u64>,
+    },
+    Cyclic {
+        /// `[node * uplinks + uplink] -> dst_group * g` (the rotation-
+        /// independent part of the destination).
+        col_base: Vec<u32>,
+        /// `[node] -> port within group`; the rotation at slot `t` is
+        /// `(port + t) mod g`.
+        port: Vec<u16>,
+        /// Rotation modulus (= grating size = epoch slots).
+        g: u32,
+    },
+}
+
+/// Schedule lookup table covering one epoch of the base schedule
+/// (epochs repeat).
 pub(crate) struct DestTable {
     nodes: usize,
     uplinks: usize,
     epoch_slots: u64,
     /// Entries per slot: `nodes * uplinks`.
     stride: usize,
-    dests: Vec<NodeId>,
     /// Bitmask words per `(slot, node)` entry: `nodes.div_ceil(64)`.
     words: usize,
-    /// `[slot][node][word]`: bit `j` set iff some uplink of `node`
-    /// connects to `j` at that slot.
-    peer_mask: Vec<u64>,
+    repr: Repr,
 }
 
 impl DestTable {
     pub fn new(sched: &Schedule) -> DestTable {
+        DestTable::new_with_limit(sched, DENSE_LIMIT_BYTES)
+    }
+
+    /// As [`DestTable::new`] with an explicit dense-footprint limit;
+    /// tests pass 0 to force the cyclic form at tiny N.
+    pub fn new_with_limit(sched: &Schedule, dense_limit: usize) -> DestTable {
         let nodes = sched.nodes();
         let uplinks = sched.uplinks();
         let epoch_slots = sched.epoch_slots();
         let stride = nodes * uplinks;
         let words = nodes.div_ceil(64);
+        let dense_bytes = stride * epoch_slots as usize * std::mem::size_of::<NodeId>()
+            + epoch_slots as usize * nodes * words * 8;
+        let repr = if dense_bytes <= dense_limit {
+            Self::build_dense(sched, nodes, uplinks, epoch_slots, stride, words)
+        } else {
+            Self::build_cyclic(sched, nodes, uplinks, epoch_slots)
+        };
+        DestTable {
+            nodes,
+            uplinks,
+            epoch_slots,
+            stride,
+            words,
+            repr,
+        }
+    }
+
+    fn build_dense(
+        sched: &Schedule,
+        nodes: usize,
+        uplinks: usize,
+        epoch_slots: u64,
+        stride: usize,
+        words: usize,
+    ) -> Repr {
         let mut dests = Vec::with_capacity(stride * epoch_slots as usize);
         let mut peer_mask = vec![0u64; epoch_slots as usize * nodes * words];
         for t in 0..epoch_slots as u16 {
@@ -53,37 +118,89 @@ impl DestTable {
                 }
             }
         }
-        DestTable {
-            nodes,
-            uplinks,
-            epoch_slots,
-            stride,
-            dests,
-            words,
-            peer_mask,
-        }
+        Repr::Dense { dests, peer_mask }
     }
 
-    /// All destinations for epoch slot `t`, laid out
-    /// `[node * uplinks + uplink]`.
+    fn build_cyclic(sched: &Schedule, nodes: usize, uplinks: usize, epoch_slots: u64) -> Repr {
+        let g = epoch_slots as u32;
+        let mut col_base = Vec::with_capacity(nodes * uplinks);
+        let mut port = Vec::with_capacity(nodes);
+        for i in 0..nodes as u32 {
+            // At t = 0 the rotation is `port mod g`, identical across
+            // uplinks, so any column's slot-0 destination reveals it.
+            let p = sched.dest(NodeId(i), UplinkId(0), SlotInEpoch(0)).0 % g;
+            port.push(p as u16);
+            for u in 0..uplinks as u16 {
+                let d = sched.dest(NodeId(i), UplinkId(u), SlotInEpoch(0)).0;
+                assert_eq!(
+                    d % g,
+                    p,
+                    "schedule is not a per-node rotation; cyclic DestTable invalid"
+                );
+                col_base.push(d - p);
+            }
+        }
+        // Verify the rotation property: exhaustively under debug builds,
+        // sampled (first and last nonzero rotation) in release. A
+        // schedule change that breaks cyclicity fails loudly here.
+        let sample: Vec<u16> = if cfg!(debug_assertions) {
+            (0..epoch_slots as u16).collect()
+        } else {
+            [1u16, epoch_slots.saturating_sub(1) as u16]
+                .into_iter()
+                .filter(|&t| (t as u64) < epoch_slots)
+                .collect()
+        };
+        for &t in &sample {
+            for i in 0..nodes as u32 {
+                let rot = (port[i as usize] as u32 + t as u32) % g;
+                for u in 0..uplinks as u16 {
+                    let want = sched.dest(NodeId(i), UplinkId(u), SlotInEpoch(t));
+                    let got = col_base[i as usize * uplinks + u as usize] + rot;
+                    assert_eq!(
+                        got, want.0,
+                        "schedule is not cyclic at (i={i}, u={u}, t={t}); \
+                         cyclic DestTable invalid"
+                    );
+                }
+            }
+        }
+        Repr::Cyclic { col_base, port, g }
+    }
+
+    /// All destinations for epoch slot `t`, as a per-node view.
     #[inline]
-    pub fn slot(&self, t: SlotInEpoch) -> &[NodeId] {
-        let base = t.0 as usize * self.stride;
-        &self.dests[base..base + self.stride]
+    pub fn slot_view(&self, t: SlotInEpoch) -> SlotDests<'_> {
+        SlotDests { table: self, t }
     }
 
     /// Single destination lookup (the mistune pre-pass needs scattered
     /// shifted-slot reads, not a whole row).
     #[inline]
     pub fn dest(&self, t: SlotInEpoch, i: NodeId, u: u16) -> NodeId {
-        self.dests[t.0 as usize * self.stride + i.0 as usize * self.uplinks + u as usize]
+        match &self.repr {
+            Repr::Dense { dests, .. } => {
+                dests[t.0 as usize * self.stride + i.0 as usize * self.uplinks + u as usize]
+            }
+            Repr::Cyclic { col_base, port, g } => {
+                let rot = (port[i.0 as usize] as u32 + t.0 as u32) % g;
+                NodeId(col_base[i.0 as usize * self.uplinks + u as usize] + rot)
+            }
+        }
     }
 
-    /// Bitmask of the peers node `i`'s uplinks connect to at slot `t`.
+    /// Bitmask of the peers node `i`'s uplinks connect to at slot `t`;
+    /// `None` under the cyclic form (callers fall back to a per-node
+    /// occupancy check).
     #[inline]
-    pub fn peer_mask(&self, t: SlotInEpoch, i: usize) -> &[u64] {
-        let base = (t.0 as usize * self.nodes + i) * self.words;
-        &self.peer_mask[base..base + self.words]
+    pub fn peer_mask(&self, t: SlotInEpoch, i: usize) -> Option<&[u64]> {
+        match &self.repr {
+            Repr::Dense { peer_mask, .. } => {
+                let base = (t.0 as usize * self.nodes + i) * self.words;
+                Some(&peer_mask[base..base + self.words])
+            }
+            Repr::Cyclic { .. } => None,
+        }
     }
 
     pub fn nodes(&self) -> usize {
@@ -99,38 +216,132 @@ impl DestTable {
     }
 }
 
+/// One slot's destinations, resolvable per node.
+#[derive(Clone, Copy)]
+pub(crate) struct SlotDests<'a> {
+    table: &'a DestTable,
+    t: SlotInEpoch,
+}
+
+impl<'a> SlotDests<'a> {
+    /// Node `i`'s destination row for this slot.
+    #[inline]
+    pub fn node(&self, i: usize) -> NodeRow<'a> {
+        match &self.table.repr {
+            Repr::Dense { dests, .. } => {
+                let base = self.t.0 as usize * self.table.stride + i * self.table.uplinks;
+                NodeRow::Dense(&dests[base..base + self.table.uplinks])
+            }
+            Repr::Cyclic { col_base, port, g } => NodeRow::Cyclic {
+                col: &col_base[i * self.table.uplinks..(i + 1) * self.table.uplinks],
+                rot: (port[i] as u32 + self.t.0 as u32) % g,
+            },
+        }
+    }
+}
+
+/// One node's destinations at one slot; `at(u)` resolves an uplink.
+pub(crate) enum NodeRow<'a> {
+    Dense(&'a [NodeId]),
+    Cyclic { col: &'a [u32], rot: u32 },
+}
+
+impl NodeRow<'_> {
+    #[inline]
+    pub fn at(&self, u: usize) -> NodeId {
+        match self {
+            NodeRow::Dense(d) => d[u],
+            NodeRow::Cyclic { col, rot } => NodeId(col[u] + rot),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use sirius_core::config::SiriusConfig;
 
-    #[test]
-    fn table_matches_schedule_exhaustively() {
-        let cfg = SiriusConfig::scaled(16, 4);
-        let sched = Schedule::new(&cfg);
-        let table = DestTable::new(&sched);
+    fn check_against_schedule(table: &DestTable, sched: &Schedule) {
         assert_eq!(table.nodes(), sched.nodes());
         assert_eq!(table.uplinks(), sched.uplinks());
         assert_eq!(table.epoch_slots(), sched.epoch_slots());
         for t in 0..sched.epoch_slots() as u16 {
-            let row = table.slot(SlotInEpoch(t));
+            let view = table.slot_view(SlotInEpoch(t));
             for i in 0..sched.nodes() as u32 {
+                let row = view.node(i as usize);
                 let pm = table.peer_mask(SlotInEpoch(t), i as usize);
                 for u in 0..sched.uplinks() as u16 {
                     let want = sched.dest(NodeId(i), UplinkId(u), SlotInEpoch(t));
                     assert_eq!(table.dest(SlotInEpoch(t), NodeId(i), u), want);
-                    assert_eq!(row[i as usize * sched.uplinks() + u as usize], want);
-                    assert_ne!(pm[want.0 as usize >> 6] & (1 << (want.0 & 63)), 0);
+                    assert_eq!(row.at(u as usize), want);
+                    if let Some(pm) = pm {
+                        assert_ne!(pm[want.0 as usize >> 6] & (1 << (want.0 & 63)), 0);
+                    }
                 }
             }
-            // Peer masks hold exactly the scheduled destinations.
+            // Peer masks (dense form only) hold exactly the scheduled
+            // destinations.
             for i in 0..sched.nodes() {
-                let pm = table.peer_mask(SlotInEpoch(t), i);
+                let Some(pm) = table.peer_mask(SlotInEpoch(t), i) else {
+                    continue;
+                };
                 let scheduled: std::collections::HashSet<u32> = (0..sched.uplinks() as u16)
                     .map(|u| table.dest(SlotInEpoch(t), NodeId(i as u32), u).0)
                     .collect();
                 let popcount: u32 = pm.iter().map(|w| w.count_ones()).sum();
                 assert_eq!(popcount as usize, scheduled.len());
+            }
+        }
+    }
+
+    #[test]
+    fn dense_table_matches_schedule_exhaustively() {
+        let cfg = SiriusConfig::scaled(16, 4);
+        let sched = Schedule::new(&cfg);
+        let table = DestTable::new(&sched);
+        assert!(
+            matches!(table.repr, Repr::Dense { .. }),
+            "16-node table should select the dense form"
+        );
+        check_against_schedule(&table, &sched);
+    }
+
+    #[test]
+    fn cyclic_table_matches_schedule_exhaustively() {
+        // Force the compressed form at a size small enough to check
+        // every (slot, node, uplink) against the schedule and the dense
+        // form.
+        for (n, g) in [(16usize, 4usize), (64, 8)] {
+            let cfg = SiriusConfig::scaled(n, g);
+            let sched = Schedule::new(&cfg);
+            let cyclic = DestTable::new_with_limit(&sched, 0);
+            assert!(
+                matches!(cyclic.repr, Repr::Cyclic { .. }),
+                "limit 0 must force the cyclic form"
+            );
+            check_against_schedule(&cyclic, &sched);
+            assert!(cyclic.peer_mask(SlotInEpoch(0), 0).is_none());
+        }
+    }
+
+    #[test]
+    fn large_tables_select_cyclic_form() {
+        let cfg = SiriusConfig::scaled(1024, 32);
+        let sched = Schedule::new(&cfg);
+        let table = DestTable::new(&sched);
+        assert!(
+            matches!(table.repr, Repr::Cyclic { .. }),
+            "N=1024 dense table exceeds the cache-residency limit"
+        );
+        // Spot-check the compressed lookups against the schedule.
+        for t in [0u16, 1, 31] {
+            for i in [0u32, 511, 1023] {
+                for u in 0..sched.uplinks() as u16 {
+                    assert_eq!(
+                        table.dest(SlotInEpoch(t), NodeId(i), u),
+                        sched.dest(NodeId(i), UplinkId(u), SlotInEpoch(t))
+                    );
+                }
             }
         }
     }

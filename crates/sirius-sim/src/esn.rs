@@ -271,6 +271,8 @@ impl EsnSim {
             peak_node_fabric_cells: 0,
             peak_node_local_cells: 0,
             peak_reorder_flow_bytes: 0,
+            // The fluid model holds every flow's state for the whole run.
+            resident_flows_max: workload.len() as u64,
             cell_bytes: 0,
             incomplete_flows: incomplete,
             cc: Default::default(),

@@ -167,6 +167,14 @@ pub struct RunMetrics {
     pub peak_node_local_cells: u64,
     /// Peak reorder-buffer bytes for any single flow.
     pub peak_reorder_flow_bytes: u64,
+    /// High-water mark of simultaneously resident flow state: the max of
+    /// the flow slab's occupancy peak and any single reorder buffer's
+    /// entry-count peak. On the streaming path
+    /// ([`crate::SiriusSim::run_streaming`]) this tracks flows *in
+    /// flight* and is the memory-boundedness gate the scale series
+    /// checks; on the slice path every flow stays resident, so it is ≈
+    /// total flows.
+    pub resident_flows_max: u64,
     /// Cell wire size used (to convert occupancies to bytes), 0 if N/A.
     pub cell_bytes: u32,
     /// Flows that had not completed when the run was cut off.
@@ -352,6 +360,7 @@ mod tests {
             peak_node_fabric_cells: 0,
             peak_node_local_cells: 0,
             peak_reorder_flow_bytes: 0,
+            resident_flows_max: 4,
             cell_bytes: 562,
             incomplete_flows: 1,
             cc: Default::default(),
@@ -377,6 +386,7 @@ mod tests {
             peak_node_fabric_cells: 10,
             peak_node_local_cells: 0,
             peak_reorder_flow_bytes: 0,
+            resident_flows_max: 0,
             cell_bytes: 562,
             incomplete_flows: 0,
             cc: Default::default(),

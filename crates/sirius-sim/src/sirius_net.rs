@@ -30,7 +30,7 @@
 //! tx / deliver planes with the invariant audit behind a zero-cost
 //! observer.
 
-use crate::audit::{Audit, LossCause};
+use crate::audit::{Audit, LossCause, RunDigest};
 use crate::engine::{
     AuditObserver, DeliverPlane, DestTable, DetectPlane, FaultPlane, NullObserver, SlotObserver,
     TxPlane,
@@ -162,6 +162,244 @@ pub(crate) struct FlowSt {
     pub(crate) completion: Option<Time>,
 }
 
+/// Slab of per-flow state. The slice path ([`SiriusSim::run`]) populates
+/// it once and never frees; the streaming path ([`SiriusSim::run_streaming`])
+/// allocates per admission and evicts on completion, so the slab's
+/// occupancy tracks flows *in flight*, not flows *ever seen* — the
+/// memory bound that lets the scale-out series push total flow counts
+/// into the millions. Slot indices are the engine's `FlowId`s; a slot is
+/// only reused after its flow completed (every cell delivered and the
+/// reorder entry retired), so a recycled id can never collide with a
+/// live cell.
+#[derive(Debug, Default)]
+pub(crate) struct FlowTable {
+    slots: Vec<FlowSt>,
+    free: Vec<u32>,
+    occupied: Vec<bool>,
+    admitted: u64,
+    resident: u64,
+    resident_peak: u64,
+}
+
+impl FlowTable {
+    /// Bulk-load a materialized workload (slice path): slot `i` is flow
+    /// `i`, nothing is ever freed.
+    fn populate(&mut self, workload: &[Flow], payload: u32) {
+        debug_assert!(self.slots.is_empty());
+        self.slots = workload
+            .iter()
+            .map(|f| FlowSt {
+                bytes: f.bytes,
+                arrival: f.arrival,
+                src_server: f.src_server,
+                dst_server: f.dst_server,
+                cells_total: Cell::count_for(f.bytes, payload),
+                cells_injected: 0,
+                delivered: 0,
+                completion: None,
+            })
+            .collect();
+        self.occupied = vec![true; self.slots.len()];
+        self.admitted = self.slots.len() as u64;
+        self.resident = self.admitted;
+        self.resident_peak = self.admitted;
+    }
+
+    /// Admit one flow into a free slot (streaming path).
+    fn alloc(&mut self, f: &Flow, payload: u32) -> u32 {
+        let st = FlowSt {
+            bytes: f.bytes,
+            arrival: f.arrival,
+            src_server: f.src_server,
+            dst_server: f.dst_server,
+            cells_total: Cell::count_for(f.bytes, payload),
+            cells_injected: 0,
+            delivered: 0,
+            completion: None,
+        };
+        let fi = match self.free.pop() {
+            Some(fi) => {
+                debug_assert!(!self.occupied[fi as usize]);
+                self.slots[fi as usize] = st;
+                self.occupied[fi as usize] = true;
+                fi
+            }
+            None => {
+                self.slots.push(st);
+                self.occupied.push(true);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.admitted += 1;
+        self.resident += 1;
+        self.resident_peak = self.resident_peak.max(self.resident);
+        fi
+    }
+
+    /// Free a completed flow's slot for reuse.
+    fn evict(&mut self, fi: u32) {
+        debug_assert!(self.occupied[fi as usize]);
+        self.occupied[fi as usize] = false;
+        self.free.push(fi);
+        self.resident -= 1;
+    }
+
+    /// Slab size (largest flow id ever issued + 1).
+    pub(crate) fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Flows admitted over the whole run.
+    pub(crate) fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// High-water mark of simultaneously resident flows.
+    pub(crate) fn resident_peak(&self) -> u64 {
+        self.resident_peak
+    }
+
+    /// Occupied slots in slot order (for the slice path this is every
+    /// flow in workload order, so digests and records are unchanged).
+    pub(crate) fn iter_occupied(&self) -> impl Iterator<Item = &FlowSt> {
+        self.slots
+            .iter()
+            .zip(&self.occupied)
+            .filter_map(|(f, &occ)| occ.then_some(f))
+    }
+}
+
+impl std::ops::Index<usize> for FlowTable {
+    type Output = FlowSt;
+    #[inline]
+    fn index(&self, i: usize) -> &FlowSt {
+        &self.slots[i]
+    }
+}
+
+impl std::ops::IndexMut<usize> for FlowTable {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut FlowSt {
+        &mut self.slots[i]
+    }
+}
+
+/// Where the slot loop's flows come from: a pre-populated slice or a
+/// lazy stream. The loop only ever asks three questions — "has another
+/// flow arrived by `now`?", "are we done?", "when do we give up?" — so
+/// both sources stay O(1) in state beyond the [`FlowTable`] itself.
+pub(crate) trait FlowSource {
+    /// Admit the next flow with `arrival <= now` into the table,
+    /// returning its slot, or `None` if no further flow has arrived yet.
+    fn pop_arrived(&mut self, now: Time, table: &mut FlowTable) -> Option<u32>;
+    /// True once every flow this source will ever produce has completed.
+    fn finished(&self, table: &FlowTable, completed: u64) -> bool;
+    /// Absolute give-up time (last arrival + drain timeout). A stream
+    /// reports `u64::MAX` ps until it knows its last arrival.
+    fn deadline(&self) -> Time;
+}
+
+/// Slice-path source over a pre-populated [`FlowTable`]: reproduces the
+/// original admission scan exactly (slot `i` is workload flow `i`).
+pub(crate) struct SliceSource {
+    next: usize,
+    total: u64,
+    deadline: Time,
+}
+
+impl FlowSource for SliceSource {
+    fn pop_arrived(&mut self, now: Time, table: &mut FlowTable) -> Option<u32> {
+        if self.next < table.len() && table[self.next].arrival <= now {
+            let fi = self.next as u32;
+            self.next += 1;
+            Some(fi)
+        } else {
+            None
+        }
+    }
+
+    fn finished(&self, _table: &FlowTable, completed: u64) -> bool {
+        completed >= self.total
+    }
+
+    fn deadline(&self) -> Time {
+        self.deadline
+    }
+}
+
+/// Streaming source: pulls flows from an iterator one admission at a
+/// time, holding a single-flow lookahead. The lookahead refills
+/// immediately after each admission, so exhaustion (and with it the
+/// drain deadline) is discovered at the same epoch boundary the last
+/// flow is admitted — matching when the slice path would have known it.
+pub(crate) struct StreamSource<I: Iterator<Item = Flow>> {
+    iter: I,
+    lookahead: Option<Flow>,
+    drain: Duration,
+    last_arrival: Time,
+    deadline: Time,
+    payload: u32,
+    total_servers: usize,
+}
+
+impl<I: Iterator<Item = Flow>> StreamSource<I> {
+    pub(crate) fn new(
+        mut iter: I,
+        drain: Duration,
+        payload: u32,
+        total_servers: usize,
+    ) -> StreamSource<I> {
+        let lookahead = iter.next();
+        let deadline = if lookahead.is_none() {
+            Time::ZERO + drain
+        } else {
+            Time::from_ps(u64::MAX)
+        };
+        StreamSource {
+            iter,
+            lookahead,
+            drain,
+            last_arrival: Time::ZERO,
+            deadline,
+            payload,
+            total_servers,
+        }
+    }
+}
+
+impl<I: Iterator<Item = Flow>> FlowSource for StreamSource<I> {
+    fn pop_arrived(&mut self, now: Time, table: &mut FlowTable) -> Option<u32> {
+        if self.lookahead.as_ref()?.arrival > now {
+            return None;
+        }
+        let f = self.lookahead.take().unwrap();
+        assert!(
+            (f.src_server as usize) < self.total_servers
+                && (f.dst_server as usize) < self.total_servers,
+            "workload references servers outside the deployment"
+        );
+        assert!(
+            f.arrival >= self.last_arrival,
+            "streamed workload arrivals must be nondecreasing"
+        );
+        self.last_arrival = f.arrival;
+        let fi = table.alloc(&f, self.payload);
+        self.lookahead = self.iter.next();
+        if self.lookahead.is_none() {
+            self.deadline = self.last_arrival + self.drain;
+        }
+        Some(fi)
+    }
+
+    fn finished(&self, table: &FlowTable, completed: u64) -> bool {
+        self.lookahead.is_none() && completed >= table.admitted()
+    }
+
+    fn deadline(&self) -> Time {
+        self.deadline
+    }
+}
+
 /// Per-server injection state.
 #[derive(Debug, Default)]
 pub(crate) struct ServerSt {
@@ -195,7 +433,7 @@ pub struct SiriusSim {
     pub(crate) sched: AdjustedSchedule,
     pub(crate) vlb: Vlb,
     pub(crate) nodes: Vec<SiriusNode>,
-    pub(crate) flows: Vec<FlowSt>,
+    pub(crate) flows: FlowTable,
     pub(crate) servers: Vec<ServerSt>,
     pub(crate) rng: SmallRng,
     pub(crate) prop_slots: usize,
@@ -214,6 +452,16 @@ pub struct SiriusSim {
     /// Serial-path reuse buffer for the shared faulty-slot range
     /// function's output (the sharded path keeps one per shard).
     pub(crate) fault_scratch: crate::engine::shard::ShardOut,
+    /// Streaming mode: free a flow's slab slot the moment it completes,
+    /// folding its terminal state into [`SiriusSim::stream_fold`] so the
+    /// run digest still covers every flow. Slice runs keep this off and
+    /// their digests byte-identical to before.
+    pub(crate) evict_completed: bool,
+    /// Digest accumulator over evicted flows' terminal (delivered,
+    /// completion) pairs, in eviction order. Eviction happens only in
+    /// serial phases (epoch boundary, ring drain), so sharded and serial
+    /// streaming runs fold identically.
+    pub(crate) stream_fold: RunDigest,
     payload: u32,
     epoch_credit_bytes: i64,
 }
@@ -286,7 +534,7 @@ impl SiriusSim {
             sched: AdjustedSchedule::new(sched),
             vlb: Vlb::new(n),
             nodes,
-            flows: Vec::new(),
+            flows: FlowTable::default(),
             servers,
             rng: SmallRng::seed_from_u64(cfg.seed),
             prop_slots: prop_slots as usize,
@@ -297,6 +545,8 @@ impl SiriusSim {
             delivery: DeliverPlane::new(ring_len, total_servers),
             fault_rngs: Vec::new(),
             fault_scratch: Default::default(),
+            evict_completed: false,
+            stream_fold: RunDigest::new(),
             payload,
             epoch_credit_bytes,
             cfg,
@@ -345,22 +595,8 @@ impl SiriusSim {
     /// Run the workload to completion (or drain timeout); consumes the sim.
     pub fn run(mut self, workload: &[Flow]) -> RunMetrics {
         let wall_start = std::time::Instant::now();
-        let slot_ps = self.cfg.network.slot().as_ps();
-        let epoch_slots = self.cfg.network.epoch_slots();
         let total_servers = self.cfg.network.total_servers();
-        self.flows = workload
-            .iter()
-            .map(|f| FlowSt {
-                bytes: f.bytes,
-                arrival: f.arrival,
-                src_server: f.src_server,
-                dst_server: f.dst_server,
-                cells_total: Cell::count_for(f.bytes, self.payload),
-                cells_injected: 0,
-                delivered: 0,
-                completion: None,
-            })
-            .collect();
+        self.flows.populate(workload, self.payload);
         assert!(
             workload
                 .iter()
@@ -485,7 +721,50 @@ impl SiriusSim {
             }
         }
 
-        let total_flows = self.flows.len() as u64;
+        let src = SliceSource {
+            next: 0,
+            total: workload.len() as u64,
+            deadline,
+        };
+        self.dispatch(src, wall_start)
+    }
+
+    /// Run a *streamed* workload to completion (or drain timeout),
+    /// holding flow state only for flows in flight: each flow's slab
+    /// slot (and reorder entry) is freed the moment it completes, so
+    /// memory tracks concurrency, not total flow count. The delivered-
+    /// cell digest covers exactly what [`SiriusSim::run`] covers, but
+    /// evicted flows fold into a side accumulator in eviction order, so
+    /// streaming digests are comparable only to streaming digests (the
+    /// slice path's golden digests are untouched). [`RunMetrics::flows`]
+    /// is empty — per-flow records for millions of flows are exactly the
+    /// memory this path exists to avoid.
+    ///
+    /// # Panics
+    /// If a fault script is attached: slab slots are reused, and the
+    /// fault planes' flow-id attribution (the Byzantine RX filter)
+    /// assumes ids are stable for the whole run.
+    pub fn run_streaming<I: Iterator<Item = Flow>>(mut self, flows: I) -> RunMetrics {
+        assert!(
+            self.faults.injector.is_empty(),
+            "run_streaming does not support fault scripts (flow ids are recycled)"
+        );
+        let wall_start = std::time::Instant::now();
+        self.evict_completed = true;
+        let src = StreamSource::new(
+            flows,
+            self.cfg.drain_timeout,
+            self.payload,
+            self.cfg.network.total_servers(),
+        );
+        self.dispatch(src, wall_start)
+    }
+
+    /// Shared tail of [`SiriusSim::run`] / [`SiriusSim::run_streaming`]:
+    /// pick the loop instantiation and collect metrics.
+    fn dispatch<S: FlowSource>(mut self, mut src: S, wall_start: std::time::Instant) -> RunMetrics {
+        let slot_ps = self.cfg.network.slot().as_ps();
+        let epoch_slots = self.cfg.network.epoch_slots();
         // The slot loop is monomorphized per observer: when the audit is
         // on, it temporarily owns the `Audit` and forwards every probe;
         // when off, the NullObserver instantiation compiles the probes
@@ -493,7 +772,7 @@ impl SiriusSim {
         let abs_slot = if self.audit.enabled() {
             let audit = std::mem::replace(&mut self.audit, Audit::new(false, 0, 0, 0, false));
             let mut obs = AuditObserver::new(audit);
-            let s = self.run_loop(workload, deadline, &mut obs);
+            let s = self.run_loop(&mut src, &mut obs);
             self.audit = obs.into_audit();
             s
         } else if self.cfg.shards > 1 && self.cfg.mode != CcMode::Ideal && self.nodes.len() > 1 {
@@ -501,47 +780,63 @@ impl SiriusSim {
             // shared back-pressure state is inherently sequential, so it
             // stays on the serial loop).
             let shards = self.cfg.shards;
-            self.run_loop_sharded(workload, deadline, shards)
+            self.run_loop_sharded(&mut src, shards)
         } else {
-            self.run_loop(workload, deadline, &mut NullObserver)
+            self.run_loop(&mut src, &mut NullObserver)
         };
 
         self.finish(
             Time::from_ps(abs_slot * slot_ps),
-            total_flows,
             abs_slot / epoch_slots,
             wall_start.elapsed().as_secs_f64(),
         )
     }
 
+    /// Fold a completed flow's terminal state into the streaming digest
+    /// accumulator and free its slab slot.
+    pub(crate) fn fold_and_evict(&mut self, fi: u32) {
+        let f = &self.flows[fi as usize];
+        debug_assert!(f.completion.is_some());
+        self.stream_fold.update(f.delivered);
+        self.stream_fold.update(
+            f.completion
+                .map(|c| c.since(Time::ZERO).as_ps())
+                .unwrap_or(u64::MAX),
+        );
+        self.flows.evict(fi);
+    }
+
     /// Epoch boundary: flow admission + injection, then the CC round.
-    pub(crate) fn epoch_boundary<O: SlotObserver>(
+    pub(crate) fn epoch_boundary<S: FlowSource, O: SlotObserver>(
         &mut self,
         epoch: u64,
         now: Time,
-        workload: &[Flow],
-        next_flow: &mut usize,
+        src: &mut S,
         obs: &mut O,
     ) {
         // 1. Admit flows that have arrived.
-        while *next_flow < workload.len() && workload[*next_flow].arrival <= now {
-            let fi = *next_flow as u32;
-            let f = &workload[*next_flow];
-            let src_node = self.node_of_server(f.src_server);
-            let dst_node = self.node_of_server(f.dst_server);
+        while let Some(fi) = src.pop_arrived(now, &mut self.flows) {
+            let (bytes, src_server, dst_server) = {
+                let f = &self.flows[fi as usize];
+                (f.bytes, f.src_server, f.dst_server)
+            };
+            let src_node = self.node_of_server(src_server);
+            let dst_node = self.node_of_server(dst_server);
             if src_node == dst_node {
                 // Intra-rack traffic bypasses the optical core (§4.2):
                 // delivered after one server-link serialization.
-                let done = now + self.cfg.network.server_rate.tx_time(f.bytes);
+                let done = now + self.cfg.network.server_rate.tx_time(bytes);
                 self.flows[fi as usize].completion = Some(done);
-                self.flows[fi as usize].delivered = f.bytes;
-                self.delivery.delivered_bytes += f.bytes;
+                self.flows[fi as usize].delivered = bytes;
+                self.delivery.delivered_bytes += bytes;
                 self.delivery.completed += 1;
                 self.delivery.last_delivery = self.delivery.last_delivery.max(done);
+                if self.evict_completed {
+                    self.fold_and_evict(fi);
+                }
             } else {
-                self.servers[f.src_server as usize].active.push_back(fi);
+                self.servers[src_server as usize].active.push_back(fi);
             }
-            *next_flow += 1;
         }
 
         // 2. Server injection: every server earns one epoch of link credit
@@ -715,7 +1010,8 @@ impl SiriusSim {
         }
     }
 
-    fn finish(self, end: Time, total_flows: u64, epochs: u64, wall_secs: f64) -> RunMetrics {
+    fn finish(self, end: Time, epochs: u64, wall_secs: f64) -> RunMetrics {
+        let total_flows = self.flows.admitted();
         let span = if self.delivery.last_delivery > Time::ZERO {
             self.delivery.last_delivery.since(Time::ZERO)
         } else {
@@ -723,12 +1019,17 @@ impl SiriusSim {
         };
         // Fold the summary into the delivered-cell digest: two runs agree
         // iff they delivered the same cells in the same order *and* ended
-        // in the same aggregate state.
+        // in the same aggregate state. Streaming runs fold evicted flows
+        // through the side accumulator plus whatever is still resident;
+        // slice runs fold every flow in slot order, exactly as before.
         let mut digest = self.delivery.digest;
         digest.update(self.delivery.delivered_bytes);
         digest.update(span.as_ps());
         digest.update(total_flows - self.delivery.completed);
-        for f in &self.flows {
+        if self.evict_completed {
+            digest.update(self.stream_fold.value());
+        }
+        for f in self.flows.iter_occupied() {
             digest.update(f.delivered);
             digest.update(
                 f.completion
@@ -764,16 +1065,19 @@ impl SiriusSim {
             None
         };
         RunMetrics {
-            flows: self
-                .flows
-                .iter()
-                .map(|f| FlowRecord {
-                    bytes: f.bytes,
-                    arrival: f.arrival,
-                    completion: f.completion,
-                    delivered: f.delivered,
-                })
-                .collect(),
+            flows: if self.evict_completed {
+                Vec::new()
+            } else {
+                self.flows
+                    .iter_occupied()
+                    .map(|f| FlowRecord {
+                        bytes: f.bytes,
+                        arrival: f.arrival,
+                        completion: f.completion,
+                        delivered: f.delivered,
+                    })
+                    .collect()
+            },
             delivered_bytes: self.delivery.delivered_bytes,
             span,
             peak_node_fabric_cells: self
@@ -795,6 +1099,14 @@ impl SiriusSim {
                 .map(|r| r.peak_flow_bytes())
                 .max()
                 .unwrap_or(0),
+            resident_flows_max: self.flows.resident_peak().max(
+                self.delivery
+                    .reorder
+                    .iter()
+                    .map(|r| r.peak_resident_flows() as u64)
+                    .max()
+                    .unwrap_or(0),
+            ),
             cell_bytes: self.cfg.network.cell_bytes,
             incomplete_flows: total_flows - self.delivery.completed,
             cc: {

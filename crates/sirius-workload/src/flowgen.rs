@@ -68,24 +68,25 @@ impl WorkloadSpec {
 
     /// Generate the flow list (sorted by arrival time by construction).
     pub fn generate(&self) -> Vec<Flow> {
-        let mut rng = SmallRng::seed_from_u64(self.seed);
-        let tau = self.mean_interarrival().as_ps() as f64;
-        let mut t = 0f64;
-        let mut flows = Vec::with_capacity(self.flows as usize);
-        for id in 0..self.flows {
-            // Exponential inter-arrival via inverse CDF.
-            let u: f64 = 1.0 - rng.gen::<f64>();
-            t += -tau * u.ln();
-            let (src, dst) = self.pattern.pick(&mut rng, self.servers, id);
-            flows.push(Flow {
-                id,
-                src_server: src,
-                dst_server: dst,
-                bytes: self.sizes.sample(&mut rng),
-                arrival: Time::from_ps(t as u64),
-            });
+        self.stream().collect()
+    }
+
+    /// Stream the same flow sequence one at a time without materializing
+    /// it: `spec.stream().collect()` is bit-identical to `generate()`,
+    /// but a consumer that admits flows as they arrive holds O(1)
+    /// workload state instead of O(flows). This is what lets the
+    /// scale-out series push flow counts into the millions.
+    pub fn stream(&self) -> FlowStream {
+        FlowStream {
+            rng: SmallRng::seed_from_u64(self.seed),
+            tau: self.mean_interarrival().as_ps() as f64,
+            t: 0f64,
+            next: 0,
+            total: self.flows,
+            servers: self.servers,
+            sizes: self.sizes,
+            pattern: self.pattern.clone(),
         }
-        flows
     }
 
     /// Total bytes a generated workload is expected to carry (mean).
@@ -93,6 +94,53 @@ impl WorkloadSpec {
         self.sizes.effective_mean() * self.flows as f64
     }
 }
+
+/// Lazy flow generator: yields the exact `generate()` sequence (same
+/// seed, same draws, same order) while holding only the RNG and the
+/// arrival-time accumulator.
+#[derive(Debug, Clone)]
+pub struct FlowStream {
+    rng: SmallRng,
+    /// Mean inter-arrival in picoseconds.
+    tau: f64,
+    /// Arrival-time accumulator (f64 ps, matching `generate()` exactly).
+    t: f64,
+    next: u64,
+    total: u64,
+    servers: u32,
+    sizes: Pareto,
+    pattern: Pattern,
+}
+
+impl Iterator for FlowStream {
+    type Item = Flow;
+
+    fn next(&mut self) -> Option<Flow> {
+        if self.next >= self.total {
+            return None;
+        }
+        let id = self.next;
+        self.next += 1;
+        // Exponential inter-arrival via inverse CDF.
+        let u: f64 = 1.0 - self.rng.gen::<f64>();
+        self.t += -self.tau * u.ln();
+        let (src, dst) = self.pattern.pick(&mut self.rng, self.servers, id);
+        Some(Flow {
+            id,
+            src_server: src,
+            dst_server: dst,
+            bytes: self.sizes.sample(&mut self.rng),
+            arrival: Time::from_ps(self.t as u64),
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.total - self.next) as usize;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for FlowStream {}
 
 #[cfg(test)]
 mod tests {
@@ -158,6 +206,18 @@ mod tests {
         let mut spec = small_spec(0.7);
         spec.seed = 43;
         assert_ne!(a, spec.generate());
+    }
+
+    #[test]
+    fn stream_matches_generate_exactly() {
+        let spec = small_spec(0.5);
+        let streamed: Vec<Flow> = spec.stream().collect();
+        assert_eq!(streamed, spec.generate());
+        // ExactSizeIterator bookkeeping survives partial consumption.
+        let mut s = spec.stream();
+        assert_eq!(s.len(), spec.flows as usize);
+        s.next();
+        assert_eq!(s.len(), spec.flows as usize - 1);
     }
 
     #[test]

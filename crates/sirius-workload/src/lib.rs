@@ -17,7 +17,7 @@ pub mod pareto;
 pub mod patterns;
 pub mod trace;
 
-pub use flowgen::{Flow, WorkloadSpec};
+pub use flowgen::{Flow, FlowStream, WorkloadSpec};
 pub use packets::PacketSizes;
 pub use pareto::Pareto;
 pub use patterns::Pattern;
