@@ -1,0 +1,40 @@
+//! Live-process sync measurement: spawn N `sirius-sync-node` OS
+//! processes over UDP loopback — the same `SyncEngine` the simulator
+//! drives, on real sockets and a disciplined monotonic clock — and emit
+//! `results/BENCH_live_sync.json` comparing the achieved |offset|
+//! distribution against the in-sim prediction for the same geometry.
+//! `--smoke` is the CI gate size (4 nodes, ~3 s); `--full` runs 8 nodes
+//! for ~30 s. Exits non-zero when the cluster fails to lock.
+use sirius_bench::experiments::live_sync;
+use sirius_bench::Cli;
+
+fn main() {
+    let cli = Cli::parse();
+    let cfg = live_sync::LiveConfig::for_scale(cli.scale);
+    eprintln!(
+        "=== live sync: {} sirius-sync-node processes, {} epochs x {} us over UDP loopback ===",
+        cfg.nodes, cfg.epochs, cfg.epoch_us
+    );
+    match live_sync::run(&cfg) {
+        Ok(res) => {
+            live_sync::table(&res).emit("live_sync");
+            live_sync::emit_json(&res, cli.scale);
+            eprintln!(
+                "locked={} applied={}/{} p99={:.1} us (sim prediction: {:.1} ps)",
+                res.locked(),
+                res.applied_total(),
+                res.applied_expected(),
+                res.achieved_p99_ps() / 1e6,
+                res.sim_max_deviation_ps
+            );
+            if !res.locked() {
+                eprintln!("error: live cluster failed to lock; see table above");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("error: live sync run failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -6,7 +6,11 @@
 //!   order, so the tables and CSVs are byte-identical to `--jobs 1`;
 //! * `--timing` — run the whole suite twice, serial then parallel, and
 //!   emit `results/BENCH_xp_wall.json` with per-experiment wall-clock
-//!   and the end-to-end speedup.
+//!   and the end-to-end speedup;
+//! * `--live` — also run the live-process sync measurement (spawns real
+//!   `sirius-sync-node` processes over UDP loopback). Off by default:
+//!   it measures the host's scheduling latency, so it is neither
+//!   deterministic nor machine-independent like the rest of the suite.
 use sirius_bench::experiments::*;
 use sirius_bench::wall::{ExperimentWall, WallReport};
 use sirius_bench::{Cli, Scale};
@@ -21,7 +25,7 @@ type Experiment = (&'static str, Box<dyn Fn(usize)>);
 /// the wall report covers the entire reproduction. `shards` (from
 /// `--shards`) reaches the experiments whose wall clock is dominated by
 /// a few long runs rather than sweep width — today that is fig13.
-fn suite(scale: Scale, shards: Option<usize>) -> Vec<Experiment> {
+fn suite(scale: Scale, shards: Option<usize>, live: bool) -> Vec<Experiment> {
     let mut xs: Vec<Experiment> = Vec::new();
     xs.push((
         "analytic",
@@ -147,13 +151,36 @@ fn suite(scale: Scale, shards: Option<usize>) -> Vec<Experiment> {
             scale_series::emit_json(&pts, scale, jobs);
         }),
     ));
+    if live {
+        xs.push((
+            "live_sync",
+            Box::new(move |_| {
+                // Opt-in (--live): spawns real OS processes and measures
+                // wall-clock latency, so it is neither deterministic nor
+                // machine-independent like the rest of the suite.
+                let cfg = live_sync::LiveConfig::for_scale(scale);
+                match live_sync::run(&cfg) {
+                    Ok(res) => {
+                        live_sync::table(&res).emit("live_sync");
+                        live_sync::emit_json(&res, scale);
+                    }
+                    Err(e) => eprintln!("warning: live_sync skipped: {e}"),
+                }
+            }),
+        ));
+    }
     xs
 }
 
 /// Run the whole suite once at a worker count, returning per-experiment
 /// wall-clock seconds in suite order.
-fn run_suite(scale: Scale, jobs: usize, shards: Option<usize>) -> Vec<(&'static str, f64)> {
-    suite(scale, shards)
+fn run_suite(
+    scale: Scale,
+    jobs: usize,
+    shards: Option<usize>,
+    live: bool,
+) -> Vec<(&'static str, f64)> {
+    suite(scale, shards, live)
         .into_iter()
         .map(|(name, exp)| {
             let t0 = Instant::now();
@@ -171,8 +198,8 @@ fn main() {
             "=== Sirius paper reproduction, {scale:?} scale: timing serial vs --jobs {} ===",
             cli.jobs
         );
-        let serial = run_suite(scale, 1, cli.shards);
-        let parallel = run_suite(scale, cli.jobs, cli.shards);
+        let serial = run_suite(scale, 1, cli.shards, cli.live);
+        let parallel = run_suite(scale, cli.jobs, cli.shards, cli.live);
         let report = WallReport {
             scale,
             jobs: cli.jobs,
@@ -205,7 +232,7 @@ fn main() {
             "=== Sirius paper reproduction, {scale:?} scale, --jobs {} ===",
             cli.jobs
         );
-        run_suite(scale, cli.jobs, cli.shards);
+        run_suite(scale, cli.jobs, cli.shards, cli.live);
         eprintln!("=== done; CSVs under results/ ===");
     }
 }

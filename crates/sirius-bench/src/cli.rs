@@ -10,7 +10,10 @@
 //!   run (default: the simulator's own `SIRIUS_SHARDS`-or-1 default;
 //!   sharded runs are digest-identical to `--shards 1`);
 //! * `--timing` — `xp` only: run the suite serially and in parallel and
-//!   emit `results/BENCH_xp_wall.json`.
+//!   emit `results/BENCH_xp_wall.json`;
+//! * `--live` — `xp` only: also run the live-process sync measurement
+//!   (spawns real `sirius-sync-node` processes over UDP loopback; off by
+//!   default so `xp` stays deterministic and machine-independent).
 //!
 //! Unknown `--flags` are an error (a typo'd `--job 4` silently running a
 //! serial sweep would be worse); bare operands are collected into
@@ -57,6 +60,8 @@ pub struct Cli {
     pub shards: Option<usize>,
     /// `xp --timing`: measure serial vs parallel wall-clock.
     pub timing: bool,
+    /// `xp --live`: include the live-process sync measurement.
+    pub live: bool,
     /// Positional (non-flag) arguments, in order.
     pub rest: Vec<String>,
 }
@@ -69,7 +74,7 @@ impl Cli {
             Err(e) => {
                 eprintln!("error: {e}");
                 eprintln!(
-                    "usage: [--full|--quick|--smoke] [--jobs N] [--shards N] [--timing] [args...]"
+                    "usage: [--full|--quick|--smoke] [--jobs N] [--shards N] [--timing] [--live] [args...]"
                 );
                 std::process::exit(2);
             }
@@ -84,6 +89,7 @@ impl Cli {
             jobs: 0,
             shards: None,
             timing: false,
+            live: false,
             rest: Vec::new(),
         };
         let mut scale_flag: Option<&str> = None;
@@ -103,6 +109,7 @@ impl Cli {
                 "--quick" => set_scale("--quick", Scale::Quick)?,
                 "--smoke" => set_scale("--smoke", Scale::Smoke)?,
                 "--timing" => cli.timing = true,
+                "--live" => cli.live = true,
                 "--jobs" => {
                     let v = args.next().ok_or("--jobs needs a worker count")?;
                     cli.jobs = parse_jobs(&v)?;
@@ -178,6 +185,7 @@ mod tests {
         assert!(cli.jobs >= 1);
         assert_eq!(cli.shards, None, "absent --shards must not override");
         assert!(!cli.timing);
+        assert!(!cli.live);
         assert!(cli.rest.is_empty());
     }
 
@@ -199,6 +207,7 @@ mod tests {
         assert_eq!(cli.rest, vec!["75".to_string()]);
         let cli = parse(&["--jobs=2", "--smoke", "--timing"]).unwrap();
         assert_eq!((cli.scale, cli.jobs, cli.timing), (Scale::Smoke, 2, true));
+        assert!(parse(&["--live"]).unwrap().live);
         // Repeating the same scale flag is harmless.
         assert!(parse(&["--smoke", "--smoke"]).is_ok());
     }

@@ -13,6 +13,7 @@ pub mod fig6;
 pub mod fig8;
 pub mod fig9;
 pub mod granularity;
+pub mod live_sync;
 pub mod relay_burst;
 pub mod repair_granularity;
 pub mod scale_series;

@@ -13,6 +13,11 @@
 //!   pair of points — the smoking gun for an accidental O(flows) or
 //!   O(N²·slots) structure creeping back in.
 //!
+//! Each point also reports p50/p99 FCT from the engine's streaming
+//! histogram ([`sirius_sim::FctHistogram`]) — flow records are evicted
+//! on completion, so a log-bucketed O(1)-memory fold at eviction time is
+//! the only FCT signal a memory-bounded run can keep.
+//!
 //! Points run ascending so the process-monotonic `VmHWM` reading after
 //! each point is an honest upper bound for that point. The JSON artifact
 //! (`results/BENCH_scale_series.json`) carries the gate verdicts so
@@ -126,6 +131,14 @@ pub struct ScalePoint {
     pub resident_flows_max: u64,
     /// Flows that completed before the drain cutoff.
     pub completed: u64,
+    /// Median FCT in µs from the engine's streaming histogram
+    /// ([`sirius_sim::FctHistogram`]: log2 buckets, ±√2 resolution,
+    /// O(1) memory — no per-flow records survive a streaming run to
+    /// sort exactly). `None` when nothing completed.
+    pub fct_p50_us: Option<f64>,
+    /// 99th-percentile FCT in µs, same source and caveats as
+    /// [`fct_p50_us`](ScalePoint::fct_p50_us).
+    pub fct_p99_us: Option<f64>,
     pub digest: u64,
 }
 
@@ -211,6 +224,16 @@ pub fn run_point(geom: ScaleGeom, seed: u64, shards: usize) -> ScalePoint {
         peak_rss_bytes: peak_rss_bytes(),
         resident_flows_max: m.resident_flows_max,
         completed: geom.flows - m.incomplete_flows,
+        fct_p50_us: m
+            .fct_hist
+            .as_ref()
+            .and_then(|h| h.percentile_ps(50.0))
+            .map(|ps| ps / 1e6),
+        fct_p99_us: m
+            .fct_hist
+            .as_ref()
+            .and_then(|h| h.percentile_ps(99.0))
+            .map(|ps| ps / 1e6),
         digest: m.digest,
     }
 }
@@ -282,9 +305,12 @@ pub fn table(points: &[ScalePoint]) -> Table {
             "resident_max",
             "resident_bound",
             "completed",
+            "fct_p50_us",
+            "fct_p99_us",
             "digest",
         ],
     );
+    let us = |v: Option<f64>| v.map(|x| f(x, 1)).unwrap_or_else(|| "n/a".into());
     for p in points {
         t.row(vec![
             p.nodes.to_string(),
@@ -301,6 +327,8 @@ pub fn table(points: &[ScalePoint]) -> Table {
             p.resident_flows_max.to_string(),
             p.resident_bound().to_string(),
             p.completed.to_string(),
+            us(p.fct_p50_us),
+            us(p.fct_p99_us),
             format!("{:016x}", p.digest),
         ]);
     }
@@ -335,11 +363,18 @@ pub fn to_json(points: &[ScalePoint], scale: Scale, jobs: usize) -> String {
             .peak_rss_bytes
             .map(|b| b.to_string())
             .unwrap_or_else(|| "null".into());
+        // Null-safe FCT columns: finite numbers or `null`, never NaN.
+        let us = |v: Option<f64>| {
+            v.filter(|x| x.is_finite())
+                .map(|x| format!("{x:.3}"))
+                .unwrap_or_else(|| "null".into())
+        };
         out.push_str(&format!(
             "    {{\"nodes\": {}, \"grating\": {}, \"flows\": {}, \"shards\": {}, \
              \"cells\": {}, \"epochs\": {}, \"wall_secs\": {:.4}, \"cells_per_sec\": {:.0}, \
              \"cells_per_sec_per_core\": {:.0}, \"peak_rss_bytes\": {}, \
              \"resident_flows_max\": {}, \"resident_bound\": {}, \"completed\": {}, \
+             \"fct_p50_us\": {}, \"fct_p99_us\": {}, \
              \"digest\": \"{:016x}\"}}{}\n",
             p.nodes,
             p.grating,
@@ -354,6 +389,8 @@ pub fn to_json(points: &[ScalePoint], scale: Scale, jobs: usize) -> String {
             p.resident_flows_max,
             p.resident_bound(),
             p.completed,
+            us(p.fct_p50_us),
+            us(p.fct_p99_us),
             p.digest,
             if i + 1 == points.len() { "" } else { "," }
         ));
@@ -404,6 +441,11 @@ mod tests {
             "resident gate failed: {}",
             p.resident_flows_max
         );
+        // Streaming runs must still answer FCT percentiles — that is
+        // the histogram's whole reason to exist (no records survive).
+        let (p50, p99) = (p.fct_p50_us.unwrap(), p.fct_p99_us.unwrap());
+        assert!(p50 > 0.0 && p50.is_finite(), "p50 = {p50}");
+        assert!(p99 >= p50, "p99 {p99} < p50 {p50}");
         assert_eq!(table(&pts).len(), 1);
     }
 
@@ -462,6 +504,8 @@ mod tests {
             peak_rss_bytes: rss,
             resident_flows_max: resident,
             completed: flows,
+            fct_p50_us: Some(12.5),
+            fct_p99_us: None,
             digest: 0xabcd,
         };
         // Sub-linear: flows 8x, rss 2x.
@@ -474,6 +518,8 @@ mod tests {
         assert!(j.contains("\"peak_rss_bytes\": 1048576"));
         assert!(j.contains("\"resident_flows_max\": 20"));
         assert!(j.contains("\"cells_per_sec_per_core\": 2000"));
+        assert!(j.contains("\"fct_p50_us\": 12.500"));
+        assert!(j.contains("\"fct_p99_us\": null"));
         assert!(j.contains("\"digest\": \"000000000000abcd\""));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
 

@@ -23,6 +23,7 @@
 //! | Fig 13 | `fig13` | [`experiments::fig13`] |
 //! | §3.2/§4.5 tuning tables | `tuning` | [`experiments::tuning`] |
 //! | §6 sync measurement | `sync_xp` | [`experiments::sync`] |
+//! | §6 sync, live UDP processes | `live_sync` | [`experiments::live_sync`] |
 //! | CC on/ideal/off ablation | `ablation` | [`experiments::ablation`] |
 //! | §4.5 fault tolerance | `fault_tolerance` | [`experiments::fault_tolerance`] |
 //! | RELAY_BURST sensitivity | `relay_burst` | [`experiments::relay_burst`] |

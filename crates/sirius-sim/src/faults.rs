@@ -31,6 +31,16 @@
 //!   dead_outputs_for_chip`]), so the blast radius is a *correlated set
 //!   of TX columns*: one column each on several distinct nodes of the
 //!   group, all on the same uplink.
+//! * **Laser-bank drift** ([`FaultEvent::BankDrift`]) — the slow-failure
+//!   sibling of a bank failure: an SOA chip's gain decays over a scripted
+//!   window, ramping the receive power (and with it the post-FEC cell
+//!   drop probability, via the same BER model as
+//!   [`FaultInjector::grey_link_from_ber`]) from healthy to its final
+//!   value. The AWGR route relation expands the chip's channel band into
+//!   a *correlated set of grey columns whose erasure probability rises
+//!   together* — the hard detection case: early in the ramp the columns
+//!   still deliver most slots, so silence-based suspicion necessarily
+//!   lags the ground-truth onset.
 //! * **AWGR grating fault** ([`FaultEvent::GratingFault`]) — a damaged
 //!   grating band kills an input-port range of the (group, uplink) AWGR
 //!   outright: those nodes' TX columns on that uplink go dark.
@@ -107,6 +117,28 @@ pub enum FaultEvent {
         from: u64,
         until: u64,
     },
+    /// Correlated domain, slow version: SOA chip `chip` of the bank
+    /// feeding `(group, uplink)` *ages* during `[from, until)` — its
+    /// receive power ramps linearly from `rx_dbm_from` (healthy) to
+    /// `rx_dbm_to` (degraded), and the BER→FEC model turns each epoch's
+    /// power into that epoch's per-cell drop probability on every TX
+    /// column the chip's channels feed. Unlike [`FaultEvent::BankFailure`]
+    /// the columns stay *partially* alive, so detection latency is a
+    /// property of the ramp, not of the silence threshold alone.
+    BankDrift {
+        group: u16,
+        uplink: u16,
+        chip: u16,
+        chip_capacity: u16,
+        /// Receive power at `from`, dBm (typically healthy).
+        rx_dbm_from: f64,
+        /// Receive power reached at `until`, dBm.
+        rx_dbm_to: f64,
+        modulation: Modulation,
+        cell_bytes: u32,
+        from: u64,
+        until: u64,
+    },
     /// Correlated domain: the input-port band `[port_lo, port_hi)` of the
     /// `(group, uplink)` AWGR is destroyed during `[from, until)` — the
     /// TX columns of those nodes on `uplink` go dark fleet-visible.
@@ -141,6 +173,7 @@ impl FaultEvent {
             FaultEvent::Mistune { .. } => "Mistune",
             FaultEvent::ControlLoss { .. } => "ControlLoss",
             FaultEvent::BankFailure { .. } => "BankFailure",
+            FaultEvent::BankDrift { .. } => "BankDrift",
             FaultEvent::GratingFault { .. } => "GratingFault",
             FaultEvent::Byzantine { .. } => "Byzantine",
         }
@@ -454,6 +487,44 @@ impl FaultInjector {
         self
     }
 
+    /// Age SOA chip `chip` of the `(group, uplink)` bank over
+    /// `[from, until)`: receive power ramps linearly `rx_dbm_from` →
+    /// `rx_dbm_to`, and every TX column the chip feeds greys out together
+    /// with the BER-derived per-epoch drop probability.
+    #[allow(clippy::too_many_arguments)]
+    pub fn bank_drift(
+        mut self,
+        group: u16,
+        uplink: u16,
+        chip: u16,
+        chip_capacity: u16,
+        rx_dbm_from: f64,
+        rx_dbm_to: f64,
+        modulation: Modulation,
+        cell_bytes: u32,
+        from: u64,
+        until: u64,
+    ) -> Self {
+        assert!(chip_capacity > 0, "a chip holds at least one channel");
+        assert!(
+            rx_dbm_from.is_finite() && rx_dbm_to.is_finite(),
+            "drift endpoints must be finite powers"
+        );
+        self.events.push(FaultEvent::BankDrift {
+            group,
+            uplink,
+            chip,
+            chip_capacity,
+            rx_dbm_from,
+            rx_dbm_to,
+            modulation,
+            cell_bytes,
+            from,
+            until,
+        });
+        self
+    }
+
     /// Destroy the input-port band `[port_lo, port_hi)` of the
     /// `(group, uplink)` AWGR for `[from, until)`.
     #[allow(clippy::too_many_arguments)]
@@ -518,6 +589,7 @@ impl FaultInjector {
                 FaultEvent::GreyLink { .. }
                     | FaultEvent::Mistune { .. }
                     | FaultEvent::BankFailure { .. }
+                    | FaultEvent::BankDrift { .. }
                     | FaultEvent::GratingFault { .. }
             )
         })
@@ -635,6 +707,15 @@ impl FaultInjector {
                     chip_capacity,
                     from,
                     until,
+                }
+                | FaultEvent::BankDrift {
+                    group,
+                    uplink,
+                    chip,
+                    chip_capacity,
+                    from,
+                    until,
+                    ..
                 } => {
                     check_window(ev, from, until)?;
                     check_group(ev, group)?;
@@ -838,6 +919,41 @@ impl FaultInjector {
                         kill_column(out, node, uplink);
                     }
                 }
+                FaultEvent::BankDrift {
+                    group,
+                    uplink,
+                    chip,
+                    chip_capacity,
+                    rx_dbm_from,
+                    rx_dbm_to,
+                    modulation,
+                    cell_bytes,
+                    from,
+                    until,
+                } if (from..until).contains(&epoch) => {
+                    // Linear power ramp across the window; the BER/FEC
+                    // stack turns this epoch's power into this epoch's
+                    // per-cell drop probability, compounded into the
+                    // accumulator like any other grey source.
+                    let t = (epoch - from) as f64 / (until - from) as f64;
+                    let rx_dbm = rx_dbm_from + (rx_dbm_to - rx_dbm_from) * t;
+                    let p = cell_drop_probability(rx_dbm, modulation, cell_bytes);
+                    if p > 0.0 {
+                        let awgr = Awgr::new(group_size as u16);
+                        let input = uplink % group_size as u16;
+                        for port in awgr.dead_outputs_for_chip(input, chip, chip_capacity) {
+                            let node = group as usize * group_size + port as usize;
+                            if node >= n {
+                                continue;
+                            }
+                            if out.grey.is_empty() {
+                                out.grey.resize(n * uplinks, 0.0);
+                            }
+                            let idx = node * uplinks + uplink as usize;
+                            out.grey[idx] += p - out.grey[idx] * p;
+                        }
+                    }
+                }
                 FaultEvent::GratingFault {
                     group,
                     uplink,
@@ -891,6 +1007,7 @@ impl FaultInjector {
                 | FaultEvent::Mistune { until, .. }
                 | FaultEvent::ControlLoss { until, .. }
                 | FaultEvent::BankFailure { until, .. }
+                | FaultEvent::BankDrift { until, .. }
                 | FaultEvent::GratingFault { until, .. }
                 | FaultEvent::Byzantine { until, .. } => until,
             })
@@ -978,6 +1095,105 @@ mod tests {
         }
         inj.refresh(20, 16, 2, 4, &mut af);
         assert!(!af.any_grey(), "window closed");
+    }
+
+    #[test]
+    fn bank_drift_ramps_its_column_set_together() {
+        // Same geometry as the bank-failure test: chip 0 (capacity 2) of
+        // (group 1, uplink 1) feeds nodes 5 and 6 on column 1. Power
+        // drifts from healthy (-4 dBm) to dead (-20 dBm) over epochs
+        // [100, 200): drop probability must start negligible, rise
+        // monotonically, be identical across the blast radius, and stay
+        // zero everywhere else.
+        let inj = FaultInjector::new(1).bank_drift(
+            1,
+            1,
+            0,
+            2,
+            -4.0,
+            -20.0,
+            Modulation::Pam4_50,
+            562,
+            100,
+            200,
+        );
+        assert!(inj.has_link_faults());
+        assert_eq!(inj.horizon(), 200);
+        assert_eq!(inj.validate(16, 2, 4), Ok(()));
+        let mut af = ActiveFaults::default();
+        inj.refresh(99, 16, 2, 4, &mut af);
+        assert!(!af.any_grey(), "ramp must not leak before its window");
+        let mut prev = -1.0;
+        for epoch in [100u64, 130, 160, 190, 199] {
+            inj.refresh(epoch, 16, 2, 4, &mut af);
+            let p5 = af.grey_prob(NodeId(5), 1, 2);
+            let p6 = af.grey_prob(NodeId(6), 1, 2);
+            assert_eq!(p5, p6, "chip-fed columns must degrade together");
+            assert!(p5 >= prev, "ramp went backwards at epoch {epoch}");
+            prev = p5;
+            assert_eq!(af.grey_prob(NodeId(5), 0, 2), 0.0, "wrong column");
+            assert_eq!(af.grey_prob(NodeId(4), 1, 2), 0.0, "wrong node");
+        }
+        inj.refresh(100, 16, 2, 4, &mut af);
+        assert!(
+            af.grey_prob(NodeId(5), 1, 2) < 1e-6,
+            "healthy end of the ramp already lossy"
+        );
+        assert!(prev > 0.99, "degraded end of the ramp not near-dead");
+        inj.refresh(200, 16, 2, 4, &mut af);
+        assert!(!af.any_grey(), "window closed");
+    }
+
+    #[test]
+    fn bank_drift_validation_reuses_the_bank_domain_checks() {
+        let bad_group = FaultInjector::new(1).bank_drift(
+            4,
+            0,
+            0,
+            2,
+            -4.0,
+            -20.0,
+            Modulation::Pam4_50,
+            562,
+            0,
+            10,
+        );
+        assert!(matches!(
+            bad_group.validate(16, 2, 4).unwrap_err(),
+            FaultScriptError::GroupOutOfRange { group: 4, .. }
+        ));
+        let bad_chip = FaultInjector::new(1).bank_drift(
+            0,
+            0,
+            2,
+            2,
+            -4.0,
+            -20.0,
+            Modulation::Pam4_50,
+            562,
+            0,
+            10,
+        );
+        assert!(matches!(
+            bad_chip.validate(16, 2, 4).unwrap_err(),
+            FaultScriptError::ChipOutOfRange { chip: 2, chips: 2 }
+        ));
+        let inverted = FaultInjector::new(1).bank_drift(
+            0,
+            0,
+            0,
+            2,
+            -4.0,
+            -20.0,
+            Modulation::Pam4_50,
+            562,
+            20,
+            10,
+        );
+        assert!(matches!(
+            inverted.validate(16, 2, 4).unwrap_err(),
+            FaultScriptError::InvertedWindow { .. }
+        ));
     }
 
     #[test]

@@ -153,6 +153,111 @@ impl FaultReport {
     }
 }
 
+/// Streaming flow-completion-time histogram: power-of-two buckets over
+/// picoseconds, O(1) memory regardless of flow count. Bucket `b` counts
+/// FCTs in `[2^b, 2^(b+1))` ps (bucket 0 also absorbs zero). Percentile
+/// queries answer with the bucket's geometric midpoint clamped into the
+/// exactly-tracked `[min, max]` envelope, so they carry at most a
+/// factor-of-√2 relative error — sufficient for the scale series'
+/// order-of-magnitude FCT columns, while `min`/`max`/`mean` stay exact.
+///
+/// The slice path ([`RunMetrics::fct_percentile`]) keeps every
+/// [`FlowRecord`] and sorts for exact percentiles; the streaming path
+/// evicts flow state at completion, so this histogram is the only FCT
+/// signal that survives a memory-bounded run.
+#[derive(Debug, Clone)]
+pub struct FctHistogram {
+    counts: [u64; 64],
+    total: u64,
+    sum_ps: u128,
+    min_ps: u64,
+    max_ps: u64,
+}
+
+impl Default for FctHistogram {
+    fn default() -> FctHistogram {
+        FctHistogram {
+            counts: [0; 64],
+            total: 0,
+            sum_ps: 0,
+            min_ps: u64::MAX,
+            max_ps: 0,
+        }
+    }
+}
+
+impl FctHistogram {
+    /// Fold one completed flow's FCT in (O(1) time and memory).
+    pub fn record(&mut self, fct: Duration) {
+        let ps = fct.as_ps();
+        let b = 63u32.saturating_sub(ps.leading_zeros()) as usize;
+        self.counts[b] += 1;
+        self.total += 1;
+        self.sum_ps += ps as u128;
+        self.min_ps = self.min_ps.min(ps);
+        self.max_ps = self.max_ps.max(ps);
+    }
+
+    /// Flows recorded so far.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// p-th percentile (0..=100) of recorded FCTs in picoseconds
+    /// (nearest-rank over buckets; ±√2 bucket resolution). `None` when
+    /// empty.
+    pub fn percentile_ps(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p));
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0 * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let mid = (1u64 << b) as f64 * std::f64::consts::SQRT_2;
+                return Some(mid.clamp(self.min_ps as f64, self.max_ps as f64));
+            }
+        }
+        unreachable!("rank is clamped to the recorded total");
+    }
+
+    /// Exact mean FCT in picoseconds (`None` when empty).
+    pub fn mean_ps(&self) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        Some(self.sum_ps as f64 / self.total as f64)
+    }
+
+    /// Exact smallest recorded FCT.
+    pub fn min(&self) -> Option<Duration> {
+        (self.total > 0).then(|| Duration::from_ps(self.min_ps))
+    }
+
+    /// Exact largest recorded FCT.
+    pub fn max(&self) -> Option<Duration> {
+        (self.total > 0).then(|| Duration::from_ps(self.max_ps))
+    }
+
+    /// Fold another histogram in (bucket-wise; envelope and mean stay
+    /// exact).
+    pub fn merge(&mut self, other: &FctHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_ps += other.sum_ps;
+        self.min_ps = self.min_ps.min(other.min_ps);
+        self.max_ps = self.max_ps.max(other.max_ps);
+    }
+}
+
 /// Aggregated results of one simulation run.
 #[derive(Debug, Clone)]
 pub struct RunMetrics {
@@ -201,6 +306,16 @@ pub struct RunMetrics {
     pub cells_delivered: u64,
     /// Schedule epochs the run simulated (slot count / slots per epoch).
     pub epochs_simulated: u64,
+    /// Streaming FCT histogram over every completed flow, folded at
+    /// eviction time. Present on streaming runs
+    /// ([`crate::SiriusSim::run_streaming`]), where per-flow records are
+    /// evicted and [`fct_percentile`] has nothing to sort; `None` on
+    /// slice runs, which keep full [`flows`] records for exact
+    /// percentiles.
+    ///
+    /// [`fct_percentile`]: RunMetrics::fct_percentile
+    /// [`flows`]: RunMetrics::flows
+    pub fct_hist: Option<FctHistogram>,
 }
 
 impl RunMetrics {
@@ -370,6 +485,7 @@ mod tests {
             wall_secs: 0.0,
             cells_delivered: 0,
             epochs_simulated: 0,
+            fct_hist: None,
         };
         let p99 = m.fct_percentile(99.0, 100_000).unwrap();
         assert_eq!(p99, Duration::from_ns(20));
@@ -396,6 +512,7 @@ mod tests {
             wall_secs: 0.5,
             cells_delivered: 1_000_000,
             epochs_simulated: 40_000,
+            fct_hist: None,
         };
         // 1 Gbit in 1 ms = 1 Tbps; with 100 servers at 10 Gbps = 1 Tbps
         // aggregate, normalized goodput = 1.0.
@@ -412,5 +529,81 @@ mod tests {
         let v = vec![5.0, 1.0, 3.0, 2.0, 4.0];
         assert_eq!(percentile_f64(&v, 50.0), 3.0);
         assert_eq!(percentile_f64(&v, 100.0), 5.0);
+    }
+
+    #[test]
+    fn fct_histogram_empty_answers_none() {
+        let h = FctHistogram::default();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile_ps(50.0), None);
+        assert_eq!(h.mean_ps(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    fn fct_histogram_single_value_is_exact() {
+        // With one sample the min/max envelope collapses the bucket
+        // midpoint to the exact value.
+        let mut h = FctHistogram::default();
+        h.record(Duration::from_ns(1_234));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.percentile_ps(50.0), Some(1_234_000.0));
+        assert_eq!(h.percentile_ps(99.0), Some(1_234_000.0));
+        assert_eq!(h.mean_ps(), Some(1_234_000.0));
+        assert_eq!(h.min(), Some(Duration::from_ns(1_234)));
+        assert_eq!(h.max(), Some(Duration::from_ns(1_234)));
+    }
+
+    #[test]
+    fn fct_histogram_percentiles_within_bucket_resolution() {
+        // Against the exact sorted percentile: log2 buckets promise at
+        // most a factor-of-2 error; the geometric midpoint halves that
+        // to √2 on either side.
+        let mut h = FctHistogram::default();
+        let mut exact: Vec<u64> = Vec::new();
+        let mut x = 1_000u64; // ps
+        for i in 0..500 {
+            let v = x + i * 37;
+            h.record(Duration::from_ps(v));
+            exact.push(v);
+            if i % 50 == 0 {
+                x *= 3; // spread across many buckets
+            }
+        }
+        exact.sort_unstable();
+        for p in [50.0, 90.0, 99.0] {
+            let approx = h.percentile_ps(p).unwrap();
+            let truth = exact[percentile_index(exact.len(), p)] as f64;
+            let ratio = approx / truth;
+            assert!(
+                (0.5..=2.0).contains(&ratio),
+                "p{p}: approx {approx} vs exact {truth} (ratio {ratio})"
+            );
+        }
+        // The envelope stays exact regardless of bucketing.
+        assert_eq!(h.min().unwrap().as_ps(), exact[0]);
+        assert_eq!(h.max().unwrap().as_ps(), *exact.last().unwrap());
+        let mean = exact.iter().sum::<u64>() as f64 / exact.len() as f64;
+        assert!((h.mean_ps().unwrap() - mean).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fct_histogram_handles_extremes_and_merges() {
+        let mut h = FctHistogram::default();
+        h.record(Duration::ZERO); // bucket 0, no panic
+        h.record(Duration::from_ps(u64::MAX)); // top bucket, no overflow
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), Some(Duration::ZERO));
+        assert_eq!(h.max(), Some(Duration::from_ps(u64::MAX)));
+        let mut other = FctHistogram::default();
+        other.record(Duration::from_ns(5));
+        other.merge(&h);
+        assert_eq!(other.count(), 3);
+        assert_eq!(other.min(), Some(Duration::ZERO));
+        assert_eq!(other.max(), Some(Duration::from_ps(u64::MAX)));
+        // p50 of {0, 5ns, MAX} lands in the 5ns sample's bucket.
+        let p50 = other.percentile_ps(50.0).unwrap();
+        assert!((2_500.0..=10_000.0).contains(&p50), "p50 = {p50}");
     }
 }

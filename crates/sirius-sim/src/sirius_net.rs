@@ -36,7 +36,7 @@ use crate::engine::{
     TxPlane,
 };
 use crate::faults::{FaultEvent, FaultInjector};
-use crate::metrics::{FlowRecord, RunMetrics};
+use crate::metrics::{FctHistogram, FlowRecord, RunMetrics};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sirius_core::cell::{Cell, FlowId};
@@ -462,6 +462,10 @@ pub struct SiriusSim {
     /// serial phases (epoch boundary, ring drain), so sharded and serial
     /// streaming runs fold identically.
     pub(crate) stream_fold: RunDigest,
+    /// O(1)-memory FCT histogram folded alongside [`SiriusSim::stream_fold`]
+    /// at eviction time. Metrics-only: it never feeds the run digest, so
+    /// streaming digests stay byte-identical to before it existed.
+    pub(crate) fct_hist: FctHistogram,
     payload: u32,
     epoch_credit_bytes: i64,
 }
@@ -547,6 +551,7 @@ impl SiriusSim {
             fault_scratch: Default::default(),
             evict_completed: false,
             stream_fold: RunDigest::new(),
+            fct_hist: FctHistogram::default(),
             payload,
             epoch_credit_bytes,
             cfg,
@@ -660,9 +665,12 @@ impl SiriusSim {
                             .declare_window(LossCause::Mistune, node, from, until);
                     }
                     // Correlated domains expand to per-node grey columns
-                    // (p = 1.0), so the audit windows are Grey windows on
+                    // (p = 1.0 for an outright failure, a rising ramp for
+                    // a drift), so the audit windows are Grey windows on
                     // every node in the blast radius — same mapping as
-                    // `FaultInjector::refresh`.
+                    // `FaultInjector::refresh`. A drift's window covers
+                    // the whole ramp: losses during the early (barely
+                    // degraded) phase are legitimate grey losses too.
                     FaultEvent::BankFailure {
                         group,
                         uplink,
@@ -670,6 +678,15 @@ impl SiriusSim {
                         chip_capacity,
                         from,
                         until,
+                    }
+                    | FaultEvent::BankDrift {
+                        group,
+                        uplink,
+                        chip,
+                        chip_capacity,
+                        from,
+                        until,
+                        ..
                     } => {
                         let g = self.cfg.network.grating_ports;
                         let awgr = Awgr::new(g as u16);
@@ -803,6 +820,9 @@ impl SiriusSim {
                 .map(|c| c.since(Time::ZERO).as_ps())
                 .unwrap_or(u64::MAX),
         );
+        if let Some(c) = f.completion {
+            self.fct_hist.record(c.since(f.arrival));
+        }
         self.flows.evict(fi);
     }
 
@@ -1122,6 +1142,11 @@ impl SiriusSim {
             wall_secs,
             cells_delivered: self.delivery.cells_delivered,
             epochs_simulated: epochs,
+            fct_hist: if self.evict_completed {
+                Some(self.fct_hist)
+            } else {
+                None
+            },
         }
     }
 }

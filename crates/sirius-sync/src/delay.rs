@@ -52,6 +52,15 @@ impl DelayEstimator {
         self.samples += 1;
     }
 
+    /// Record one *measured* round-trip, ps — the live-transport flavor
+    /// of [`DelayEstimator::record`]: a real RTT (e.g. a
+    /// `DelayRequest`/`DelayResponse` echo over UDP) already contains
+    /// its own timestamping noise, so nothing is synthesized.
+    pub fn record_rtt_ps(&mut self, rtt_ps: f64) {
+        self.sum_rtt_ps += rtt_ps;
+        self.samples += 1;
+    }
+
     /// Current estimate of the one-way delay.
     pub fn estimate(&self) -> Option<Duration> {
         if self.samples == 0 {
@@ -160,5 +169,16 @@ mod tests {
     #[test]
     fn no_samples_no_estimate() {
         assert!(DelayEstimator::new().estimate().is_none());
+    }
+
+    #[test]
+    fn measured_rtts_average_like_synthesized_ones() {
+        let mut est = DelayEstimator::new();
+        // Three real 100 us RTTs with asymmetric jitter.
+        for rtt in [1.0e8, 1.1e8, 0.9e8] {
+            est.record_rtt_ps(rtt);
+        }
+        assert_eq!(est.samples(), 3);
+        assert_eq!(est.estimate().unwrap(), Duration::from_ps(50_000_000));
     }
 }

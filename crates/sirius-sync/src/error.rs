@@ -1,0 +1,124 @@
+//! Typed transport/protocol error taxonomy.
+//!
+//! The pre-seam `sync_sim` had no failure surface at all: the in-memory
+//! "network" could not time out, duplicate, or reorder, so every fault
+//! mode was either impossible or a panic. Real transports (UDP/loopback,
+//! and eventually the datacenter fabric) exhibit all of them, and the
+//! protocol core has to *classify* what it saw — a stale beacon is
+//! counted and dropped, a timeout forfeits one PLL update, a wrong-leader
+//! beacon is evidence of a schedule split. Each variant therefore carries
+//! enough context to act on, not just a message string.
+
+use std::fmt;
+
+/// Everything that can go wrong between a [`crate::engine::SyncEngine`]
+/// and its peers. `Io` carries the formatted OS error (not
+/// `std::io::Error`) so the taxonomy stays `Clone + PartialEq` and
+/// cheap to count in per-node statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SyncError {
+    /// Nothing usable arrived before the receive deadline.
+    Timeout {
+        /// How long the caller was prepared to wait, microseconds.
+        waited_us: u64,
+    },
+    /// The beacon expected for `epoch` was never observed (in-sim: the
+    /// leader produced nothing this epoch).
+    Lost { epoch: u64 },
+    /// A beacon for an epoch that was already applied arrived again
+    /// (UDP duplication, or a rebroadcast).
+    Duplicate { epoch: u64 },
+    /// A beacon older than the newest applied epoch arrived (reordered
+    /// delivery); applying it would drag the PLL backwards.
+    Stale {
+        /// Epoch carried by the late beacon.
+        epoch: u64,
+        /// Newest epoch already applied.
+        newest: u64,
+    },
+    /// The beacon's claimed leader is not who the local
+    /// [`crate::leader::LeaderSchedule`] expects for that epoch — either
+    /// a forged beacon or a split alive-set view.
+    WrongLeader {
+        epoch: u64,
+        claimed: usize,
+        expected: Option<usize>,
+    },
+    /// A peer is known-dead; no point waiting on it.
+    PeerDead { node: usize },
+    /// A datagram that is not a valid wire message (bad magic/version,
+    /// truncated, non-finite phase).
+    Malformed { detail: &'static str },
+    /// Socket-level failure, formatted from the underlying `io::Error`.
+    Io(String),
+}
+
+impl fmt::Display for SyncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyncError::Timeout { waited_us } => {
+                write!(f, "timed out after {waited_us} us waiting for a beacon")
+            }
+            SyncError::Lost { epoch } => write!(f, "beacon for epoch {epoch} was lost"),
+            SyncError::Duplicate { epoch } => {
+                write!(f, "duplicate beacon for already-applied epoch {epoch}")
+            }
+            SyncError::Stale { epoch, newest } => {
+                write!(
+                    f,
+                    "stale beacon for epoch {epoch} (newest applied {newest})"
+                )
+            }
+            SyncError::WrongLeader {
+                epoch,
+                claimed,
+                expected,
+            } => write!(
+                f,
+                "beacon for epoch {epoch} claims leader {claimed}, schedule expects {expected:?}"
+            ),
+            SyncError::PeerDead { node } => write!(f, "peer {node} is marked dead"),
+            SyncError::Malformed { detail } => write!(f, "malformed message: {detail}"),
+            SyncError::Io(e) => write!(f, "transport I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SyncError {}
+
+impl From<std::io::Error> for SyncError {
+    fn from(e: std::io::Error) -> SyncError {
+        SyncError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_context() {
+        let s = SyncError::Stale {
+            epoch: 3,
+            newest: 7,
+        }
+        .to_string();
+        assert!(s.contains('3') && s.contains('7'), "{s}");
+        let s = SyncError::WrongLeader {
+            epoch: 12,
+            claimed: 5,
+            expected: Some(2),
+        }
+        .to_string();
+        assert!(s.contains("claims leader 5"), "{s}");
+    }
+
+    #[test]
+    fn io_errors_convert_and_compare() {
+        let e: SyncError = std::io::Error::new(std::io::ErrorKind::AddrInUse, "busy").into();
+        assert_eq!(e, SyncError::Io("busy".into()));
+        // The taxonomy must be usable as an error trait object.
+        let dynamic: Box<dyn std::error::Error> = Box::new(e);
+        assert!(dynamic.to_string().contains("busy"));
+    }
+}

@@ -1,0 +1,235 @@
+//! Wire format for the sync protocol (§4.4 beacons, §A.2 calibration).
+//!
+//! One fixed 24-byte little-endian layout for every message keeps
+//! encode/decode allocation-free and makes truncation detectable by
+//! length alone:
+//!
+//! ```text
+//! offset  size  field
+//!      0     2  magic   0x5953 ("SY")
+//!      2     1  version (1)
+//!      3     1  kind    (Hello | Go | Beacon | DelayRequest | DelayResponse)
+//!      4     2  node    (sender for Hello/Delay*, leader for Beacon)
+//!      6     2  reserved (0)
+//!      8     8  epoch   (Beacon only; 0 otherwise)
+//!     16     8  payload (Beacon: f64 phase_ps bits; Delay*: nonce)
+//! ```
+//!
+//! In-sim the same [`Beacon`] struct travels through [`crate::transport::
+//! SimTransport`] without serialization; the UDP path round-trips every
+//! message through these bytes, so a decode bug cannot hide behind the
+//! simulator.
+
+use crate::error::SyncError;
+
+/// Fixed size of every encoded message, bytes.
+pub const WIRE_BYTES: usize = 24;
+/// Wire magic: "SY" little-endian.
+pub const MAGIC: u16 = 0x5953;
+/// Wire format version.
+pub const VERSION: u8 = 1;
+
+/// The leader's once-per-epoch phase reference — the cell-embedded clock
+/// of §4.4 reduced to the one number followers consume.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Beacon {
+    /// Node id of the leader that emitted this beacon.
+    pub leader: u16,
+    /// Epoch the beacon describes.
+    pub epoch: u64,
+    /// The leader's clock phase at emission, ps.
+    pub phase_ps: f64,
+}
+
+/// Every message the protocol exchanges.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SyncMsg {
+    /// Barrier: "node `node` is bound and listening".
+    Hello { node: u16 },
+    /// Barrier release from node 0: start the epoch clock now.
+    Go,
+    /// The leader's phase reference for one epoch.
+    Beacon(Beacon),
+    /// RTT calibration probe (§A.2 loopback measurement, process flavor).
+    DelayRequest { node: u16, nonce: u64 },
+    /// Echo of a [`SyncMsg::DelayRequest`], same nonce.
+    DelayResponse { node: u16, nonce: u64 },
+}
+
+const KIND_HELLO: u8 = 0;
+const KIND_GO: u8 = 1;
+const KIND_BEACON: u8 = 2;
+const KIND_DELAY_REQUEST: u8 = 3;
+const KIND_DELAY_RESPONSE: u8 = 4;
+
+impl SyncMsg {
+    /// Encode into the fixed wire layout.
+    pub fn encode(&self) -> [u8; WIRE_BYTES] {
+        let (kind, node, epoch, payload) = match *self {
+            SyncMsg::Hello { node } => (KIND_HELLO, node, 0, 0),
+            SyncMsg::Go => (KIND_GO, 0, 0, 0),
+            SyncMsg::Beacon(b) => (KIND_BEACON, b.leader, b.epoch, b.phase_ps.to_bits()),
+            SyncMsg::DelayRequest { node, nonce } => (KIND_DELAY_REQUEST, node, 0, nonce),
+            SyncMsg::DelayResponse { node, nonce } => (KIND_DELAY_RESPONSE, node, 0, nonce),
+        };
+        let mut buf = [0u8; WIRE_BYTES];
+        buf[0..2].copy_from_slice(&MAGIC.to_le_bytes());
+        buf[2] = VERSION;
+        buf[3] = kind;
+        buf[4..6].copy_from_slice(&node.to_le_bytes());
+        buf[8..16].copy_from_slice(&epoch.to_le_bytes());
+        buf[16..24].copy_from_slice(&payload.to_le_bytes());
+        buf
+    }
+
+    /// Decode one datagram. Anything that is not exactly a valid message
+    /// is [`SyncError::Malformed`] with a static reason — the caller
+    /// counts and drops, it never panics.
+    pub fn decode(buf: &[u8]) -> Result<SyncMsg, SyncError> {
+        if buf.len() != WIRE_BYTES {
+            return Err(SyncError::Malformed {
+                detail: "wrong length",
+            });
+        }
+        if u16::from_le_bytes([buf[0], buf[1]]) != MAGIC {
+            return Err(SyncError::Malformed {
+                detail: "bad magic",
+            });
+        }
+        if buf[2] != VERSION {
+            return Err(SyncError::Malformed {
+                detail: "unsupported version",
+            });
+        }
+        let node = u16::from_le_bytes([buf[4], buf[5]]);
+        let epoch = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+        let payload = u64::from_le_bytes(buf[16..24].try_into().unwrap());
+        match buf[3] {
+            KIND_HELLO => Ok(SyncMsg::Hello { node }),
+            KIND_GO => Ok(SyncMsg::Go),
+            KIND_BEACON => {
+                let phase_ps = f64::from_bits(payload);
+                if !phase_ps.is_finite() {
+                    return Err(SyncError::Malformed {
+                        detail: "non-finite beacon phase",
+                    });
+                }
+                Ok(SyncMsg::Beacon(Beacon {
+                    leader: node,
+                    epoch,
+                    phase_ps,
+                }))
+            }
+            KIND_DELAY_REQUEST => Ok(SyncMsg::DelayRequest {
+                node,
+                nonce: payload,
+            }),
+            KIND_DELAY_RESPONSE => Ok(SyncMsg::DelayResponse {
+                node,
+                nonce: payload,
+            }),
+            _ => Err(SyncError::Malformed {
+                detail: "unknown kind",
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_roundtrips() {
+        let msgs = [
+            SyncMsg::Hello { node: 7 },
+            SyncMsg::Go,
+            SyncMsg::Beacon(Beacon {
+                leader: 3,
+                epoch: 123_456_789,
+                phase_ps: -41.25,
+            }),
+            SyncMsg::DelayRequest {
+                node: 2,
+                nonce: 0xdead_beef,
+            },
+            SyncMsg::DelayResponse {
+                node: 1,
+                nonce: u64::MAX,
+            },
+        ];
+        for m in msgs {
+            let buf = m.encode();
+            assert_eq!(SyncMsg::decode(&buf), Ok(m), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn beacon_phase_is_bit_exact() {
+        // The follower's PLL consumes the leader's phase verbatim; the
+        // wire must not round it.
+        let phase = 1.0 / 3.0 * 1e7;
+        let b = SyncMsg::Beacon(Beacon {
+            leader: 0,
+            epoch: 1,
+            phase_ps: phase,
+        });
+        match SyncMsg::decode(&b.encode()).unwrap() {
+            SyncMsg::Beacon(d) => assert_eq!(d.phase_ps.to_bits(), phase.to_bits()),
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_datagrams_are_classified_not_panicked() {
+        let good = SyncMsg::Go.encode();
+
+        assert_eq!(
+            SyncMsg::decode(&good[..10]),
+            Err(SyncError::Malformed {
+                detail: "wrong length"
+            })
+        );
+
+        let mut bad_magic = good;
+        bad_magic[0] = 0;
+        assert_eq!(
+            SyncMsg::decode(&bad_magic),
+            Err(SyncError::Malformed {
+                detail: "bad magic"
+            })
+        );
+
+        let mut bad_version = good;
+        bad_version[2] = 9;
+        assert_eq!(
+            SyncMsg::decode(&bad_version),
+            Err(SyncError::Malformed {
+                detail: "unsupported version"
+            })
+        );
+
+        let mut bad_kind = good;
+        bad_kind[3] = 200;
+        assert_eq!(
+            SyncMsg::decode(&bad_kind),
+            Err(SyncError::Malformed {
+                detail: "unknown kind"
+            })
+        );
+
+        let nan_beacon = SyncMsg::Beacon(Beacon {
+            leader: 0,
+            epoch: 0,
+            phase_ps: 0.0,
+        });
+        let mut buf = nan_beacon.encode();
+        buf[16..24].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert_eq!(
+            SyncMsg::decode(&buf),
+            Err(SyncError::Malformed {
+                detail: "non-finite beacon phase"
+            })
+        );
+    }
+}

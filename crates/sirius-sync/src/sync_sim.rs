@@ -7,16 +7,30 @@
 //! every few epochs; failures forfeit turns. We track the maximum pairwise
 //! phase deviation among alive nodes.
 //!
+//! Since the trait-seam refactor this module is only the lockstep
+//! *harness*: it builds one [`SyncEngine`] per node over [`SimTime`] +
+//! [`SimTransport`] and drives them epoch by epoch. [`run`] (fail-stop
+//! injections) and [`run_with_byzantine`] (wandering-oscillator
+//! injections) are parameterizations of the same loop over
+//! [`Disruption`] scripts — the two pre-seam near-duplicate bodies are
+//! gone, and `tests/sync_network.rs` pins that the outputs are
+//! bit-identical to what they produced.
+//!
 //! A real 24 h run is 5.4e10 epochs; the deviation process is stationary
 //! once locked (verified by comparing window maxima), so the harness runs
 //! tens of millions of epochs and reports the stationary maximum — the
 //! quantity the paper's oscilloscope measured.
 
-use crate::clock::{gauss, LocalClock, OscillatorSpec};
+use crate::clock::OscillatorSpec;
+use crate::engine::SyncEngine;
 use crate::leader::LeaderSchedule;
 use crate::pll::Pll;
+use crate::provider::{SharedRng, SimTime, TimeProvider};
+use crate::transport::SimTransport;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Parameters for a synchronization run.
 #[derive(Debug, Clone)]
@@ -62,64 +76,105 @@ pub struct SyncResult {
     pub max_honest_offset_ppm: f64,
 }
 
-/// Run with byzantine injections: `byzantine` lists `(node, epoch)` at
-/// which a node's oscillator starts misbehaving (wild frequency
-/// excursions). The node keeps participating — including taking its
-/// leader turns — so this measures how far a bad clock can drag the
-/// others. With the slew-limited DLL (the default `Pll::paper_tuning`),
-/// followers clamp the correction a byzantine leader can induce (§4.4:
-/// "digitally filter too large frequency variations").
-pub fn run_with_byzantine(
-    cfg: &SyncSimConfig,
-    epochs: u64,
-    byzantine: &[(usize, u64)],
-) -> SyncResult {
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let mut clocks: Vec<LocalClock> = (0..cfg.nodes)
-        .map(|_| LocalClock::new(&mut rng, cfg.oscillator))
+/// One scripted disruption, applied at epoch `at` (inclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disruption {
+    /// Fail-stop: the node's clock freezes, it forfeits leader turns,
+    /// and it leaves the deviation statistics.
+    Fail { node: usize, at: u64 },
+    /// The node's oscillator starts wandering wildly (§4.4 byzantine
+    /// clock failure). It keeps participating — including leading — but
+    /// leaves the *honest* statistics.
+    Byzantine { node: usize, at: u64 },
+}
+
+impl Disruption {
+    fn at(&self) -> u64 {
+        match *self {
+            Disruption::Fail { at, .. } | Disruption::Byzantine { at, .. } => at,
+        }
+    }
+}
+
+/// Run the lockstep cluster with an arbitrary disruption script (must be
+/// sorted by epoch). This is the single epoch loop both [`run`] and
+/// [`run_with_byzantine`] parameterize.
+pub fn run_cluster(cfg: &SyncSimConfig, epochs: u64, events: &[Disruption]) -> SyncResult {
+    let rng: SharedRng = Rc::new(RefCell::new(SmallRng::seed_from_u64(cfg.seed)));
+    let mut engines: Vec<SyncEngine<SimTime>> = (0..cfg.nodes)
+        .map(|i| {
+            SyncEngine::new(
+                i,
+                LeaderSchedule::new(cfg.nodes, cfg.rotation_epochs),
+                cfg.pll,
+                SimTime::new(rng.clone(), cfg.oscillator),
+            )
+        })
         .collect();
-    let leaders = LeaderSchedule::new(cfg.nodes, cfg.rotation_epochs);
-    let mut byz = vec![false; cfg.nodes];
+    let mut transport = SimTransport::new(cfg.detector_noise_ps, rng);
+    // Fail-stop nodes freeze (no advance, no updates); excluded nodes
+    // (failed or byzantine) leave the deviation/offset statistics.
+    let mut failed = vec![false; cfg.nodes];
+    let mut excluded = vec![false; cfg.nodes];
+
+    // Lock-in window: ignore the first 20% (or 5k epochs) for the max.
     let warmup = (epochs / 5).max(5_000.min(epochs / 2));
     let mut max_dev = 0f64;
-    let mut max_offset = 0f64;
     let mut window_max = [0f64; 4];
-    let mut byz_iter = byzantine.iter().peekable();
+    let mut max_offset = 0f64;
+
+    let mut events = events.iter().peekable();
     for e in 0..epochs {
-        while let Some(&&(node, at)) = byz_iter.peek() {
-            if at <= e {
-                clocks[node].byzantine = true;
-                byz[node] = true;
-                byz_iter.next();
-            } else {
+        while let Some(&&d) = events.peek() {
+            if d.at() > e {
                 break;
             }
+            match d {
+                Disruption::Fail { node, .. } => {
+                    for en in engines.iter_mut() {
+                        en.mark_failed(node);
+                    }
+                    failed[node] = true;
+                    excluded[node] = true;
+                }
+                Disruption::Byzantine { node, .. } => {
+                    engines[node].clock_mut().set_byzantine(true);
+                    excluded[node] = true;
+                }
+            }
+            events.next();
         }
-        for c in clocks.iter_mut() {
-            c.advance(&mut rng, cfg.epoch_us);
+        // All live clocks free-run for one epoch — *before* any protocol
+        // step, in node order: the shared-RNG draw order is part of the
+        // bit-identity contract with the pre-seam loop.
+        for (i, en) in engines.iter_mut().enumerate() {
+            if !failed[i] {
+                en.clock_mut().advance(cfg.epoch_us);
+            }
         }
-        if let Some(lead) = leaders.leader_at(e) {
-            let ref_phase = clocks[lead].phase_ps;
-            for (i, clock) in clocks.iter_mut().enumerate() {
-                if i == lead {
+        // The leader broadcasts, then every live follower measures it
+        // and applies one PLL update (again in node order).
+        if let Some(lead) = engines[0].leader_at(e) {
+            engines[lead]
+                .step(e, &mut transport)
+                .expect("sim leader step is infallible");
+            for i in 0..cfg.nodes {
+                if i == lead || failed[i] {
                     continue;
                 }
-                let measured = clock.phase_ps - ref_phase + gauss(&mut rng) * cfg.detector_noise_ps;
-                let (dp, df) = cfg.pll.update(measured);
-                clock.adjust_phase(dp);
-                clock.adjust_frequency(df);
+                engines[i]
+                    .step(e, &mut transport)
+                    .expect("sim follower step is infallible");
             }
         }
         if e >= warmup {
-            // Deviation among the *honest* nodes: the byzantine node is
-            // lost, the question is whether it corrupts the rest.
-            let dev = pairwise_max_dev(&clocks, &byz);
+            let dev = pairwise_max_dev(&engines, &excluded);
             max_dev = max_dev.max(dev);
             let quarter = ((e - warmup) * 4 / (epochs - warmup).max(1)).min(3) as usize;
             window_max[quarter] = window_max[quarter].max(dev);
-            for (i, c) in clocks.iter().enumerate() {
-                if !byz[i] {
-                    max_offset = max_offset.max(c.offset_ppm.abs());
+            for (i, en) in engines.iter().enumerate() {
+                if !excluded[i] {
+                    max_offset = max_offset.max(en.clock().offset_ppm().abs());
                 }
             }
         }
@@ -135,77 +190,40 @@ pub fn run_with_byzantine(
 /// Run the synchronization protocol for `epochs` epochs; `failures` lists
 /// `(node, epoch)` failure injections.
 pub fn run(cfg: &SyncSimConfig, epochs: u64, failures: &[(usize, u64)]) -> SyncResult {
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let mut clocks: Vec<LocalClock> = (0..cfg.nodes)
-        .map(|_| LocalClock::new(&mut rng, cfg.oscillator))
+    let events: Vec<Disruption> = failures
+        .iter()
+        .map(|&(node, at)| Disruption::Fail { node, at })
         .collect();
-    let mut leaders = LeaderSchedule::new(cfg.nodes, cfg.rotation_epochs);
-    let mut failed = vec![false; cfg.nodes];
-
-    // Lock-in window: ignore the first 20% (or 5k epochs) for the max.
-    let warmup = (epochs / 5).max(5_000.min(epochs / 2));
-    let mut max_dev = 0f64;
-    let mut window_max = [0f64; 4];
-
-    let mut max_offset = 0f64;
-    let mut fail_iter = failures.iter().peekable();
-    for e in 0..epochs {
-        while let Some(&&(node, at)) = fail_iter.peek() {
-            if at <= e {
-                leaders.mark_failed(node);
-                failed[node] = true;
-                fail_iter.next();
-            } else {
-                break;
-            }
-        }
-        // All clocks free-run for one epoch.
-        for (i, c) in clocks.iter_mut().enumerate() {
-            if !failed[i] {
-                c.advance(&mut rng, cfg.epoch_us);
-            }
-        }
-        // Followers measure the leader once per epoch and update.
-        if let Some(lead) = leaders.leader_at(e) {
-            let ref_phase = clocks[lead].phase_ps;
-            for i in 0..cfg.nodes {
-                if i == lead || failed[i] {
-                    continue;
-                }
-                let measured =
-                    clocks[i].phase_ps - ref_phase + gauss(&mut rng) * cfg.detector_noise_ps;
-                let (dp, df) = cfg.pll.update(measured);
-                clocks[i].adjust_phase(dp);
-                clocks[i].adjust_frequency(df);
-            }
-        }
-        if e >= warmup {
-            let dev = pairwise_max_dev(&clocks, &failed);
-            max_dev = max_dev.max(dev);
-            let quarter = ((e - warmup) * 4 / (epochs - warmup).max(1)).min(3) as usize;
-            window_max[quarter] = window_max[quarter].max(dev);
-            for (i, c) in clocks.iter().enumerate() {
-                if !failed[i] {
-                    max_offset = max_offset.max(c.offset_ppm.abs());
-                }
-            }
-        }
-    }
-    SyncResult {
-        max_deviation_ps: max_dev,
-        window_max_ps: window_max,
-        epochs,
-        max_honest_offset_ppm: max_offset,
-    }
+    run_cluster(cfg, epochs, &events)
 }
 
-fn pairwise_max_dev(clocks: &[LocalClock], failed: &[bool]) -> f64 {
+/// Run with byzantine injections: `byzantine` lists `(node, epoch)` at
+/// which a node's oscillator starts misbehaving (wild frequency
+/// excursions). The node keeps participating — including taking its
+/// leader turns — so this measures how far a bad clock can drag the
+/// others. With the slew-limited DLL (the default `Pll::paper_tuning`),
+/// followers clamp the correction a byzantine leader can induce (§4.4:
+/// "digitally filter too large frequency variations").
+pub fn run_with_byzantine(
+    cfg: &SyncSimConfig,
+    epochs: u64,
+    byzantine: &[(usize, u64)],
+) -> SyncResult {
+    let events: Vec<Disruption> = byzantine
+        .iter()
+        .map(|&(node, at)| Disruption::Byzantine { node, at })
+        .collect();
+    run_cluster(cfg, epochs, &events)
+}
+
+fn pairwise_max_dev(engines: &[SyncEngine<SimTime>], excluded: &[bool]) -> f64 {
     let mut min = f64::INFINITY;
     let mut max = f64::NEG_INFINITY;
-    for (c, &f) in clocks.iter().zip(failed) {
-        if !f {
-            min = min.min(c.phase_ps);
-            max = max.max(c.phase_ps);
+    for (en, &x) in engines.iter().zip(excluded) {
+        if !x {
+            let p = en.clock().phase_ps();
+            min = min.min(p);
+            max = max.max(p);
         }
     }
     if min.is_finite() {
@@ -317,6 +335,28 @@ mod tests {
         assert!(
             r.max_deviation_ps > 1000.0,
             "free-running deviation only {} ps",
+            r.max_deviation_ps
+        );
+    }
+
+    #[test]
+    fn mixed_disruption_script_runs() {
+        // The unified loop accepts interleaved fail + byzantine events —
+        // something neither pre-seam entry point could express.
+        let r = run_cluster(
+            &SyncSimConfig::paper(8),
+            40_000,
+            &[
+                Disruption::Byzantine { node: 2, at: 8_000 },
+                Disruption::Fail {
+                    node: 0,
+                    at: 16_000,
+                },
+            ],
+        );
+        assert!(
+            r.max_deviation_ps < 50.0,
+            "honest deviation {} ps under mixed disruptions",
             r.max_deviation_ps
         );
     }

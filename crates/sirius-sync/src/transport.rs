@@ -1,0 +1,491 @@
+//! The network seam: one trait the protocol core sends/receives through,
+//! two backends.
+//!
+//! [`SimTransport`] is the in-memory single-epoch beacon bus the lockstep
+//! simulation uses; its "detector noise" correction draws from the same
+//! shared RNG stream as the simulated clocks, preserving the pre-seam
+//! draw order bit-for-bit. [`UdpTransport`] moves the same
+//! [`SyncMsg`] bytes over UDP sockets and maps everything real networks
+//! do — timeouts, duplicated, reordered and truncated datagrams — onto
+//! the typed [`SyncError`] taxonomy instead of panicking or hanging.
+
+use crate::clock::gauss;
+use crate::error::SyncError;
+use crate::proto::{Beacon, SyncMsg, WIRE_BYTES};
+use crate::provider::SharedRng;
+use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
+use std::time::{Duration, Instant};
+
+/// What the [`crate::engine::SyncEngine`] needs from a network: leaders
+/// broadcast a beacon, followers receive the one expected for an epoch,
+/// and every measurement gets a backend-specific phase correction.
+pub trait Transport {
+    /// Send `beacon` to every peer.
+    fn broadcast(&mut self, beacon: &Beacon) -> Result<(), SyncError>;
+    /// Receive the beacon for `epoch` from `leader`, classifying
+    /// anything else that arrives meanwhile.
+    fn recv_beacon(&mut self, epoch: u64, leader: usize) -> Result<Beacon, SyncError>;
+    /// Phase correction added to each measurement, ps: detector noise
+    /// in-sim, *minus* the calibrated propagation delay on a real
+    /// transport (§A.2). May consume randomness, hence `&mut`.
+    fn correction_ps(&mut self) -> f64 {
+        0.0
+    }
+}
+
+/// In-memory transport for the lockstep simulation: one beacon slot,
+/// overwritten each epoch by whoever leads.
+#[derive(Debug, Clone)]
+pub struct SimTransport {
+    beacon: Option<Beacon>,
+    detector_noise_ps: f64,
+    rng: SharedRng,
+}
+
+impl SimTransport {
+    pub fn new(detector_noise_ps: f64, rng: SharedRng) -> SimTransport {
+        SimTransport {
+            beacon: None,
+            detector_noise_ps,
+            rng,
+        }
+    }
+}
+
+impl Transport for SimTransport {
+    fn broadcast(&mut self, beacon: &Beacon) -> Result<(), SyncError> {
+        self.beacon = Some(*beacon);
+        Ok(())
+    }
+
+    fn recv_beacon(&mut self, epoch: u64, leader: usize) -> Result<Beacon, SyncError> {
+        match self.beacon {
+            Some(b) if b.epoch == epoch && b.leader as usize == leader => Ok(b),
+            Some(b) => Err(SyncError::Stale {
+                epoch: b.epoch,
+                newest: epoch,
+            }),
+            None => Err(SyncError::Lost { epoch }),
+        }
+    }
+
+    fn correction_ps(&mut self) -> f64 {
+        // Always draw, even at zero noise: the pre-seam loop drew one
+        // gaussian per follower unconditionally, and the shared-stream
+        // draw order is part of the bit-identity contract.
+        gauss(&mut *self.rng.borrow_mut()) * self.detector_noise_ps
+    }
+}
+
+/// Per-transport counters of everything the taxonomy classified away.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// recv_beacon deadlines that expired.
+    pub timeouts: u64,
+    /// Beacons for an epoch already seen (UDP duplication).
+    pub duplicates: u64,
+    /// Beacons older than the epoch being waited for (reordering).
+    pub stale: u64,
+    /// Datagrams that failed to decode.
+    pub malformed: u64,
+}
+
+/// UDP backend: node `i` binds `addr_base + i` and broadcasts to every
+/// peer by unicast (loopback has no multicast worth the setup).
+#[derive(Debug)]
+pub struct UdpTransport {
+    socket: UdpSocket,
+    node: u16,
+    peers: Vec<SocketAddr>,
+    timeout: Duration,
+    correction_ps: f64,
+    /// Newest beacon epoch observed (for duplicate classification).
+    newest_seen: Option<u64>,
+    /// A beacon that arrived ahead of the epoch being waited for (the
+    /// peer's pacing ran ahead); served on the next matching call.
+    pending: Option<Beacon>,
+    pub stats: TransportStats,
+}
+
+impl UdpTransport {
+    /// Bind node `node` of `nodes` on fixed loopback ports
+    /// `port_base..port_base+nodes` (the live multi-process layout).
+    pub fn bind(node: usize, nodes: usize, port_base: u16) -> std::io::Result<UdpTransport> {
+        let addr = |i: usize| SocketAddr::from((Ipv4Addr::LOCALHOST, port_base + i as u16));
+        let socket = UdpSocket::bind(addr(node))?;
+        Ok(UdpTransport::from_socket(
+            socket,
+            node,
+            (0..nodes).map(addr).collect(),
+        ))
+    }
+
+    /// Bind a whole cluster on OS-assigned ports (in-process tests: no
+    /// fixed ports to collide on).
+    pub fn bind_cluster(nodes: usize) -> std::io::Result<Vec<UdpTransport>> {
+        let sockets: Vec<UdpSocket> = (0..nodes)
+            .map(|_| UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)))
+            .collect::<std::io::Result<_>>()?;
+        let peers: Vec<SocketAddr> = sockets
+            .iter()
+            .map(|s| s.local_addr())
+            .collect::<std::io::Result<_>>()?;
+        Ok(sockets
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| UdpTransport::from_socket(s, i, peers.clone()))
+            .collect())
+    }
+
+    fn from_socket(socket: UdpSocket, node: usize, peers: Vec<SocketAddr>) -> UdpTransport {
+        UdpTransport {
+            socket,
+            node: node as u16,
+            peers,
+            timeout: Duration::from_millis(50),
+            correction_ps: 0.0,
+            newest_seen: None,
+            pending: None,
+            stats: TransportStats::default(),
+        }
+    }
+
+    pub fn node(&self) -> u16 {
+        self.node
+    }
+
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// Receive deadline for [`Transport::recv_beacon`] and [`Self::poll`].
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    /// Set the calibrated measurement correction (−one-way delay, §A.2).
+    pub fn set_correction_ps(&mut self, ps: f64) {
+        self.correction_ps = ps;
+    }
+
+    /// Send one message to one peer.
+    pub fn send_to(&self, peer: usize, msg: &SyncMsg) -> Result<(), SyncError> {
+        let dst = *self
+            .peers
+            .get(peer)
+            .ok_or(SyncError::PeerDead { node: peer })?;
+        self.socket.send_to(&msg.encode(), dst)?;
+        Ok(())
+    }
+
+    /// Send one message to every peer but self.
+    pub fn send_to_all(&self, msg: &SyncMsg) -> Result<(), SyncError> {
+        for (i, dst) in self.peers.iter().enumerate() {
+            if i != self.node as usize {
+                self.socket.send_to(&msg.encode(), *dst)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Receive one datagram within `timeout`, decoded. Malformed
+    /// datagrams are counted and reported as errors; the OS-level
+    /// would-block/timed-out conditions map to [`SyncError::Timeout`].
+    pub fn poll(&mut self) -> Result<SyncMsg, SyncError> {
+        self.poll_deadline(Instant::now() + self.timeout)
+    }
+
+    /// Switch the socket between blocking (barrier/calibration) and
+    /// non-blocking (the paced epoch loop, which drains via
+    /// [`Self::try_poll`] and sleeps on its own schedule — kernel
+    /// `SO_RCVTIMEO` granularity is far too coarse for ms-scale epochs).
+    pub fn set_nonblocking(&mut self, nonblocking: bool) -> std::io::Result<()> {
+        self.socket.set_nonblocking(nonblocking)
+    }
+
+    /// Non-blocking receive: `Ok(None)` when the socket is drained (not
+    /// counted as a timeout — an empty socket between paced wakeups is
+    /// the normal state, not a protocol failure). Requires
+    /// [`Self::set_nonblocking`]`(true)`.
+    pub fn try_poll(&mut self) -> Result<Option<SyncMsg>, SyncError> {
+        let mut buf = [0u8; WIRE_BYTES + 8];
+        match self.socket.recv_from(&mut buf) {
+            Ok((len, _)) => match SyncMsg::decode(&buf[..len]) {
+                Ok(msg) => Ok(Some(msg)),
+                Err(e) => {
+                    self.stats.malformed += 1;
+                    Err(e)
+                }
+            },
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn poll_deadline(&mut self, deadline: Instant) -> Result<SyncMsg, SyncError> {
+        let mut buf = [0u8; WIRE_BYTES + 8];
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                self.stats.timeouts += 1;
+                return Err(SyncError::Timeout {
+                    waited_us: self.timeout.as_micros() as u64,
+                });
+            }
+            // A zero read-timeout would mean "block forever"; floor it.
+            self.socket
+                .set_read_timeout(Some((deadline - now).max(Duration::from_millis(1))))?;
+            match self.socket.recv_from(&mut buf) {
+                Ok((len, _)) => match SyncMsg::decode(&buf[..len]) {
+                    Ok(msg) => return Ok(msg),
+                    Err(e) => {
+                        self.stats.malformed += 1;
+                        return Err(e);
+                    }
+                },
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    // Kernel read timeouts quantize coarsely and can wake
+                    // early; loop back and let the deadline check decide
+                    // whether this was a real timeout.
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Classify a beacon that is *not* the one being waited for.
+    fn classify(&mut self, b: Beacon, wanted_epoch: u64) -> Option<SyncError> {
+        if self.newest_seen == Some(b.epoch) {
+            self.stats.duplicates += 1;
+            Some(SyncError::Duplicate { epoch: b.epoch })
+        } else if b.epoch < wanted_epoch {
+            self.stats.stale += 1;
+            Some(SyncError::Stale {
+                epoch: b.epoch,
+                newest: wanted_epoch,
+            })
+        } else {
+            // Ahead of us: the peer's pacing ran past ours. Hold it.
+            self.pending = Some(b);
+            self.newest_seen = Some(self.newest_seen.unwrap_or(0).max(b.epoch));
+            None
+        }
+    }
+}
+
+impl Transport for UdpTransport {
+    fn broadcast(&mut self, beacon: &Beacon) -> Result<(), SyncError> {
+        self.send_to_all(&SyncMsg::Beacon(*beacon))
+    }
+
+    /// Drain datagrams until the wanted beacon arrives or the deadline
+    /// expires. Calibration probes are served inline (a node must echo
+    /// [`SyncMsg::DelayRequest`]s even while waiting on its leader);
+    /// duplicates/stale/malformed are counted and skipped; a beacon for
+    /// the right epoch from the *wrong* node is returned as
+    /// [`SyncError::WrongLeader`] — that is schedule-split evidence the
+    /// caller must see, not line noise to absorb.
+    fn recv_beacon(&mut self, epoch: u64, leader: usize) -> Result<Beacon, SyncError> {
+        if let Some(b) = self.pending {
+            if b.epoch == epoch {
+                self.pending = None;
+                if b.leader as usize != leader {
+                    return Err(SyncError::WrongLeader {
+                        epoch,
+                        claimed: b.leader as usize,
+                        expected: Some(leader),
+                    });
+                }
+                return Ok(b);
+            }
+            if b.epoch < epoch {
+                self.pending = None;
+            }
+        }
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            match self.poll_deadline(deadline) {
+                Ok(SyncMsg::Beacon(b)) => {
+                    if b.epoch == epoch {
+                        if b.leader as usize != leader {
+                            return Err(SyncError::WrongLeader {
+                                epoch,
+                                claimed: b.leader as usize,
+                                expected: Some(leader),
+                            });
+                        }
+                        self.newest_seen = Some(self.newest_seen.unwrap_or(0).max(b.epoch));
+                        return Ok(b);
+                    }
+                    self.classify(b, epoch);
+                }
+                Ok(SyncMsg::DelayRequest { node, nonce }) => {
+                    let _ = self.send_to(
+                        node as usize,
+                        &SyncMsg::DelayResponse {
+                            node: self.node,
+                            nonce,
+                        },
+                    );
+                }
+                // Barrier traffic and late calibration echoes are noise
+                // here; drop them.
+                Ok(_) => {}
+                Err(e @ SyncError::Timeout { .. }) => return Err(e),
+                Err(SyncError::Malformed { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn correction_ps(&mut self) -> f64 {
+        self.correction_ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn beacon(leader: u16, epoch: u64, phase_ps: f64) -> Beacon {
+        Beacon {
+            leader,
+            epoch,
+            phase_ps,
+        }
+    }
+
+    #[test]
+    fn sim_transport_delivers_current_epoch_only() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let rng = Rc::new(RefCell::new(SmallRng::seed_from_u64(1)));
+        let mut t = SimTransport::new(0.0, rng);
+        assert_eq!(t.recv_beacon(0, 0), Err(SyncError::Lost { epoch: 0 }));
+        t.broadcast(&beacon(0, 0, 1.5)).unwrap();
+        assert_eq!(t.recv_beacon(0, 0), Ok(beacon(0, 0, 1.5)));
+        // Next epoch: the old beacon is stale, not re-served.
+        assert_eq!(
+            t.recv_beacon(1, 0),
+            Err(SyncError::Stale {
+                epoch: 0,
+                newest: 1
+            })
+        );
+    }
+
+    #[test]
+    fn udp_timeout_is_typed() {
+        let mut ts = UdpTransport::bind_cluster(2).unwrap();
+        ts[1].set_timeout(Duration::from_millis(20));
+        match ts[1].recv_beacon(0, 0) {
+            Err(SyncError::Timeout { .. }) => {}
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        assert_eq!(ts[1].stats.timeouts, 1);
+    }
+
+    #[test]
+    fn udp_duplicate_beacon_is_classified() {
+        let mut ts = UdpTransport::bind_cluster(2).unwrap();
+        ts[1].set_timeout(Duration::from_millis(200));
+        let b0 = beacon(0, 0, 2.0);
+        // The same datagram delivered twice.
+        ts[0].broadcast(&b0).unwrap();
+        ts[0].broadcast(&b0).unwrap();
+        assert_eq!(ts[1].recv_beacon(0, 0), Ok(b0));
+        // Waiting for epoch 1 now: the duplicate of epoch 0 must be
+        // absorbed and counted, ending in a timeout (not a bogus apply).
+        ts[1].set_timeout(Duration::from_millis(30));
+        match ts[1].recv_beacon(1, 0) {
+            Err(SyncError::Timeout { .. }) => {}
+            other => panic!("expected Timeout after duplicate, got {other:?}"),
+        }
+        assert_eq!(ts[1].stats.duplicates, 1);
+    }
+
+    #[test]
+    fn udp_reordered_beacon_is_classified_stale() {
+        let mut ts = UdpTransport::bind_cluster(2).unwrap();
+        ts[1].set_timeout(Duration::from_millis(200));
+        // Epoch 4 overtakes epoch 3 in flight.
+        ts[0].broadcast(&beacon(1, 4, 4.0)).unwrap();
+        ts[0].broadcast(&beacon(0, 3, 3.0)).unwrap();
+        // Waiting for 4: it arrives first; the late 3 is still queued.
+        assert_eq!(ts[1].recv_beacon(4, 1), Ok(beacon(1, 4, 4.0)));
+        ts[1].set_timeout(Duration::from_millis(30));
+        match ts[1].recv_beacon(5, 1) {
+            Err(SyncError::Timeout { .. }) => {}
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        assert_eq!(ts[1].stats.stale, 1, "{:?}", ts[1].stats);
+    }
+
+    #[test]
+    fn udp_ahead_beacon_is_held_for_its_epoch() {
+        let mut ts = UdpTransport::bind_cluster(2).unwrap();
+        ts[1].set_timeout(Duration::from_millis(200));
+        ts[0].broadcast(&beacon(0, 7, 7.0)).unwrap();
+        ts[0].broadcast(&beacon(0, 6, 6.0)).unwrap();
+        // Waiting for 6 while 7 arrives first: 7 is pended, 6 served.
+        assert_eq!(ts[1].recv_beacon(6, 0), Ok(beacon(0, 6, 6.0)));
+        assert_eq!(ts[1].recv_beacon(7, 0), Ok(beacon(0, 7, 7.0)));
+    }
+
+    #[test]
+    fn udp_wrong_leader_is_surfaced() {
+        let mut ts = UdpTransport::bind_cluster(3).unwrap();
+        ts[1].set_timeout(Duration::from_millis(200));
+        ts[2].broadcast(&beacon(2, 5, 0.0)).unwrap();
+        assert_eq!(
+            ts[1].recv_beacon(5, 0),
+            Err(SyncError::WrongLeader {
+                epoch: 5,
+                claimed: 2,
+                expected: Some(0),
+            })
+        );
+    }
+
+    #[test]
+    fn udp_malformed_datagram_is_counted() {
+        let mut ts = UdpTransport::bind_cluster(2).unwrap();
+        ts[1].set_timeout(Duration::from_millis(200));
+        let raw = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        raw.send_to(b"garbage", ts[1].local_addr().unwrap())
+            .unwrap();
+        match ts[1].poll() {
+            Err(SyncError::Malformed { .. }) => {}
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        assert_eq!(ts[1].stats.malformed, 1);
+    }
+
+    #[test]
+    fn udp_serves_delay_requests_while_waiting() {
+        let mut ts = UdpTransport::bind_cluster(2).unwrap();
+        ts[1].set_timeout(Duration::from_millis(100));
+        ts[0]
+            .send_to(1, &SyncMsg::DelayRequest { node: 0, nonce: 42 })
+            .unwrap();
+        // Node 1 waits for a beacon that never comes, but must echo the
+        // calibration probe meanwhile.
+        let _ = ts[1].recv_beacon(0, 0);
+        ts[0].set_timeout(Duration::from_millis(200));
+        assert_eq!(
+            ts[0].poll(),
+            Ok(SyncMsg::DelayResponse { node: 1, nonce: 42 })
+        );
+    }
+}

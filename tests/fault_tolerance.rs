@@ -235,6 +235,97 @@ fn grey_failure_is_localized_and_attributed() {
 }
 
 #[test]
+fn bank_drift_detection_lags_the_ramp_but_lands_inside_the_window() {
+    // Slow failure: chip 0 (capacity 4) of the laser bank feeding
+    // (group 0, uplink 2) ages from -4 dBm (healthy) to -26 dBm (dead)
+    // over epochs [50, 300). The AWGR input is 2 % 8 = 2, so channels
+    // 0..4 land on output ports 2..6: nodes 2..6, column 2 grey out
+    // *together*, with a drop probability that ramps with the power.
+    //
+    // The detection-latency claim under test: a drifting bank cannot be
+    // caught at crash speed (`silence_threshold + 1`) because the early
+    // ramp still delivers almost every slot — suspicion necessarily
+    // trails the ground-truth onset — but the per-column detector must
+    // still localize the columns well before the window closes, never
+    // escalate to whole-node exclusion, and the audit must attribute
+    // every loss to the declared (ramp-long) grey windows.
+    let net = fabric_limited_net();
+    let wl = survivor_workload(&net, net.total_servers() as u32, 1200, 53, Time::ZERO);
+    let (from, until) = (50u64, 300u64);
+    let inj = FaultInjector::new(53).bank_drift(
+        0,
+        2,
+        0,
+        4,
+        -4.0,
+        -26.0,
+        Modulation::Pam4_50,
+        net.cell_bytes,
+        from,
+        until,
+    );
+    let mut cfg = SiriusSimConfig::new(net.clone())
+        .with_seed(53)
+        .with_audit(true);
+    cfg.drain_timeout = Duration::from_us(300);
+    let m = SiriusSim::new(cfg).with_faults(inj).run(&wl);
+    let fr = m.fault.unwrap();
+    assert!(fr.cells_lost_grey > 0, "drifting bank lost nothing");
+    assert_eq!(fr.exclusions, 0, "column drift must not cost whole nodes");
+
+    let blast: Vec<NodeId> = (2..6).map(NodeId).collect();
+    for rec in &fr.links {
+        assert!(
+            blast.contains(&rec.node) && rec.uplink == 2,
+            "suspicion leaked outside the chip's blast radius: {:?}/{}",
+            rec.node,
+            rec.uplink
+        );
+    }
+    let suspected: Vec<_> = fr
+        .links
+        .iter()
+        .filter(|r| blast.contains(&r.node) && r.uplink == 2)
+        .collect();
+    assert!(!suspected.is_empty(), "drift was never localized");
+    let threshold = FaultConfig::default().silence_threshold;
+    for rec in &suspected {
+        let lat = rec.first_suspected - from;
+        // Detection latency: slower than any fail-stop detection can be
+        // (the early ramp is indistinguishable from healthy) ...
+        assert!(
+            lat > threshold + 1,
+            "{:?}: drift suspected at crash speed ({lat} epochs) — \
+             the ramp model is not actually gradual",
+            rec.node
+        );
+        assert!(
+            rec.first_suspected >= from + 30,
+            "{:?}: suspected at epoch {} while the link was still healthy",
+            rec.node,
+            rec.first_suspected
+        );
+        // ... but still inside the fault window, off the near-dead tail
+        // of the ramp.
+        assert!(
+            rec.first_suspected < until,
+            "{:?}: not localized until after the window closed",
+            rec.node
+        );
+    }
+    assert!(
+        fr.column_omissions >= 1,
+        "no drifted column was ever repaired out of the schedule"
+    );
+    let audit = m.audit.unwrap();
+    assert!(
+        audit.is_clean(),
+        "unattributed losses: {:?}",
+        audit.violations.first()
+    );
+}
+
+#[test]
 fn single_column_repair_detects_omits_and_readmits_on_schedule() {
     // A fully dead TX column (erasure probability 1.0) over a bounded
     // window, timed exactly: suspicion within `silence_threshold + 1`

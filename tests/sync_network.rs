@@ -6,8 +6,15 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sirius::core::SiriusConfig;
+use sirius::sync::clock::{gauss, LocalClock};
 use sirius::sync::delay::{arrival_misalignment, epoch_start_offsets, DelayEstimator};
-use sirius::sync::sync_sim::{run, SyncSimConfig};
+use sirius::sync::engine::SyncEngine;
+use sirius::sync::leader::LeaderSchedule;
+use sirius::sync::pll::Pll;
+use sirius::sync::provider::{SimTime, TimeProvider};
+use sirius::sync::sync_sim::{run, run_with_byzantine, SyncResult, SyncSimConfig};
+use sirius::sync::transport::{SimTransport, Transport, UdpTransport};
+use sirius::sync::SyncError;
 use sirius_core::units::Duration;
 
 #[test]
@@ -78,4 +85,357 @@ fn epoch_offsets_monotone_in_distance() {
     for w in offsets.windows(2) {
         assert!(w[0] >= w[1], "offsets must shrink with distance");
     }
+}
+
+// --- seam equivalence ---------------------------------------------------
+//
+// The trait-seam refactor (SyncEngine over SimTime + SimTransport) claims
+// bit-identical behavior to the pre-seam sync_sim loops. The reference
+// implementation below is a verbatim transcription of those loops, kept
+// here — outside the crate — precisely so the production code cannot
+// drift away from it silently: every shared-RNG draw, every floating
+// -point expression shape, in the original order.
+
+/// Pre-refactor `sync_sim::run` / `run_with_byzantine`, unified only by
+/// the `byzantine_mode` flag that selects which of the two (otherwise
+/// transcribed verbatim) bodies runs.
+fn reference_run(
+    cfg: &SyncSimConfig,
+    epochs: u64,
+    events: &[(usize, u64)],
+    byzantine_mode: bool,
+) -> SyncResult {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut clocks: Vec<LocalClock> = (0..cfg.nodes)
+        .map(|_| LocalClock::new(&mut rng, cfg.oscillator))
+        .collect();
+    let mut leaders = LeaderSchedule::new(cfg.nodes, cfg.rotation_epochs);
+    let mut excluded = vec![false; cfg.nodes];
+    let warmup = (epochs / 5).max(5_000.min(epochs / 2));
+    let mut max_dev = 0f64;
+    let mut max_offset = 0f64;
+    let mut window_max = [0f64; 4];
+    let mut ev_iter = events.iter().peekable();
+    for e in 0..epochs {
+        while let Some(&&(node, at)) = ev_iter.peek() {
+            if at <= e {
+                if byzantine_mode {
+                    clocks[node].byzantine = true;
+                } else {
+                    leaders.mark_failed(node);
+                }
+                excluded[node] = true;
+                ev_iter.next();
+            } else {
+                break;
+            }
+        }
+        for (i, c) in clocks.iter_mut().enumerate() {
+            if byzantine_mode || !excluded[i] {
+                c.advance(&mut rng, cfg.epoch_us);
+            }
+        }
+        if let Some(lead) = leaders.leader_at(e) {
+            let ref_phase = clocks[lead].phase_ps;
+            for i in 0..cfg.nodes {
+                if i == lead || (!byzantine_mode && excluded[i]) {
+                    continue;
+                }
+                let measured =
+                    clocks[i].phase_ps - ref_phase + gauss(&mut rng) * cfg.detector_noise_ps;
+                let (dp, df) = cfg.pll.update(measured);
+                clocks[i].adjust_phase(dp);
+                clocks[i].adjust_frequency(df);
+            }
+        }
+        if e >= warmup {
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            for (c, &x) in clocks.iter().zip(&excluded) {
+                if !x {
+                    min = min.min(c.phase_ps);
+                    max = max.max(c.phase_ps);
+                }
+            }
+            let dev = if min.is_finite() { max - min } else { 0.0 };
+            max_dev = max_dev.max(dev);
+            let quarter = ((e - warmup) * 4 / (epochs - warmup).max(1)).min(3) as usize;
+            window_max[quarter] = window_max[quarter].max(dev);
+            for (i, c) in clocks.iter().enumerate() {
+                if !excluded[i] {
+                    max_offset = max_offset.max(c.offset_ppm.abs());
+                }
+            }
+        }
+    }
+    SyncResult {
+        max_deviation_ps: max_dev,
+        window_max_ps: window_max,
+        epochs,
+        max_honest_offset_ppm: max_offset,
+    }
+}
+
+fn assert_results_bit_identical(a: &SyncResult, b: &SyncResult, what: &str) {
+    assert_eq!(
+        a.max_deviation_ps.to_bits(),
+        b.max_deviation_ps.to_bits(),
+        "{what}: max_deviation_ps {} vs {}",
+        a.max_deviation_ps,
+        b.max_deviation_ps
+    );
+    for q in 0..4 {
+        assert_eq!(
+            a.window_max_ps[q].to_bits(),
+            b.window_max_ps[q].to_bits(),
+            "{what}: window_max_ps[{q}] {} vs {}",
+            a.window_max_ps[q],
+            b.window_max_ps[q]
+        );
+    }
+    assert_eq!(a.epochs, b.epochs, "{what}: epochs");
+    assert_eq!(
+        a.max_honest_offset_ppm.to_bits(),
+        b.max_honest_offset_ppm.to_bits(),
+        "{what}: max_honest_offset_ppm {} vs {}",
+        a.max_honest_offset_ppm,
+        b.max_honest_offset_ppm
+    );
+}
+
+#[test]
+fn seam_equivalence_clean_run() {
+    for nodes in [2, 3, 8] {
+        let cfg = SyncSimConfig::paper(nodes);
+        let new = run(&cfg, 12_000, &[]);
+        let old = reference_run(&cfg, 12_000, &[], false);
+        assert_results_bit_identical(&new, &old, &format!("{nodes}-node clean run"));
+    }
+}
+
+#[test]
+fn seam_equivalence_under_leader_handoffs() {
+    // Failures hit sitting leaders mid-rotation, so the comparison
+    // covers mark_failed propagation and handoff epochs too.
+    let cfg = SyncSimConfig::paper(5);
+    let failures = [(0, 2_000), (2, 6_000), (1, 9_000)];
+    let new = run(&cfg, 15_000, &failures);
+    let old = reference_run(&cfg, 15_000, &failures, false);
+    assert_results_bit_identical(&new, &old, "cascading leader failures");
+}
+
+#[test]
+fn seam_equivalence_byzantine_verdicts() {
+    // Both PLL variants: the slew-limited verdict (how far honest clocks
+    // get dragged) must come out bit-for-bit the same.
+    for pll in [Pll::paper_tuning(), Pll::unfiltered()] {
+        let mut cfg = SyncSimConfig::paper(8);
+        cfg.pll = pll;
+        let byz = [(0, 3_000)];
+        let new = run_with_byzantine(&cfg, 14_000, &byz);
+        let old = reference_run(&cfg, 14_000, &byz, true);
+        assert_results_bit_identical(&new, &old, "byzantine verdict");
+    }
+}
+
+#[test]
+fn seam_equivalence_per_epoch_phase_trajectories() {
+    // Stronger than comparing aggregates: drive the engine harness and
+    // the reference clocks side by side and require every node's phase
+    // to match bit-for-bit at every epoch, across a leader handoff.
+    let cfg = SyncSimConfig::paper(4);
+    let fail_at = 1_000u64;
+
+    // Reference side.
+    let mut ref_rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut ref_clocks: Vec<LocalClock> = (0..cfg.nodes)
+        .map(|_| LocalClock::new(&mut ref_rng, cfg.oscillator))
+        .collect();
+    let mut ref_leaders = LeaderSchedule::new(cfg.nodes, cfg.rotation_epochs);
+    let mut ref_failed = vec![false; cfg.nodes];
+
+    // Engine side.
+    let rng = std::rc::Rc::new(std::cell::RefCell::new(SmallRng::seed_from_u64(cfg.seed)));
+    let mut engines: Vec<SyncEngine<SimTime>> = (0..cfg.nodes)
+        .map(|i| {
+            SyncEngine::new(
+                i,
+                LeaderSchedule::new(cfg.nodes, cfg.rotation_epochs),
+                cfg.pll,
+                SimTime::new(rng.clone(), cfg.oscillator),
+            )
+        })
+        .collect();
+    let mut transport = SimTransport::new(cfg.detector_noise_ps, rng);
+    let mut failed = vec![false; cfg.nodes];
+
+    for e in 0..3_000u64 {
+        if e == fail_at {
+            ref_leaders.mark_failed(0);
+            ref_failed[0] = true;
+            for en in engines.iter_mut() {
+                en.mark_failed(0);
+            }
+            failed[0] = true;
+        }
+        for (i, c) in ref_clocks.iter_mut().enumerate() {
+            if !ref_failed[i] {
+                c.advance(&mut ref_rng, cfg.epoch_us);
+            }
+        }
+        if let Some(lead) = ref_leaders.leader_at(e) {
+            let ref_phase = ref_clocks[lead].phase_ps;
+            for i in 0..cfg.nodes {
+                if i == lead || ref_failed[i] {
+                    continue;
+                }
+                let measured = ref_clocks[i].phase_ps - ref_phase
+                    + gauss(&mut ref_rng) * cfg.detector_noise_ps;
+                let (dp, df) = cfg.pll.update(measured);
+                ref_clocks[i].adjust_phase(dp);
+                ref_clocks[i].adjust_frequency(df);
+            }
+        }
+
+        for (i, en) in engines.iter_mut().enumerate() {
+            if !failed[i] {
+                en.clock_mut().advance(cfg.epoch_us);
+            }
+        }
+        if let Some(lead) = engines[0].leader_at(e) {
+            engines[lead].step(e, &mut transport).unwrap();
+            for i in 0..cfg.nodes {
+                if i != lead && !failed[i] {
+                    engines[i].step(e, &mut transport).unwrap();
+                }
+            }
+        }
+
+        for i in 0..cfg.nodes {
+            assert_eq!(
+                ref_clocks[i].phase_ps.to_bits(),
+                engines[i].clock().phase_ps().to_bits(),
+                "node {i} phase diverged at epoch {e}: {} vs {}",
+                ref_clocks[i].phase_ps,
+                engines[i].clock().phase_ps()
+            );
+        }
+    }
+}
+
+// --- the same engine over real sockets ----------------------------------
+
+#[test]
+fn sync_engine_runs_over_udp_loopback() {
+    // The seam's point: the identical SyncEngine, strict lockstep step()
+    // and all, over real UDP sockets instead of SimTransport. Two nodes
+    // in threads; node phases are OsTime-free here — a fixed-phase fake
+    // keeps the test deterministic and fast.
+    #[derive(Debug)]
+    struct FixedClock(f64);
+    impl TimeProvider for FixedClock {
+        fn phase_ps(&self) -> f64 {
+            self.0
+        }
+        fn adjust_phase(&mut self, d: f64) {
+            self.0 += d;
+        }
+        fn adjust_frequency(&mut self, _d: f64) {}
+    }
+
+    let mut transports = UdpTransport::bind_cluster(2).unwrap();
+    let mut t1 = transports.pop().unwrap();
+    let mut t0 = transports.pop().unwrap();
+    t1.set_timeout(std::time::Duration::from_millis(500));
+
+    let follower = std::thread::spawn(move || {
+        let mut en = SyncEngine::new(
+            1,
+            LeaderSchedule::new(2, 4),
+            Pll::paper_tuning(),
+            FixedClock(100.0),
+        );
+        let mut measured = Vec::new();
+        for e in 0..4u64 {
+            match en.step(e, &mut t1).unwrap() {
+                sirius::sync::Step::Followed { measured_ps } => measured.push(measured_ps),
+                other => panic!("node 1 expected to follow epoch {e}, got {other:?}"),
+            }
+        }
+        (measured, en.clock().phase_ps())
+    });
+
+    let mut leader = SyncEngine::new(
+        0,
+        LeaderSchedule::new(2, 4),
+        Pll::paper_tuning(),
+        FixedClock(0.0),
+    );
+    // Epochs 0..4 all belong to node 0 (rotation 4).
+    for e in 0..4u64 {
+        assert!(matches!(
+            leader.step(e, &mut t0).unwrap(),
+            sirius::sync::Step::Led(_)
+        ));
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    let (measured, final_phase) = follower.join().unwrap();
+    assert_eq!(measured.len(), 4);
+    // First measurement sees the full 100 ps offset; the PLL then pulls
+    // the follower toward the leader (kp = 0.7 per update).
+    assert_eq!(measured[0], 100.0);
+    assert!(
+        final_phase < 2.0,
+        "follower phase {final_phase} ps after 4 PLL updates"
+    );
+}
+
+#[test]
+fn udp_taxonomy_maps_real_conditions() {
+    // The three real-network failure modes the ISSUE names, end to end
+    // through real sockets, each landing on its typed variant.
+    let mut ts = UdpTransport::bind_cluster(2).unwrap();
+
+    // Timeout: nothing in flight.
+    ts[1].set_timeout(std::time::Duration::from_millis(15));
+    assert!(matches!(
+        ts[1].recv_beacon(0, 0),
+        Err(SyncError::Timeout { .. })
+    ));
+
+    // Duplicate: the same epoch-0 beacon delivered twice.
+    let b = sirius::sync::Beacon {
+        leader: 0,
+        epoch: 0,
+        phase_ps: 1.0,
+    };
+    ts[0].broadcast(&b).unwrap();
+    ts[0].broadcast(&b).unwrap();
+    ts[1].set_timeout(std::time::Duration::from_millis(300));
+    assert_eq!(ts[1].recv_beacon(0, 0), Ok(b));
+    ts[1].set_timeout(std::time::Duration::from_millis(20));
+    let _ = ts[1].recv_beacon(1, 0); // absorbs + classifies the dup
+    assert_eq!(ts[1].stats.duplicates, 1);
+
+    // Reordered: epoch 3 arrives after epoch 4 was already applied.
+    ts[1].set_timeout(std::time::Duration::from_millis(300));
+    ts[0]
+        .broadcast(&sirius::sync::Beacon {
+            leader: 1,
+            epoch: 4,
+            phase_ps: 4.0,
+        })
+        .unwrap();
+    ts[0]
+        .broadcast(&sirius::sync::Beacon {
+            leader: 0,
+            epoch: 3,
+            phase_ps: 3.0,
+        })
+        .unwrap();
+    assert!(ts[1].recv_beacon(4, 1).is_ok());
+    ts[1].set_timeout(std::time::Duration::from_millis(20));
+    let _ = ts[1].recv_beacon(5, 1); // absorbs + classifies the stale 3
+    assert_eq!(ts[1].stats.stale, 1);
 }
