@@ -132,11 +132,13 @@ stage_bench_smoke() {
     '"cf_link"' '"cf_node"' '"advantage"'
 
   echo "==> sharded-equals-serial (sim_throughput digests, --shards 1 vs --shards 2)"
-  # The slot-engine sharding contract, checked on the real artifacts: a
-  # quick-scale run with --shards 2 must report the same per-mode run
-  # digests as --shards 1. (The bin also asserts this in-process when
-  # --shards > 1; the cross-invocation compare below additionally pins
-  # that the serial engine itself didn't drift between the two runs.)
+  # The slot-engine sharding contract — now covering the
+  # receiver-partitioned deliver phase as well as TX — checked on the
+  # real artifacts: a quick-scale run with --shards 2 must report the
+  # same per-mode run digests as --shards 1. (The bin also asserts this
+  # in-process when --shards > 1; the cross-invocation compare below
+  # additionally pins that the serial engine itself didn't drift between
+  # the two runs.)
   cargo run --release -p sirius-bench --bin sim_throughput -- --quick --jobs 2 --shards 1
   grep -o '"digest": "[0-9a-f]*"' results/BENCH_sim_throughput.json > results/.digests_serial
   cargo run --release -p sirius-bench --bin sim_throughput -- --quick --jobs 2 --shards 2
@@ -144,6 +146,12 @@ stage_bench_smoke() {
   cmp results/.digests_serial results/.digests_sharded_serialleg
   rm -f results/.digests_serial results/.digests_sharded_serialleg
   echo "sim_throughput digests byte-identical across --shards 1 and --shards 2"
+  # Schema-gate the artifact, including the per-plane wall breakdown
+  # (tx/deliver/merge) the sharded-deliver work reports per point.
+  validate_bench_json results/BENCH_sim_throughput.json \
+    '"bench": "sim_throughput"' '"host_parallelism"' '"shards"' \
+    '"tx_secs"' '"deliver_secs"' '"merge_secs"' '"cells_per_sec"' \
+    '"protocol_sharded_speedup_vs_serial"' '"digest"'
 
   echo "==> test suite under SIRIUS_SHARDS=2 (release)"
   # Every simulation in the suite that reaches the release NullObserver

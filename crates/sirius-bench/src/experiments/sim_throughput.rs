@@ -41,6 +41,15 @@ pub struct ThroughputPoint {
     pub cells: u64,
     pub epochs: u64,
     pub wall_secs: f64,
+    /// Per-plane wall breakdown (`RunMetrics::{tx,deliver,merge}_secs`,
+    /// recorded with `plane_timing` on): TX phase, arrival processing
+    /// (the parallel region on sharded runs), and the serial merge
+    /// epilogue. On the sharded leg `deliver_secs` is the partitioned
+    /// phase — no longer folded into a serial merge — so the serial
+    /// fraction is measurable before/after.
+    pub tx_secs: f64,
+    pub deliver_secs: f64,
+    pub merge_secs: f64,
     /// Delivered-cell run digest: sharded points must match their serial
     /// sibling bit-for-bit (`ci.sh bench-smoke` compares them).
     pub digest: u64,
@@ -98,7 +107,10 @@ pub fn run_mode(
         // Throughput measures the release path: audit off explicitly so
         // debug-build smoke tests measure the same configuration CI
         // release runs do.
-        .with_audit(false);
+        .with_audit(false)
+        // Per-plane breakdown: the clock reads cost well under 1% of a
+        // slot, and this is the harness the breakdown exists for.
+        .with_plane_timing(true);
     let m = SiriusSim::new(cfg).run(&wl);
     ThroughputPoint {
         mode: name,
@@ -108,6 +120,9 @@ pub fn run_mode(
         cells: m.cells_delivered,
         epochs: m.epochs_simulated,
         wall_secs: m.wall_secs,
+        tx_secs: m.tx_secs,
+        deliver_secs: m.deliver_secs,
+        merge_secs: m.merge_secs,
         digest: m.digest,
     }
 }
@@ -164,6 +179,9 @@ pub fn table(points: &[ThroughputPoint]) -> Table {
             "cells",
             "epochs",
             "wall_s",
+            "tx_s",
+            "deliver_s",
+            "merge_s",
             "cells_per_s",
             "epochs_per_s",
             "digest",
@@ -178,6 +196,9 @@ pub fn table(points: &[ThroughputPoint]) -> Table {
             p.cells.to_string(),
             p.epochs.to_string(),
             f(p.wall_secs, 3),
+            f(p.tx_secs, 3),
+            f(p.deliver_secs, 3),
+            f(p.merge_secs, 3),
             f(p.cells_per_sec(), 0),
             f(p.epochs_per_sec(), 0),
             format!("{:016x}", p.digest),
@@ -235,7 +256,8 @@ pub fn to_json(points: &[ThroughputPoint], scale: Scale) -> String {
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"mode\": \"{}\", \"shards\": {}, \"nodes\": {}, \"flows\": {}, \
-             \"cells\": {}, \"epochs\": {}, \"wall_secs\": {:.4}, \"cells_per_sec\": {:.0}, \
+             \"cells\": {}, \"epochs\": {}, \"wall_secs\": {:.4}, \"tx_secs\": {:.4}, \
+             \"deliver_secs\": {:.4}, \"merge_secs\": {:.4}, \"cells_per_sec\": {:.0}, \
              \"epochs_per_sec\": {:.0}, \"digest\": \"{:016x}\"}}{}\n",
             p.mode,
             p.shards,
@@ -244,6 +266,9 @@ pub fn to_json(points: &[ThroughputPoint], scale: Scale) -> String {
             p.cells,
             p.epochs,
             p.wall_secs,
+            p.tx_secs,
+            p.deliver_secs,
+            p.merge_secs,
             p.cells_per_sec(),
             p.epochs_per_sec(),
             p.digest,
@@ -278,6 +303,17 @@ mod tests {
             assert!(p.wall_secs > 0.0, "{}: wall clock did not advance", p.mode);
             assert!(p.cells_per_sec() > 0.0);
             assert!(p.epochs_per_sec() > 0.0);
+            // Plane timing is always on in the harness: both the TX and
+            // the deliver leg must carry a non-zero reading even on a
+            // 1-core host (the planes run, just not in parallel).
+            assert!(p.tx_secs > 0.0, "{}: TX plane untimed", p.mode);
+            assert!(p.deliver_secs > 0.0, "{}: deliver plane untimed", p.mode);
+            assert!(p.merge_secs >= 0.0);
+            assert!(
+                p.tx_secs + p.deliver_secs + p.merge_secs <= p.wall_secs,
+                "{}: plane breakdown exceeds total wall",
+                p.mode
+            );
         }
         assert_eq!(table(&pts).len(), 3);
     }
@@ -305,12 +341,18 @@ mod tests {
             cells: 1000,
             epochs: 50,
             wall_secs: wall,
+            tx_secs: wall * 0.5,
+            deliver_secs: wall * 0.25,
+            merge_secs: wall * 0.125,
             digest: 0xabcd,
         };
         let pts = vec![mk(1, 0.5), mk(2, 0.25)];
         let j = to_json(&pts, Scale::Smoke);
         assert!(j.contains("\"bench\": \"sim_throughput\""));
         assert!(j.contains("\"cells_per_sec\": 2000"));
+        assert!(j.contains("\"tx_secs\": 0.2500"));
+        assert!(j.contains("\"deliver_secs\": 0.1250"));
+        assert!(j.contains("\"merge_secs\": 0.0625"));
         assert!(j.contains("\"scale\": \"Smoke\""));
         assert!(j.contains("\"host_parallelism\":"));
         assert!(j.contains("\"shards\": 2"));

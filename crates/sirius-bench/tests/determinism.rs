@@ -5,11 +5,14 @@
 //!   produce byte-identical CSVs and identical per-run digests whether
 //!   it runs on 1 worker or 4.
 //! * **Within a run** (the sharded slot engine): one simulation split
-//!   across shard workers must retire the exact serial delivered-cell
-//!   sequence — byte-identical digest and equal `RunMetrics` counters
-//!   for shards ∈ {1, 2, 4} × {Protocol, Ideal} × {fault-free, fault
-//!   script}. (Golden digests pin serial behavior separately, unblessed,
-//!   in `tests/golden_digests.rs`.)
+//!   across shard workers — the TX phase *and* the receiver-partitioned
+//!   deliver phase with its ordered digest epilogue — must retire the
+//!   exact serial delivered-cell sequence: byte-identical digest, equal
+//!   `RunMetrics` counters, and equal FCT percentiles for shards ∈
+//!   {1, 2, 4} × {Protocol, Ideal} × {fault-free, classic faults,
+//!   correlated+Byzantine} × {materialized, streaming}. (Golden digests
+//!   pin serial behavior separately, unblessed, in
+//!   `tests/golden_digests.rs`.)
 //!
 //! The CSV comparison catches ordering or formatting drift; the digest
 //! comparison is stronger — it compares the delivered-cell *sequence* of
@@ -212,6 +215,16 @@ fn sharded_runs_are_byte_identical_to_serial() {
                     behavior_of(&sharded),
                     "behavior diverged: mode={mode:?} shards={shards} script={name}"
                 );
+                // The headline latency stats must be byte-equal too:
+                // they derive from per-flow completion times folded in
+                // the ordered epilogue, not from the digest.
+                for p in [50.0, 99.0] {
+                    assert_eq!(
+                        serial.fct_percentile(p, u64::MAX),
+                        sharded.fct_percentile(p, u64::MAX),
+                        "FCT p{p} diverged: mode={mode:?} shards={shards} script={name}"
+                    );
+                }
             }
         }
     }
@@ -259,6 +272,50 @@ fn streaming_digest_matches_materialized_workload() {
             behavior_of(&materialized),
             "n={}: streaming diverged from materialized workload",
             geom.nodes
+        );
+    }
+}
+
+/// The deliver-sharded streaming arm: receiver-partitioned arrival
+/// processing under streaming admission — where completed-flow eviction
+/// and the FCT histogram fold ride the ordered digest epilogue — must
+/// match the serial streaming run exactly, including the histogram
+/// percentiles the scale series reports as `fct_p50_us`/`fct_p99_us`.
+#[test]
+fn streaming_sharded_matches_serial_including_fct_percentiles() {
+    let geom = ScaleGeom {
+        nodes: 64,
+        grating: 16,
+        flows: 1_000,
+    };
+    let net = scale_series::point_network(geom);
+    let spec = scale_series::point_workload(geom, &net, 5);
+    let span = spec.mean_interarrival() * spec.flows;
+    let mut cfg = sirius_sim::SiriusSimConfig::new(net)
+        .with_seed(5)
+        .with_audit(false);
+    cfg.drain_timeout = sirius_core::units::Duration::from_us(200).max(span / 2);
+    let hist_pcts = |m: &RunMetrics| {
+        let h = m
+            .fct_hist
+            .as_ref()
+            .expect("streaming run lost its FCT histogram");
+        (h.percentile_ps(50.0), h.percentile_ps(99.0))
+    };
+    let serial = SiriusSim::new(cfg.clone()).run_streaming(spec.stream());
+    assert_ne!(serial.digest, 0, "serial digest vacuous");
+    assert!(hist_pcts(&serial).0.is_some(), "serial FCT p50 vacuous");
+    for shards in [2usize, 4] {
+        let sharded = SiriusSim::new(cfg.clone().with_shards(shards)).run_streaming(spec.stream());
+        assert_eq!(
+            behavior_of(&serial),
+            behavior_of(&sharded),
+            "streaming behavior diverged at shards={shards}"
+        );
+        assert_eq!(
+            hist_pcts(&serial),
+            hist_pcts(&sharded),
+            "FCT percentiles diverged at shards={shards}"
         );
     }
 }

@@ -6,6 +6,18 @@
 //! protocol bounds queuing at intermediates, the buffer stays small — the
 //! paper reports a 163 KB peak per flow at the default Q=4 (Fig. 10d), and
 //! our Fig. 10 harness measures the same quantity.
+//!
+//! # Receiver-partition contract
+//!
+//! A reorder buffer belongs to exactly one receiving server, and a flow
+//! delivers into exactly one buffer — so an engine that partitions
+//! arrival processing by receiving node may hand each worker a disjoint
+//! `&mut` slice of the per-server buffer array (`[lo*spn, hi*spn)` for
+//! node range `[lo, hi)`) with no synchronization beyond the phase
+//! barrier. Everything a worker needs is behind that `&mut`: `accept`
+//! and `finish_flow` touch only `self`. The compile-time `Send`
+//! assertion below keeps the type eligible for that hand-off (e.g. an
+//! `Rc` smuggled into the map would break it silently otherwise).
 
 use crate::cell::FlowId;
 use std::collections::hash_map::Entry;
@@ -81,6 +93,13 @@ pub struct ReorderBuffer {
     /// not total flows ever seen.
     peak_resident: usize,
 }
+
+// See "Receiver-partition contract" in the module docs: per-server
+// buffers are handed to worker threads as disjoint `&mut` ranges.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<ReorderBuffer>()
+};
 
 impl ReorderBuffer {
     pub fn new() -> ReorderBuffer {

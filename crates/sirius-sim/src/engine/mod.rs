@@ -50,6 +50,36 @@ use sirius_core::schedule::SlotInEpoch;
 use sirius_core::topology::{NodeId, UplinkId};
 use sirius_core::units::Time;
 
+/// Per-plane wall-clock accumulators, populated only when
+/// [`crate::SiriusSimConfig::plane_timing`] is on (surfaced as
+/// `tx_secs`/`deliver_secs`/`merge_secs` in [`crate::RunMetrics`]).
+/// `deliver` covers arrival processing (the parallel region on sharded
+/// runs), `merge` the serial epilogue (ordered digest fold, eviction
+/// replay, cross-shard effect application, TX-output merge), `tx` the
+/// transmit phase including barrier waits.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct PlaneTimes {
+    pub tx: std::time::Duration,
+    pub deliver: std::time::Duration,
+    pub merge: std::time::Duration,
+}
+
+/// Start a per-plane wall-clock mark. `None` when timing is off, so the
+/// default path never touches the clock (a syscall per slot would cost
+/// more than some planes do).
+#[inline]
+pub(crate) fn mark(timing: bool) -> Option<std::time::Instant> {
+    timing.then(std::time::Instant::now)
+}
+
+/// Close a mark opened by [`mark`] into an accumulator.
+#[inline]
+pub(crate) fn lap(acc: &mut std::time::Duration, m: Option<std::time::Instant>) {
+    if let Some(t) = m {
+        *acc += t.elapsed();
+    }
+}
+
 impl SiriusSim {
     /// The slot loop. Returns the absolute slot count at exit.
     ///
@@ -67,6 +97,9 @@ impl SiriusSim {
         let ring_len = self.delivery.ring.len();
         let prop_slots = self.prop_slots as u64;
         let has_faults = !self.faults.injector.is_empty();
+        let timing = self.cfg.plane_timing;
+        let n_nodes = self.nodes.len() as u32;
+        let spn = self.cfg.network.servers_per_node as u32;
 
         let mut abs_slot: u64 = 0;
         // Hoisted per-slot derivations: the epoch-slot cursor, the epoch
@@ -93,21 +126,54 @@ impl SiriusSim {
                 }
             }
 
-            // DeliverPlane: cells whose propagation completes this slot.
-            // Drain-and-put-back so each ring slot's buffer keeps its
-            // warmed-up capacity instead of reallocating every lap.
+            // DeliverPlane: cells whose propagation completes this slot,
+            // through the same range function the shard workers run (full
+            // range here), with the ordered fold as a serial epilogue —
+            // per-receiver decisions cannot diverge between serial and
+            // sharded. Take-and-put-back so each ring slot's buffer keeps
+            // its warmed-up capacity instead of reallocating every lap.
             // Cells draining now were launched `prop_slots` ago; their
             // slot-in-epoch names the scheduled transmitter for the
             // Byzantine RX filter. (Wrapping is harmless: warmup ring
             // slots are empty.)
             let launch_t = (abs_slot.wrapping_sub(prop_slots) % epoch_slots) as u16;
             let mut due = std::mem::take(&mut self.delivery.ring[ring_idx]);
-            for (dst, u, cell) in due.drain(..) {
-                self.deliver_cell(dst, u, cell, launch_t, now, cur_epoch, obs);
+            if !due.is_empty() {
+                let mut dout = std::mem::take(&mut self.deliver_scratch);
+                let m = mark(timing);
+                let ctx = deliver::DeliverCtx {
+                    mode: self.tx.mode,
+                    byz: self.faults.byz.as_ref(),
+                    has_link_faults: self.faults.injector.has_link_faults(),
+                    flows: self.flows.raw_view(),
+                    failures: &self.failure_plane,
+                    sched: &self.sched,
+                    spn,
+                    launch_t,
+                    now,
+                    epoch: cur_epoch,
+                };
+                deliver::deliver_range(
+                    &ctx,
+                    0,
+                    n_nodes,
+                    &mut self.nodes,
+                    &mut self.delivery.reorder,
+                    &due,
+                    &mut dout,
+                    obs,
+                );
+                lap(&mut self.plane_times.deliver, m);
+                let m = mark(timing);
+                self.apply_deliver_out(&mut dout, now);
+                lap(&mut self.plane_times.merge, m);
+                self.deliver_scratch = dout;
+                due.clear();
             }
             self.delivery.ring[ring_idx] = due;
 
             let slot = SlotInEpoch(t as u16);
+            let m = mark(timing);
             if has_faults {
                 // Receptions this slot reach the detectors when the light
                 // lands, one propagation later.
@@ -116,6 +182,7 @@ impl SiriusSim {
             } else {
                 self.slot_clean(abs_slot, slot, arrive_idx, obs);
             }
+            lap(&mut self.plane_times.tx, m);
             obs.end_slot();
 
             abs_slot += 1;

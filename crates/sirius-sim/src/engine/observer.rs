@@ -7,6 +7,17 @@
 //! [`Audit`], and the release copy ([`NullObserver`]) compiles every
 //! probe down to nothing — not even the disabled-audit branch the old
 //! monolithic loop paid per event.
+//!
+//! **Observation order contract:** audit-enabled runs always take the
+//! serial loop ([`crate::sirius_net::SiriusSim::run_loop`]), so every
+//! probe — including the deliver-phase ones (`note_delivery`,
+//! `note_blackholed`, `note_forged_dropped`), which
+//! [`crate::engine::deliver::deliver_range`] fires from inside the
+//! range-parameterized pass — observes events in the serial (due-index)
+//! order. Sharded runs instantiate the workers with [`NullObserver`]
+//! only; an observer with state must never be handed to a shard worker,
+//! because per-shard probe order is the shard's local order, not the
+//! global one.
 
 use crate::audit::{Audit, LossCause};
 use sirius_core::cell::Cell;

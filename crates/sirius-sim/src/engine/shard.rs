@@ -1,15 +1,31 @@
-//! Sharded slot engine: the TX phase of every slot fanned across worker
-//! threads, with the merge order pinned so the run is byte-identical to
-//! serial.
+//! Sharded slot engine: the TX *and deliver* phases of every slot fanned
+//! across one worker pool, with the merge order pinned so the run is
+//! byte-identical to serial.
 //!
-//! Nodes are partitioned into `shards` contiguous ranges. Each slot, the
-//! main thread runs the serial prologue (epoch/fault boundaries, the
-//! DeliverPlane drain, the mistune pre-pass), publishes the slot to the
-//! workers, runs shard 0 itself, waits on the barrier, and then merges
-//! the per-shard outputs **in shard order** — so the DeliverPlane ring,
-//! the reorder buffers, the FNV digest and the fault ledger all see
-//! exactly the sequence a serial run produces. Golden digests pass
-//! unblessed by construction:
+//! Nodes are partitioned into `shards` contiguous ranges. Each slot the
+//! generation barrier fires twice over the same pool:
+//!
+//! 1. **Deliver phase** — the due ring slot is partitioned by
+//!    *receiver*: each worker scans the full due list in index order and
+//!    processes the arrivals landing in its node range (reorder buffers,
+//!    flow/FCT state and the Byzantine RX filter are all
+//!    receiver-local; see [`crate::engine::deliver::deliver_range`]).
+//!    The one globally ordered artifact — the FNV digest over the
+//!    delivered-cell sequence, plus the streaming eviction replay that
+//!    shares its ordering — is deferred: workers emit
+//!    `(due index, cell, completed)` records and the main thread k-way
+//!    merges them by due index in a serial epilogue, folding exactly the
+//!    serial sequence. Empty due slots (warmup, idle tails) skip the
+//!    phase entirely.
+//! 2. **TX phase** — as before: per-(node, uplink) transmit over the
+//!    shard's node range, outputs merged in shard order.
+//!
+//! The main thread runs the serial prologue (epoch/fault boundaries, the
+//! mistune pre-pass), publishes each phase to the workers, runs shard 0
+//! itself, waits on the barrier, and applies the per-shard outputs in
+//! the pinned order — so the DeliverPlane ring, the reorder buffers, the
+//! FNV digest and the fault ledger all see exactly the sequence a serial
+//! run produces. Golden digests pass unblessed by construction:
 //!
 //! * The per-(node, uplink) transmit work is node-local: `transmit`
 //!   touches only the sending node's queues/arena/CC counters, and the
@@ -45,14 +61,16 @@
 //! to [`SiriusSim::run_loop`], where sharded-vs-serial digest equality
 //! is trivial.
 
+use crate::engine::deliver::{deliver_range, DeliverCtx, DeliverOut, FlowSlots};
 use crate::engine::observer::NullObserver;
-use crate::engine::{DestTable, FaultPlane};
+use crate::engine::{lap, mark, DestTable, FaultPlane};
 use crate::sirius_net::{CcMode, FlowSource, SiriusSim};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use sirius_core::cell::Cell;
 use sirius_core::fault::FailurePlane;
 use sirius_core::node::{SiriusNode, SlotTx};
+use sirius_core::reorder::ReorderBuffer;
 use sirius_core::repair::AdjustedSchedule;
 use sirius_core::schedule::SlotInEpoch;
 use sirius_core::topology::{NodeId, UplinkId};
@@ -60,7 +78,7 @@ use sirius_core::units::Time;
 use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Condvar, Mutex, OnceLock};
 
 /// Default shard count when [`crate::SiriusSimConfig::with_shards`] is
 /// not called: `SIRIUS_SHARDS` if set to an integer ≥ 1, else 1 (serial).
@@ -310,11 +328,27 @@ pub(crate) fn tx_faulty_range(
     }
 }
 
+/// Which phase of the slot a published generation runs (one generation
+/// = one phase for one slot; the barrier fires once per phase).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Per-(node, uplink) transmit over the shard's node range.
+    Tx,
+    /// Receiver-partitioned arrival processing over the published due
+    /// list.
+    Deliver,
+    /// Park the workers out: the run is over.
+    Stop,
+}
+
 /// The slot parameters the main thread publishes to the workers each
 /// generation. Pointers are re-derived fresh from the simulator's own
 /// `&mut` borrows every slot (never cached across the barrier), so the
-/// workers' raw accesses are always rooted in a live borrow.
+/// workers' raw accesses are always rooted in a live borrow. The
+/// TX-phase fields and the deliver-phase fields are both always present;
+/// each phase reads only its own.
 struct SlotParams {
+    phase: Phase,
     nodes: *mut SiriusNode,
     rngs: *mut SmallRng,
     tables: *const DestTable,
@@ -323,12 +357,21 @@ struct SlotParams {
     faults: *const FaultPlane,
     t: u16,
     faulty: bool,
-    stop: bool,
+    // Deliver-phase inputs (see `run_shard_deliver`).
+    due: *const (NodeId, u16, Cell),
+    due_len: usize,
+    reorder: *mut ReorderBuffer,
+    flows: FlowSlots,
+    spn: u32,
+    now_ps: u64,
+    epoch: u64,
+    launch_t: u16,
 }
 
 impl SlotParams {
     const fn idle() -> SlotParams {
         SlotParams {
+            phase: Phase::Tx,
             nodes: std::ptr::null_mut(),
             rngs: std::ptr::null_mut(),
             tables: std::ptr::null(),
@@ -337,7 +380,14 @@ impl SlotParams {
             faults: std::ptr::null(),
             t: 0,
             faulty: false,
-            stop: false,
+            due: std::ptr::null(),
+            due_len: 0,
+            reorder: std::ptr::null_mut(),
+            flows: FlowSlots::empty(),
+            spn: 0,
+            now_ps: 0,
+            epoch: 0,
+            launch_t: 0,
         }
     }
 }
@@ -368,11 +418,23 @@ impl SlotParams {
 struct ShardCtx {
     params: UnsafeCell<SlotParams>,
     outs: Vec<UnsafeCell<ShardOut>>,
-    /// Generation gate: number of slots released to the workers.
+    /// Per-shard deliver-phase outputs (same claim discipline as `outs`).
+    douts: Vec<UnsafeCell<DeliverOut>>,
+    /// Generation gate: number of phases released to the workers.
     go: AtomicU64,
-    /// Cumulative worker slot-completions across the whole run.
+    /// Cumulative worker phase-completions across the whole run.
     done: AtomicU64,
     panicked: AtomicBool,
+    /// True when shards exceed the host's available parallelism: a
+    /// yield-wait then burns scheduler quanta the sibling shard needs
+    /// (the ~10 µs/slot overhead DESIGN.md decision #10 measured on the
+    /// 1-core CI host), so waits park on the condvar instead.
+    park: bool,
+    /// Park-mode wakeup channel. The atomics stay the source of truth;
+    /// the mutex/condvar only carry the wakeup (empty critical section
+    /// on the signal side).
+    lock: Mutex<()>,
+    cvar: Condvar,
 }
 
 // SAFETY: see the struct-level safety argument — every access to the
@@ -381,21 +443,63 @@ unsafe impl Sync for ShardCtx {}
 
 impl ShardCtx {
     fn new(shards: usize) -> ShardCtx {
+        let cores = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
         ShardCtx {
             params: UnsafeCell::new(SlotParams::idle()),
             outs: (0..shards)
                 .map(|_| UnsafeCell::new(ShardOut::default()))
                 .collect(),
+            douts: (0..shards)
+                .map(|_| UnsafeCell::new(DeliverOut::default()))
+                .collect(),
             go: AtomicU64::new(0),
             done: AtomicU64::new(0),
             panicked: AtomicBool::new(false),
+            park: shards > cores,
+            lock: Mutex::new(()),
+            cvar: Condvar::new(),
+        }
+    }
+
+    /// Make a just-performed atomic store visible to parked waiters.
+    /// No-op when not parking. Taking (and dropping) the lock before the
+    /// notify closes the lost-wakeup window: a waiter that observed the
+    /// predicate false under the lock is already in `Condvar::wait`
+    /// releasing it, so the notify cannot land between its check and its
+    /// sleep.
+    fn signal(&self) {
+        if self.park {
+            drop(self.lock.lock().unwrap());
+            self.cvar.notify_all();
+        }
+    }
+
+    /// Wait until `cond`. With a core per shard (`!park`) this is the
+    /// pure spin-then-yield gate (lowest latency, no syscalls); when
+    /// oversubscribed it spins briefly and then parks on the condvar,
+    /// re-checking the atomic predicate under the lock.
+    fn wait(&self, cond: impl Fn() -> bool) {
+        if !self.park {
+            wait_until(cond);
+            return;
+        }
+        for _ in 0..64 {
+            if cond() {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+        let mut guard = self.lock.lock().unwrap();
+        while !cond() {
+            guard = self.cvar.wait(guard).unwrap();
         }
     }
 }
 
-/// Spin briefly, then yield: the barrier must stay live on hosts with
-/// fewer cores than shards (CI containers), where a pure spin-wait would
-/// burn the only core the sibling needs.
+/// Spin briefly, then yield — the wait gate for hosts with a core per
+/// shard. (Oversubscribed hosts park instead: see [`ShardCtx::wait`].)
 fn wait_until(cond: impl Fn() -> bool) {
     let mut spins = 0u32;
     while !cond() {
@@ -440,38 +544,97 @@ unsafe fn run_shard(p: &SlotParams, mode: CcMode, lo: usize, hi: usize, out: &mu
     }
 }
 
+/// Run one shard's deliver phase for the published slot: scan the full
+/// due list in index order, process the receivers in `[lo, hi)`, buffer
+/// the ordered/global effects in `out` (see
+/// [`crate::engine::deliver::deliver_range`]).
+///
+/// # Safety
+/// Same claim discipline as [`run_shard`], extended to the receiver
+/// partition: between the `go` release and this shard's `done`
+/// increment, no other thread touches `nodes[lo..hi]`,
+/// `reorder[lo*spn..hi*spn]`, or any flow terminating in `[lo, hi)`
+/// (flow elements are receiver-disjoint — see
+/// [`crate::engine::deliver::FlowSlots`]). The due list and every
+/// `*const` target are frozen for the phase.
+unsafe fn run_shard_deliver(
+    p: &SlotParams,
+    mode: CcMode,
+    lo: usize,
+    hi: usize,
+    out: &mut DeliverOut,
+) {
+    out.clear();
+    let spn = p.spn as usize;
+    let nodes = std::slice::from_raw_parts_mut(p.nodes.add(lo), hi - lo);
+    let reorder = std::slice::from_raw_parts_mut(p.reorder.add(lo * spn), (hi - lo) * spn);
+    let due = std::slice::from_raw_parts(p.due, p.due_len);
+    let faults = &*p.faults;
+    let ctx = DeliverCtx {
+        mode,
+        byz: faults.byz.as_ref(),
+        has_link_faults: faults.injector.has_link_faults(),
+        flows: p.flows,
+        failures: &*p.failures,
+        sched: &*p.sched,
+        spn: p.spn,
+        launch_t: p.launch_t,
+        now: Time::from_ps(p.now_ps),
+        epoch: p.epoch,
+    };
+    deliver_range(
+        &ctx,
+        lo as u32,
+        hi as u32,
+        nodes,
+        reorder,
+        due,
+        out,
+        &mut NullObserver,
+    );
+}
+
 fn worker_loop(ctx: &ShardCtx, s: usize, mode: CcMode, lo: usize, hi: usize) {
     let mut generation: u64 = 1;
     loop {
-        wait_until(|| ctx.go.load(Ordering::Acquire) >= generation);
+        ctx.wait(|| ctx.go.load(Ordering::Acquire) >= generation);
         // SAFETY: the acquire above pairs with main's release store of
         // `go`; params for this generation are fully published and stay
         // frozen until every shard reports done.
         let p = unsafe { &*ctx.params.get() };
-        if p.stop {
+        if p.phase == Phase::Stop {
             ctx.done.fetch_add(1, Ordering::Release);
+            ctx.signal();
             return;
         }
         // Contain an unwind: a worker that dies before its `done`
         // increment would deadlock the whole run. Main re-raises.
         let r = catch_unwind(AssertUnwindSafe(|| {
             // SAFETY: this worker holds generation `generation`'s claim
-            // to [lo, hi) and to outs[s] (see ShardCtx).
-            unsafe { run_shard(p, mode, lo, hi, &mut *ctx.outs[s].get()) }
+            // to [lo, hi) and to outs[s]/douts[s] (see ShardCtx).
+            unsafe {
+                match p.phase {
+                    Phase::Tx => run_shard(p, mode, lo, hi, &mut *ctx.outs[s].get()),
+                    Phase::Deliver => run_shard_deliver(p, mode, lo, hi, &mut *ctx.douts[s].get()),
+                    Phase::Stop => unreachable!(),
+                }
+            }
         }));
         if r.is_err() {
             ctx.panicked.store(true, Ordering::Release);
         }
         ctx.done.fetch_add(1, Ordering::Release);
+        ctx.signal();
         generation += 1;
     }
 }
 
 impl SiriusSim {
-    /// The sharded slot loop: serial prologue and merge on this thread,
-    /// the TX phase fanned across `shards` contiguous node ranges (this
-    /// thread runs shard 0; `shards - 1` scoped workers run the rest).
-    /// Digest-identical to [`SiriusSim::run_loop`] with a
+    /// The sharded slot loop: serial prologue and ordered epilogues on
+    /// this thread, the deliver and TX phases each fanned across
+    /// `shards` contiguous node ranges (this thread runs shard 0;
+    /// `shards - 1` scoped workers run the rest, two barrier firings per
+    /// slot). Digest-identical to [`SiriusSim::run_loop`] with a
     /// [`NullObserver`] — see the module docs for why.
     pub(crate) fn run_loop_sharded<S: FlowSource>(&mut self, src: &mut S, shards: usize) -> u64 {
         let n = self.nodes.len();
@@ -484,6 +647,8 @@ impl SiriusSim {
         let ring_len = self.delivery.ring.len();
         let prop_slots = self.prop_slots as u64;
         let has_faults = !self.faults.injector.is_empty();
+        let timing = self.cfg.plane_timing;
+        let spn = self.cfg.network.servers_per_node as u32;
         let obs = &mut NullObserver;
 
         // Contiguous node ranges; the merge appends shard outputs in
@@ -500,6 +665,8 @@ impl SiriusSim {
         let mut ring_idx: usize = 0;
         let mut arrive_idx: usize = (prop_slots % ring_len as u64) as usize;
         let mut generation: u64 = 0;
+        // K-way-merge cursors for the deliver epilogue (reused per slot).
+        let mut cursors: Vec<usize> = vec![0; shards];
 
         std::thread::scope(|scope| {
             for (s, &(lo, hi)) in ranges.iter().enumerate().skip(1) {
@@ -521,15 +688,99 @@ impl SiriusSim {
                     self.epoch_boundary(cur_epoch, now, src, obs);
                 }
 
-                // DeliverPlane: serial, before TX, exactly as in run_loop.
-                // Cells draining now were launched `prop_slots` ago; their
-                // slot-in-epoch names the scheduled transmitter for the
-                // Byzantine RX filter. (Wrapping is harmless: warmup ring
-                // slots are empty.)
+                // DeliverPlane: before TX, exactly as in run_loop, but
+                // receiver-partitioned across the worker pool (the slot's
+                // first barrier phase). Cells draining now were launched
+                // `prop_slots` ago; their slot-in-epoch names the
+                // scheduled transmitter for the Byzantine RX filter.
+                // (Wrapping is harmless: warmup ring slots are empty.)
                 let launch_t = (abs_slot.wrapping_sub(prop_slots) % epoch_slots) as u16;
                 let mut due = std::mem::take(&mut self.delivery.ring[ring_idx]);
-                for (dst, u, cell) in due.drain(..) {
-                    self.deliver_cell(dst, u, cell, launch_t, now, cur_epoch, obs);
+                if !due.is_empty() {
+                    let m = mark(timing);
+                    generation += 1;
+                    // SAFETY: all workers are barrier-parked (done has
+                    // reached the previous generation's target), so main
+                    // is the only thread touching params.
+                    unsafe {
+                        *ctx.params.get() = SlotParams {
+                            phase: Phase::Deliver,
+                            nodes: self.nodes.as_mut_ptr(),
+                            rngs: std::ptr::null_mut(),
+                            tables: &self.tables,
+                            sched: &self.sched,
+                            failures: &self.failure_plane,
+                            faults: &self.faults,
+                            t: t as u16,
+                            faulty: has_faults,
+                            due: due.as_ptr(),
+                            due_len: due.len(),
+                            reorder: self.delivery.reorder.as_mut_ptr(),
+                            flows: self.flows.raw_view(),
+                            spn,
+                            now_ps: now.since(Time::ZERO).as_ps(),
+                            epoch: cur_epoch,
+                            launch_t,
+                        };
+                    }
+                    ctx.go.store(generation, Ordering::Release);
+                    ctx.signal();
+
+                    // Main is shard 0, through the same published
+                    // pointers. SAFETY: shard 0's receiver range is
+                    // claimed by this thread for this generation;
+                    // douts[0] is main-only.
+                    unsafe {
+                        let p = &*ctx.params.get();
+                        run_shard_deliver(
+                            p,
+                            mode,
+                            ranges[0].0,
+                            ranges[0].1,
+                            &mut *ctx.douts[0].get(),
+                        );
+                    }
+                    ctx.wait(|| ctx.done.load(Ordering::Acquire) >= workers * generation);
+                    if ctx.panicked.load(Ordering::Acquire) {
+                        panic!("sharded slot engine: a shard worker panicked");
+                    }
+                    lap(&mut self.plane_times.deliver, m);
+
+                    // Ordered epilogue: k-way merge the per-shard
+                    // delivered records by due index, folding the digest
+                    // — and the streaming eviction replay — in exactly
+                    // the serial sequence. Then the commutative per-shard
+                    // effects, in shard order.
+                    let m = mark(timing);
+                    let now_ps = now.since(Time::ZERO).as_ps();
+                    cursors.iter_mut().for_each(|c| *c = 0);
+                    loop {
+                        let mut best: Option<(u32, usize)> = None;
+                        for (s, cur) in cursors.iter().enumerate() {
+                            // SAFETY: every shard reported done for this
+                            // generation; the workers are parked until
+                            // the next `go`, so main owns all douts.
+                            let d = unsafe { &*ctx.douts[s].get() };
+                            if let Some(&(idx, _, _)) = d.delivered.get(*cur) {
+                                if best.is_none_or(|(b, _)| idx < b) {
+                                    best = Some((idx, s));
+                                }
+                            }
+                        }
+                        let Some((_, s)) = best else { break };
+                        // SAFETY: as above.
+                        let (_, cell, completed) =
+                            unsafe { (&*ctx.douts[s].get()).delivered[cursors[s]] };
+                        cursors[s] += 1;
+                        self.fold_delivery(&cell, completed, now_ps);
+                    }
+                    for s in 0..shards {
+                        // SAFETY: as above.
+                        let dout = unsafe { &mut *ctx.douts[s].get() };
+                        self.apply_deliver_effects(dout, now);
+                    }
+                    lap(&mut self.plane_times.merge, m);
+                    due.clear();
                 }
                 self.delivery.ring[ring_idx] = due;
 
@@ -547,13 +798,15 @@ impl SiriusSim {
                     );
                 }
 
-                // Publish the slot and release the workers.
+                // Publish the TX phase and release the workers.
+                let m = mark(timing);
                 generation += 1;
                 // SAFETY: all workers are barrier-parked (done has
                 // reached the previous generation's target), so main is
                 // the only thread touching params.
                 unsafe {
                     *ctx.params.get() = SlotParams {
+                        phase: Phase::Tx,
                         nodes: self.nodes.as_mut_ptr(),
                         rngs: self.fault_rngs.as_mut_ptr(),
                         tables: &self.tables,
@@ -562,10 +815,18 @@ impl SiriusSim {
                         faults: &self.faults,
                         t: t as u16,
                         faulty: has_faults,
-                        stop: false,
+                        due: std::ptr::null(),
+                        due_len: 0,
+                        reorder: std::ptr::null_mut(),
+                        flows: FlowSlots::empty(),
+                        spn,
+                        now_ps: 0,
+                        epoch: cur_epoch,
+                        launch_t,
                     };
                 }
                 ctx.go.store(generation, Ordering::Release);
+                ctx.signal();
 
                 // Main is shard 0, through the same published pointers.
                 // SAFETY: shard 0's range is claimed by this thread for
@@ -574,17 +835,26 @@ impl SiriusSim {
                     let p = &*ctx.params.get();
                     run_shard(p, mode, ranges[0].0, ranges[0].1, &mut *ctx.outs[0].get());
                 }
-                wait_until(|| ctx.done.load(Ordering::Acquire) >= workers * generation);
+                ctx.wait(|| ctx.done.load(Ordering::Acquire) >= workers * generation);
                 if ctx.panicked.load(Ordering::Acquire) {
                     panic!("sharded slot engine: a shard worker panicked");
                 }
+                lap(&mut self.plane_times.tx, m);
 
                 // Merge in shard order: ring pushes, detector credit,
-                // loss counters — the exact serial sequence.
-                for s in 0..shards {
+                // loss counters — the exact serial sequence. Pre-size the
+                // arrival ring slot from the slot's total so the appends
+                // never regrow it mid-merge.
+                let m = mark(timing);
+                let total: usize = (0..shards)
                     // SAFETY: every shard reported done for this
                     // generation; the workers are parked until the next
                     // `go`, so main owns all outs.
+                    .map(|s| unsafe { (*ctx.outs[s].get()).ring.len() })
+                    .sum();
+                self.delivery.ring[arrive_idx].reserve(total);
+                for s in 0..shards {
+                    // SAFETY: as above.
                     let out = unsafe { &mut *ctx.outs[s].get() };
                     self.delivery.ring[arrive_idx].append(&mut out.ring);
                     for &(ni, u, j) in &out.credits {
@@ -598,6 +868,7 @@ impl SiriusSim {
                 if has_faults {
                     self.faults.end_slot();
                 }
+                lap(&mut self.plane_times.merge, m);
 
                 abs_slot += 1;
                 t += 1;
@@ -615,14 +886,15 @@ impl SiriusSim {
                 }
             }
 
-            // Park the workers out: one final generation with `stop` set.
+            // Park the workers out: one final Stop generation.
             generation += 1;
             // SAFETY: workers are barrier-parked; main owns params.
             unsafe {
-                (*ctx.params.get()).stop = true;
+                (*ctx.params.get()).phase = Phase::Stop;
             }
             ctx.go.store(generation, Ordering::Release);
-            wait_until(|| ctx.done.load(Ordering::Acquire) >= workers * generation);
+            ctx.signal();
+            ctx.wait(|| ctx.done.load(Ordering::Acquire) >= workers * generation);
         });
         abs_slot
     }

@@ -294,6 +294,9 @@ impl EsnSim {
             // The fluid model has no cell stream or slot clock.
             cells_delivered: 0,
             epochs_simulated: 0,
+            tx_secs: 0.0,
+            deliver_secs: 0.0,
+            merge_secs: 0.0,
             // Every record is kept, so exact percentiles want `flows`.
             fct_hist: None,
         }

@@ -306,6 +306,26 @@ pub struct RunMetrics {
     pub cells_delivered: u64,
     /// Schedule epochs the run simulated (slot count / slots per epoch).
     pub epochs_simulated: u64,
+    /// Wall-clock seconds in the transmit phase of the slot loop
+    /// (including barrier waits on sharded runs). Per-plane breakdown is
+    /// recorded only when
+    /// [`crate::SiriusSimConfig::plane_timing`] is on; 0.0 otherwise.
+    /// The three planes do not sum to [`wall_secs`]: epoch boundaries
+    /// (admission, CC rounds) and loop bookkeeping are untimed.
+    ///
+    /// [`wall_secs`]: RunMetrics::wall_secs
+    pub tx_secs: f64,
+    /// Wall-clock seconds in arrival processing (the deliver plane — the
+    /// parallel region on sharded runs). See [`tx_secs`].
+    ///
+    /// [`tx_secs`]: RunMetrics::tx_secs
+    pub deliver_secs: f64,
+    /// Wall-clock seconds in the serial merge epilogue: the ordered
+    /// digest fold, streaming eviction replay, cross-shard effect
+    /// application and TX-output merge. See [`tx_secs`].
+    ///
+    /// [`tx_secs`]: RunMetrics::tx_secs
+    pub merge_secs: f64,
     /// Streaming FCT histogram over every completed flow, folded at
     /// eviction time. Present on streaming runs
     /// ([`crate::SiriusSim::run_streaming`]), where per-flow records are
@@ -485,6 +505,9 @@ mod tests {
             wall_secs: 0.0,
             cells_delivered: 0,
             epochs_simulated: 0,
+            tx_secs: 0.0,
+            deliver_secs: 0.0,
+            merge_secs: 0.0,
             fct_hist: None,
         };
         let p99 = m.fct_percentile(99.0, 100_000).unwrap();
@@ -512,6 +535,9 @@ mod tests {
             wall_secs: 0.5,
             cells_delivered: 1_000_000,
             epochs_simulated: 40_000,
+            tx_secs: 0.0,
+            deliver_secs: 0.0,
+            merge_secs: 0.0,
             fct_hist: None,
         };
         // 1 Gbit in 1 ms = 1 Tbps; with 100 servers at 10 Gbps = 1 Tbps

@@ -93,6 +93,11 @@ pub struct SiriusSimConfig {
     /// back to the serial loop regardless. Defaults to `SIRIUS_SHARDS`
     /// when that is set to an integer ≥ 1.
     pub shards: usize,
+    /// Record per-plane wall-clock breakdown (`tx_secs` / `deliver_secs`
+    /// / `merge_secs` in [`crate::RunMetrics`]). Off by default: the
+    /// clock reads cost real time on the hot path, and the breakdown is
+    /// a bench-harness concern. Never affects behavior or digests.
+    pub plane_timing: bool,
 }
 
 impl SiriusSimConfig {
@@ -107,6 +112,7 @@ impl SiriusSimConfig {
             fault: FaultConfig::default(),
             relay_burst: sirius_core::node::RELAY_BURST,
             shards: crate::engine::shard::env_default_shards(),
+            plane_timing: false,
         }
     }
 
@@ -147,6 +153,12 @@ impl SiriusSimConfig {
         self.shards = shards;
         self
     }
+    /// Record the per-plane wall-clock breakdown (see
+    /// [`SiriusSimConfig::plane_timing`]).
+    pub fn with_plane_timing(mut self, on: bool) -> SiriusSimConfig {
+        self.plane_timing = on;
+        self
+    }
 }
 
 /// Per-flow simulation state.
@@ -161,6 +173,15 @@ pub(crate) struct FlowSt {
     pub(crate) delivered: u64,
     pub(crate) completion: Option<Time>,
 }
+
+// The deliver plane may be sharded by receiver: workers then write flow
+// records (each touching only flows terminating in its receiver range)
+// from worker threads, so `FlowSt` must be `Send`. Compile-time check,
+// mirroring `SiriusNode`'s.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<FlowSt>()
+};
 
 /// Slab of per-flow state. The slice path ([`SiriusSim::run`]) populates
 /// it once and never frees; the streaming path ([`SiriusSim::run_streaming`])
@@ -257,6 +278,17 @@ impl FlowTable {
     /// High-water mark of simultaneously resident flows.
     pub(crate) fn resident_peak(&self) -> u64 {
         self.resident_peak
+    }
+
+    /// Raw element view of the slab for the deliver phase (see
+    /// [`crate::engine::deliver::FlowSlots`]): arrival effects are
+    /// receiver-local but flow ids are receiver-interleaved in slot
+    /// order, so shard workers index disjoint *elements*, never disjoint
+    /// ranges. The view is valid for one slot: the slab only grows (and
+    /// the `Vec` only reallocates) at epoch boundaries, and eviction is
+    /// replayed serially in the epilogue.
+    pub(crate) fn raw_view(&mut self) -> crate::engine::deliver::FlowSlots {
+        crate::engine::deliver::FlowSlots::new(self.slots.as_mut_ptr(), self.slots.len())
     }
 
     /// Occupied slots in slot order (for the slice path this is every
@@ -452,6 +484,12 @@ pub struct SiriusSim {
     /// Serial-path reuse buffer for the shared faulty-slot range
     /// function's output (the sharded path keeps one per shard).
     pub(crate) fault_scratch: crate::engine::shard::ShardOut,
+    /// Serial-path reuse buffer for the shared deliver range function's
+    /// output (the sharded path keeps one per shard).
+    pub(crate) deliver_scratch: crate::engine::deliver::DeliverOut,
+    /// Per-plane wall-clock accumulators (populated only when
+    /// [`SiriusSimConfig::plane_timing`] is on).
+    pub(crate) plane_times: crate::engine::PlaneTimes,
     /// Streaming mode: free a flow's slab slot the moment it completes,
     /// folding its terminal state into [`SiriusSim::stream_fold`] so the
     /// run digest still covers every flow. Slice runs keep this off and
@@ -549,6 +587,8 @@ impl SiriusSim {
             delivery: DeliverPlane::new(ring_len, total_servers),
             fault_rngs: Vec::new(),
             fault_scratch: Default::default(),
+            deliver_scratch: Default::default(),
+            plane_times: Default::default(),
             evict_completed: false,
             stream_fold: RunDigest::new(),
             fct_hist: FctHistogram::default(),
@@ -1142,6 +1182,9 @@ impl SiriusSim {
             wall_secs,
             cells_delivered: self.delivery.cells_delivered,
             epochs_simulated: epochs,
+            tx_secs: self.plane_times.tx.as_secs_f64(),
+            deliver_secs: self.plane_times.deliver.as_secs_f64(),
+            merge_secs: self.plane_times.merge.as_secs_f64(),
             fct_hist: if self.evict_completed {
                 Some(self.fct_hist)
             } else {
